@@ -1,0 +1,35 @@
+# Convenience targets for the reproduction repository.
+
+PYTHON ?= python3
+
+.PHONY: install test bench examples experiments lint clean
+
+install:
+	pip install -e . --no-build-isolation
+
+test:
+	$(PYTHON) -m pytest tests/
+
+test-output:
+	$(PYTHON) -m pytest tests/ 2>&1 | tee test_output.txt
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s
+
+bench-output:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only 2>&1 | tee bench_output.txt
+
+examples:
+	@for script in examples/*.py; do \
+		echo "=== $$script ==="; \
+		$(PYTHON) $$script || exit 1; \
+	done
+
+experiments:
+	@$(PYTHON) -m repro list | while read id; do \
+		$(PYTHON) -m repro run $$id || exit 1; \
+	done
+
+clean:
+	rm -rf .pytest_cache .hypothesis benchmarks/output
+	find . -name __pycache__ -type d -exec rm -rf {} +

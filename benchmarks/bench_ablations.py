@@ -1,0 +1,42 @@
+"""Ablation studies of the design choices DESIGN.md calls out."""
+
+from repro.experiments import (
+    ablation_repair_regularity,
+    ablation_voting_repair,
+    ablation_was_available_freshness,
+)
+
+from .conftest import emit
+
+
+def test_ablation_voting_repair(benchmark):
+    report = benchmark.pedantic(
+        ablation_voting_repair, rounds=1, iterations=1
+    )
+    emit(report)
+    lazy, eager = report.tables[0].rows
+    assert lazy[1] == 0.0 and eager[1] > 0.0
+    assert abs(lazy[4] - eager[4]) < 1e-9  # identical availability
+
+
+def test_ablation_was_available_freshness(benchmark):
+    report = benchmark.pedantic(
+        ablation_was_available_freshness, rounds=1, iterations=1
+    )
+    emit(report)
+    table = report.tables[0]
+    # the lazy variant is sandwiched between naive and tracked
+    for row in table.rows:
+        _rate, tracked, lazy, naive = row
+        assert naive - 0.01 <= lazy <= tracked + 0.01
+
+
+def test_ablation_repair_regularity(benchmark):
+    report = benchmark.pedantic(
+        ablation_repair_regularity, rounds=1, iterations=1
+    )
+    emit(report)
+    table = report.tables[0]
+    gaps = table.column("gap")
+    # Section 4.4: more regular repairs shrink AC's edge over naive
+    assert gaps[-1] <= gaps[0] + 0.005

@@ -1,0 +1,22 @@
+"""Message-size study (Section 5's 'slightly less pronounced' remark)."""
+
+from repro.experiments import byte_traffic_study
+
+from .conftest import emit
+
+
+def test_byte_traffic_study(benchmark):
+    report = benchmark.pedantic(
+        lambda: byte_traffic_study(simulate=True, horizon=30_000.0),
+        rounds=1,
+        iterations=1,
+    )
+    emit(report)
+    table = report.tables[0]
+    for row in table.rows:
+        _n, _mm, _nm, msg_ratio, _mb, _nb, byte_ratio = row
+        assert 1.0 < byte_ratio < msg_ratio
+    # the simulation cross-check agrees within 2%
+    check = report.tables[1]
+    for _scheme, simulated, model in check.rows:
+        assert abs(simulated - model) / model < 0.02

@@ -1,0 +1,26 @@
+"""Figure 9: three available copies versus six voting copies.
+
+Regenerates the availability curves A_V(6), A_A(3), A_NA(3) over
+rho in [0, 0.20] and checks the paper's qualitative claims.
+"""
+
+from repro.experiments import figure9
+
+from .conftest import run_once
+
+
+def test_figure9(benchmark):
+    report = run_once(benchmark, figure9)
+    table = report.tables[0]
+    voting = table.column("A_V(6)")
+    tracked = table.column("A_A(3)")
+    naive = table.column("A_NA(3)")
+    # the paper's shape: available copy dominates voting throughout,
+    # and the two available-copy variants are indistinguishable for
+    # rho < 0.10
+    assert all(a >= v for a, v in zip(tracked, voting))
+    assert all(n >= v - 1e-12 for n, v in zip(naive, voting))
+    rhos = table.column("rho")
+    for rho, a, n in zip(rhos, tracked, naive):
+        if rho < 0.10:
+            assert a - n < 0.005

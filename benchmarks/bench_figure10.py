@@ -1,0 +1,20 @@
+"""Figure 10: four available copies versus eight voting copies."""
+
+from repro.experiments import figure10
+
+from .conftest import run_once
+
+
+def test_figure10(benchmark):
+    report = run_once(benchmark, figure10)
+    table = report.tables[0]
+    voting = table.column("A_V(8)")
+    tracked = table.column("A_A(4)")
+    naive = table.column("A_NA(4)")
+    assert all(a >= v for a, v in zip(tracked, voting))
+    assert all(a >= n - 1e-12 for a, n in zip(tracked, naive))
+    # four copies beat three copies everywhere (cross-figure sanity)
+    from repro.experiments import figure9
+
+    three = figure9().tables[0].column("A_A(3)")
+    assert all(four >= thr - 1e-12 for four, thr in zip(tracked, three))

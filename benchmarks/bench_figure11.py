@@ -1,0 +1,62 @@
+"""Figure 11: multicast traffic per (1 write + x reads), rho = 0.05.
+
+Regenerates the analytic series and cross-checks them against the
+discrete-event simulator running the actual protocols over a multicast
+network.
+"""
+
+import pytest
+
+from repro.analysis import traffic_model
+from repro.device import ClusterConfig, ReplicatedCluster
+from repro.experiments import figure11
+from repro.types import AddressingMode, SchemeName
+from repro.workload import OpKind, WorkloadRunner, WorkloadSpec
+
+from .conftest import emit, run_once
+
+RHO = 0.05
+
+
+def test_figure11_series(benchmark):
+    report = run_once(benchmark, figure11)
+    table = report.tables[0]
+    naive = table.column("NAC (any x)")
+    assert set(naive) == {1.0}
+    for row in table.rows:
+        n, x1, x2, x4, ac, nac = row
+        assert nac <= ac <= x1 < x2 < x4
+
+
+def test_figure11_simulation_cross_check(benchmark):
+    """Simulated per-access-group traffic must match the plotted model."""
+
+    def simulate():
+        rows = []
+        for scheme in SchemeName:
+            cluster = ReplicatedCluster(
+                ClusterConfig(
+                    scheme=scheme, num_sites=5, num_blocks=32,
+                    failure_rate=RHO, repair_rate=1.0,
+                    addressing=AddressingMode.MULTICAST, seed=71,
+                )
+            )
+            runner = WorkloadRunner(
+                cluster, WorkloadSpec(read_write_ratio=2.0, op_rate=2.0)
+            )
+            result = runner.run(30_000.0)
+            model = traffic_model(scheme, 5, RHO)
+            sim_group = (
+                result.mean_messages(OpKind.WRITE)
+                + 2.0 * result.mean_messages(OpKind.READ)
+            )
+            model_group = model.write + 2.0 * model.read
+            rows.append((scheme.short, sim_group, model_group))
+        return rows
+
+    rows = benchmark.pedantic(simulate, rounds=1, iterations=1)
+    print()
+    print("scheme  simulated  modelled   (1 write + 2 reads, n=5)")
+    for scheme, sim, model in rows:
+        print(f"{scheme:6s}  {sim:9.3f}  {model:8.3f}")
+        assert sim == pytest.approx(model, rel=0.05)

@@ -1,0 +1,62 @@
+"""Figure 12: unique-addressing traffic per (1 write + x reads)."""
+
+import pytest
+
+from repro.analysis import traffic_model
+from repro.device import ClusterConfig, ReplicatedCluster
+from repro.experiments import figure11, figure12
+from repro.types import AddressingMode, SchemeName
+from repro.workload import OpKind, WorkloadRunner, WorkloadSpec
+
+from .conftest import run_once
+
+RHO = 0.05
+
+
+def test_figure12_series(benchmark):
+    report = run_once(benchmark, figure12)
+    table = report.tables[0]
+    for row in table.rows:
+        n, x1, x2, x4, ac, nac = row
+        assert nac <= ac <= x1 < x2 < x4
+        assert nac == n - 1  # naive pays exactly its fan-out
+    # Section 5.2: relative differences are amplified vs multicast
+    t11 = figure11().tables[0]
+    for row11, row12 in zip(t11.rows, table.rows):
+        if row11[0] >= 3:
+            assert (row12[3] - row12[5]) > (row11[3] - row11[5])
+
+
+def test_figure12_simulation_cross_check(benchmark):
+    def simulate():
+        rows = []
+        for scheme in SchemeName:
+            cluster = ReplicatedCluster(
+                ClusterConfig(
+                    scheme=scheme, num_sites=5, num_blocks=32,
+                    failure_rate=RHO, repair_rate=1.0,
+                    addressing=AddressingMode.UNIQUE, seed=72,
+                )
+            )
+            runner = WorkloadRunner(
+                cluster, WorkloadSpec(read_write_ratio=2.0, op_rate=2.0)
+            )
+            result = runner.run(30_000.0)
+            model = traffic_model(
+                scheme, 5, RHO, mode=AddressingMode.UNIQUE
+            )
+            sim_group = (
+                result.mean_messages(OpKind.WRITE)
+                + 2.0 * result.mean_messages(OpKind.READ)
+            )
+            rows.append(
+                (scheme.short, sim_group, model.write + 2.0 * model.read)
+            )
+        return rows
+
+    rows = benchmark.pedantic(simulate, rounds=1, iterations=1)
+    print()
+    print("scheme  simulated  modelled   (1 write + 2 reads, n=5, unique)")
+    for scheme, sim, model in rows:
+        print(f"{scheme:6s}  {sim:9.3f}  {model:8.3f}")
+        assert sim == pytest.approx(model, rel=0.05)

@@ -1,0 +1,20 @@
+"""Partition demonstration (the Section 6 caveat, executable)."""
+
+from repro.experiments import partition_demo
+
+from .conftest import run_once
+
+
+def test_partition_demo(benchmark):
+    report = run_once(benchmark, partition_demo)
+    table = report.tables[0]
+    rows = {row[0]: row for row in table.rows}
+    # voting: minority refused, no split brain, post-heal agreement
+    assert rows["MCV"][1] is False
+    assert rows["MCV"][3] is False
+    assert rows["MCV"][4] is True
+    # both available-copy schemes split brain
+    for scheme in ("AC", "NAC"):
+        assert rows[scheme][1] is True
+        assert rows[scheme][3] is True
+        assert rows[scheme][4] is False

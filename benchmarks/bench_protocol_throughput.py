@@ -1,0 +1,52 @@
+"""Micro-benchmarks of protocol operation cost (engineering, not paper).
+
+These time the in-memory cost of one read/write under each protocol so
+performance regressions in the protocol implementations are visible.
+"""
+
+import pytest
+
+from repro.device import ClusterConfig, ReplicatedCluster
+from repro.types import SchemeName
+
+SCHEMES = list(SchemeName)
+
+
+def make_protocol(scheme):
+    cluster = ReplicatedCluster(
+        ClusterConfig(scheme=scheme, num_sites=5, num_blocks=64,
+                      failure_rate=0.0)
+    )
+    return cluster.protocol
+
+
+@pytest.mark.parametrize("scheme", SCHEMES, ids=[s.short for s in SCHEMES])
+def test_write_throughput(benchmark, scheme):
+    protocol = make_protocol(scheme)
+    payload = b"\x7f" * protocol.block_size
+    benchmark(protocol.write, 0, 7, payload)
+
+
+@pytest.mark.parametrize("scheme", SCHEMES, ids=[s.short for s in SCHEMES])
+def test_read_throughput(benchmark, scheme):
+    protocol = make_protocol(scheme)
+    protocol.write(0, 7, b"\x7f" * protocol.block_size)
+    benchmark(protocol.read, 0, 7)
+
+
+def test_filesystem_write_throughput(benchmark):
+    from repro.fs import FileSystem
+
+    cluster = ReplicatedCluster(
+        ClusterConfig(scheme=SchemeName.NAIVE_AVAILABLE_COPY,
+                      num_sites=3, num_blocks=2048, failure_rate=0.0)
+    )
+    fs = FileSystem.format(cluster.device())
+    fs.create("/bench")
+    payload = b"x" * 4096
+    counter = iter(range(10**9))
+
+    def write_chunk():
+        fs.write_file("/bench", payload, offset=(next(counter) % 8) * 4096)
+
+    benchmark(write_chunk)

@@ -1,0 +1,29 @@
+"""Reliability extension: MTTF / outage / survival comparison."""
+
+import pytest
+
+from repro.experiments import reliability_study
+
+from .conftest import emit
+
+
+def test_reliability_study(benchmark):
+    report = benchmark.pedantic(
+        lambda: reliability_study(episodes=400),
+        rounds=1,
+        iterations=1,
+    )
+    emit(report)
+    mttf = report.tables[0]
+    rows = {(r[0], r[1]): r for r in mttf.rows}
+    # tracked and naive share the MTTF
+    for n in (1, 2, 3, 4):
+        assert rows[("AC", n)][2] == pytest.approx(
+            rows[("NAC", n)][2], rel=1e-9
+        )
+        # naive outages are at least as long
+        assert rows[("NAC", n)][3] >= rows[("AC", n)][3] - 1e-9
+    # simulation agrees with the absorbing-chain MTTF
+    for (scheme, n), row in rows.items():
+        analytic, simulated = row[2], row[4]
+        assert simulated == pytest.approx(analytic, rel=0.25), (scheme, n)

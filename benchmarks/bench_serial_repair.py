@@ -1,0 +1,28 @@
+"""Serial-repair ablation (single repair facility)."""
+
+import pytest
+
+from repro.experiments import serial_repair_study
+
+from .conftest import emit
+
+
+def test_serial_repair_study(benchmark):
+    report = benchmark.pedantic(
+        lambda: serial_repair_study(horizon=200_000.0),
+        rounds=1,
+        iterations=1,
+    )
+    emit(report)
+    table = report.tables[0]
+    for row in table.rows:
+        scheme, par_an, par_sim, ser_chain, ser_sim, ser_fifo = row
+        # simulations track their analytic counterparts
+        assert par_sim == pytest.approx(par_an, abs=0.01)
+        assert ser_sim == pytest.approx(ser_chain, abs=0.01)
+        # serial repair always costs availability
+        assert ser_sim < par_sim
+    rows = {r[0]: r for r in table.rows}
+    gap_random = rows["AC"][4] - rows["NAC"][4]
+    gap_fifo = rows["AC"][5] - rows["NAC"][5]
+    assert gap_fifo < gap_random  # FIFO erodes the tracked scheme's edge

@@ -1,0 +1,22 @@
+"""Figures 7-8: the state-transition-rate diagrams as artefacts."""
+
+from repro.experiments import figure7_8_diagrams
+
+from .conftest import run_once
+
+
+def test_figures_7_and_8(benchmark):
+    report = run_once(benchmark, figure7_8_diagrams)
+    fig7, fig8 = report.tables
+    # the single structural difference between the two figures: early
+    # exits from the comatose states exist only in Figure 7
+    fig7_exits = {
+        (row[0], row[1]) for row in fig7.rows
+        if row[0].startswith("S'") and not row[1].startswith("S'")
+    }
+    fig8_exits = {
+        (row[0], row[1]) for row in fig8.rows
+        if row[0].startswith("S'") and not row[1].startswith("S'")
+    }
+    assert len(fig7_exits) == 4   # one per comatose state (n = 4)
+    assert fig8_exits == {("S'3", "S4")}

@@ -1,0 +1,16 @@
+"""Section 6 scorecard (the conclusions, quantified)."""
+
+from repro.experiments import conclusions_summary
+
+from .conftest import run_once
+
+
+def test_conclusions_summary(benchmark):
+    report = run_once(benchmark, conclusions_summary)
+    table = report.tables[0]
+    rows = {row[0]: row for row in table.rows}
+    availability = rows["availability (3 copies)"]
+    writes = rows["transmissions per write"]
+    # the paper's bottom line, in two assertions:
+    assert writes[3] == 1.0                      # NAC writes cheapest
+    assert availability[2] - availability[3] < 1e-3   # at ~no cost

@@ -1,0 +1,18 @@
+"""Theorem 4.1: A_A(n) > A_V(2n-1) = A_V(2n) for all rho <= 1."""
+
+from repro.experiments import theorem41
+
+from .conftest import run_once
+
+
+def test_theorem41(benchmark):
+    report = run_once(benchmark, theorem41)
+    direct = report.tables[0]
+    assert all(direct.column("holds"))
+    # the margin grows with n at fixed rho = 1.0 rows
+    margins_at_one = [
+        row[2] - row[3]
+        for row in direct.rows
+        if abs(row[1] - 1.0) < 1e-9
+    ]
+    assert margins_at_one == sorted(margins_at_one)

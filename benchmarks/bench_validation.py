@@ -1,0 +1,45 @@
+"""Full-scale simulation-versus-theory validation runs."""
+
+import pytest
+
+from repro.experiments import (
+    ValidationSettings,
+    validate_availability,
+    validate_traffic,
+)
+
+from .conftest import emit
+
+
+def test_validation_availability(benchmark):
+    report = benchmark.pedantic(
+        lambda: validate_availability(
+            settings=ValidationSettings(horizon=150_000.0, seed=2025)
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    emit(report)
+    for error in report.tables[0].column("abs error"):
+        assert error < 0.006
+
+
+def test_validation_traffic(benchmark):
+    report = benchmark.pedantic(
+        lambda: validate_traffic(
+            settings=ValidationSettings(horizon=40_000.0, seed=2025,
+                                        op_rate=2.0)
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    emit(report)
+    table = report.tables[0]
+    for sim_col, model_col in (
+        ("write sim", "write model"),
+        ("read sim", "read model"),
+        ("recovery sim", "recovery model"),
+    ):
+        for sim, model in zip(table.column(sim_col),
+                              table.column(model_col)):
+            assert sim == pytest.approx(model, abs=0.3)

@@ -1,0 +1,26 @@
+"""Witness extension: copy/witness mixes under voting."""
+
+import pytest
+
+from repro.experiments import witness_study
+
+from .conftest import emit
+
+
+def test_witness_study(benchmark):
+    report = benchmark.pedantic(
+        lambda: witness_study(simulate=True, horizon=120_000.0),
+        rounds=1,
+        iterations=1,
+    )
+    emit(report)
+    table = report.tables[0]
+    rows = {(r[0], r[1]): r for r in table.rows}
+    # a witness substitutes perfectly once >= 2 data copies remain
+    assert rows[(2, 1)][2] == pytest.approx(rows[(3, 0)][2], abs=1e-12)
+    assert rows[(3, 2)][2] == pytest.approx(rows[(5, 0)][2], abs=1e-12)
+    # and dominates the stripped-down group
+    assert rows[(2, 1)][2] > rows[(2, 0)][2]
+    # simulation agrees with the analytic availability
+    for row in table.rows:
+        assert row[3] == pytest.approx(row[2], abs=0.01)

@@ -1,0 +1,34 @@
+"""Shared infrastructure for the benchmark harness.
+
+Each ``bench_*.py`` regenerates one of the paper's figures (or a
+validation/ablation study), times it with pytest-benchmark, prints the
+regenerated rows/series, and writes them to ``benchmarks/output/`` so
+the artefacts survive the run.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+OUTPUT_DIR = pathlib.Path(__file__).parent / "output"
+
+
+def emit(report) -> None:
+    """Print a report and persist it under benchmarks/output/."""
+    text = report.render()
+    print()
+    print(text)
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    path = OUTPUT_DIR / f"{report.experiment_id}.txt"
+    path.write_text(text + "\n", encoding="utf-8")
+
+
+def run_once(benchmark, factory):
+    """Benchmark ``factory`` with a single measured round and emit it."""
+    report = benchmark.pedantic(factory, rounds=1, iterations=1)
+    emit(report)
+    return report

@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""Regenerate Figures 9-10 and validate them against simulation.
+
+Prints the availability curves of the paper's Figures 9 and 10 (ASCII
+plot + table excerpt), then runs the actual protocol implementations
+under Poisson failures and overlays the measured availabilities on the
+analytic values.
+
+Run:  python examples/availability_study.py
+"""
+
+from repro import (
+    ClusterConfig,
+    ReplicatedCluster,
+    SchemeName,
+    scheme_availability,
+)
+from repro.experiments import figure9, figure10
+
+
+def ascii_plot(table, width=60, height=16) -> str:
+    """A crude terminal plot of the availability columns vs rho."""
+    rhos = table.column("rho")
+    series = {name: table.column(name) for name in table.columns[1:]}
+    lo = min(min(v) for v in series.values())
+    rows = []
+    marks = "V A N"  # voting, available copy, naive
+    for level in range(height, -1, -1):
+        y = lo + (1.0 - lo) * level / height
+        line = [" "] * (width + 1)
+        for (name, values), mark in zip(series.items(), marks.split()):
+            for rho, value in zip(rhos, values):
+                x = int(rho / rhos[-1] * width)
+                if abs(value - y) <= (1.0 - lo) / (2 * height):
+                    line[x] = mark
+        rows.append(f"{y:8.5f} |" + "".join(line))
+    rows.append(" " * 9 + "+" + "-" * width)
+    rows.append(" " * 10 + f"rho: 0 .. {rhos[-1]:.2f}   "
+                "V=voting  A=available copy  N=naive")
+    return "\n".join(rows)
+
+
+def main() -> None:
+    for make_figure, ac_copies, voting_copies in (
+        (figure9, 3, 6),
+        (figure10, 4, 8),
+    ):
+        report = make_figure()
+        table = report.tables[0]
+        print(f"=== {report.title} ===")
+        print(ascii_plot(table))
+        print()
+
+    # --- simulation overlay at a few sample points ------------------------
+    print("=== simulation cross-check (horizon 150k, seed 11) ===")
+    print(f"{'scheme':>8} {'n':>2} {'rho':>5} {'analytic':>10} "
+          f"{'simulated':>10}")
+    for scheme, n in (
+        (SchemeName.VOTING, 6),
+        (SchemeName.AVAILABLE_COPY, 3),
+        (SchemeName.NAIVE_AVAILABLE_COPY, 3),
+    ):
+        for rho in (0.05, 0.15):
+            cluster = ReplicatedCluster(
+                ClusterConfig(
+                    scheme=scheme, num_sites=n, num_blocks=16,
+                    failure_rate=rho, repair_rate=1.0, seed=11,
+                )
+            )
+            cluster.run_until(150_000.0)
+            analytic = scheme_availability(scheme, n, rho)
+            print(f"{scheme.short:>8} {n:>2} {rho:>5.2f} "
+                  f"{analytic:>10.5f} {cluster.availability():>10.5f}")
+    print("\nthe paper's conclusion: three available copies out-perform "
+          "six voting copies;\nthe naive variant gives up almost nothing "
+          "below rho = 0.10.")
+
+
+if __name__ == "__main__":
+    main()

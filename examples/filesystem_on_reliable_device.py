@@ -1,0 +1,105 @@
+#!/usr/bin/env python3
+"""An unmodified file system on replicated blocks (the paper's Section 2).
+
+The same ``FileSystem`` class is formatted onto
+
+  1. an ordinary local block device, and
+  2. a reliable device replicated on four sites under available copy,
+     stacked behind the UNIX-model driver stub and buffer cache
+     (Figure 1's architecture),
+
+then the identical workload runs on both -- with sites crashing and
+repairing mid-workload on the replicated run -- and the resulting file
+trees are compared byte for byte.
+
+Run:  python examples/filesystem_on_reliable_device.py
+"""
+
+from repro import ClusterConfig, ReplicatedCluster, SchemeName
+from repro.device import DeviceDriverStub, LocalBlockDevice
+from repro.fs import FileSystem
+
+NUM_BLOCKS = 1024
+
+
+def run_workload(fs: FileSystem, chaos=None) -> None:
+    """A small project tree; ``chaos(step)`` injects faults between steps."""
+    chaos = chaos or (lambda step: None)
+    fs.mkdir("/src")
+    chaos(1)
+    fs.create("/src/main.py")
+    fs.write_file("/src/main.py", b"print('hello')\n" * 50)
+    chaos(2)
+    fs.mkdir("/docs")
+    fs.create("/docs/README")
+    fs.write_file("/docs/README", b"# replicated files\n")
+    chaos(3)
+    fs.create("/src/data.bin")
+    fs.write_file("/src/data.bin", bytes(range(256)) * 64)  # 16 KiB
+    chaos(4)
+    fs.write_file("/docs/README", b"## updated\n", offset=19)
+    fs.create("/scratch")
+    fs.write_file("/scratch", b"temporary")
+    fs.unlink("/scratch")
+    chaos(5)
+
+
+def tree(fs: FileSystem) -> dict:
+    out = {}
+    for path in fs.walk():
+        stat = fs.stat(path)
+        out[path] = "<dir>" if stat.is_directory else fs.read_file(path)
+    return out
+
+
+def main() -> None:
+    # --- reference: plain local disk --------------------------------------
+    local = FileSystem.format(LocalBlockDevice(num_blocks=NUM_BLOCKS))
+    run_workload(local)
+    reference = tree(local)
+    print(f"local device: {len(reference)} paths written")
+
+    # --- the reliable device, Figure-1 style ------------------------------
+    cluster = ReplicatedCluster(
+        ClusterConfig(
+            scheme=SchemeName.AVAILABLE_COPY,
+            num_sites=4,
+            num_blocks=NUM_BLOCKS,
+            failure_rate=0.0,  # failures injected by hand below
+        )
+    )
+    protocol = cluster.protocol
+    stub = DeviceDriverStub(cluster.device(), cache_blocks=64)
+    replicated = FileSystem.format(stub)
+
+    def chaos(step: int) -> None:
+        """Crash and repair sites between workload steps."""
+        if step == 1:
+            protocol.on_site_failed(0)
+        elif step == 2:
+            protocol.on_site_failed(1)
+        elif step == 3:
+            protocol.on_site_repaired(0)
+        elif step == 4:
+            protocol.on_site_repaired(1)
+            protocol.on_site_failed(3)
+        elif step == 5:
+            protocol.on_site_repaired(3)
+
+    run_workload(replicated, chaos)
+    result = tree(replicated)
+
+    assert result == reference, "trees diverged!"
+    print("replicated device: identical tree, despite 3 site crashes")
+    print(f"  buffer cache hit rate: "
+          f"{stub.cache.cache_stats.hit_rate:.1%}")
+    print(f"  requests forwarded to the user-state server: "
+          f"{stub.forwarded}")
+    print(f"  network transmissions: {cluster.meter.total} "
+          f"(recovery: {cluster.meter.operations('recovery')} events)")
+    report = protocol.consistency_report()
+    print(f"  stale available copies after workload: {report or 'none'}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""Total failure, step by step: available copy versus naive.
+
+Walks both available-copy variants through the paper's hardest scenario
+-- every site fails -- narrating the state machine at each step.  The
+tracked scheme (Figure 5) returns to service the moment the *last site
+to fail* recovers, because the closure of its was-available sets proves
+that copy current; the naive scheme (Figure 6) must wait for *everyone*.
+This is exactly the availability gap between the Figure 7 and Figure 8
+Markov models, and Section 4.4's argument for why it rarely matters.
+
+Run:  python examples/total_failure_recovery.py
+"""
+
+from repro import ClusterConfig, ReplicatedCluster, SchemeName
+
+
+def states(protocol) -> str:
+    return "  ".join(
+        f"site{s.site_id}={s.state.value}" for s in protocol.sites
+    )
+
+
+def narrate(scheme: SchemeName) -> None:
+    print(f"--- {scheme.value} ---")
+    cluster = ReplicatedCluster(
+        ClusterConfig(scheme=scheme, num_sites=3, num_blocks=8,
+                      failure_rate=0.0)
+    )
+    protocol = cluster.protocol
+    device = cluster.device()
+    block = lambda v: bytes([v]) * device.block_size  # noqa: E731
+
+    device.write_block(0, block(1))
+    print(f"write v1 with all sites up          {states(protocol)}")
+
+    protocol.on_site_failed(1)
+    device.write_block(0, block(2))
+    protocol.on_site_failed(2)
+    device.write_block(0, block(3))  # only site 0 receives v3
+    protocol.on_site_failed(0)
+    print(f"sites fail in order 1, 2, 0         {states(protocol)}")
+    print(f"  (site 0 failed LAST and alone holds version 3)")
+    print(f"  block available? {protocol.is_available()}")
+
+    print("site 1 recovers (stale)...")
+    protocol.on_site_repaired(1)
+    print(f"                                    {states(protocol)}")
+    print(f"  block available? {protocol.is_available()} "
+          "(cannot prove currency: site 1 might miss writes)")
+
+    print("site 0 recovers (the last to fail)...")
+    protocol.on_site_repaired(0)
+    print(f"                                    {states(protocol)}")
+    available = protocol.is_available()
+    print(f"  block available? {available}")
+    if scheme is SchemeName.AVAILABLE_COPY:
+        assert available, "tracked scheme must recover here"
+        print("  -> the closure C*(W_0) = {0} is satisfied: site 0 is "
+              "provably current;\n     the comatose site 1 repaired from "
+              "it immediately.")
+    else:
+        assert not available, "naive scheme must still wait"
+        print("  -> naive keeps no failure record: it cannot tell that "
+              "site 0 failed last\n     and must wait for site 2 as well.")
+        print("site 2 recovers...")
+        protocol.on_site_repaired(2)
+        print(f"                                    {states(protocol)}")
+        print(f"  block available? {protocol.is_available()}")
+
+    # whoever recovered, the data must be the newest write
+    for site in protocol.sites:
+        if site.is_available:
+            assert site.read_block(0) == block(3)
+    print("  every available copy holds version 3 -- no data was lost.\n")
+
+
+def main() -> None:
+    narrate(SchemeName.AVAILABLE_COPY)
+    narrate(SchemeName.NAIVE_AVAILABLE_COPY)
+    print("trade-off: the tracked scheme buys earlier recovery from total "
+          "failures with\nwrite acknowledgements and was-available "
+          "bookkeeping; Section 4.4 shows the\nbuy is negligible for "
+          "realistic failure rates, hence 'naive' wins overall.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Beyond availability: witnesses, MTTF, and what failures really cost.
+
+Two studies the paper's framework enables but doesn't print:
+
+1. **Witnesses** (the paper's reference [10]) -- vote-only sites.  The
+   table shows that a witness substitutes perfectly for a data copy as
+   long as at least two data copies remain, and becomes a pure quorum
+   tax when only one does.
+
+2. **Reliability** -- how long until the device *first* goes down
+   (MTTF) and how long an outage lasts, from the same Markov models
+   Section 4 uses for availability.  The punchline: the tracked and the
+   naive available-copy schemes have identical MTTF -- the naive scheme
+   only pays when coming *back* from a total failure, which is the
+   paper's whole argument for it.
+
+Run:  python examples/witnesses_and_reliability.py
+"""
+
+from repro.analysis import (
+    scheme_availability,
+    scheme_mean_outage,
+    scheme_mttf,
+    scheme_survival,
+    voting_availability,
+    witness_voting_availability,
+)
+from repro.types import SchemeName
+
+RHO = 0.1
+
+
+def witness_table() -> None:
+    print(f"=== voting with witnesses (rho={RHO:g}) ===")
+    print(f"{'config':>22} {'availability':>13} {'stores':>7}")
+    rows = [
+        ("3 copies", voting_availability(3, RHO), 3),
+        ("2 copies + 1 witness", witness_voting_availability(2, 1, RHO), 2),
+        ("2 copies", voting_availability(2, RHO), 2),
+        ("1 copy + 2 witnesses", witness_voting_availability(1, 2, RHO), 1),
+        ("1 copy", voting_availability(1, RHO), 1),
+    ]
+    for label, availability, stores in rows:
+        print(f"{label:>22} {availability:>13.6f} {stores:>7}")
+    print("-> the witness fully replaces the third copy; but with one "
+          "data copy,\n   witnesses only raise the quorum bar.\n")
+
+
+def reliability_table() -> None:
+    print(f"=== reliability of 3 copies (rho={RHO:g}, mu=1) ===")
+    print(f"{'scheme':>6} {'availability':>13} {'MTTF':>9} "
+          f"{'mean outage':>12} {'R(t=50)':>9}")
+    for scheme in SchemeName:
+        print(
+            f"{scheme.short:>6} "
+            f"{scheme_availability(scheme, 3, RHO):>13.6f} "
+            f"{scheme_mttf(scheme, 3, RHO):>9.1f} "
+            f"{scheme_mean_outage(scheme, 3, RHO):>12.3f} "
+            f"{scheme_survival(scheme, 3, RHO, 50.0):>9.4f}"
+        )
+    print("-> AC and NAC fail at the same times (identical MTTF); naive "
+          "just takes\n   twice as long to come back, which at these "
+          "failure rates costs it only\n   a third decimal of "
+          "availability -- the paper's conclusion in one row.\n")
+
+
+def main() -> None:
+    witness_table()
+    reliability_table()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,94 @@
+"""Reproduction of *Block-Level Consistency of Replicated Files*.
+
+Carroll, Long and Paris, Proc. 7th ICDCS, September 1987.
+
+The paper proposes the **reliable device**: a block-structured device
+that looks ordinary to the file system but is implemented by replica
+server processes on several sites, and compares three block-level
+consistency-control algorithms -- majority consensus voting, available
+copy, and naive available copy -- on availability and network traffic.
+
+Quick start::
+
+    from repro import ClusterConfig, ReplicatedCluster, SchemeName
+
+    cluster = ReplicatedCluster(ClusterConfig(
+        scheme=SchemeName.NAIVE_AVAILABLE_COPY,
+        num_sites=3, failure_rate=0.05, repair_rate=1.0, seed=1))
+    device = cluster.device()
+    device.write_block(0, b"x" * device.block_size)
+
+    from repro.fs import FileSystem
+    fs = FileSystem.format(device)          # an unmodified file system
+    fs.create("/hello")                      # running on replicated blocks
+    fs.write_file("/hello", b"replicated!")
+
+    cluster.run_until(100_000.0)             # Poisson failures + repairs
+    print(cluster.availability())            # compare with repro.analysis
+
+Package map:
+
+* :mod:`repro.core` -- the three consistency protocols (Figures 3-6);
+* :mod:`repro.device` -- block stores, sites, the reliable device, the
+  UNIX-model driver stub and the simulated cluster builder;
+* :mod:`repro.net` -- the partition-free network with high-level
+  transmission metering (Section 5's cost unit);
+* :mod:`repro.sim` -- discrete-event engine, Poisson failure/repair
+  processes, reproducible RNG streams, statistics;
+* :mod:`repro.analysis` -- Section 4's Markov chains and closed forms,
+  Section 5's traffic models, Theorem 4.1's bounds;
+* :mod:`repro.fs` -- a UNIX-like file system over the abstract device;
+* :mod:`repro.workload` -- synthetic read/write workloads;
+* :mod:`repro.experiments` -- regeneration of Figures 9-12 and friends.
+"""
+
+from .analysis import (
+    available_copy_availability,
+    naive_availability,
+    scheme_availability,
+    traffic_model,
+    voting_availability,
+)
+from .core import (
+    AvailableCopyProtocol,
+    NaiveAvailableCopyProtocol,
+    QuorumSpec,
+    VotingProtocol,
+)
+from .device import (
+    BlockDevice,
+    ClusterConfig,
+    LocalBlockDevice,
+    ReliableDevice,
+    ReplicatedCluster,
+    Site,
+)
+from .errors import ReproError
+from .net import Network, TrafficMeter
+from .types import AddressingMode, SchemeName
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "SchemeName",
+    "AddressingMode",
+    "ReproError",
+    "VotingProtocol",
+    "AvailableCopyProtocol",
+    "NaiveAvailableCopyProtocol",
+    "QuorumSpec",
+    "BlockDevice",
+    "LocalBlockDevice",
+    "ReliableDevice",
+    "Site",
+    "ClusterConfig",
+    "ReplicatedCluster",
+    "Network",
+    "TrafficMeter",
+    "voting_availability",
+    "available_copy_availability",
+    "naive_availability",
+    "scheme_availability",
+    "traffic_model",
+]

@@ -1,0 +1,108 @@
+"""Bounds and Theorem 4.1.
+
+Section 4.2 derives a lower bound on available-copy availability from
+the flow equilibrium between the available and the comatose halves of
+Figure 7's diagram:
+
+    A_A(n) > 1 - n rho^n / (1 + rho)^n                       (5)
+
+and uses it, together with the binomial upper bound on voting
+availability,
+
+    A_V(2n-1) < 1 - C(2n-1, n) rho^n / (1+rho)^(2n-1),
+
+to prove **Theorem 4.1**: *n copies under available copy are more
+available than 2n-1 (equivalently 2n) copies under voting, for every
+rho <= 1*.  The sufficient condition used in the induction step is
+
+    C(2n-1, n) / n > (1 + rho)^(n-1).                        (6)
+
+This module exposes each piece so the experiment harness (and the test
+suite) can verify the theorem both through the bounds and directly
+against the exact availabilities.
+"""
+
+from __future__ import annotations
+
+from math import comb
+from typing import Iterable, List, Tuple
+
+from ..errors import AnalysisError
+from .availability import available_copy_availability, voting_availability
+
+__all__ = [
+    "available_copy_lower_bound",
+    "voting_upper_bound",
+    "sufficient_condition_holds",
+    "theorem_4_1_holds",
+    "theorem_4_1_margin",
+    "verify_theorem_4_1",
+]
+
+
+def _check(n: int, rho: float) -> None:
+    if n < 1:
+        raise AnalysisError(f"need at least one copy, got n={n}")
+    if rho < 0:
+        raise AnalysisError(f"rho must be non-negative, got {rho}")
+
+
+def available_copy_lower_bound(n: int, rho: float) -> float:
+    """Inequality (5): ``A_A(n) > 1 - n rho^n / (1+rho)^n``."""
+    _check(n, rho)
+    return 1.0 - n * rho**n / (1.0 + rho) ** n
+
+
+def voting_upper_bound(n_copies: int, rho: float) -> float:
+    """Binomial upper bound on ``A_V`` for an odd group ``2n - 1``.
+
+    ``A_V(2n-1) < 1 - C(2n-1, n) rho^n / (1+rho)^(2n-1)`` -- the right
+    side keeps only the most probable unavailable configuration.
+    """
+    _check(n_copies, rho)
+    if n_copies % 2 == 0:
+        raise AnalysisError(
+            f"the bound is stated for odd voting groups, got {n_copies}"
+        )
+    n = (n_copies + 1) // 2
+    return 1.0 - comb(n_copies, n) * rho**n / (1.0 + rho) ** n_copies
+
+
+def sufficient_condition_holds(n: int, rho: float) -> bool:
+    """Inequality (6): ``C(2n-1, n) / n > (1+rho)^(n-1)``."""
+    _check(n, rho)
+    return comb(2 * n - 1, n) / n > (1.0 + rho) ** (n - 1)
+
+
+def theorem_4_1_holds(n: int, rho: float) -> bool:
+    """Direct check: ``A_A(n) > A_V(2n-1)`` (exact availabilities)."""
+    _check(n, rho)
+    if rho == 0:
+        return False  # both equal 1 for perfectly reliable copies
+    return available_copy_availability(n, rho) > voting_availability(
+        2 * n - 1, rho
+    )
+
+
+def theorem_4_1_margin(n: int, rho: float) -> float:
+    """``A_A(n) - A_V(2n-1)``: how much available copy wins by."""
+    _check(n, rho)
+    return available_copy_availability(n, rho) - voting_availability(
+        2 * n - 1, rho
+    )
+
+
+def verify_theorem_4_1(
+    copies: Iterable[int], rhos: Iterable[float]
+) -> List[Tuple[int, float, float, bool]]:
+    """Sweep the theorem over groups and rhos.
+
+    Returns ``(n, rho, margin, holds)`` rows, used by the
+    ``theorem41`` experiment and its benchmark.
+    """
+    rows = []
+    for n in copies:
+        for rho in rhos:
+            margin = theorem_4_1_margin(n, rho)
+            rows.append((n, rho, margin, margin > 0))
+    return rows

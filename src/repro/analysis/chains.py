@@ -1,0 +1,203 @@
+"""The paper's state-transition-rate diagrams as explicit Markov chains.
+
+Three builders, one per scheme:
+
+* :func:`voting_chain` -- sites fail and repair independently; the block
+  is available while the up sites hold a quorum.  To capture the paper's
+  tie-breaking rule for even groups (one copy gets a small extra weight,
+  Section 4.1) the state tracks the distinguished site separately:
+  ``('V', site0_up, others_up)``.
+* :func:`available_copy_chain` -- Figure 7.  States ``('S', j)`` with
+  ``j = 1..n`` available copies, plus ``('Sp', j)`` with ``j = 0..n-1``
+  comatose copies after a total failure (the copy that failed *last*
+  still down).  The block leaves the failed states as soon as the last
+  copy to fail recovers (rate ``mu`` from every ``Sp`` state).
+* :func:`naive_available_copy_chain` -- Figure 8.  Same state space, but
+  no transition from ``Sp_j`` (``j <= n-2``) to an available state: the
+  group waits for *all* copies before coming back up.
+
+Each builder fixes ``mu = 1`` and ``lambda = rho`` -- availability
+depends only on the ratio (Section 4's parameterisation).
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Tuple
+
+from ..core.quorum import QuorumSpec
+from ..errors import AnalysisError
+from .markov import MarkovChain, State
+
+__all__ = [
+    "voting_chain",
+    "available_copy_chain",
+    "naive_available_copy_chain",
+    "is_voting_available",
+    "is_available_state",
+    "available_copies",
+    "operational_copies",
+]
+
+
+def _check(n: int, rho: float) -> None:
+    if n < 1:
+        raise AnalysisError(f"need at least one copy, got n={n}")
+    if rho < 0:
+        raise AnalysisError(f"rho must be non-negative, got {rho}")
+
+
+# ---------------------------------------------------------------------------
+# Voting
+# ---------------------------------------------------------------------------
+
+
+@lru_cache(maxsize=None)
+def voting_chain(n: int, rho: float) -> MarkovChain:
+    """Independent up/down dynamics with the tie-breaking site tracked.
+
+    States are ``('V', b, j)``: ``b`` is 1 while the extra-weight site is
+    up, ``j`` counts how many of the other ``n - 1`` sites are up.
+    """
+    _check(n, rho)
+    chain = MarkovChain()
+    lam, mu = rho, 1.0
+    for b in (0, 1):
+        for j in range(n):
+            chain.add_state(("V", b, j))
+    for b in (0, 1):
+        for j in range(n):
+            if b == 1:
+                chain.add_transition(("V", 1, j), ("V", 0, j), lam)
+            else:
+                chain.add_transition(("V", 0, j), ("V", 1, j), mu)
+            if j > 0:
+                chain.add_transition(("V", b, j), ("V", b, j - 1), j * lam)
+            if j < n - 1:
+                chain.add_transition(
+                    ("V", b, j), ("V", b, j + 1), (n - 1 - j) * mu
+                )
+    return chain
+
+
+def is_voting_available(n: int) -> "callable":
+    """Predicate over voting-chain states: does a read quorum exist?
+
+    Uses the same :class:`~repro.core.quorum.QuorumSpec` the executable
+    protocol uses, so the analytic model and the simulator share one
+    definition of "quorum".
+    """
+    spec = QuorumSpec.majority(n)
+
+    def predicate(state: State) -> bool:
+        _tag, b, j = state
+        # Site 0 carries the tie-breaking weight; the j up "others" are
+        # interchangeable, so take the first j of indices 1..n-1.
+        up = ([0] if b else []) + list(range(1, 1 + j))
+        return spec.read_available(up)
+
+    return predicate
+
+
+# ---------------------------------------------------------------------------
+# Available copy (Figure 7)
+# ---------------------------------------------------------------------------
+
+
+@lru_cache(maxsize=None)
+def available_copy_chain(n: int, rho: float) -> MarkovChain:
+    """Figure 7's 2n-state diagram for the tracked available-copy scheme."""
+    _check(n, rho)
+    chain = MarkovChain()
+    lam, mu = rho, 1.0
+    for j in range(1, n + 1):
+        chain.add_state(("S", j))
+    for j in range(n):
+        chain.add_state(("Sp", j))
+    # Available states: j copies available, n - j failed.
+    for j in range(1, n + 1):
+        if j > 1:
+            chain.add_transition(("S", j), ("S", j - 1), j * lam)
+        else:
+            chain.add_transition(("S", 1), ("Sp", 0), lam)
+        if j < n:
+            chain.add_transition(("S", j), ("S", j + 1), (n - j) * mu)
+    # Sp_0: everything down.  The last copy to fail recovers with rate mu
+    # (back to service with one copy); any of the other n - 1 recovers
+    # comatose.
+    chain.add_transition(("Sp", 0), ("S", 1), mu)
+    if n > 1:
+        chain.add_transition(("Sp", 0), ("Sp", 1), (n - 1) * mu)
+    # Sp_j (1 <= j <= n-2): j comatose copies may fail again; the last
+    # available copy may recover (everyone comes back: S_{j+1}); one of
+    # the other n - j - 1 failed copies may recover comatose.
+    for j in range(1, n - 1):
+        chain.add_transition(("Sp", j), ("Sp", j - 1), j * lam)
+        chain.add_transition(("Sp", j), ("S", j + 1), mu)
+        chain.add_transition(("Sp", j), ("Sp", j + 1), (n - j - 1) * mu)
+    # Sp_{n-1}: only the last-failed copy is still down.
+    if n >= 2:
+        chain.add_transition(("Sp", n - 1), ("Sp", n - 2), (n - 1) * lam)
+        chain.add_transition(("Sp", n - 1), ("S", n), mu)
+    return chain
+
+
+# ---------------------------------------------------------------------------
+# Naive available copy (Figure 8)
+# ---------------------------------------------------------------------------
+
+
+@lru_cache(maxsize=None)
+def naive_available_copy_chain(n: int, rho: float) -> MarkovChain:
+    """Figure 8's diagram: no early exit from the comatose states."""
+    _check(n, rho)
+    chain = MarkovChain()
+    lam, mu = rho, 1.0
+    for j in range(1, n + 1):
+        chain.add_state(("S", j))
+    for j in range(n):
+        chain.add_state(("Sp", j))
+    for j in range(1, n + 1):
+        if j > 1:
+            chain.add_transition(("S", j), ("S", j - 1), j * lam)
+        else:
+            chain.add_transition(("S", 1), ("Sp", 0), lam)
+        if j < n:
+            chain.add_transition(("S", j), ("S", j + 1), (n - j) * mu)
+    # After a total failure the naive scheme cannot tell which copy is
+    # current until every copy is back: recoveries pile up comatose
+    # (rate (n - j) mu out of Sp_j) and only Sp_{n-1} -> S_n returns the
+    # group to service.
+    for j in range(n - 1):
+        if j > 0:
+            chain.add_transition(("Sp", j), ("Sp", j - 1), j * lam)
+        if j < n - 2:
+            chain.add_transition(("Sp", j), ("Sp", j + 1), (n - j) * mu)
+    if n >= 2:
+        chain.add_transition(("Sp", n - 2), ("Sp", n - 1), 2 * mu)
+        chain.add_transition(("Sp", n - 1), ("Sp", n - 2), (n - 1) * lam)
+        chain.add_transition(("Sp", n - 1), ("S", n), mu)
+    else:
+        chain.add_transition(("Sp", 0), ("S", 1), mu)
+    return chain
+
+
+# ---------------------------------------------------------------------------
+# Shared state predicates
+# ---------------------------------------------------------------------------
+
+
+def is_available_state(state: State) -> bool:
+    """Whether an available-copy-chain state has the block in service."""
+    return state[0] == "S"
+
+
+def available_copies(state: State) -> float:
+    """Number of available copies in an available-copy-chain state."""
+    return float(state[1]) if state[0] == "S" else 0.0
+
+
+def operational_copies(state: State) -> float:
+    """Up sites in a voting-chain state (distinguished site included)."""
+    _tag, b, j = state
+    return float(b + j)

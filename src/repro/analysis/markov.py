@@ -1,0 +1,154 @@
+"""A small continuous-time Markov chain (CTMC) solver.
+
+Section 4 of the paper derives block availabilities from
+state-transition-rate diagrams (Figures 7 and 8).  :class:`MarkovChain`
+represents such a diagram explicitly -- states are arbitrary hashable
+labels, transitions carry rates -- and computes the stationary
+distribution by solving the global balance equations
+``pi Q = 0,  sum(pi) = 1``.
+
+The chains in this package are tiny (``2n`` states), so a dense solve is
+exact and instantaneous; the paper's closed forms (equations 1-4 and the
+``B(n; rho)`` formula) are validated against these numerical solutions in
+the test suite.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Hashable, Iterable, List, Mapping, Tuple
+
+import numpy as np
+
+from ..errors import AnalysisError
+
+__all__ = ["MarkovChain"]
+
+State = Hashable
+
+
+class MarkovChain:
+    """A CTMC described by labelled states and transition rates."""
+
+    def __init__(self) -> None:
+        self._states: List[State] = []
+        self._index: Dict[State, int] = {}
+        self._rates: Dict[Tuple[State, State], float] = {}
+
+    # -- construction ---------------------------------------------------------
+
+    def add_state(self, state: State) -> None:
+        """Declare a state (idempotent)."""
+        if state not in self._index:
+            self._index[state] = len(self._states)
+            self._states.append(state)
+
+    def add_transition(self, src: State, dst: State, rate: float) -> None:
+        """Add a transition; repeated additions accumulate their rates."""
+        if rate < 0:
+            raise AnalysisError(
+                f"negative rate {rate} on transition {src!r} -> {dst!r}"
+            )
+        if src == dst:
+            raise AnalysisError(f"self-loop on state {src!r}")
+        if rate == 0:
+            return
+        self.add_state(src)
+        self.add_state(dst)
+        key = (src, dst)
+        self._rates[key] = self._rates.get(key, 0.0) + float(rate)
+
+    # -- structure -------------------------------------------------------------
+
+    @property
+    def states(self) -> List[State]:
+        """All states, in declaration order."""
+        return list(self._states)
+
+    @property
+    def num_states(self) -> int:
+        return len(self._states)
+
+    def rate(self, src: State, dst: State) -> float:
+        """The transition rate from ``src`` to ``dst`` (0 if absent)."""
+        return self._rates.get((src, dst), 0.0)
+
+    def transitions(self) -> Iterable[Tuple[State, State, float]]:
+        """All transitions as (src, dst, rate) triples."""
+        for (src, dst), rate in self._rates.items():
+            yield src, dst, rate
+
+    def generator_matrix(self) -> np.ndarray:
+        """The infinitesimal generator Q (rows sum to zero)."""
+        n = self.num_states
+        q = np.zeros((n, n))
+        for (src, dst), rate in self._rates.items():
+            i, j = self._index[src], self._index[dst]
+            q[i, j] += rate
+            q[i, i] -= rate
+        return q
+
+    # -- solution ----------------------------------------------------------------
+
+    def steady_state(self) -> Dict[State, float]:
+        """Stationary distribution from the global balance equations.
+
+        Solves ``pi Q = 0`` with the normalisation ``sum(pi) = 1`` by
+        replacing one balance equation with the normalisation row (the
+        standard trick; exact for irreducible chains).
+        """
+        if not self._states:
+            raise AnalysisError("chain has no states")
+        n = self.num_states
+        q = self.generator_matrix()
+        a = q.T.copy()
+        a[-1, :] = 1.0  # normalisation replaces one redundant equation
+        b = np.zeros(n)
+        b[-1] = 1.0
+        try:
+            pi = np.linalg.solve(a, b)
+        except np.linalg.LinAlgError as exc:
+            raise AnalysisError(
+                f"chain is not irreducible or is degenerate: {exc}"
+            ) from exc
+        if np.any(pi < -1e-9):
+            raise AnalysisError(
+                "stationary solve produced negative probabilities; "
+                "the chain is likely reducible"
+            )
+        pi = np.clip(pi, 0.0, None)
+        pi = pi / pi.sum()
+        return {state: float(pi[self._index[state]]) for state in self._states}
+
+    def probability_of(
+        self, predicate: Callable[[State], bool]
+    ) -> float:
+        """Stationary probability of the states satisfying ``predicate``."""
+        pi = self.steady_state()
+        return sum(p for state, p in pi.items() if predicate(state))
+
+    def expected_value(
+        self,
+        value: Callable[[State], float],
+        condition: Callable[[State], bool] = lambda _s: True,
+    ) -> float:
+        """Conditional stationary expectation of ``value(state)``.
+
+        Used for the participation counts of Section 5:
+        ``U = sum(i * p_i) / sum(p_i)`` over the relevant states.
+        """
+        pi = self.steady_state()
+        mass = sum(p for s, p in pi.items() if condition(s))
+        if mass == 0:
+            raise AnalysisError("conditioning event has probability zero")
+        return sum(value(s) * p for s, p in pi.items() if condition(s)) / mass
+
+    def validate_balance(self, pi: Mapping[State, float], tol: float = 1e-9):
+        """Check that ``pi`` satisfies the balance equations (for tests)."""
+        q = self.generator_matrix()
+        vec = np.array([pi[s] for s in self._states])
+        residual = vec @ q
+        worst = float(np.max(np.abs(residual)))
+        if worst > tol:
+            raise AnalysisError(
+                f"balance equations violated, max residual {worst:g}"
+            )

@@ -1,0 +1,154 @@
+"""Serial-repair variants of the Section 4 availability models.
+
+The paper assumes failed sites are repaired *in parallel*.  This module
+analyses the single-repair-facility variant: at most one repair proceeds
+at a time, the facility picking a failed site **uniformly at random**
+when it frees up (the random discipline is what keeps the system
+Markovian; FIFO service is order-dependent and is studied by simulation
+only -- see the serial-repair experiment).
+
+Chains mirror Figures 7 and 8 with repair rates capped at ``mu``:
+
+* available states ``S_j``: repairs complete at rate ``mu`` (one at a
+  time), failures at ``j * lambda``;
+* tracked comatose states ``S'_j`` (``n - j`` sites down, one of them
+  the last to fail): a completing repair picks the last-failed site
+  with probability ``1 / (n - j)`` (back to service, ``S_{j+1}``) and
+  one of the others with the remaining probability (``S'_{j+1}``);
+* naive comatose states: every repair adds one comatose copy; only
+  ``S'_{n-1} -> S_n`` restores service.
+
+The voting variant tracks the tie-breaking site separately, exactly as
+:func:`repro.analysis.chains.voting_chain` does.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from ..errors import AnalysisError
+from .chains import is_available_state, is_voting_available
+from .markov import MarkovChain
+
+__all__ = [
+    "available_copy_chain_serial",
+    "naive_chain_serial",
+    "voting_chain_serial",
+    "serial_availability",
+]
+
+
+def _check(n: int, rho: float) -> None:
+    if n < 1:
+        raise AnalysisError(f"need at least one copy, got n={n}")
+    if rho < 0:
+        raise AnalysisError(f"rho must be non-negative, got {rho}")
+
+
+@lru_cache(maxsize=None)
+def available_copy_chain_serial(n: int, rho: float) -> MarkovChain:
+    """Figure 7 under a single random-order repair facility."""
+    _check(n, rho)
+    chain = MarkovChain()
+    lam, mu = rho, 1.0
+    for j in range(1, n + 1):
+        chain.add_state(("S", j))
+    for j in range(n):
+        chain.add_state(("Sp", j))
+    for j in range(1, n + 1):
+        if j > 1:
+            chain.add_transition(("S", j), ("S", j - 1), j * lam)
+        else:
+            chain.add_transition(("S", 1), ("Sp", 0), lam)
+        if j < n:
+            chain.add_transition(("S", j), ("S", j + 1), mu)  # one repair
+    for j in range(n):
+        down = n - j  # last-failed + (n - j - 1) others
+        if j > 0:
+            chain.add_transition(("Sp", j), ("Sp", j - 1), j * lam)
+        chain.add_transition(("Sp", j), ("S", j + 1), mu / down)
+        if j < n - 1:
+            chain.add_transition(
+                ("Sp", j), ("Sp", j + 1), mu * (down - 1) / down
+            )
+    return chain
+
+
+@lru_cache(maxsize=None)
+def naive_chain_serial(n: int, rho: float) -> MarkovChain:
+    """Figure 8 under a single repair facility (any discipline).
+
+    The naive scheme waits for everyone regardless of repair order, so
+    the discipline does not matter analytically.
+    """
+    _check(n, rho)
+    chain = MarkovChain()
+    lam, mu = rho, 1.0
+    for j in range(1, n + 1):
+        chain.add_state(("S", j))
+    for j in range(n):
+        chain.add_state(("Sp", j))
+    for j in range(1, n + 1):
+        if j > 1:
+            chain.add_transition(("S", j), ("S", j - 1), j * lam)
+        else:
+            chain.add_transition(("S", 1), ("Sp", 0), lam)
+        if j < n:
+            chain.add_transition(("S", j), ("S", j + 1), mu)
+    for j in range(n):
+        if j > 0:
+            chain.add_transition(("Sp", j), ("Sp", j - 1), j * lam)
+        if j < n - 1:
+            chain.add_transition(("Sp", j), ("Sp", j + 1), mu)
+        else:
+            chain.add_transition(("Sp", n - 1), ("S", n), mu)
+    return chain
+
+
+@lru_cache(maxsize=None)
+def voting_chain_serial(n: int, rho: float) -> MarkovChain:
+    """Independent failures, one random-order repair facility, voting."""
+    _check(n, rho)
+    chain = MarkovChain()
+    lam, mu = rho, 1.0
+    for b in (0, 1):
+        for j in range(n):
+            chain.add_state(("V", b, j))
+    for b in (0, 1):
+        for j in range(n):
+            if b == 1:
+                chain.add_transition(("V", 1, j), ("V", 0, j), lam)
+            if j > 0:
+                chain.add_transition(("V", b, j), ("V", b, j - 1), j * lam)
+            failed = (1 - b) + (n - 1 - j)
+            if failed:
+                if b == 0:
+                    chain.add_transition(
+                        ("V", 0, j), ("V", 1, j), mu / failed
+                    )
+                if j < n - 1:
+                    chain.add_transition(
+                        ("V", b, j), ("V", b, j + 1),
+                        mu * (n - 1 - j) / failed,
+                    )
+    return chain
+
+
+def serial_availability(scheme_tag: str, n: int, rho: float) -> float:
+    """Availability under serial random-order repair.
+
+    ``scheme_tag`` is ``"voting"``, ``"ac"`` or ``"nac"``.
+    """
+    _check(n, rho)
+    if rho == 0:
+        return 1.0
+    if scheme_tag == "voting":
+        chain = voting_chain_serial(n, rho)
+        return chain.probability_of(is_voting_available(n))
+    if scheme_tag == "ac":
+        chain = available_copy_chain_serial(n, rho)
+        return chain.probability_of(is_available_state)
+    if scheme_tag == "nac":
+        chain = naive_chain_serial(n, rho)
+        return chain.probability_of(is_available_state)
+    raise AnalysisError(f"unknown scheme tag {scheme_tag!r}")

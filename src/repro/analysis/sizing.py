@@ -1,0 +1,85 @@
+"""Replication sizing: how many copies for a target availability?
+
+The paper's introduction: "Availability and reliability of a file can
+be made arbitrarily high by increasing the order of replication."  This
+module turns that remark into a planning tool: given the site quality
+``rho`` and an availability target, it returns the smallest replica
+group per scheme -- and, since voting needs roughly twice the copies of
+available copy (Theorem 4.1), the storage ratio between them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from ..errors import AnalysisError
+from ..types import SchemeName
+from .availability import scheme_availability
+
+__all__ = ["copies_needed", "SizingResult", "size_all_schemes"]
+
+#: Upper bound on the search; availability at fixed rho < 1 is strictly
+#: improvable, so targets below 1 are reachable well before this.
+_MAX_COPIES = 64
+
+
+def copies_needed(
+    scheme: SchemeName, rho: float, target: float
+) -> int:
+    """The smallest ``n`` with ``availability(scheme, n, rho) >= target``.
+
+    Raises if the target is not reachable within 64 copies (which, for
+    any ``rho < 1``, means the target was >= 1 or pathological).
+    """
+    if not 0.0 < target < 1.0:
+        raise AnalysisError(
+            f"target must be strictly between 0 and 1, got {target}"
+        )
+    if rho < 0:
+        raise AnalysisError(f"rho must be non-negative, got {rho}")
+    if rho == 0:
+        return 1  # perfect sites: one copy suffices
+    best_so_far = 0.0
+    for n in range(1, _MAX_COPIES + 1):
+        availability = scheme_availability(scheme, n, rho)
+        if availability >= target:
+            return n
+        # voting plateaus on even n (A_V(2k) = A_V(2k-1)); only give up
+        # if two successive sizes both fail to improve
+        if availability < best_so_far - 1e-15 and n > 4:
+            break
+        best_so_far = max(best_so_far, availability)
+    raise AnalysisError(
+        f"target {target} unreachable for {scheme.value} within "
+        f"{_MAX_COPIES} copies at rho={rho} (best {best_so_far:.9f})"
+    )
+
+
+@dataclass(frozen=True)
+class SizingResult:
+    """Copies needed per scheme for one (rho, target) pair."""
+
+    rho: float
+    target: float
+    copies: Dict[SchemeName, int]
+
+    @property
+    def voting_to_available_ratio(self) -> float:
+        """Storage ratio MCV / AC -- Theorem 4.1 predicts about 2."""
+        return (
+            self.copies[SchemeName.VOTING]
+            / self.copies[SchemeName.AVAILABLE_COPY]
+        )
+
+
+def size_all_schemes(rho: float, target: float) -> SizingResult:
+    """Minimum group size for each scheme at one (rho, target)."""
+    return SizingResult(
+        rho=rho,
+        target=target,
+        copies={
+            scheme: copies_needed(scheme, rho, target)
+            for scheme in SchemeName
+        },
+    )

@@ -1,0 +1,280 @@
+"""Command-line interface.
+
+Subcommands::
+
+    python -m repro list                      # enumerate experiments
+    python -m repro run figure-9              # regenerate one experiment
+    python -m repro availability -n 3 --rho 0.05
+    python -m repro mttf -n 3 --rho 0.05
+    python -m repro trace generate --count 1000 > workload.trace
+    python -m repro trace stats workload.trace
+    python -m repro simulate --scheme naive-available-copy -n 3 \\
+        --rho 0.05 --horizon 100000 --seed 7
+
+``run`` prints the same rows/series the paper's figure reports;
+``availability`` / ``mttf`` / ``size`` answer planning questions from
+the analytic models; ``trace`` generates and inspects workload traces;
+``simulate`` runs the discrete-event simulator and compares the measured
+availability and traffic with the analytic models.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .analysis import scheme_availability, traffic_model
+from .device import ClusterConfig, ReplicatedCluster
+from .experiments import EXPERIMENTS, run_experiment
+from .types import AddressingMode, SchemeName
+from .workload import OpKind, WorkloadRunner, WorkloadSpec
+
+__all__ = ["main", "build_parser"]
+
+
+#: Extra accepted spellings for each scheme.
+_SCHEME_ALIASES = {
+    "voting": SchemeName.VOTING,
+    "mcv": SchemeName.VOTING,
+    "ac": SchemeName.AVAILABLE_COPY,
+    "nac": SchemeName.NAIVE_AVAILABLE_COPY,
+    "naive": SchemeName.NAIVE_AVAILABLE_COPY,
+}
+
+
+def _scheme(value: str) -> SchemeName:
+    lowered = value.lower()
+    if lowered in _SCHEME_ALIASES:
+        return _SCHEME_ALIASES[lowered]
+    for scheme in SchemeName:
+        if lowered == scheme.value:
+            return scheme
+    choices = ", ".join(s.value for s in SchemeName)
+    raise argparse.ArgumentTypeError(
+        f"unknown scheme {value!r}; choose from: {choices}"
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Block-Level Consistency of Replicated Files (ICDCS 1987) "
+            "reproduction toolkit"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list registered experiments")
+
+    run = sub.add_parser("run", help="run one experiment and print it")
+    run.add_argument("experiment", help="experiment id (see `repro list`)")
+
+    avail = sub.add_parser(
+        "availability", help="analytic availability of the three schemes"
+    )
+    avail.add_argument("-n", "--copies", type=int, default=3,
+                       help="number of copies (default 3)")
+    avail.add_argument("--rho", type=float, default=0.05,
+                       help="failure-to-repair ratio (default 0.05)")
+
+    size = sub.add_parser(
+        "size", help="copies needed per scheme for a target availability"
+    )
+    size.add_argument("--rho", type=float, default=0.05)
+    size.add_argument("--target", type=float, default=0.9999)
+
+    mttf = sub.add_parser(
+        "mttf", help="reliability: mean time to failure per scheme"
+    )
+    mttf.add_argument("-n", "--copies", type=int, default=3)
+    mttf.add_argument("--rho", type=float, default=0.05)
+
+    trace = sub.add_parser("trace", help="generate or inspect workload traces")
+    trace_sub = trace.add_subparsers(dest="trace_command", required=True)
+    generate = trace_sub.add_parser("generate",
+                                    help="emit a synthetic trace to stdout")
+    generate.add_argument("--count", type=int, default=1000)
+    generate.add_argument("--blocks", type=int, default=128)
+    generate.add_argument("--ratio", type=float, default=2.5,
+                          help="reads per write (default 2.5)")
+    generate.add_argument("--seed", type=int, default=0)
+    generate.add_argument(
+        "--distribution", choices=["uniform", "zipf", "sequential"],
+        default="uniform",
+    )
+    stats = trace_sub.add_parser("stats", help="summarise a trace file")
+    stats.add_argument("path", help="trace file to read")
+
+    simulate = sub.add_parser(
+        "simulate", help="simulate a replica group and compare with theory"
+    )
+    simulate.add_argument("--scheme", type=_scheme, required=True,
+                          help="voting | available-copy | "
+                               "naive-available-copy (or MCV/AC/NAC)")
+    simulate.add_argument("-n", "--sites", type=int, default=3)
+    simulate.add_argument("--rho", type=float, default=0.05)
+    simulate.add_argument("--horizon", type=float, default=100_000.0)
+    simulate.add_argument("--seed", type=int, default=0)
+    simulate.add_argument("--op-rate", type=float, default=1.0,
+                          help="workload operations per time unit")
+    simulate.add_argument("--read-write-ratio", type=float, default=2.5)
+    simulate.add_argument(
+        "--addressing",
+        choices=[m.value for m in AddressingMode],
+        default=AddressingMode.MULTICAST.value,
+    )
+    return parser
+
+
+def _cmd_list(out) -> int:
+    for experiment_id in EXPERIMENTS:
+        print(experiment_id, file=out)
+    return 0
+
+
+def _cmd_run(args, out) -> int:
+    try:
+        report = run_experiment(args.experiment)
+    except KeyError as exc:
+        print(f"error: {exc.args[0]}", file=sys.stderr)
+        return 2
+    print(report.render(), file=out)
+    return 0
+
+
+def _cmd_availability(args, out) -> int:
+    n, rho = args.copies, args.rho
+    print(f"availability of {n} copies at rho={rho:g}:", file=out)
+    for scheme in SchemeName:
+        value = scheme_availability(scheme, n, rho)
+        print(f"  {scheme.short:4s} {value:.6f}", file=out)
+    voting_double = scheme_availability(SchemeName.VOTING, 2 * n, rho)
+    print(f"  (MCV with {2 * n} copies: {voting_double:.6f} -- "
+          "Theorem 4.1's comparison)", file=out)
+    return 0
+
+
+def _cmd_size(args, out) -> int:
+    from .analysis.sizing import size_all_schemes
+    from .errors import AnalysisError
+
+    try:
+        result = size_all_schemes(args.rho, args.target)
+    except AnalysisError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(f"copies needed for availability >= {args.target:g} at "
+          f"rho={args.rho:g}:", file=out)
+    for scheme, copies in result.copies.items():
+        print(f"  {scheme.short:4s} {copies}", file=out)
+    print(f"  (voting/available-copy storage ratio: "
+          f"{result.voting_to_available_ratio:.2f} -- Theorem 4.1 "
+          "predicts about 2)", file=out)
+    return 0
+
+
+def _cmd_mttf(args, out) -> int:
+    from .analysis.reliability import scheme_mean_outage, scheme_mttf
+
+    n, rho = args.copies, args.rho
+    print(f"reliability of {n} copies at rho={rho:g} "
+          "(time unit: mean repair time):", file=out)
+    print(f"  {'scheme':6s} {'MTTF':>12s} {'mean outage':>12s}", file=out)
+    for scheme in SchemeName:
+        print(
+            f"  {scheme.short:6s} {scheme_mttf(scheme, n, rho):>12.2f} "
+            f"{scheme_mean_outage(scheme, n, rho):>12.3f}",
+            file=out,
+        )
+    return 0
+
+
+def _cmd_trace(args, out) -> int:
+    from .workload import WorkloadSpec
+    from .workload.trace import Trace, record_trace
+
+    if args.trace_command == "generate":
+        trace = record_trace(
+            WorkloadSpec(
+                read_write_ratio=args.ratio,
+                distribution=args.distribution,
+            ),
+            num_blocks=args.blocks,
+            count=args.count,
+            seed=args.seed,
+        )
+        trace.dump(out)
+        return 0
+    try:
+        with open(args.path, "r", encoding="utf-8") as handle:
+            trace = Trace.load(handle)
+    except OSError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    ratio = trace.read_write_ratio()
+    ratio_text = "inf" if ratio == float("inf") else f"{ratio:.2f}"
+    print(f"{args.path}: {len(trace)} operations, "
+          f"read:write = {ratio_text}, "
+          f"{trace.blocks_touched()} blocks touched "
+          f"(max index {trace.max_block()})", file=out)
+    return 0
+
+
+def _cmd_simulate(args, out) -> int:
+    mode = AddressingMode(args.addressing)
+    cluster = ReplicatedCluster(
+        ClusterConfig(
+            scheme=args.scheme,
+            num_sites=args.sites,
+            failure_rate=args.rho,
+            repair_rate=1.0,
+            addressing=mode,
+            seed=args.seed,
+        )
+    )
+    runner = WorkloadRunner(
+        cluster,
+        WorkloadSpec(read_write_ratio=args.read_write_ratio,
+                     op_rate=args.op_rate),
+    )
+    result = runner.run(args.horizon)
+    analytic = scheme_availability(args.scheme, args.sites, args.rho)
+    model = traffic_model(args.scheme, args.sites, args.rho, mode=mode)
+    print(f"scheme={args.scheme.value} n={args.sites} rho={args.rho:g} "
+          f"horizon={args.horizon:g} seed={args.seed}", file=out)
+    print(f"availability: simulated {cluster.availability():.6f}  "
+          f"analytic {analytic:.6f}", file=out)
+    print(f"write msgs:   simulated "
+          f"{result.mean_messages(OpKind.WRITE):.3f}  "
+          f"model {model.write:.3f}", file=out)
+    print(f"read msgs:    simulated "
+          f"{result.mean_messages(OpKind.READ):.3f}  "
+          f"model {model.read:.3f}", file=out)
+    print(f"recovery:     simulated "
+          f"{cluster.meter.mean_messages('recovery'):.3f}  "
+          f"model {model.recovery:.3f}", file=out)
+    failed = sum(result.attempted.values()) - sum(result.succeeded.values())
+    print(f"operations:   {sum(result.attempted.values())} attempted, "
+          f"{failed} failed while unavailable", file=out)
+    return 0
+
+
+def main(argv: Optional[List[str]] = None, out=None) -> int:
+    """CLI entry point; returns the process exit code."""
+    out = out if out is not None else sys.stdout
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        return _cmd_list(out)
+    if args.command == "run":
+        return _cmd_run(args, out)
+    if args.command == "availability":
+        return _cmd_availability(args, out)
+    if args.command == "size":
+        return _cmd_size(args, out)
+    if args.command == "mttf":
+        return _cmd_mttf(args, out)
+    if args.command == "trace":
+        return _cmd_trace(args, out)
+    return _cmd_simulate(args, out)

@@ -1,0 +1,37 @@
+"""The paper's contribution: block-level consistency-control algorithms.
+
+Three protocols over a replica group of block-holding sites:
+
+* :class:`~repro.core.voting.VotingProtocol` -- weighted majority
+  consensus voting with lazy per-block recovery (Section 3.1);
+* :class:`~repro.core.available_copy.AvailableCopyProtocol` -- available
+  copy with was-available sets and closure-based recovery (Section 3.2);
+* :class:`~repro.core.naive.NaiveAvailableCopyProtocol` -- available copy
+  with no failure bookkeeping (Section 3.3).
+
+Supporting vocabulary: :class:`~repro.core.quorum.QuorumSpec` (weighted
+quorums with the paper's even-group tie-breaking),
+:class:`~repro.core.version.VersionVector` (per-block version numbers)
+and :mod:`~repro.core.was_available` (Definitions 3.1-3.2).
+"""
+
+from .available_copy import AvailableCopyBase, AvailableCopyProtocol
+from .naive import NaiveAvailableCopyProtocol
+from .protocol import ReplicationProtocol
+from .quorum import QuorumSpec, TIE_BREAKER_WEIGHT
+from .version import VersionVector
+from .voting import VotingProtocol
+from .was_available import closure, closure_ready
+
+__all__ = [
+    "ReplicationProtocol",
+    "VotingProtocol",
+    "AvailableCopyProtocol",
+    "AvailableCopyBase",
+    "NaiveAvailableCopyProtocol",
+    "QuorumSpec",
+    "TIE_BREAKER_WEIGHT",
+    "VersionVector",
+    "closure",
+    "closure_ready",
+]

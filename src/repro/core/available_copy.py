@@ -1,0 +1,323 @@
+"""Available-copy consistency control (Section 3.2, Figure 5).
+
+The rule for writing is *write to all available copies*; since every
+available copy receives every write, data may be read from any available
+copy -- locally, with **zero network traffic**.  The price is recovery
+bookkeeping: after a *total* failure the group must not come back up on a
+stale copy, so each site durably stores a *was-available set* ``W_s``
+(Definition 3.1) whose closure ``C*(W_s)`` (Definition 3.2) bounds the
+sites that could have failed last.  A site repairing while some copy is
+still available simply refreshes its stale blocks from it (one version
+vector exchange); a site repairing into a total failure stays *comatose*
+until every member of the closure has recovered, at which point the
+highest-versioned member is provably current and everyone repairs from
+it.
+
+Transmission accounting (Section 5, multicast): writes cost ``U_A``
+(broadcast plus acknowledgements), reads cost zero, recovery costs
+``U_A + 2`` (probe, replies, version-vector request and reply).  With
+unique addressing: writes ``n + U_A - 2``, recovery ``n + U_A``.
+
+``track_failures`` selects how aggressively was-available sets follow
+failures.  ``True`` (default) assumes surviving sites learn of a failure
+when they next communicate and refresh ``W`` accordingly -- this is the
+behaviour Section 4.2's Markov model (Figure 7) analyses, where the group
+returns to service as soon as the *last* site to fail recovers.  ``False``
+updates ``W`` only on writes and repairs, the cheapest variant the paper
+sketches ("the availability information [is] brought up to date when a
+data block is modified or when a repair operation occurs"); it is safe
+but can degrade toward naive behaviour when writes are rare -- the
+ablation experiment quantifies exactly that.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:
+    from ..device.site import Site
+from ..errors import NoAvailableCopyError, SiteDownError
+from ..net.message import MessageCategory
+from ..net.network import NO_REPLY, Network
+from ..types import BlockIndex, SchemeName, SiteId, SiteState
+from .protocol import ReplicationProtocol
+from .version import VersionVector
+from .was_available import closure_ready
+
+__all__ = ["AvailableCopyProtocol", "AvailableCopyBase"]
+
+
+class AvailableCopyBase(ReplicationProtocol):
+    """Machinery shared by the tracked and the naive available-copy schemes.
+
+    Subclasses provide the write fan-out and the total-failure recovery
+    rule; reads, ordinary repair and the version-vector exchange are
+    identical in both schemes.
+    """
+
+    def __init__(self, sites: Sequence['Site'], network: Network) -> None:
+        super().__init__(sites, network)
+        #: Number of total-failure episodes resolved (observability).
+        self.total_failure_recoveries = 0
+
+    # -- read: Section 3.2, "data can then be read from any available copy" --
+
+    def read(self, origin: SiteId, block: BlockIndex) -> bytes:
+        """Read locally; available copies are always current.
+
+        Generates no network traffic (the paper's headline advantage of
+        the available-copy schemes for read-dominated workloads).
+        """
+        site = self.require_origin(origin)
+        if site.state is not SiteState.AVAILABLE:
+            raise SiteDownError(
+                origin, "comatose sites cannot serve reads"
+            )
+        with self.meter.record("read"):
+            return site.read_block(block)
+
+    # -- availability predicate (Section 4's event) ---------------------------
+
+    def is_available(self) -> bool:
+        """At least one copy is in the AVAILABLE state."""
+        return any(s.is_available for s in self.sites)
+
+    # -- write helpers ----------------------------------------------------------
+
+    def _require_available_origin(self, origin: SiteId) -> "Site":
+        site = self.require_origin(origin)
+        if site.state is not SiteState.AVAILABLE:
+            if self.available_sites():
+                raise SiteDownError(
+                    origin, "origin is comatose; write elsewhere"
+                )
+            raise NoAvailableCopyError(
+                "no available copy exists (recovering from total failure)"
+            )
+        return site
+
+    # -- repair machinery -------------------------------------------------------
+
+    def _probe(self, site: 'Site') -> Dict[SiteId, Tuple[str, Set[SiteId], int]]:
+        """Broadcast a recovery probe; reachable sites report their state.
+
+        Each reply carries the responder's protocol state, its durable
+        was-available set and its scalar version total -- everything the
+        recovering site needs to run Figure 5's (or Figure 6's) select.
+        """
+
+        def answer(node, _payload):
+            return (node.state.value, node.get_was_available(),
+                    node.version_total())
+
+        return self.network.broadcast_query(
+            site.site_id,
+            request=MessageCategory.RECOVERY_PROBE,
+            reply=MessageCategory.RECOVERY_PROBE_REPLY,
+            handler=answer,
+            payload=None,
+        )
+
+    def _repair_from(self, source: 'Site', target: 'Site') -> None:
+        """Version-vector exchange of Figure 5: refresh stale blocks.
+
+        ``target`` sends its version vector; ``source`` replies with the
+        correct vector plus copies of every block modified while
+        ``target`` was down.  Two transmissions, as Section 5.1 counts.
+        """
+
+        def serve(node, payload):
+            vector: VersionVector = payload
+            stale = vector.stale_relative_to(node.version_vector())
+            blocks = {
+                b: (node.read_block(b), node.block_version(b)) for b in stale
+            }
+            return node.version_vector(), blocks
+
+        delivered, reply = self.network.unicast_query(
+            src=target.site_id,
+            dst=source.site_id,
+            request=MessageCategory.VERSION_VECTOR_REQUEST,
+            reply=MessageCategory.VERSION_VECTOR_REPLY,
+            handler=serve,
+            payload=target.version_vector(),
+        )
+        if not delivered:  # pragma: no cover - sources are always reachable
+            raise SiteDownError(source.site_id, "repair source vanished")
+        _vector, blocks = reply
+        for block, (data, version) in sorted(blocks.items()):
+            target.write_block(block, data, version)
+        target.set_state(SiteState.AVAILABLE)
+
+    # -- invariant (exercised by tests) ------------------------------------------
+
+    def check_invariants(self) -> None:
+        """Assert the structural invariants of available-copy schemes.
+
+        * Comatose sites exist only while no copy is available (they are
+          created exclusively by recovery from a total failure).
+        * All available copies hold identical version vectors (every
+          available copy received every write).
+        """
+        available = self.available_sites()
+        comatose = self.comatose_sites()
+        if comatose and available:
+            raise AssertionError(
+                f"comatose sites {[s.site_id for s in comatose]} coexist "
+                f"with available sites {[s.site_id for s in available]}"
+            )
+        if available:
+            reference = available[0].version_vector()
+            for site in available[1:]:
+                if site.version_vector() != reference:
+                    raise AssertionError(
+                        f"available copies diverge: site "
+                        f"{available[0].site_id} has {reference}, site "
+                        f"{site.site_id} has {site.version_vector()}"
+                    )
+
+
+class AvailableCopyProtocol(AvailableCopyBase):
+    """The available-copy scheme with was-available bookkeeping (Figure 5)."""
+
+    def __init__(
+        self,
+        sites: Sequence['Site'],
+        network: Network,
+        track_failures: bool = True,
+    ) -> None:
+        super().__init__(sites, network)
+        self._track_failures = track_failures
+        everyone = set(self.site_ids)
+        for site in self.sites:
+            site.set_was_available(everyone)
+
+    @property
+    def scheme(self) -> SchemeName:
+        return SchemeName.AVAILABLE_COPY
+
+    @property
+    def track_failures(self) -> bool:
+        return self._track_failures
+
+    # -- write: "write to all available copies" ---------------------------------
+
+    def write(self, origin: SiteId, block: BlockIndex, data: bytes) -> None:
+        site = self._require_available_origin(origin)
+        with self.meter.record("write"):
+            recipients = {s.site_id for s in self.available_sites()}
+            new_version = site.block_version(block) + 1
+
+            def apply(node, payload):
+                index, blob, version, was_available = payload
+                if node.state is not SiteState.AVAILABLE:
+                    return NO_REPLY
+                node.write_block(index, blob, version)
+                node.set_was_available(was_available)
+                return True
+
+            # The write is broadcast; the recipient set rides along (the
+            # paper's atomic-broadcast assumption, relaxable by delaying
+            # the information one write without extra messages).
+            self.network.broadcast_query(
+                src=origin,
+                request=MessageCategory.WRITE_UPDATE,
+                reply=MessageCategory.WRITE_ACK,
+                handler=apply,
+                payload=(block, bytes(data), new_version, recipients),
+            )
+            site.write_block(block, bytes(data), new_version)
+            site.set_was_available(recipients)
+
+    # -- failure handling ---------------------------------------------------------
+
+    def on_site_failed(self, site_id: SiteId) -> None:
+        self.site(site_id).crash()
+        if self._track_failures:
+            self._refresh_was_available()
+
+    def _refresh_was_available(self) -> None:
+        """Record the current available set at every available site.
+
+        Models survivors learning of a failure at their next exchange
+        (Section 3.2's relaxation of atomic broadcast); costs no
+        additional high-level transmissions in the paper's accounting.
+        """
+        live = {s.site_id for s in self.available_sites()}
+        for site in self.available_sites():
+            site.set_was_available(live)
+
+    # -- repair: Figure 5 ----------------------------------------------------------
+
+    def on_site_repaired(self, site_id: SiteId) -> None:
+        site = self.site(site_id)
+        start = self.meter.total
+        site.set_state(SiteState.COMATOSE)
+        replies = self._probe(site)
+        available = [
+            (s, total)
+            for s, (state, _w, total) in replies.items()
+            if state == SiteState.AVAILABLE.value
+        ]
+        if available:
+            # Second select arm: some copy is available -- repair from it.
+            best = max(available, key=lambda item: (item[1], -item[0]))[0]
+            self._repair_from(self.site(best), site)
+            if self._track_failures:
+                self._refresh_was_available()
+            else:
+                self._exchange_was_available(self.site(best), site)
+        else:
+            # Total failure in progress: stay comatose until the closure
+            # of some stored was-available set has fully recovered.
+            self._resolve_total_failure()
+        self._record_recovery(start)
+
+    def _exchange_was_available(self, source: 'Site', target: 'Site') -> None:
+        """Figure 5's tail: ``W_s <- W_t + {s}``, mirrored at ``t``.
+
+        The source can update its own set locally -- it knows it just
+        served the repair -- so no extra transmission is needed.
+        """
+        merged = source.get_was_available() | {target.site_id}
+        target.set_was_available(merged)
+        source.set_was_available(merged)
+
+    def _resolve_total_failure(self) -> None:
+        """First select arm of Figure 5.
+
+        If some comatose site's closure has fully recovered, its
+        highest-versioned member is provably current: mark that member
+        available and let every other comatose site repair from it.
+        """
+        recovered = {s.site_id for s in self.operational_sites()}
+        known = {
+            s.site_id: s.get_was_available()
+            for s in self.operational_sites()
+        }
+        anchor: Optional['Site'] = None
+        for site in self.comatose_sites():
+            members = closure_ready(
+                site.get_was_available(), known, recovered
+            )
+            if members is None:
+                continue
+            anchor = max(
+                (self.site(m) for m in members),
+                key=lambda s: (s.version_total(), -s.site_id),
+            )
+            break
+        if anchor is None:
+            return
+        anchor.set_state(SiteState.AVAILABLE)
+        self.total_failure_recoveries += 1
+        for site in self.comatose_sites():
+            self._repair_from(anchor, site)
+        if self._track_failures:
+            self._refresh_was_available()
+        else:
+            live = {s.site_id for s in self.available_sites()}
+            for site in self.available_sites():
+                site.set_was_available(site.get_was_available() | live)

@@ -1,0 +1,113 @@
+"""Naive available copy (Section 3.3, Figure 6).
+
+The naive scheme is available copy with the was-available sets frozen at
+``W_s = S`` for every site: no failure information is ever maintained.
+Writes are fire-and-forget -- a single broadcast (or ``n - 1``
+individually addressed messages), with **no acknowledgements**, which is
+what makes it the cheapest writer of all three schemes.  The price is
+worst-case recovery: after a total failure the group must wait until
+*every* site has recovered before the highest-versioned copy can be
+declared current (Figure 8's state diagram has no transition from
+``S'_j`` to an available state for ``j <= n - 2``).
+
+The paper's conclusion is that this trade is worth it: for realistic
+failure-to-repair ratios (rho well below 0.10) the availability loss is
+negligible while the write traffic saving is permanent -- making naive
+available copy "the algorithm of choice" for the reliable device.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:
+    from ..device.site import Site
+from ..net.message import MessageCategory
+from ..net.network import Network
+from ..types import BlockIndex, SchemeName, SiteId, SiteState
+from .available_copy import AvailableCopyBase
+
+__all__ = ["NaiveAvailableCopyProtocol"]
+
+
+class NaiveAvailableCopyProtocol(AvailableCopyBase):
+    """Available copy without failure bookkeeping (Figure 6)."""
+
+    def __init__(self, sites: Sequence['Site'], network: Network) -> None:
+        super().__init__(sites, network)
+        everyone = set(self.site_ids)
+        for site in self.sites:
+            # W_s is fixed at S; stored once so recovery probes and the
+            # closure machinery behave uniformly across schemes.
+            site.set_was_available(everyone)
+
+    @property
+    def scheme(self) -> SchemeName:
+        return SchemeName.NAIVE_AVAILABLE_COPY
+
+    # -- write: one unacknowledged broadcast --------------------------------
+
+    def write(self, origin: SiteId, block: BlockIndex, data: bytes) -> None:
+        """Broadcast the new block to all sites; reliable delivery does
+        the rest (Section 5.1: one message on a multicast network,
+        ``n - 1`` with unique addressing)."""
+        site = self._require_available_origin(origin)
+        with self.meter.record("write"):
+            new_version = site.block_version(block) + 1
+
+            def apply(node, payload):
+                index, blob, version = payload
+                if node.state is SiteState.AVAILABLE:
+                    node.write_block(index, blob, version)
+
+            self.network.broadcast_oneway(
+                src=origin,
+                category=MessageCategory.WRITE_UPDATE,
+                handler=apply,
+                payload=(block, bytes(data), new_version),
+            )
+            site.write_block(block, bytes(data), new_version)
+
+    # -- failure handling -------------------------------------------------------
+
+    def on_site_failed(self, site_id: SiteId) -> None:
+        self.site(site_id).crash()
+
+    # -- repair: Figure 6 ----------------------------------------------------------
+
+    def on_site_repaired(self, site_id: SiteId) -> None:
+        site = self.site(site_id)
+        start = self.meter.total
+        site.set_state(SiteState.COMATOSE)
+        replies = self._probe(site)
+        available = [
+            (s, total)
+            for s, (state, _w, total) in replies.items()
+            if state == SiteState.AVAILABLE.value
+        ]
+        if available:
+            # Second select arm: repair from any available copy.
+            best = max(available, key=lambda item: (item[1], -item[0]))[0]
+            self._repair_from(self.site(best), site)
+        else:
+            self._resolve_total_failure()
+        self._record_recovery(start)
+
+    def _resolve_total_failure(self) -> None:
+        """First select arm of Figure 6: wait for *all* sites.
+
+        Only when every site has recovered can the highest-versioned
+        copy be known current; it is marked available and every other
+        copy repairs from it.
+        """
+        if len(self.operational_sites()) != self.num_sites:
+            return
+        anchor = max(
+            self.sites, key=lambda s: (s.version_total(), -s.site_id)
+        )
+        anchor.set_state(SiteState.AVAILABLE)
+        self.total_failure_recoveries += 1
+        for site in self.comatose_sites():
+            self._repair_from(anchor, site)

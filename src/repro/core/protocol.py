@@ -1,0 +1,199 @@
+"""Framework shared by the three consistency-control protocols.
+
+A :class:`ReplicationProtocol` manages one replica group: a fixed set of
+:class:`~repro.device.site.Site` objects joined by a
+:class:`~repro.net.Network`.  It exposes the operations the reliable
+device needs (`read`, `write`), the failure/repair entry points driven by
+the simulator, and the availability predicate the analysis section
+studies (is the replicated block currently accessible?).
+
+Concrete subclasses implement the paper's Figures 3-6:
+
+* :class:`~repro.core.voting.VotingProtocol` (Figures 3-4),
+* :class:`~repro.core.available_copy.AvailableCopyProtocol` (Figure 5),
+* :class:`~repro.core.naive.NaiveAvailableCopyProtocol` (Figure 6).
+
+Traffic attribution: reads and writes are bracketed with
+``meter.record("read"/"write")``; recovery traffic (including version
+vector exchanges deferred until after a total failure resolves) is
+attributed manually so that *total* recovery traffic divided by the
+number of repair events reproduces the paper's per-recovery costs.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Dict, List, Optional, Sequence
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:
+    from ..device.site import Site
+from ..errors import SiteDownError
+from ..net.network import Network
+from ..net.traffic import TrafficMeter
+from ..sim.failures import FailureRepairProcess
+from ..types import BlockIndex, SchemeName, SiteId, SiteState
+
+__all__ = ["ReplicationProtocol"]
+
+
+class ReplicationProtocol(abc.ABC):
+    """Base class for block-level consistency-control protocols."""
+
+    def __init__(self, sites: Sequence['Site'], network: Network) -> None:
+        if not sites:
+            raise ValueError("a replica group needs at least one site")
+        ids = [site.site_id for site in sites]
+        if len(set(ids)) != len(ids):
+            raise ValueError(f"duplicate site ids in replica group: {ids}")
+        self._sites: Dict[SiteId, 'Site'] = {s.site_id: s for s in sites}
+        self._order: List[SiteId] = ids
+        self._network = network
+        for site in sites:
+            network.attach(site)
+        geometries = {(s.store.num_blocks, s.store.block_size) for s in sites}
+        if len(geometries) != 1:
+            raise ValueError(
+                f"replica sites disagree on device geometry: {geometries}"
+            )
+
+    # -- structure ----------------------------------------------------------
+
+    @property
+    def sites(self) -> List['Site']:
+        """The group's sites, in declaration order."""
+        return [self._sites[i] for i in self._order]
+
+    @property
+    def site_ids(self) -> List[SiteId]:
+        return list(self._order)
+
+    @property
+    def num_sites(self) -> int:
+        return len(self._order)
+
+    @property
+    def network(self) -> Network:
+        return self._network
+
+    @property
+    def meter(self) -> TrafficMeter:
+        return self._network.meter
+
+    def site(self, site_id: SiteId) -> "Site":
+        """Look up a member site by id."""
+        try:
+            return self._sites[site_id]
+        except KeyError:
+            raise SiteDownError(site_id, "not a member of this group") from None
+
+    @property
+    def num_blocks(self) -> int:
+        return self.sites[0].store.num_blocks
+
+    @property
+    def block_size(self) -> int:
+        return self.sites[0].store.block_size
+
+    # -- site-state helpers ---------------------------------------------------
+
+    def available_sites(self) -> List['Site']:
+        """Sites in the AVAILABLE state, in declaration order."""
+        return [s for s in self.sites if s.state is SiteState.AVAILABLE]
+
+    def comatose_sites(self) -> List['Site']:
+        """Sites in the COMATOSE state, in declaration order."""
+        return [s for s in self.sites if s.state is SiteState.COMATOSE]
+
+    def operational_sites(self) -> List['Site']:
+        """Sites whose process is running (not failed)."""
+        return [s for s in self.sites if s.state is not SiteState.FAILED]
+
+    def require_origin(self, origin: SiteId) -> "Site":
+        """The site an operation is initiated at; must be operational."""
+        site = self.site(origin)
+        if site.state is SiteState.FAILED:
+            raise SiteDownError(origin, "cannot initiate operations")
+        return site
+
+    # -- the protocol interface ------------------------------------------------
+
+    @property
+    @abc.abstractmethod
+    def scheme(self) -> SchemeName:
+        """Which of the paper's three schemes this object implements."""
+
+    @abc.abstractmethod
+    def read(self, origin: SiteId, block: BlockIndex) -> bytes:
+        """Read ``block`` on behalf of the file system at ``origin``.
+
+        Raises :class:`~repro.errors.DeviceUnavailableError` when the
+        consistency protocol cannot currently serve reads.
+        """
+
+    @abc.abstractmethod
+    def write(self, origin: SiteId, block: BlockIndex, data: bytes) -> None:
+        """Write ``block`` on behalf of the file system at ``origin``.
+
+        Raises :class:`~repro.errors.DeviceUnavailableError` when the
+        consistency protocol cannot currently serve writes.
+        """
+
+    @abc.abstractmethod
+    def is_available(self) -> bool:
+        """Whether the replicated block device can currently serve access.
+
+        This is the predicate whose steady-state probability Section 4
+        derives: a quorum of up sites for voting, at least one available
+        copy for the available-copy schemes.
+        """
+
+    @abc.abstractmethod
+    def on_site_failed(self, site_id: SiteId) -> None:
+        """A site just crashed (fail-stop)."""
+
+    @abc.abstractmethod
+    def on_site_repaired(self, site_id: SiteId) -> None:
+        """A site's hardware just came back; run the recovery procedure."""
+
+    # -- simulator wiring -----------------------------------------------------
+
+    def bind(self, process: FailureRepairProcess) -> None:
+        """Subscribe this protocol to a failure/repair process."""
+        process.on_failure(lambda site_id, _t: self.on_site_failed(site_id))
+        process.on_repair(lambda site_id, _t: self.on_site_repaired(site_id))
+
+    # -- recovery traffic attribution -------------------------------------------
+
+    def _record_recovery(self, start_total: int) -> None:
+        """Attribute messages sent since ``start_total`` to recovery."""
+        spent = self.meter.total - start_total
+        self.meter.messages_for("recovery").add(spent)
+
+    # -- invariants (used by tests and debug assertions) --------------------------
+
+    def consistency_report(self) -> Dict[BlockIndex, List[SiteId]]:
+        """For each written block: available sites holding a stale copy.
+
+        An empty report means every available site agrees with the
+        highest version of every block -- the core invariant of the
+        available-copy schemes (voting only guarantees it for quorums).
+        """
+        stale: Dict[BlockIndex, List[SiteId]] = {}
+        available = self.available_sites()
+        if not available:
+            return stale
+        for block in range(self.num_blocks):
+            versions = [s.block_version(block) for s in available]
+            top = max(versions)
+            if top == 0:
+                continue
+            behind = [
+                s.site_id
+                for s, v in zip(available, versions)
+                if v < top
+            ]
+            if behind:
+                stale[block] = behind
+        return stale

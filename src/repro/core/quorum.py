@@ -1,0 +1,136 @@
+"""Weighted-voting quorum specifications (Section 3.1).
+
+Majority consensus voting honours an operation only when the sites
+gathered hold, together, strictly more weight than the relevant quorum
+threshold (the paper's predicate is ``sum(w_i) > quorum``).  Safety
+requires that
+
+* any read quorum intersects any write quorum
+  (``read_quorum + write_quorum >= total_weight``), and
+* any two write quorums intersect (``2 * write_quorum >= total_weight``),
+
+which, with strict-greater gathering, guarantees every quorum contains a
+site holding the highest version number.
+
+For replica groups with an **even** number of equal-weight copies the
+paper breaks draw conditions by "adjust[ing] by a small quantity the
+weight of one of the copies"; :meth:`QuorumSpec.majority` implements
+exactly that, which is what makes ``A_V(2k) == A_V(2k-1)`` (equation 1.b).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence, Tuple
+
+from ..errors import QuorumSpecError
+
+__all__ = ["QuorumSpec", "TIE_BREAKER_WEIGHT"]
+
+#: Extra weight granted to site 0 of an even-sized equal-weight group.
+#: Exactly representable in binary floating point, so threshold
+#: comparisons stay exact.
+TIE_BREAKER_WEIGHT = 0.5
+
+
+@dataclass(frozen=True)
+class QuorumSpec:
+    """Weights and thresholds for one replica group.
+
+    ``weights[i]`` is the weight of the group's i-th site.  An operation
+    gathers the weights of the sites it reached; it may proceed only if
+    the gathered weight is *strictly greater* than the corresponding
+    threshold.
+    """
+
+    weights: Tuple[float, ...]
+    read_quorum: float
+    write_quorum: float
+
+    def __post_init__(self) -> None:
+        if not self.weights:
+            raise QuorumSpecError("a quorum spec needs at least one site")
+        if any(w <= 0 for w in self.weights):
+            raise QuorumSpecError(f"weights must be positive: {self.weights}")
+        total = self.total_weight
+        if self.read_quorum < 0 or self.write_quorum < 0:
+            raise QuorumSpecError("quorum thresholds must be non-negative")
+        if self.read_quorum + self.write_quorum < total:
+            raise QuorumSpecError(
+                "read_quorum + write_quorum must reach the total weight "
+                f"({self.read_quorum} + {self.write_quorum} < {total})"
+            )
+        if 2 * self.write_quorum < total:
+            raise QuorumSpecError(
+                "2 * write_quorum must reach the total weight "
+                f"(2 * {self.write_quorum} < {total})"
+            )
+
+    # -- constructors -----------------------------------------------------
+
+    @classmethod
+    def majority(cls, num_sites: int) -> "QuorumSpec":
+        """Equal-weight majority quorums, tie-broken for even groups.
+
+        Every site gets weight 1; for even ``num_sites`` site 0 receives
+        :data:`TIE_BREAKER_WEIGHT` extra, resolving the draw condition in
+        favour of the half that contains it.
+        """
+        if num_sites < 1:
+            raise QuorumSpecError(f"need at least one site, got {num_sites}")
+        weights = [1.0] * num_sites
+        if num_sites % 2 == 0:
+            weights[0] += TIE_BREAKER_WEIGHT
+        total = sum(weights)
+        half = total / 2.0
+        return cls(
+            weights=tuple(weights), read_quorum=half, write_quorum=half
+        )
+
+    @classmethod
+    def weighted(
+        cls,
+        weights: Sequence[float],
+        read_quorum: float,
+        write_quorum: float,
+    ) -> "QuorumSpec":
+        """Arbitrary weighted quorums (Gifford-style)."""
+        return cls(
+            weights=tuple(float(w) for w in weights),
+            read_quorum=float(read_quorum),
+            write_quorum=float(write_quorum),
+        )
+
+    # -- queries -------------------------------------------------------------
+
+    @property
+    def num_sites(self) -> int:
+        return len(self.weights)
+
+    @property
+    def total_weight(self) -> float:
+        return sum(self.weights)
+
+    def weight_of(self, site_index: int) -> float:
+        """Weight of the group's ``site_index``-th site."""
+        return self.weights[site_index]
+
+    def gathered_weight(self, site_indices: Iterable[int]) -> float:
+        """Total weight of a set of sites (by group index)."""
+        return sum(self.weights[i] for i in site_indices)
+
+    def meets_read(self, gathered: float) -> bool:
+        """Whether ``gathered`` weight forms a read quorum."""
+        return gathered > self.read_quorum
+
+    def meets_write(self, gathered: float) -> bool:
+        """Whether ``gathered`` weight forms a write quorum."""
+        return gathered > self.write_quorum
+
+    def read_available(self, up_indices: Iterable[int]) -> bool:
+        """Whether the up sites can form a read quorum."""
+        return self.meets_read(self.gathered_weight(up_indices))
+
+    def write_available(self, up_indices: Iterable[int]) -> bool:
+        """Whether the up sites can form a write quorum."""
+        return self.meets_write(self.gathered_weight(up_indices))

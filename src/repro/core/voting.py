@@ -1,0 +1,321 @@
+"""Majority consensus voting with lazy block recovery (Section 3.1).
+
+The read algorithm (Figure 3) collects votes -- each vote carries the
+voter's version number for the requested block and its weight -- and
+proceeds only when the gathered weight exceeds the read quorum.  Because
+quorum composition guarantees a current copy is present in any quorum, a
+stale local copy is simply refreshed from the highest-versioned voter
+(one extra block transfer); this *lazy, per-block* recovery is what
+block-level replication buys: the scheme never runs a recovery pass when
+a site repairs, so voting incurs **no traffic upon recovery** (Section
+5.1).
+
+The write algorithm (Figure 4) collects the same votes, takes the maximum
+version plus one, and pushes the new block to every site in the quorum,
+repairing all operational out-of-date copies as a side effect.
+
+Transmission accounting (Section 5): on a multicast network a read costs
+``U`` messages (one vote request plus ``U - 1`` replies; one more if the
+local copy was stale) and a write costs ``1 + U`` (votes plus the update
+broadcast).  With unique addressing a read costs ``n + U - 2`` (plus one)
+and a write ``n + 2U - 3``.  ``U`` is the number of operational sites,
+local site included.
+
+An optional *eager repair* mode (``eager_repair=True``) restores the
+conventional behaviour of file-level voting schemes -- refreshing every
+stale block when a site repairs -- and exists purely as the ablation
+baseline for the paper's "no recovery traffic" claim.
+
+**Witnesses.**  Sites flagged ``is_witness`` vote with version numbers
+but store no data (Paris, FTCS 1986 -- the paper's reference [10]).
+Full-block writes succeed with any quorum (new contents supersede old
+ones, so no current copy is needed -- another block-level benefit);
+reads additionally require a reachable *data* site holding the quorum's
+highest version and raise
+:class:`~repro.errors.NoCurrentDataCopyError` otherwise.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:
+    from ..device.site import Site
+from ..errors import (
+    NoCurrentDataCopyError,
+    QuorumNotReachedError,
+    SiteDownError,
+)
+from ..net.message import MessageCategory
+from ..net.network import Network
+from ..types import BlockIndex, SchemeName, SiteId, SiteState
+from .quorum import QuorumSpec
+from .protocol import ReplicationProtocol
+
+__all__ = ["VotingProtocol"]
+
+
+class VotingProtocol(ReplicationProtocol):
+    """Weighted majority consensus voting over a replica group.
+
+    Parameters
+    ----------
+    sites:
+        The replica group.  Site weights must match ``spec.weights``
+        positionally.
+    network:
+        The group's network.
+    spec:
+        Quorum weights and thresholds; defaults to equal-weight majority
+        with the paper's tie-breaking adjustment for even groups.
+    eager_repair:
+        When True, a repairing site immediately refreshes all its stale
+        blocks from a current site (ablation baseline; the paper's
+        algorithm leaves repair to later reads and writes).
+    """
+
+    def __init__(
+        self,
+        sites: Sequence['Site'],
+        network: Network,
+        spec: Optional[QuorumSpec] = None,
+        eager_repair: bool = False,
+    ) -> None:
+        super().__init__(sites, network)
+        if spec is None:
+            spec = QuorumSpec.majority(len(sites))
+        if spec.num_sites != len(sites):
+            raise ValueError(
+                f"quorum spec covers {spec.num_sites} sites, "
+                f"group has {len(sites)}"
+            )
+        for index, site in enumerate(self.sites):
+            if site.weight != spec.weight_of(index):
+                raise ValueError(
+                    f"site {site.site_id} weight {site.weight} does not "
+                    f"match spec weight {spec.weight_of(index)}"
+                )
+        self._spec = spec
+        self._index_of: Dict[SiteId, int] = {
+            site.site_id: i for i, site in enumerate(self.sites)
+        }
+        self._eager_repair = eager_repair
+        self._data_ids = [s.site_id for s in self.sites if not s.is_witness]
+        if not self._data_ids:
+            raise ValueError("a voting group needs at least one data site")
+        #: Number of stale local copies refreshed lazily during reads.
+        self.lazy_repairs = 0
+
+    # -- metadata ---------------------------------------------------------
+
+    @property
+    def scheme(self) -> SchemeName:
+        return SchemeName.VOTING
+
+    @property
+    def spec(self) -> QuorumSpec:
+        return self._spec
+
+    @property
+    def data_site_ids(self) -> List[SiteId]:
+        """Sites that store block contents (non-witnesses)."""
+        return list(self._data_ids)
+
+    @property
+    def witness_ids(self) -> List[SiteId]:
+        """Vote-only sites."""
+        return [s for s in self.site_ids if s not in set(self._data_ids)]
+
+    # -- vote collection -----------------------------------------------------
+
+    def _collect_votes(
+        self, origin: 'Site', block: BlockIndex
+    ) -> Tuple[float, Dict[SiteId, int]]:
+        """Gather votes for ``block`` from every reachable site.
+
+        Returns the gathered weight (origin included) and a map
+        ``site_id -> version`` over the voters (origin included).
+        """
+
+        def vote(node, payload):
+            return node.block_version(payload)
+
+        replies = self.network.broadcast_query(
+            origin.site_id,
+            request=MessageCategory.VOTE_REQUEST,
+            reply=MessageCategory.VOTE_REPLY,
+            handler=vote,
+            payload=block,
+        )
+        versions: Dict[SiteId, int] = dict(replies)
+        versions[origin.site_id] = origin.block_version(block)
+        gathered = self._spec.gathered_weight(
+            self._index_of[s] for s in versions
+        )
+        return gathered, versions
+
+    @staticmethod
+    def _best_voter(versions: Dict[SiteId, int]) -> SiteId:
+        """The voter holding the highest version (lowest id on ties)."""
+        top = max(versions.values())
+        return min(s for s, v in versions.items() if v == top)
+
+    def _best_data_voter(
+        self, versions: Dict[SiteId, int]
+    ) -> Optional[SiteId]:
+        """The *data* voter holding the quorum's highest version.
+
+        ``None`` when only witnesses contributed the highest version --
+        the quorum can prove what the current version number is but
+        cannot produce its contents.
+        """
+        top = max(versions.values())
+        data = [
+            s for s, v in versions.items()
+            if v == top and s in set(self._data_ids)
+        ]
+        return min(data) if data else None
+
+    # -- Figure 3: READ -------------------------------------------------------
+
+    def read(self, origin: SiteId, block: BlockIndex) -> bytes:
+        site = self.require_origin(origin)
+        if site.is_witness:
+            raise SiteDownError(origin, "witnesses cannot serve clients")
+        with self.meter.record("read"):
+            gathered, versions = self._collect_votes(site, block)
+            if not self._spec.meets_read(gathered):
+                raise QuorumNotReachedError(gathered, self._spec.read_quorum)
+            top = max(versions.values())
+            if versions[origin] < top:
+                source = self._best_data_voter(versions)
+                if source is None:
+                    raise NoCurrentDataCopyError(
+                        f"version {top} of block {block} is attested only "
+                        "by witnesses; no data copy is reachable"
+                    )
+                self._pull_block(source=source, target=site, block=block)
+                self.lazy_repairs += 1
+            return site.read_block(block)
+
+    def _pull_block(
+        self, source: SiteId, target: 'Site', block: BlockIndex
+    ) -> None:
+        """The highest-versioned voter pushes the block to the reader.
+
+        The vote request already carried the reader's version number, so
+        a single block transfer suffices (the "+1" of Section 5.1).
+        """
+        holder = self.site(source)
+        data = holder.read_block(block)
+        version = holder.block_version(block)
+
+        def deliver(node, payload):
+            index, blob, v = payload
+            node.write_block(index, blob, v)
+
+        self.network.unicast_oneway(
+            src=source,
+            dst=target.site_id,
+            category=MessageCategory.BLOCK_TRANSFER,
+            handler=deliver,
+            payload=(block, data, version),
+        )
+
+    # -- Figure 4: WRITE -----------------------------------------------------
+
+    def write(self, origin: SiteId, block: BlockIndex, data: bytes) -> None:
+        site = self.require_origin(origin)
+        if site.is_witness:
+            raise SiteDownError(origin, "witnesses cannot serve clients")
+        with self.meter.record("write"):
+            gathered, versions = self._collect_votes(site, block)
+            if not self._spec.meets_write(gathered):
+                raise QuorumNotReachedError(gathered, self._spec.write_quorum)
+            new_version = max(versions.values()) + 1
+            quorum_members = [s for s in versions if s != origin]
+
+            def apply(node, payload):
+                index, blob, v = payload
+                if node.is_witness:
+                    node.store.set_version(index, v)
+                else:
+                    node.write_block(index, blob, v)
+
+            self.network.broadcast_oneway(
+                src=origin,
+                category=MessageCategory.WRITE_UPDATE,
+                handler=apply,
+                payload=(block, bytes(data), new_version),
+                destinations=quorum_members,
+            )
+            site.write_block(block, bytes(data), new_version)
+
+    # -- availability & failure handling -----------------------------------------
+
+    def is_available(self) -> bool:
+        """A read quorum of up sites exists (equation 1's event).
+
+        With witnesses, at least one *data* site must also be up; this
+        matches read availability under write-frequent workloads (every
+        write repairs all operational stale copies in its quorum, so any
+        up data site is current).
+        """
+        operational = [
+            s for s in self.sites if s.state is not SiteState.FAILED
+        ]
+        up = [self._index_of[s.site_id] for s in operational]
+        if not self._spec.read_available(up):
+            return False
+        return any(not s.is_witness for s in operational)
+
+    def on_site_failed(self, site_id: SiteId) -> None:
+        self.site(site_id).crash()
+
+    def on_site_repaired(self, site_id: SiteId) -> None:
+        """Repair under voting: rejoin immediately, no recovery traffic.
+
+        Stale blocks are refreshed lazily by later reads and writes --
+        the quorum intersection property makes that safe.
+        """
+        site = self.site(site_id)
+        site.set_state(SiteState.AVAILABLE)
+        if self._eager_repair:
+            self._eager_refresh(site)
+
+    def _eager_refresh(self, site: 'Site') -> None:
+        """Ablation baseline: refresh every stale block upon repair."""
+        start = self.meter.total
+        peers = [
+            s for s in self.sites
+            if s is not site and s.is_available and not s.is_witness
+        ]
+        if not peers:
+            self._record_recovery(start)
+            return
+        source = max(peers, key=lambda s: (s.version_total(), -s.site_id))
+
+        def serve(node, payload):
+            vector = payload
+            stale = vector.stale_relative_to(node.version_vector())
+            return {
+                b: (node.read_block(b), node.block_version(b)) for b in stale
+            }
+
+        delivered, blocks = self.network.unicast_query(
+            src=site.site_id,
+            dst=source.site_id,
+            request=MessageCategory.VERSION_VECTOR_REQUEST,
+            reply=MessageCategory.VERSION_VECTOR_REPLY,
+            handler=serve,
+            payload=site.version_vector(),
+        )
+        if delivered:
+            for block, (data, version) in sorted(blocks.items()):
+                if site.is_witness:
+                    site.store.set_version(block, version)
+                else:
+                    site.write_block(block, data, version)
+        self._record_recovery(start)

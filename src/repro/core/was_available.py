@@ -1,0 +1,77 @@
+"""Was-available sets and their closure (Definitions 3.1 and 3.2).
+
+The available-copy scheme must, after a *total* failure, identify a copy
+that is guaranteed current before bringing the replica group back into
+service.  Each site ``s`` durably maintains a was-available set ``W_s``:
+the sites that received the most recent write ``s`` knows of, plus the
+sites that have since repaired from ``s``.  The site that failed last is
+always a member of ``W_s`` as stored at ``s``'s failure time, because it
+was still available (hence receiving writes / serving repairs) when ``s``
+went down.
+
+The **closure** ``C*(W_s)`` chases this membership transitively: any
+member ``t`` of the candidate set may itself have more recent knowledge,
+recorded in ``W_t``, so the closure unions the stored was-available sets
+of its members until a fixed point.  Waiting until every member of the
+closure has recovered is therefore *safe*: the closure is a superset of
+the set of sites that could have failed last, so the highest-versioned
+copy among them is guaranteed current.  It can be *pessimistic* -- a
+superset means potentially waiting for more sites than strictly necessary
+-- which is exactly the availability gap between the tracked and the
+naive scheme (where ``W_s = S`` identically and the closure is the whole
+group).
+"""
+
+from __future__ import annotations
+
+from typing import AbstractSet, FrozenSet, Mapping, Optional, Set
+
+from ..types import SiteId
+
+__all__ = ["closure", "closure_ready"]
+
+
+def closure(
+    seed: AbstractSet[SiteId],
+    known_sets: Mapping[SiteId, AbstractSet[SiteId]],
+) -> FrozenSet[SiteId]:
+    """Transitive closure of was-available sets, ``C*(seed)``.
+
+    Parameters
+    ----------
+    seed:
+        The starting was-available set (``W_s`` of the recovering site).
+    known_sets:
+        Stored was-available sets for the sites whose stable storage can
+        currently be consulted (i.e. recovered sites).  Sites absent from
+        this mapping contribute nothing to the expansion -- their storage
+        cannot be read -- but remain members of the closure.
+    """
+    result: Set[SiteId] = set(seed)
+    frontier: Set[SiteId] = set(seed)
+    while frontier:
+        member = frontier.pop()
+        for other in known_sets.get(member, ()):  # unknown => terminal
+            if other not in result:
+                result.add(other)
+                frontier.add(other)
+    return frozenset(result)
+
+
+def closure_ready(
+    seed: AbstractSet[SiteId],
+    known_sets: Mapping[SiteId, AbstractSet[SiteId]],
+    recovered: AbstractSet[SiteId],
+) -> Optional[FrozenSet[SiteId]]:
+    """The closure if every member has recovered, else ``None``.
+
+    This is the guard of Figure 5's first ``select`` arm ("when all sites
+    in C*(W_s) have recovered").  A member that has not recovered makes
+    the guard false outright -- and since its stable storage cannot be
+    consulted, the closure could only grow once it does recover, never
+    shrink, so answering ``None`` is always correct.
+    """
+    result = closure(seed, known_sets)
+    if result <= recovered:
+        return result
+    return None

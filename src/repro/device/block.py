@@ -1,0 +1,117 @@
+"""Versioned block storage -- one site's copy of the reliable device.
+
+A :class:`BlockStore` is the stable storage of a single replica server:
+an array of fixed-size blocks, each carrying the version number the
+consistency protocols compare.  Storage is sparse; blocks never written
+read back as zeros, like a freshly initialised disk.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Tuple
+
+from ..core.version import VersionVector
+from ..errors import BlockOutOfRangeError, BlockSizeError
+from ..types import BlockIndex, VersionNumber
+
+__all__ = ["BlockStore", "DEFAULT_BLOCK_SIZE"]
+
+#: Default block size, matching classic UNIX file system blocks.
+DEFAULT_BLOCK_SIZE = 512
+
+
+class BlockStore:
+    """Sparse array of versioned fixed-size blocks.
+
+    Parameters
+    ----------
+    num_blocks:
+        Capacity of the device in blocks.
+    block_size:
+        Size of each block in bytes.
+    """
+
+    def __init__(
+        self, num_blocks: int, block_size: int = DEFAULT_BLOCK_SIZE
+    ) -> None:
+        if num_blocks <= 0:
+            raise ValueError(f"num_blocks must be positive, got {num_blocks}")
+        if block_size <= 0:
+            raise ValueError(f"block_size must be positive, got {block_size}")
+        self._num_blocks = int(num_blocks)
+        self._block_size = int(block_size)
+        self._data: Dict[BlockIndex, bytes] = {}
+        self._versions = VersionVector()
+        self._zero = bytes(self._block_size)
+
+    # -- geometry -----------------------------------------------------------
+
+    @property
+    def num_blocks(self) -> int:
+        return self._num_blocks
+
+    @property
+    def block_size(self) -> int:
+        return self._block_size
+
+    def check_index(self, index: BlockIndex) -> None:
+        """Raise :class:`BlockOutOfRangeError` for a bad index."""
+        if not 0 <= index < self._num_blocks:
+            raise BlockOutOfRangeError(index, self._num_blocks)
+
+    # -- block access -------------------------------------------------------
+
+    def read(self, index: BlockIndex) -> bytes:
+        """Contents of block ``index`` (zeros if never written)."""
+        self.check_index(index)
+        return self._data.get(index, self._zero)
+
+    def write(
+        self, index: BlockIndex, data: bytes, version: VersionNumber
+    ) -> None:
+        """Store ``data`` as block ``index`` at the given version.
+
+        The caller (the consistency protocol) owns version assignment;
+        the store only enforces geometry.
+        """
+        self.check_index(index)
+        if len(data) != self._block_size:
+            raise BlockSizeError(len(data), self._block_size)
+        self._data[index] = bytes(data)
+        self._versions.set(index, version)
+
+    def set_version(self, index: BlockIndex, version: VersionNumber) -> None:
+        """Record a version without storing data (witness replicas).
+
+        Witness sites participate in voting with version numbers only;
+        they never hold block contents.
+        """
+        self.check_index(index)
+        if version < 0:
+            raise ValueError(f"negative version {version}")
+        self._versions.set(index, version)
+
+    def version(self, index: BlockIndex) -> VersionNumber:
+        """Version number of block ``index`` (0 if never written)."""
+        self.check_index(index)
+        return self._versions.get(index)
+
+    def version_vector(self) -> VersionVector:
+        """A *copy* of the store's full version vector."""
+        return self._versions.copy()
+
+    def written_blocks(self) -> Iterator[Tuple[BlockIndex, bytes, int]]:
+        """(index, data, version) for every explicitly written block."""
+        for index in sorted(self._data):
+            yield index, self._data[index], self._versions.get(index)
+
+    @property
+    def blocks_written(self) -> int:
+        """How many distinct blocks have ever been written."""
+        return len(self._data)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"BlockStore(num_blocks={self._num_blocks}, "
+            f"block_size={self._block_size}, written={len(self._data)})"
+        )

@@ -1,0 +1,103 @@
+"""A write-through buffer cache.
+
+Section 2's UNIX model: "the file system consults internal data
+structures to ascertain if it has the requested block in the buffer
+cache.  If the block is not present then the file system requests the
+device driver to fetch the block."  :class:`BufferCache` models that
+cache as a :class:`~repro.device.interface.BlockDevice` decorator: reads
+hit the cache when possible, writes go through to the backing device
+immediately (write-through keeps the replicas authoritative, so a site
+failure never loses acknowledged data).
+
+The cache is coherent for a single client, which matches the paper's
+model -- it does "not attempt to model systems which guard against
+concurrent access of files" (Section 5).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+
+from ..types import BlockIndex
+from .interface import BlockDevice
+
+__all__ = ["BufferCache", "CacheStats"]
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss counters for a buffer cache."""
+
+    hits: int = 0
+    misses: int = 0
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of read accesses served from the cache (0 if none)."""
+        if not self.accesses:
+            return 0.0
+        return self.hits / self.accesses
+
+
+class BufferCache(BlockDevice):
+    """LRU write-through cache in front of any block device."""
+
+    def __init__(self, backing: BlockDevice, capacity_blocks: int = 64):
+        super().__init__()
+        if capacity_blocks <= 0:
+            raise ValueError(
+                f"cache capacity must be positive, got {capacity_blocks}"
+            )
+        self._backing = backing
+        self._capacity = int(capacity_blocks)
+        self._blocks: "OrderedDict[BlockIndex, bytes]" = OrderedDict()
+        self.cache_stats = CacheStats()
+
+    @property
+    def num_blocks(self) -> int:
+        return self._backing.num_blocks
+
+    @property
+    def block_size(self) -> int:
+        return self._backing.block_size
+
+    @property
+    def backing(self) -> BlockDevice:
+        return self._backing
+
+    def _remember(self, index: BlockIndex, data: bytes) -> None:
+        self._blocks[index] = data
+        self._blocks.move_to_end(index)
+        while len(self._blocks) > self._capacity:
+            self._blocks.popitem(last=False)
+
+    def read_block(self, index: BlockIndex) -> bytes:
+        self.stats.reads += 1
+        cached = self._blocks.get(index)
+        if cached is not None:
+            self.cache_stats.hits += 1
+            self._blocks.move_to_end(index)
+            return cached
+        self.cache_stats.misses += 1
+        data = self._backing.read_block(index)
+        self._remember(index, data)
+        return data
+
+    def write_block(self, index: BlockIndex, data: bytes) -> None:
+        # Write-through: the backing device is updated (and may raise)
+        # before the cache absorbs the new contents.
+        self._backing.write_block(index, data)
+        self.stats.writes += 1
+        self._remember(index, bytes(data))
+
+    def invalidate(self, index: BlockIndex = None) -> None:
+        """Drop one block (or everything, when ``index`` is None)."""
+        if index is None:
+            self._blocks.clear()
+        else:
+            self._blocks.pop(index, None)

@@ -1,0 +1,80 @@
+"""The device-driver stub of the UNIX model (Figure 1).
+
+"We would install a device driver stub which would receive requests for
+block access from the file system and would forward those requests to a
+user-state server which would perform the data access and consistency
+control algorithms."
+
+:class:`DeviceDriverStub` is that kernel-resident stub: a thin
+:class:`~repro.device.interface.BlockDevice` that forwards every block
+request to the user-state server (represented by any backing device,
+normally a :class:`~repro.device.reliable.ReliableDevice`), optionally
+behind a :class:`~repro.device.cache.BufferCache` exactly as the UNIX
+block layer would.  It exists so the repository's file system stack has
+the same layering as the paper's Figure 1:
+
+    FileSystem -> (buffer cache) -> DeviceDriverStub -> user-state server
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..types import BlockIndex
+from .cache import BufferCache
+from .interface import BlockDevice
+
+__all__ = ["DeviceDriverStub"]
+
+
+class DeviceDriverStub(BlockDevice):
+    """Kernel-side stub forwarding block requests to a user-state server."""
+
+    def __init__(
+        self,
+        server: BlockDevice,
+        cache_blocks: Optional[int] = None,
+    ) -> None:
+        """Wrap ``server``; with ``cache_blocks`` set, interpose a
+        write-through buffer cache of that capacity."""
+        super().__init__()
+        self._server = server
+        self._cache: Optional[BufferCache] = None
+        self._inner: BlockDevice = server
+        if cache_blocks is not None:
+            self._cache = BufferCache(server, capacity_blocks=cache_blocks)
+            self._inner = self._cache
+        #: Requests forwarded to the user-state server (cache misses and
+        #: write-throughs), distinct from requests received from the FS.
+        self.forwarded = 0
+
+    @property
+    def num_blocks(self) -> int:
+        return self._server.num_blocks
+
+    @property
+    def block_size(self) -> int:
+        return self._server.block_size
+
+    @property
+    def server(self) -> BlockDevice:
+        """The user-state server this stub forwards to."""
+        return self._server
+
+    @property
+    def cache(self) -> Optional[BufferCache]:
+        """The interposed buffer cache, if any."""
+        return self._cache
+
+    def read_block(self, index: BlockIndex) -> bytes:
+        self.stats.reads += 1
+        before = self._server.stats.reads + self._server.stats.failed_reads
+        data = self._inner.read_block(index)
+        after = self._server.stats.reads + self._server.stats.failed_reads
+        self.forwarded += after - before
+        return data
+
+    def write_block(self, index: BlockIndex, data: bytes) -> None:
+        self.stats.writes += 1
+        self._inner.write_block(index, data)
+        self.forwarded += 1

@@ -1,0 +1,83 @@
+"""The block-device interface.
+
+This is the contract the paper's *reliable device* honours: it "appears
+to the file system as an ordinary block-structured device" (Abstract).
+Everything above the device -- the buffer cache, the driver stub, the
+file system -- is written against this interface only, which is how the
+repository demonstrates the paper's central claim that the file system
+needs no modification: :class:`repro.fs.FileSystem` runs identically over
+:class:`~repro.device.local.LocalBlockDevice` and
+:class:`~repro.device.reliable.ReliableDevice`.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+
+from ..types import BlockIndex
+
+__all__ = ["BlockDevice", "DeviceStats"]
+
+
+@dataclass
+class DeviceStats:
+    """Operation counters maintained by every block device."""
+
+    reads: int = 0
+    writes: int = 0
+    failed_reads: int = 0
+    failed_writes: int = 0
+
+    def snapshot(self) -> "DeviceStats":
+        """An independent copy of the counters."""
+        return DeviceStats(
+            reads=self.reads,
+            writes=self.writes,
+            failed_reads=self.failed_reads,
+            failed_writes=self.failed_writes,
+        )
+
+
+class BlockDevice(abc.ABC):
+    """Abstract fixed-geometry block device.
+
+    Implementations must be linearizable per block: a ``read_block(k)``
+    returns the data of the most recent successful ``write_block(k, ...)``
+    (or zeros if none).  Operations may raise
+    :class:`~repro.errors.DeviceUnavailableError` when the device cannot
+    currently serve requests -- the replicated implementations do exactly
+    that when no quorum / no available copy exists.
+    """
+
+    def __init__(self) -> None:
+        self.stats = DeviceStats()
+
+    @property
+    @abc.abstractmethod
+    def num_blocks(self) -> int:
+        """Capacity in blocks."""
+
+    @property
+    @abc.abstractmethod
+    def block_size(self) -> int:
+        """Block size in bytes."""
+
+    @abc.abstractmethod
+    def read_block(self, index: BlockIndex) -> bytes:
+        """Return the contents of block ``index``."""
+
+    @abc.abstractmethod
+    def write_block(self, index: BlockIndex, data: bytes) -> None:
+        """Replace the contents of block ``index`` with ``data``."""
+
+    # -- conveniences shared by all devices --------------------------------
+
+    @property
+    def capacity_bytes(self) -> int:
+        """Total capacity in bytes."""
+        return self.num_blocks * self.block_size
+
+    def zero_block(self) -> bytes:
+        """A block-sized run of zeros."""
+        return bytes(self.block_size)

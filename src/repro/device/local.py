@@ -1,0 +1,53 @@
+"""A plain, single-copy block device.
+
+:class:`LocalBlockDevice` is an in-memory disk with no replication: the
+baseline the reliable device is measured against, and the device the file
+system tests run on first to establish that :mod:`repro.fs` is correct
+independently of replication.
+"""
+
+from __future__ import annotations
+
+from ..errors import BlockSizeError
+from ..types import BlockIndex
+from .block import DEFAULT_BLOCK_SIZE, BlockStore
+from .interface import BlockDevice
+
+__all__ = ["LocalBlockDevice"]
+
+
+class LocalBlockDevice(BlockDevice):
+    """An ordinary in-memory block device (one copy, always available)."""
+
+    def __init__(
+        self, num_blocks: int, block_size: int = DEFAULT_BLOCK_SIZE
+    ) -> None:
+        super().__init__()
+        self._store = BlockStore(num_blocks, block_size)
+
+    @property
+    def num_blocks(self) -> int:
+        return self._store.num_blocks
+
+    @property
+    def block_size(self) -> int:
+        return self._store.block_size
+
+    def read_block(self, index: BlockIndex) -> bytes:
+        self.stats.reads += 1
+        return self._store.read(index)
+
+    def write_block(self, index: BlockIndex, data: bytes) -> None:
+        if len(data) != self.block_size:
+            raise BlockSizeError(len(data), self.block_size)
+        self.stats.writes += 1
+        # A local device needs no consistency protocol; version numbers
+        # still advance so the store can be compared against replicas in
+        # tests.
+        version = self._store.version(index) + 1
+        self._store.write(index, data, version)
+
+    @property
+    def store(self) -> BlockStore:
+        """The underlying store (exposed for tests and comparisons)."""
+        return self._store

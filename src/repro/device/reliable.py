@@ -1,0 +1,115 @@
+"""The reliable device (Sections 1-2) -- the paper's headline abstraction.
+
+A :class:`ReliableDevice` "appears to the file system as an ordinary
+block-structured device, but is implemented as a set of server processes
+on several sites".  It implements the same
+:class:`~repro.device.interface.BlockDevice` contract as
+:class:`~repro.device.local.LocalBlockDevice`, so any client written
+against that interface -- notably :class:`repro.fs.FileSystem` -- runs on
+it unchanged.  Each read or write is delegated to the replica group's
+consistency protocol from an *origin* site (the site whose user-state
+server the device driver stub talks to, Figure 1).
+
+Because the server is a user-state process, "there is no reason to
+require it to reside on the same site as the device driver stub"; with
+``failover=True`` (default) the device transparently re-attaches to
+another operational site when its preferred origin is down, modelling the
+diskless-workstation deployment of Section 2.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..core.protocol import ReplicationProtocol
+from ..errors import DeviceUnavailableError, SiteDownError
+from ..types import BlockIndex, SiteId, SiteState
+from .interface import BlockDevice
+
+__all__ = ["ReliableDevice"]
+
+
+class ReliableDevice(BlockDevice):
+    """An ordinary-looking block device backed by a replica group.
+
+    Parameters
+    ----------
+    protocol:
+        The consistency protocol managing the replica group.
+    origin:
+        Preferred site to issue operations from (defaults to the group's
+        first site).
+    failover:
+        When True, pick another usable site if the preferred origin
+        cannot currently initiate operations; when False, surface
+        :class:`~repro.errors.SiteDownError` instead.
+    """
+
+    def __init__(
+        self,
+        protocol: ReplicationProtocol,
+        origin: Optional[SiteId] = None,
+        failover: bool = True,
+    ) -> None:
+        super().__init__()
+        self._protocol = protocol
+        self._origin = protocol.site_ids[0] if origin is None else origin
+        protocol.site(self._origin)  # validate membership early
+        self._failover = failover
+
+    # -- geometry -------------------------------------------------------------
+
+    @property
+    def num_blocks(self) -> int:
+        return self._protocol.num_blocks
+
+    @property
+    def block_size(self) -> int:
+        return self._protocol.block_size
+
+    @property
+    def protocol(self) -> ReplicationProtocol:
+        return self._protocol
+
+    @property
+    def origin(self) -> SiteId:
+        """The preferred origin site."""
+        return self._origin
+
+    # -- origin selection ----------------------------------------------------------
+
+    def _pick_origin(self) -> SiteId:
+        """The site operations will be issued from right now."""
+        preferred = self._protocol.site(self._origin)
+        if preferred.state is SiteState.AVAILABLE:
+            return self._origin
+        if not self._failover:
+            return self._origin  # let the protocol raise precisely
+        candidates = [
+            s for s in self._protocol.available_sites()
+            if not getattr(s, "is_witness", False)
+        ]
+        if candidates:
+            return candidates[0].site_id
+        raise DeviceUnavailableError(
+            "no site can currently serve the reliable device"
+        )
+
+    # -- BlockDevice implementation ---------------------------------------------------
+
+    def read_block(self, index: BlockIndex) -> bytes:
+        try:
+            data = self._protocol.read(self._pick_origin(), index)
+        except (DeviceUnavailableError, SiteDownError):
+            self.stats.failed_reads += 1
+            raise
+        self.stats.reads += 1
+        return data
+
+    def write_block(self, index: BlockIndex, data: bytes) -> None:
+        try:
+            self._protocol.write(self._pick_origin(), index, data)
+        except (DeviceUnavailableError, SiteDownError):
+            self.stats.failed_writes += 1
+            raise
+        self.stats.writes += 1

@@ -1,0 +1,190 @@
+"""Exception hierarchy for the reliable-device reproduction.
+
+Every exception raised by this package derives from :class:`ReproError`,
+so callers can catch one type at the API boundary.  The hierarchy mirrors
+the package layout: device errors, protocol errors, network errors,
+file-system errors, simulation errors and analysis errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the ``repro`` package."""
+
+
+# ---------------------------------------------------------------------------
+# Device layer
+# ---------------------------------------------------------------------------
+
+
+class DeviceError(ReproError):
+    """Base class for block-device errors."""
+
+
+class BlockOutOfRangeError(DeviceError):
+    """A block index fell outside ``[0, num_blocks)``."""
+
+    def __init__(self, index: int, num_blocks: int) -> None:
+        super().__init__(f"block index {index} out of range [0, {num_blocks})")
+        self.index = index
+        self.num_blocks = num_blocks
+
+
+class BlockSizeError(DeviceError):
+    """A write supplied data whose length differs from the block size."""
+
+    def __init__(self, got: int, expected: int) -> None:
+        super().__init__(f"block payload of {got} bytes, expected {expected}")
+        self.got = got
+        self.expected = expected
+
+
+class DeviceUnavailableError(DeviceError):
+    """The replicated device cannot serve the request right now.
+
+    Raised by the voting protocol when no quorum is reachable and by the
+    available-copy protocols when no available copy exists (e.g. during
+    recovery from a total failure).
+    """
+
+
+class SiteDownError(DeviceError):
+    """An operation was initiated at (or addressed to) a failed site."""
+
+    def __init__(self, site_id: int, detail: str = "") -> None:
+        suffix = f": {detail}" if detail else ""
+        super().__init__(f"site {site_id} is not operational{suffix}")
+        self.site_id = site_id
+
+
+# ---------------------------------------------------------------------------
+# Consistency protocols
+# ---------------------------------------------------------------------------
+
+
+class ProtocolError(ReproError):
+    """Base class for consistency-control protocol errors."""
+
+
+class QuorumNotReachedError(DeviceUnavailableError, ProtocolError):
+    """Voting could not assemble the required quorum of weighted votes."""
+
+    def __init__(self, gathered: float, required: float) -> None:
+        super().__init__(
+            f"gathered weight {gathered:g} does not exceed quorum {required:g}"
+        )
+        self.gathered = gathered
+        self.required = required
+
+
+class NoAvailableCopyError(DeviceUnavailableError, ProtocolError):
+    """No site currently holds an *available* copy of the blocks."""
+
+
+class NoCurrentDataCopyError(DeviceUnavailableError, ProtocolError):
+    """A quorum exists but no reachable *data* site holds the current
+    version of the requested block.
+
+    Only possible in voting configurations with witnesses: the quorum's
+    highest version number can be contributed by a witness, which holds
+    no block contents to read from.  Full-block *writes* still succeed
+    in this situation (the new version supersedes the old contents), a
+    block-level-replication benefit."""
+
+
+class RecoveryBlockedError(ProtocolError):
+    """A comatose site cannot complete recovery yet.
+
+    For the available-copy scheme this means not every member of the
+    closure of the was-available set has recovered; for the naive scheme
+    it means not every site has recovered.
+    """
+
+
+class QuorumSpecError(ProtocolError):
+    """A quorum specification violated the safety constraints.
+
+    Weighted voting requires ``read_quorum + write_quorum >= total_weight``
+    and ``2 * write_quorum >= total_weight`` so that any read quorum
+    intersects any write quorum and any two write quorums intersect.
+    """
+
+
+# ---------------------------------------------------------------------------
+# Network layer
+# ---------------------------------------------------------------------------
+
+
+class NetworkError(ReproError):
+    """Base class for network errors."""
+
+
+class UnknownSiteError(NetworkError):
+    """A message was addressed to a site the network does not know."""
+
+    def __init__(self, site_id: int) -> None:
+        super().__init__(f"site {site_id} is not registered with the network")
+        self.site_id = site_id
+
+
+# ---------------------------------------------------------------------------
+# File system
+# ---------------------------------------------------------------------------
+
+
+class FileSystemError(ReproError):
+    """Base class for errors raised by :mod:`repro.fs`."""
+
+
+class FSFormatError(FileSystemError):
+    """The on-device data does not look like a valid file system."""
+
+
+class FileNotFoundFSError(FileSystemError):
+    """A path component does not exist."""
+
+
+class FileExistsFSError(FileSystemError):
+    """Attempt to create a name that already exists."""
+
+
+class NotADirectoryFSError(FileSystemError):
+    """A non-directory appeared where a directory was required."""
+
+
+class IsADirectoryFSError(FileSystemError):
+    """A directory appeared where a regular file was required."""
+
+
+class DirectoryNotEmptyFSError(FileSystemError):
+    """``rmdir`` was applied to a non-empty directory."""
+
+
+class NoSpaceFSError(FileSystemError):
+    """The device ran out of free blocks or inodes."""
+
+
+class InvalidPathFSError(FileSystemError):
+    """A path was empty, malformed, or contained an over-long name."""
+
+
+class FileTooLargeFSError(FileSystemError):
+    """A write would exceed the maximum file size the inode can map."""
+
+
+# ---------------------------------------------------------------------------
+# Simulation and analysis
+# ---------------------------------------------------------------------------
+
+
+class SimulationError(ReproError):
+    """Base class for discrete-event simulation errors."""
+
+
+class ScheduleInPastError(SimulationError):
+    """An event was scheduled before the current simulation time."""
+
+
+class AnalysisError(ReproError):
+    """Base class for analytic-model errors (bad parameters, etc.)."""

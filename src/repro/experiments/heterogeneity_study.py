@@ -1,0 +1,132 @@
+"""Heterogeneous-site study: unequal failure rates across the group.
+
+Section 4.1 restricts the paper's analysis to sites with equal failure
+and repair rates.  This experiment lifts the restriction with the exact
+subset-chain models of :mod:`repro.analysis.heterogeneous` and verifies
+them against the simulator running per-site rates.
+
+Headline observations (all pinned by tests):
+
+* one very reliable copy nearly saturates the available-copy schemes'
+  availability (the group is down only when *it* is down and the rest
+  already were), while voting still needs a majority;
+* for even-sized voting groups, the tie-breaking extra weight belongs
+  on the most reliable site.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence, Tuple
+
+from ..analysis.heterogeneous import (
+    heterogeneous_available_copy_availability,
+    heterogeneous_naive_availability,
+    heterogeneous_voting_availability,
+)
+from ..core.available_copy import AvailableCopyProtocol
+from ..core.naive import NaiveAvailableCopyProtocol
+from ..core.quorum import QuorumSpec
+from ..core.voting import VotingProtocol
+from ..device.site import Site
+from ..net.network import Network
+from ..sim.engine import Simulator
+from ..sim.failures import FailureRepairProcess
+from ..sim.rng import RandomStreams
+from ..sim.stats import TimeWeightedStat
+from ..types import SchemeName
+from .report import ExperimentReport, Table
+
+__all__ = ["heterogeneity_study", "simulate_heterogeneous"]
+
+DEFAULT_MIXES: Tuple[Tuple[float, ...], ...] = (
+    (0.2, 0.2, 0.2),
+    (0.05, 0.2, 0.35),
+    (0.01, 0.3, 0.3),
+    (0.001, 0.5, 0.5),
+)
+
+
+def simulate_heterogeneous(
+    scheme: SchemeName,
+    rhos: Sequence[float],
+    horizon: float = 150_000.0,
+    seed: int = 88,
+) -> float:
+    """Simulated availability with per-site failure rates (mu = 1)."""
+    n = len(rhos)
+    sim = Simulator()
+    network = Network()
+    if scheme is SchemeName.VOTING:
+        spec = QuorumSpec.majority(n)
+        sites = [Site(i, 4, 16, weight=spec.weight_of(i)) for i in range(n)]
+        protocol = VotingProtocol(sites, network, spec=spec)
+    elif scheme is SchemeName.AVAILABLE_COPY:
+        sites = [Site(i, 4, 16) for i in range(n)]
+        protocol = AvailableCopyProtocol(sites, network)
+    else:
+        sites = [Site(i, 4, 16) for i in range(n)]
+        protocol = NaiveAvailableCopyProtocol(sites, network)
+    rates: Dict[int, float] = {i: float(rhos[i]) for i in range(n)}
+    process = FailureRepairProcess(
+        sim, list(range(n)), failure_rate=rates, repair_rate=1.0,
+        streams=RandomStreams(seed=seed),
+    )
+    protocol.bind(process)
+    tracker = TimeWeightedStat(initial_value=1.0)
+
+    def sample(_site, time):
+        tracker.update(1.0 if protocol.is_available() else 0.0, time)
+
+    process.on_failure(sample)
+    process.on_repair(sample)
+    process.start()
+    sim.run(until=horizon)
+    tracker.finalize(sim.now)
+    return tracker.mean()
+
+
+def heterogeneity_study(
+    mixes: Sequence[Sequence[float]] = DEFAULT_MIXES,
+    simulate: bool = True,
+    horizon: float = 150_000.0,
+    seed: int = 88,
+) -> ExperimentReport:
+    """Availability of rate mixes under all three schemes."""
+    report = ExperimentReport(
+        experiment_id="heterogeneity-study",
+        title="Unequal site failure rates (mu = 1 everywhere)",
+    )
+    columns = ["per-site rhos", "MCV", "AC", "NAC"]
+    if simulate:
+        columns += ["MCV sim", "AC sim", "NAC sim"]
+    table = Table(
+        title="exact subset-chain models"
+        + (" + simulation" if simulate else ""),
+        columns=tuple(columns),
+        precision=5,
+    )
+    for mix in mixes:
+        mix = tuple(float(r) for r in mix)
+        row = [
+            "/".join(f"{r:g}" for r in mix),
+            heterogeneous_voting_availability(mix),
+            heterogeneous_available_copy_availability(mix),
+            heterogeneous_naive_availability(mix),
+        ]
+        if simulate:
+            row += [
+                simulate_heterogeneous(scheme, mix, horizon, seed)
+                for scheme in (
+                    SchemeName.VOTING,
+                    SchemeName.AVAILABLE_COPY,
+                    SchemeName.NAIVE_AVAILABLE_COPY,
+                )
+            ]
+        table.add_row(*row)
+    report.add_table(table)
+    report.note(
+        "the more the reliability concentrates in one copy, the larger "
+        "the available-copy schemes' lead: a single golden copy keeps "
+        "them in service, while voting still needs a flaky partner"
+    )
+    return report

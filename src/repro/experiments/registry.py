@@ -1,0 +1,69 @@
+"""Registry of every reproducible experiment.
+
+Each entry maps an experiment id to a zero-argument callable returning an
+:class:`~repro.experiments.report.ExperimentReport`.  The benchmark
+harness, the examples and ``run_all`` iterate over this table, so adding
+an experiment in one place exposes it everywhere.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from .ablations import (
+    ablation_repair_regularity,
+    ablation_voting_repair,
+    ablation_was_available_freshness,
+)
+from .byte_study import byte_traffic_study
+from .figures import figure9, figure10, figure11, figure12
+from .heterogeneity_study import heterogeneity_study
+from .partitions import partition_demo
+from .reliability_study import reliability_study
+from .serial_repair_study import serial_repair_study
+from .report import ExperimentReport
+from .state_diagrams import figure7_8_diagrams
+from .summary import conclusions_summary
+from .theorem import theorem41
+from .validation import validate_availability, validate_traffic
+from .witness_study import witness_study
+
+__all__ = ["EXPERIMENTS", "run_experiment", "run_all"]
+
+EXPERIMENTS: Dict[str, Callable[[], ExperimentReport]] = {
+    "figure-9": figure9,
+    "figure-10": figure10,
+    "figure-11": figure11,
+    "figure-12": figure12,
+    "figures-7-8": figure7_8_diagrams,
+    "theorem-4.1": theorem41,
+    "validation-availability": validate_availability,
+    "validation-traffic": validate_traffic,
+    "reliability-study": reliability_study,
+    "byte-traffic-study": byte_traffic_study,
+    "witness-study": witness_study,
+    "partition-demo": partition_demo,
+    "serial-repair-study": serial_repair_study,
+    "heterogeneity-study": heterogeneity_study,
+    "conclusions-summary": conclusions_summary,
+    "ablation-voting-repair": ablation_voting_repair,
+    "ablation-was-available-freshness": ablation_was_available_freshness,
+    "ablation-repair-regularity": ablation_repair_regularity,
+}
+
+
+def run_experiment(experiment_id: str) -> ExperimentReport:
+    """Run one experiment by id."""
+    try:
+        factory = EXPERIMENTS[experiment_id]
+    except KeyError:
+        known = ", ".join(sorted(EXPERIMENTS))
+        raise KeyError(
+            f"unknown experiment {experiment_id!r}; known: {known}"
+        ) from None
+    return factory()
+
+
+def run_all() -> List[ExperimentReport]:
+    """Run every registered experiment, in registry order."""
+    return [factory() for factory in EXPERIMENTS.values()]

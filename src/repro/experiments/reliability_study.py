@@ -1,0 +1,124 @@
+"""Reliability extension: MTTF, outage duration and survival curves.
+
+The paper's evaluation stops at steady-state availability; this
+experiment completes the reliability picture its introduction promises,
+using the same Markov models.  It reports, per scheme and group size:
+
+* mean time to first unavailability (all copies up at t = 0),
+* mean duration of one unavailability episode, and
+* the survival probability R(t) over a grid of mission times,
+
+and cross-checks the MTTF against a Monte-Carlo measurement of the
+actual protocol implementations (time until ``is_available()`` first
+turns false).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from ..analysis.reliability import (
+    scheme_mean_outage,
+    scheme_mttf,
+    scheme_survival,
+)
+from ..device.cluster import ClusterConfig, ReplicatedCluster
+from ..sim.stats import RunningStat
+from ..types import SchemeName, SiteId
+from .report import ExperimentReport, Table
+
+__all__ = ["reliability_study", "simulated_mttf"]
+
+
+def simulated_mttf(
+    scheme: SchemeName,
+    n: int,
+    rho: float,
+    episodes: int = 200,
+    seed: int = 77,
+) -> float:
+    """Monte-Carlo mean time to first unavailability.
+
+    Runs the real protocol under the failure process and measures the
+    time of the first availability loss, repeatedly with fresh seeds.
+    """
+    stat = RunningStat()
+    for episode in range(episodes):
+        cluster = ReplicatedCluster(
+            ClusterConfig(
+                scheme=scheme, num_sites=n, num_blocks=4,
+                failure_rate=rho, repair_rate=1.0,
+                seed=seed * 100_003 + episode,
+            )
+        )
+        first_loss = [None]
+
+        def watch(_site: SiteId, time: float) -> None:
+            if first_loss[0] is None and not cluster.protocol.is_available():
+                first_loss[0] = time
+                cluster.sim.stop()
+
+        cluster.failures.on_failure(watch)
+        cluster.start_failures()
+        # generous horizon; MTTF for the sizes used here is far smaller
+        cluster.sim.run(until=1e7)
+        if first_loss[0] is None:  # pragma: no cover - horizon is ample
+            continue
+        stat.add(first_loss[0])
+    return stat.mean
+
+
+def reliability_study(
+    site_counts: Sequence[int] = (1, 2, 3, 4),
+    rho: float = 0.2,
+    mission_times: Sequence[float] = (10.0, 50.0, 250.0),
+    simulate: bool = True,
+    episodes: int = 200,
+) -> ExperimentReport:
+    """MTTF / outage / survival comparison of the three schemes."""
+    report = ExperimentReport(
+        experiment_id="reliability-study",
+        title=f"Reliability extension (rho={rho:g}, mu=1)",
+    )
+    mttf = Table(
+        title="Mean time to first unavailability (and per-episode outage)",
+        columns=("scheme", "n", "MTTF", "mean outage")
+        + (("MTTF simulated",) if simulate else ()),
+        precision=2,
+    )
+    for scheme in SchemeName:
+        for n in site_counts:
+            row = [
+                scheme.short,
+                n,
+                scheme_mttf(scheme, n, rho),
+                scheme_mean_outage(scheme, n, rho),
+            ]
+            if simulate:
+                row.append(simulated_mttf(scheme, n, rho, episodes=episodes))
+            mttf.add_row(*row)
+    report.add_table(mttf)
+
+    survival = Table(
+        title="Survival probability R(t), all copies up at t=0",
+        columns=("scheme", "n") + tuple(f"t={t:g}" for t in mission_times),
+        precision=4,
+    )
+    for scheme in SchemeName:
+        for n in site_counts:
+            survival.add_row(
+                scheme.short,
+                n,
+                *(scheme_survival(scheme, n, rho, t) for t in mission_times),
+            )
+    report.add_table(survival)
+    report.note(
+        "the tracked and naive available-copy schemes share the same "
+        "MTTF -- they differ only in how fast they return from a total "
+        "failure (the outage column)"
+    )
+    report.note(
+        "voting fails far sooner (any minority loss) but each outage is "
+        "short; the available-copy schemes fail only on total failures"
+    )
+    return report

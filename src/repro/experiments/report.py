@@ -1,0 +1,99 @@
+"""Report primitives for the experiment harness.
+
+Each experiment produces an :class:`ExperimentReport`: a title, free-text
+notes, and one or more :class:`Table` objects (a figure is reported as
+the table of the series it plots).  Reports render to aligned plain text,
+which is what the benchmark harness prints and what EXPERIMENTS.md
+records.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence, Union
+
+__all__ = ["Table", "ExperimentReport", "format_number"]
+
+Cell = Union[str, int, float, bool]
+
+
+def format_number(value: Cell, precision: int = 6) -> str:
+    """Render one cell: floats get fixed precision, the rest ``str``."""
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        return f"{value:.{precision}f}"
+    return str(value)
+
+
+@dataclass
+class Table:
+    """A titled table with named columns."""
+
+    title: str
+    columns: Sequence[str]
+    rows: List[Sequence[Cell]] = field(default_factory=list)
+    precision: int = 6
+
+    def add_row(self, *cells: Cell) -> None:
+        if len(cells) != len(self.columns):
+            raise ValueError(
+                f"row has {len(cells)} cells, table has "
+                f"{len(self.columns)} columns"
+            )
+        self.rows.append(list(cells))
+
+    def column(self, name: str) -> List[Cell]:
+        """All values of one column (for tests and plotting)."""
+        index = list(self.columns).index(name)
+        return [row[index] for row in self.rows]
+
+    def render(self) -> str:
+        """Aligned plain-text rendering."""
+        header = list(self.columns)
+        body = [
+            [format_number(cell, self.precision) for cell in row]
+            for row in self.rows
+        ]
+        widths = [
+            max(len(header[i]), *(len(row[i]) for row in body))
+            if body
+            else len(header[i])
+            for i in range(len(header))
+        ]
+        lines = [self.title]
+        lines.append(
+            "  ".join(header[i].rjust(widths[i]) for i in range(len(header)))
+        )
+        lines.append("  ".join("-" * w for w in widths))
+        for row in body:
+            lines.append(
+                "  ".join(row[i].rjust(widths[i]) for i in range(len(row)))
+            )
+        return "\n".join(lines)
+
+
+@dataclass
+class ExperimentReport:
+    """The output of one experiment."""
+
+    experiment_id: str
+    title: str
+    tables: List[Table] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+
+    def add_table(self, table: Table) -> None:
+        self.tables.append(table)
+
+    def note(self, text: str) -> None:
+        self.notes.append(text)
+
+    def render(self) -> str:
+        parts = [f"=== {self.experiment_id}: {self.title} ==="]
+        for table in self.tables:
+            parts.append("")
+            parts.append(table.render())
+        if self.notes:
+            parts.append("")
+            parts.extend(f"note: {note}" for note in self.notes)
+        return "\n".join(parts)

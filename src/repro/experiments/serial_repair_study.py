@@ -1,0 +1,108 @@
+"""Serial-repair ablation: what if repairs are not parallel?
+
+Section 4 assumes "the repair process will be performed in parallel" on
+all failed sites.  This study replaces that assumption with a single
+shared repair facility and measures the damage, per scheme, under two
+service disciplines:
+
+* **random** -- the facility repairs a uniformly random failed site;
+  Markovian, so the simulated availabilities are checked against the
+  :mod:`repro.analysis.serial_repair` chains;
+* **FIFO** -- oldest failure first.  After a total failure the last
+  site to fail is served last, so the tracked available-copy scheme's
+  early-recovery edge mostly disappears (it survives only through
+  comatose re-failures that re-enter the queue) -- a serial-repair echo
+  of the Section 4.4 regular-repairs discussion.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from ..analysis.serial_repair import serial_availability
+from ..analysis.availability import scheme_availability
+from ..device.cluster import ClusterConfig, ReplicatedCluster
+from ..types import SchemeName
+from .report import ExperimentReport, Table
+
+__all__ = ["serial_repair_study"]
+
+_TAGS = {
+    SchemeName.VOTING: "voting",
+    SchemeName.AVAILABLE_COPY: "ac",
+    SchemeName.NAIVE_AVAILABLE_COPY: "nac",
+}
+
+
+def _simulated(
+    scheme: SchemeName,
+    n: int,
+    rho: float,
+    capacity: Optional[int],
+    discipline: str,
+    horizon: float,
+    seed: int,
+) -> float:
+    cluster = ReplicatedCluster(
+        ClusterConfig(
+            scheme=scheme,
+            num_sites=n,
+            num_blocks=4,
+            failure_rate=rho,
+            repair_rate=1.0,
+            seed=seed,
+            repair_capacity=capacity,
+            repair_discipline=discipline,
+        )
+    )
+    cluster.run_until(horizon)
+    return cluster.availability()
+
+
+def serial_repair_study(
+    n: int = 3,
+    rho: float = 0.3,
+    horizon: float = 200_000.0,
+    seed: int = 46,
+    schemes: Sequence[SchemeName] = tuple(SchemeName),
+) -> ExperimentReport:
+    """Parallel vs single-facility repair, per scheme."""
+    report = ExperimentReport(
+        experiment_id="serial-repair-study",
+        title=f"Single repair facility vs parallel repair (n={n}, "
+              f"rho={rho:g})",
+    )
+    table = Table(
+        title=f"horizon={horizon:g}, seed={seed}",
+        columns=(
+            "scheme",
+            "parallel (analytic)",
+            "parallel (sim)",
+            "serial random (chain)",
+            "serial random (sim)",
+            "serial fifo (sim)",
+        ),
+        precision=5,
+    )
+    for scheme in schemes:
+        tag = _TAGS[scheme]
+        table.add_row(
+            scheme.short,
+            scheme_availability(scheme, n, rho),
+            _simulated(scheme, n, rho, None, "fifo", horizon, seed),
+            serial_availability(tag, n, rho),
+            _simulated(scheme, n, rho, 1, "random", horizon, seed),
+            _simulated(scheme, n, rho, 1, "fifo", horizon, seed),
+        )
+    report.add_table(table)
+    report.note(
+        "serial repair costs every scheme availability; under FIFO the "
+        "tracked available-copy scheme loses most of its edge over "
+        "naive because the last site to fail is repaired last"
+    )
+    report.note(
+        "the naive scheme is discipline-insensitive (it waits for "
+        "everyone regardless of order), so its random and fifo columns "
+        "agree up to Monte-Carlo noise"
+    )
+    return report

@@ -1,0 +1,169 @@
+"""Cross-validation of the executable system against the analytic models.
+
+The paper's evaluation is purely analytical; this repository also built
+the system.  These experiments close the loop: the discrete-event
+simulator runs the *actual protocol implementations* under Poisson
+failures and a synthetic workload, and the measured availability and
+per-operation transmission counts are compared against Section 4's
+formulas and Section 5's cost models.  Agreement here is the strongest
+evidence the protocol implementations, the Markov chains and the cost
+models all describe the same system.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from ..analysis.availability import scheme_availability
+from ..analysis.traffic import traffic_model
+from ..device.cluster import ClusterConfig, ReplicatedCluster
+from ..types import AddressingMode, SchemeName
+from ..workload.generator import WorkloadSpec
+from ..workload.ops import OpKind
+from ..workload.runner import WorkloadRunner
+from .report import ExperimentReport, Table
+
+__all__ = [
+    "validate_availability",
+    "validate_traffic",
+    "ValidationSettings",
+]
+
+
+@dataclass(frozen=True)
+class ValidationSettings:
+    """Knobs for the simulation-versus-theory experiments."""
+
+    horizon: float = 200_000.0
+    seed: int = 2025
+    num_blocks: int = 64
+    op_rate: float = 2.0
+
+
+def validate_availability(
+    schemes: Sequence[SchemeName] = tuple(SchemeName),
+    site_counts: Sequence[int] = (2, 3, 4),
+    rhos: Sequence[float] = (0.05, 0.1, 0.2),
+    settings: Optional[ValidationSettings] = None,
+) -> ExperimentReport:
+    """Simulated availability versus Section 4's exact values.
+
+    A high operation rate is used for the available-copy run so the
+    was-available sets stay current, matching the assumption behind the
+    Figure 7 model (the default ``track_failures=True`` makes this exact
+    regardless of the workload).
+    """
+    settings = settings or ValidationSettings()
+    report = ExperimentReport(
+        experiment_id="validation-availability",
+        title="Simulated vs analytic availability",
+    )
+    table = Table(
+        title=f"horizon={settings.horizon:g}, seed={settings.seed}",
+        columns=(
+            "scheme",
+            "n",
+            "rho",
+            "analytic",
+            "simulated",
+            "abs error",
+        ),
+    )
+    for scheme in schemes:
+        for n in site_counts:
+            for rho in rhos:
+                cluster = ReplicatedCluster(
+                    ClusterConfig(
+                        scheme=scheme,
+                        num_sites=n,
+                        num_blocks=settings.num_blocks,
+                        failure_rate=rho,
+                        repair_rate=1.0,
+                        seed=settings.seed,
+                    )
+                )
+                cluster.run_until(settings.horizon)
+                simulated = cluster.availability()
+                analytic = scheme_availability(scheme, n, rho)
+                table.add_row(
+                    scheme.short,
+                    n,
+                    rho,
+                    analytic,
+                    simulated,
+                    abs(analytic - simulated),
+                )
+    report.add_table(table)
+    report.note(
+        "errors shrink as 1/sqrt(horizon); the tests pin them below "
+        "a few parts in a thousand"
+    )
+    return report
+
+
+def validate_traffic(
+    schemes: Sequence[SchemeName] = tuple(SchemeName),
+    modes: Sequence[AddressingMode] = tuple(AddressingMode),
+    n: int = 4,
+    rho: float = 0.05,
+    settings: Optional[ValidationSettings] = None,
+) -> ExperimentReport:
+    """Simulated per-operation transmissions versus Section 5's models."""
+    settings = settings or ValidationSettings(horizon=50_000.0)
+    report = ExperimentReport(
+        experiment_id="validation-traffic",
+        title=f"Simulated vs modelled transmissions (n={n}, rho={rho:g})",
+    )
+    table = Table(
+        title=f"read:write = 2.5:1, horizon={settings.horizon:g}",
+        columns=(
+            "scheme",
+            "network",
+            "write sim",
+            "write model",
+            "read sim",
+            "read model",
+            "recovery sim",
+            "recovery model",
+        ),
+        precision=3,
+    )
+    for mode in modes:
+        for scheme in schemes:
+            cluster = ReplicatedCluster(
+                ClusterConfig(
+                    scheme=scheme,
+                    num_sites=n,
+                    num_blocks=settings.num_blocks,
+                    failure_rate=rho,
+                    repair_rate=1.0,
+                    addressing=mode,
+                    seed=settings.seed,
+                )
+            )
+            runner = WorkloadRunner(
+                cluster,
+                WorkloadSpec(
+                    read_write_ratio=2.5, op_rate=settings.op_rate
+                ),
+            )
+            result = runner.run(settings.horizon)
+            model = traffic_model(scheme, n, rho, mode=mode)
+            table.add_row(
+                scheme.short,
+                mode.value,
+                result.mean_messages(OpKind.WRITE),
+                model.write,
+                result.mean_messages(OpKind.READ),
+                model.read,
+                cluster.meter.mean_messages("recovery"),
+                model.recovery,
+            )
+    report.add_table(table)
+    report.note(
+        "simulated means condition on successful operations; the model's "
+        "U conditions only on the local site being up, so small "
+        "differences of O(rho^2) are expected"
+    )
+    return report

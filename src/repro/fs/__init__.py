@@ -1,0 +1,37 @@
+"""A UNIX-like block file system over the abstract device interface.
+
+This package demonstrates the paper's Section 2 claim: because the
+reliable device presents the interface of an ordinary block-structured
+device, the file system "requires no modification and normal file system
+semantics are preserved".  :class:`FileSystem` depends only on
+:class:`~repro.device.interface.BlockDevice` -- the identical code runs
+over one local disk or over a replica group under any of the three
+consistency protocols.
+"""
+
+from .check import CheckReport, check_filesystem
+from .directory import DirEntry, Directory
+from .file import File
+from .filesystem import FileStat, FileSystem, ROOT_INODE
+from .inode import FileType, Inode, InodeTable, NUM_DIRECT
+from .layout import DIRENT_SIZE, INODE_SIZE, MAGIC, NAME_MAX, SuperBlock
+
+__all__ = [
+    "FileSystem",
+    "FileStat",
+    "File",
+    "ROOT_INODE",
+    "SuperBlock",
+    "FileType",
+    "Inode",
+    "InodeTable",
+    "NUM_DIRECT",
+    "DirEntry",
+    "Directory",
+    "CheckReport",
+    "check_filesystem",
+    "MAGIC",
+    "NAME_MAX",
+    "INODE_SIZE",
+    "DIRENT_SIZE",
+]

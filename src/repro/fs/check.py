@@ -1,0 +1,146 @@
+"""File-system consistency checking (an ``fsck`` for the block FS).
+
+Walks the directory tree from the root and cross-checks every piece of
+on-device metadata:
+
+* every directory entry references an allocated inode of a sane type;
+* every file/indirect block referenced by an inode is inside the data
+  area, marked allocated in the bitmap, and referenced exactly once;
+* every allocated inode is reachable from the root (else: orphan);
+* every allocated data block is referenced (else: leak);
+* file sizes fit within the blocks their inodes can map.
+
+Used by tests to prove namespace operations never corrupt the device --
+including when the device is the replicated one with failures injected
+mid-workload.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Set
+
+from .directory import Directory
+from .filesystem import FileSystem, ROOT_INODE, _POINTER
+from .inode import FileType, NO_BLOCK
+
+__all__ = ["CheckReport", "check_filesystem"]
+
+
+@dataclass
+class CheckReport:
+    """Outcome of one consistency check."""
+
+    errors: List[str] = field(default_factory=list)
+    warnings: List[str] = field(default_factory=list)
+    inodes_reachable: int = 0
+    blocks_referenced: int = 0
+
+    @property
+    def ok(self) -> bool:
+        """No errors (warnings are tolerated)."""
+        return not self.errors
+
+    def summary(self) -> str:
+        status = "clean" if self.ok else f"{len(self.errors)} error(s)"
+        return (
+            f"fsck: {status}, {self.inodes_reachable} inodes, "
+            f"{self.blocks_referenced} blocks, "
+            f"{len(self.warnings)} warning(s)"
+        )
+
+
+def _blocks_of(fs: FileSystem, inode) -> List[int]:
+    """Every device block an inode references (indirect table included)."""
+    blocks = [b for b in inode.direct if b != NO_BLOCK]
+    if inode.indirect != NO_BLOCK:
+        blocks.append(inode.indirect)
+        table = fs.device.read_block(inode.indirect)
+        for index in range(fs._pointers_per_block):
+            (block,) = _POINTER.unpack_from(table, index * _POINTER.size)
+            if block != NO_BLOCK:
+                blocks.append(block)
+    return blocks
+
+
+def check_filesystem(fs: FileSystem) -> CheckReport:
+    """Audit a mounted file system; never modifies it."""
+    report = CheckReport()
+    sb = fs.superblock
+    seen_blocks: Dict[int, str] = {}
+    reachable: Set[int] = set()
+
+    def claim_blocks(owner: str, inode) -> None:
+        for block in _blocks_of(fs, inode):
+            if not sb.data_start <= block < sb.num_blocks:
+                report.errors.append(
+                    f"{owner}: block {block} outside the data area"
+                )
+                continue
+            if block in seen_blocks:
+                report.errors.append(
+                    f"{owner}: block {block} already referenced by "
+                    f"{seen_blocks[block]}"
+                )
+                continue
+            seen_blocks[block] = owner
+            if not fs._bitmap.is_allocated(block):
+                report.errors.append(
+                    f"{owner}: block {block} referenced but free in the "
+                    "bitmap"
+                )
+
+    def walk(path: str, inode_number: int) -> None:
+        if inode_number in reachable:
+            report.errors.append(
+                f"{path}: inode {inode_number} reached twice (cycle or "
+                "duplicate entry)"
+            )
+            return
+        try:
+            inode = fs._inodes.read(inode_number)
+        except Exception as exc:  # out-of-range inode numbers
+            report.errors.append(f"{path}: unreadable inode: {exc}")
+            return
+        reachable.add(inode_number)
+        if inode.is_free:
+            report.errors.append(
+                f"{path}: entry points at free inode {inode_number}"
+            )
+            return
+        max_size = fs.max_file_size()
+        if inode.size > max_size:
+            report.errors.append(
+                f"{path}: size {inode.size} exceeds the mappable "
+                f"maximum {max_size}"
+            )
+        claim_blocks(path, inode)
+        if inode.is_directory:
+            for entry in Directory(fs, inode).entries():
+                walk(f"{path.rstrip('/')}/{entry.name}",
+                     entry.inode_number)
+
+    walk("/", ROOT_INODE)
+
+    # orphan inodes: allocated but unreachable
+    for number in range(sb.num_inodes):
+        inode = fs._inodes.read(number)
+        if not inode.is_free and number not in reachable:
+            report.errors.append(
+                f"inode {number} ({inode.file_type.name.lower()}) is "
+                "allocated but unreachable"
+            )
+    # leaked blocks: allocated but unreferenced
+    for block in range(sb.data_start, sb.num_blocks):
+        if fs._bitmap.is_allocated(block) and block not in seen_blocks:
+            report.warnings.append(
+                f"block {block} is allocated but referenced by no inode"
+            )
+    # root must be a directory
+    root = fs._inodes.read(ROOT_INODE)
+    if root.file_type is not FileType.DIRECTORY:
+        report.errors.append("root inode is not a directory")
+
+    report.inodes_reachable = len(reachable)
+    report.blocks_referenced = len(seen_blocks)
+    return report

@@ -1,0 +1,444 @@
+"""The block file system.
+
+A small UNIX-like file system written strictly against the abstract
+:class:`~repro.device.interface.BlockDevice`: superblock, free-block
+bitmap, inode table with direct + single-indirect block pointers,
+directories, absolute-path namespace operations, and whole-file or
+offset-based data access.
+
+Its role in the reproduction is architectural, not novel: Section 2 of
+the paper argues that replicating *below* the device interface leaves
+"the operating system kernel and the file system unchanged".  This file
+system never imports anything from :mod:`repro.core`; the integration
+tests mount it on a :class:`~repro.device.local.LocalBlockDevice` and on
+a :class:`~repro.device.reliable.ReliableDevice` (with live failure
+injection) and run the identical workload on both.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..device.interface import BlockDevice
+from ..errors import (
+    DirectoryNotEmptyFSError,
+    FileExistsFSError,
+    FileNotFoundFSError,
+    FileTooLargeFSError,
+    InvalidPathFSError,
+    IsADirectoryFSError,
+    NotADirectoryFSError,
+)
+from .bitmap import BlockBitmap
+from .directory import Directory
+from .inode import FileType, Inode, InodeTable, NO_BLOCK, NUM_DIRECT
+from .layout import SuperBlock
+from .path import parent_and_name, split_path
+
+__all__ = ["FileSystem", "FileStat"]
+
+ROOT_INODE = 0
+
+_POINTER = struct.Struct("<I")
+
+
+@dataclass(frozen=True)
+class FileStat:
+    """Metadata returned by :meth:`FileSystem.stat`."""
+
+    inode: int
+    file_type: FileType
+    size: int
+    blocks: int
+
+    @property
+    def is_directory(self) -> bool:
+        return self.file_type is FileType.DIRECTORY
+
+
+class FileSystem:
+    """A mounted block file system."""
+
+    def __init__(self, device: BlockDevice, superblock: SuperBlock) -> None:
+        self._device = device
+        self._sb = superblock
+        self._bitmap = BlockBitmap(device, superblock)
+        self._bitmap.load()
+        self._inodes = InodeTable(device, superblock)
+
+    # -- lifecycle ------------------------------------------------------------
+
+    @classmethod
+    def format(
+        cls,
+        device: BlockDevice,
+        num_inodes: Optional[int] = None,
+    ) -> "FileSystem":
+        """Create a fresh file system on ``device`` and mount it."""
+        if num_inodes is None:
+            num_inodes = max(16, device.num_blocks // 8)
+        sb = SuperBlock.compute(
+            num_blocks=device.num_blocks,
+            block_size=device.block_size,
+            num_inodes=num_inodes,
+        )
+        device.write_block(0, sb.pack())
+        # Zero the bitmap and inode table regions.
+        zero = bytes(device.block_size)
+        for i in range(sb.bitmap_start, sb.data_start):
+            device.write_block(i, zero)
+        fs = cls(device, sb)
+        for i in range(sb.data_start):
+            fs._bitmap.mark_allocated(i)
+        # The root directory.
+        root = fs._inodes.read(ROOT_INODE)
+        root.file_type = FileType.DIRECTORY
+        root.links = 1
+        fs._inodes.write(root)
+        return fs
+
+    @classmethod
+    def mount(cls, device: BlockDevice) -> "FileSystem":
+        """Mount an already-formatted device."""
+        sb = SuperBlock.unpack(device.read_block(0))
+        return cls(device, sb)
+
+    @property
+    def device(self) -> BlockDevice:
+        return self._device
+
+    @property
+    def superblock(self) -> SuperBlock:
+        return self._sb
+
+    def free_blocks(self) -> int:
+        """Unallocated data blocks remaining."""
+        return self._bitmap.free_count()
+
+    # -- block mapping ------------------------------------------------------------
+
+    @property
+    def _pointers_per_block(self) -> int:
+        return self._sb.block_size // _POINTER.size
+
+    def max_file_size(self) -> int:
+        """Largest file the inode geometry can map."""
+        return (NUM_DIRECT + self._pointers_per_block) * self._sb.block_size
+
+    def _bmap(
+        self, inode: Inode, file_block: int, allocate: bool
+    ) -> Optional[int]:
+        """Map a file-relative block index to a device block.
+
+        With ``allocate`` set, missing blocks (and the indirect block)
+        are allocated and zeroed; otherwise unmapped blocks return
+        ``None`` (they read as zeros -- sparse files work).
+        """
+        if file_block < NUM_DIRECT:
+            block = inode.direct[file_block]
+            if block == NO_BLOCK:
+                if not allocate:
+                    return None
+                block = self._bitmap.allocate()
+                self._device.write_block(block, bytes(self._sb.block_size))
+                inode.direct[file_block] = block
+                self._inodes.write(inode)
+            return block
+        index = file_block - NUM_DIRECT
+        if index >= self._pointers_per_block:
+            raise FileTooLargeFSError(
+                f"file block {file_block} beyond maximum "
+                f"({self.max_file_size()} bytes)"
+            )
+        if inode.indirect == NO_BLOCK:
+            if not allocate:
+                return None
+            indirect = self._bitmap.allocate()
+            self._device.write_block(indirect, bytes(self._sb.block_size))
+            inode.indirect = indirect
+            self._inodes.write(inode)
+        table = bytearray(self._device.read_block(inode.indirect))
+        (block,) = _POINTER.unpack_from(table, index * _POINTER.size)
+        if block == NO_BLOCK:
+            if not allocate:
+                return None
+            block = self._bitmap.allocate()
+            self._device.write_block(block, bytes(self._sb.block_size))
+            _POINTER.pack_into(table, index * _POINTER.size, block)
+            self._device.write_block(inode.indirect, bytes(table))
+        return block
+
+    # -- file data ---------------------------------------------------------------
+
+    def _read_file_data(self, inode: Inode, offset: int, size: int) -> bytes:
+        """Read ``size`` bytes at ``offset``, clipped to the file size."""
+        if offset >= inode.size or size <= 0:
+            return b""
+        size = min(size, inode.size - offset)
+        bs = self._sb.block_size
+        pieces: List[bytes] = []
+        position = offset
+        remaining = size
+        while remaining > 0:
+            file_block = position // bs
+            within = position % bs
+            chunk = min(remaining, bs - within)
+            block = self._bmap(inode, file_block, allocate=False)
+            if block is None:
+                pieces.append(bytes(chunk))  # sparse hole
+            else:
+                data = self._device.read_block(block)
+                pieces.append(data[within : within + chunk])
+            position += chunk
+            remaining -= chunk
+        return b"".join(pieces)
+
+    def _write_file_data(
+        self, inode: Inode, offset: int, data: bytes
+    ) -> None:
+        """Write ``data`` at ``offset``, growing the file as needed."""
+        if offset + len(data) > self.max_file_size():
+            raise FileTooLargeFSError(
+                f"write to offset {offset + len(data)} exceeds maximum "
+                f"file size {self.max_file_size()}"
+            )
+        bs = self._sb.block_size
+        position = offset
+        cursor = 0
+        while cursor < len(data):
+            file_block = position // bs
+            within = position % bs
+            chunk = min(len(data) - cursor, bs - within)
+            block = self._bmap(inode, file_block, allocate=True)
+            if within == 0 and chunk == bs:
+                payload = data[cursor : cursor + bs]
+            else:
+                current = bytearray(self._device.read_block(block))
+                current[within : within + chunk] = data[
+                    cursor : cursor + chunk
+                ]
+                payload = bytes(current)
+            self._device.write_block(block, payload)
+            position += chunk
+            cursor += chunk
+        if position > inode.size:
+            inode.size = position
+            self._inodes.write(inode)
+
+    def _truncate(self, inode: Inode) -> None:
+        """Free every data block of ``inode`` and zero its size."""
+        for i, block in enumerate(inode.direct):
+            if block != NO_BLOCK:
+                self._bitmap.free(block)
+                inode.direct[i] = NO_BLOCK
+        if inode.indirect != NO_BLOCK:
+            table = self._device.read_block(inode.indirect)
+            for index in range(self._pointers_per_block):
+                (block,) = _POINTER.unpack_from(table, index * _POINTER.size)
+                if block != NO_BLOCK:
+                    self._bitmap.free(block)
+            self._bitmap.free(inode.indirect)
+            inode.indirect = NO_BLOCK
+        inode.size = 0
+        self._inodes.write(inode)
+
+    # -- path resolution -------------------------------------------------------------
+
+    def _resolve(self, path: str) -> Inode:
+        """Walk an absolute path to its inode."""
+        inode = self._inodes.read(ROOT_INODE)
+        for name in split_path(path):
+            if not inode.is_directory:
+                raise NotADirectoryFSError(
+                    f"component before {name!r} is not a directory"
+                )
+            entry = Directory(self, inode).lookup(name)
+            inode = self._inodes.read(entry.inode_number)
+        return inode
+
+    def _resolve_parent(self, path: str) -> tuple:
+        """Resolve the parent directory of ``path``; returns (dir, name)."""
+        parents, name = parent_and_name(path)
+        inode = self._inodes.read(ROOT_INODE)
+        for component in parents:
+            if not inode.is_directory:
+                raise NotADirectoryFSError(
+                    f"component {component!r} is not a directory"
+                )
+            entry = Directory(self, inode).lookup(component)
+            inode = self._inodes.read(entry.inode_number)
+        if not inode.is_directory:
+            raise NotADirectoryFSError(f"parent of {name!r} is not a directory")
+        return Directory(self, inode), name
+
+    # -- namespace operations ------------------------------------------------------------
+
+    def exists(self, path: str) -> bool:
+        """Whether ``path`` resolves."""
+        try:
+            self._resolve(path)
+            return True
+        except FileNotFoundFSError:
+            return False
+
+    def stat(self, path: str) -> FileStat:
+        """Metadata for ``path``."""
+        inode = self._resolve(path)
+        blocks = sum(1 for b in inode.direct if b != NO_BLOCK)
+        if inode.indirect != NO_BLOCK:
+            table = self._device.read_block(inode.indirect)
+            blocks += 1 + sum(
+                1
+                for index in range(self._pointers_per_block)
+                if _POINTER.unpack_from(table, index * _POINTER.size)[0]
+                != NO_BLOCK
+            )
+        return FileStat(
+            inode=inode.number,
+            file_type=inode.file_type,
+            size=inode.size,
+            blocks=blocks,
+        )
+
+    def create(self, path: str) -> None:
+        """Create an empty regular file."""
+        directory, name = self._resolve_parent(path)
+        if directory.contains(name):
+            raise FileExistsFSError(f"{path!r} already exists")
+        inode = self._inodes.allocate(FileType.REGULAR)
+        directory.add(name, inode.number)
+
+    def mkdir(self, path: str) -> None:
+        """Create an empty directory."""
+        directory, name = self._resolve_parent(path)
+        if directory.contains(name):
+            raise FileExistsFSError(f"{path!r} already exists")
+        inode = self._inodes.allocate(FileType.DIRECTORY)
+        directory.add(name, inode.number)
+
+    def listdir(self, path: str) -> List[str]:
+        """Names inside a directory, sorted."""
+        inode = self._resolve(path)
+        if not inode.is_directory:
+            raise NotADirectoryFSError(f"{path!r} is not a directory")
+        return sorted(e.name for e in Directory(self, inode).entries())
+
+    def unlink(self, path: str) -> None:
+        """Remove a regular file, freeing its blocks."""
+        directory, name = self._resolve_parent(path)
+        entry = directory.lookup(name)
+        inode = self._inodes.read(entry.inode_number)
+        if inode.is_directory:
+            raise IsADirectoryFSError(f"{path!r} is a directory; use rmdir")
+        directory.remove(name)
+        self._truncate(inode)
+        self._inodes.free(inode)
+
+    def rmdir(self, path: str) -> None:
+        """Remove an empty directory."""
+        directory, name = self._resolve_parent(path)
+        entry = directory.lookup(name)
+        inode = self._inodes.read(entry.inode_number)
+        if not inode.is_directory:
+            raise NotADirectoryFSError(f"{path!r} is not a directory")
+        if not Directory(self, inode).is_empty():
+            raise DirectoryNotEmptyFSError(f"{path!r} is not empty")
+        directory.remove(name)
+        self._truncate(inode)
+        self._inodes.free(inode)
+
+    # -- file data API ------------------------------------------------------------
+
+    def write_file(self, path: str, data: bytes, offset: int = 0) -> None:
+        """Write ``data`` into a regular file at ``offset``."""
+        inode = self._resolve(path)
+        if inode.is_directory:
+            raise IsADirectoryFSError(f"{path!r} is a directory")
+        self._write_file_data(inode, offset, data)
+
+    def read_file(
+        self, path: str, offset: int = 0, size: Optional[int] = None
+    ) -> bytes:
+        """Read from a regular file (whole file by default)."""
+        inode = self._resolve(path)
+        if inode.is_directory:
+            raise IsADirectoryFSError(f"{path!r} is a directory")
+        if size is None:
+            size = inode.size - offset
+        return self._read_file_data(inode, offset, size)
+
+    def truncate(self, path: str) -> None:
+        """Discard a regular file's contents."""
+        inode = self._resolve(path)
+        if inode.is_directory:
+            raise IsADirectoryFSError(f"{path!r} is a directory")
+        self._truncate(inode)
+
+    def open(self, path: str, create: bool = False):
+        """An open :class:`~repro.fs.file.File` handle on a regular file.
+
+        With ``create=True`` the file is created if absent (like mode
+        ``a+``); otherwise a missing path raises.
+        """
+        from .file import File
+
+        if create and not self.exists(path):
+            self.create(path)
+        inode = self._resolve(path)
+        if inode.is_directory:
+            raise IsADirectoryFSError(f"{path!r} is a directory")
+        return File(self, path)
+
+    def rename(self, old_path: str, new_path: str) -> None:
+        """Move a file or directory to a new name/parent.
+
+        The destination must not exist.  Moving a directory underneath
+        itself is rejected (it would orphan the subtree).
+        """
+        old_dir, old_name = self._resolve_parent(old_path)
+        entry = old_dir.lookup(old_name)
+        moved = self._inodes.read(entry.inode_number)
+        if moved.is_directory:
+            # reject /a -> /a/b/c: resolving the new parent may not pass
+            # through the inode being moved
+            parents, _name = parent_and_name(new_path)
+            probe = self._inodes.read(ROOT_INODE)
+            for component in parents:
+                if probe.number == moved.number:
+                    raise InvalidPathFSError(
+                        f"cannot move {old_path!r} into itself"
+                    )
+                child = Directory(self, probe).lookup(component)
+                probe = self._inodes.read(child.inode_number)
+            if probe.number == moved.number:
+                raise InvalidPathFSError(
+                    f"cannot move {old_path!r} into itself"
+                )
+        new_dir, new_name = self._resolve_parent(new_path)
+        if new_dir.contains(new_name):
+            raise FileExistsFSError(f"{new_path!r} already exists")
+        # insert first, then remove: a crash between the two leaves the
+        # entry reachable under both names rather than lost
+        new_dir.add(new_name, entry.inode_number)
+        # re-open the source directory in case it is the same directory
+        # object whose data just changed
+        old_dir, old_name = self._resolve_parent(old_path)
+        old_dir.remove(old_name)
+
+    # -- whole-tree helpers (tests, examples) ------------------------------------
+
+    def walk(self, path: str = "/") -> List[str]:
+        """Every path under ``path`` (directories and files), sorted."""
+        inode = self._resolve(path)
+        if not inode.is_directory:
+            return [path]
+        results: List[str] = []
+        base = path.rstrip("/")
+        for name in self.listdir(path):
+            child = f"{base}/{name}"
+            results.append(child)
+            if self.stat(child).is_directory:
+                results.extend(self.walk(child))
+        return sorted(results)

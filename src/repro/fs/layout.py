@@ -1,0 +1,133 @@
+"""On-device layout of the block file system.
+
+The layout is a miniature classic-UNIX arrangement::
+
+    block 0            superblock
+    blocks B .. B+k    free-block bitmap (one bit per device block)
+    blocks I .. I+m    inode table
+    blocks D ..        data blocks
+
+Everything is addressed in whole blocks through the abstract
+:class:`~repro.device.interface.BlockDevice`, never bytes, because the
+point of the exercise is that the file system cannot tell a local disk
+from the paper's replicated reliable device.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+from ..errors import FSFormatError
+
+__all__ = ["SuperBlock", "MAGIC", "INODE_SIZE", "NAME_MAX", "DIRENT_SIZE"]
+
+#: Magic number identifying a formatted device ("RBD!" little-endian-ish).
+MAGIC = 0x52424421
+
+#: Bytes per on-disk inode (see :mod:`repro.fs.inode`).
+INODE_SIZE = 64
+
+#: Maximum file-name length (fits a fixed 32-byte directory entry).
+NAME_MAX = 27
+
+#: Bytes per directory entry: 4-byte inode number, 1-byte name length,
+#: NAME_MAX name bytes.
+DIRENT_SIZE = 32
+
+_SUPERBLOCK = struct.Struct("<IIIIIIIII")
+
+
+@dataclass(frozen=True)
+class SuperBlock:
+    """The file system's root metadata, stored in block 0."""
+
+    block_size: int
+    num_blocks: int
+    num_inodes: int
+    bitmap_start: int
+    bitmap_blocks: int
+    inode_start: int
+    inode_blocks: int
+    data_start: int
+
+    # -- serialisation -----------------------------------------------------
+
+    def pack(self) -> bytes:
+        """Serialise into a block-0 payload (padded to the block size)."""
+        raw = _SUPERBLOCK.pack(
+            MAGIC,
+            self.block_size,
+            self.num_blocks,
+            self.num_inodes,
+            self.bitmap_start,
+            self.bitmap_blocks,
+            self.inode_start,
+            self.inode_blocks,
+            self.data_start,
+        )
+        return raw + bytes(self.block_size - len(raw))
+
+    @classmethod
+    def unpack(cls, data: bytes) -> "SuperBlock":
+        """Parse a superblock, validating the magic number."""
+        if len(data) < _SUPERBLOCK.size:
+            raise FSFormatError(
+                f"block too small for a superblock ({len(data)} bytes)"
+            )
+        fields = _SUPERBLOCK.unpack(data[: _SUPERBLOCK.size])
+        if fields[0] != MAGIC:
+            raise FSFormatError(
+                f"bad magic 0x{fields[0]:08x}; device is not formatted"
+            )
+        return cls(
+            block_size=fields[1],
+            num_blocks=fields[2],
+            num_inodes=fields[3],
+            bitmap_start=fields[4],
+            bitmap_blocks=fields[5],
+            inode_start=fields[6],
+            inode_blocks=fields[7],
+            data_start=fields[8],
+        )
+
+    # -- derived geometry -------------------------------------------------
+
+    @property
+    def data_blocks(self) -> int:
+        """Number of blocks usable for file data."""
+        return self.num_blocks - self.data_start
+
+    @classmethod
+    def compute(
+        cls, num_blocks: int, block_size: int, num_inodes: int
+    ) -> "SuperBlock":
+        """Lay out a device of the given geometry."""
+        if num_inodes < 1:
+            raise FSFormatError(f"need at least one inode, got {num_inodes}")
+        bits_per_block = block_size * 8
+        bitmap_blocks = (num_blocks + bits_per_block - 1) // bits_per_block
+        inodes_per_block = block_size // INODE_SIZE
+        if inodes_per_block == 0:
+            raise FSFormatError(
+                f"block size {block_size} cannot hold a {INODE_SIZE}-byte inode"
+            )
+        inode_blocks = (num_inodes + inodes_per_block - 1) // inodes_per_block
+        bitmap_start = 1
+        inode_start = bitmap_start + bitmap_blocks
+        data_start = inode_start + inode_blocks
+        if data_start >= num_blocks:
+            raise FSFormatError(
+                f"device of {num_blocks} blocks too small: metadata alone "
+                f"needs {data_start + 1}"
+            )
+        return cls(
+            block_size=block_size,
+            num_blocks=num_blocks,
+            num_inodes=num_inodes,
+            bitmap_start=bitmap_start,
+            bitmap_blocks=bitmap_blocks,
+            inode_start=inode_start,
+            inode_blocks=inode_blocks,
+            data_start=data_start,
+        )

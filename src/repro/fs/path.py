@@ -1,0 +1,49 @@
+"""Path parsing for the block file system.
+
+Paths are absolute, ``/``-separated, with no ``.``/``..`` components --
+the minimal discipline a test file system needs.  Validation errors
+surface as :class:`~repro.errors.InvalidPathFSError`.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from ..errors import InvalidPathFSError
+from .layout import NAME_MAX
+
+__all__ = ["split_path", "parent_and_name", "validate_name"]
+
+
+def validate_name(name: str) -> str:
+    """Check one path component; returns it unchanged."""
+    if not name:
+        raise InvalidPathFSError("empty path component")
+    if "/" in name or "\x00" in name:
+        raise InvalidPathFSError(f"illegal character in name {name!r}")
+    if name in (".", ".."):
+        raise InvalidPathFSError(f"reserved name {name!r}")
+    if len(name.encode("utf-8")) > NAME_MAX:
+        raise InvalidPathFSError(
+            f"name {name!r} longer than {NAME_MAX} bytes"
+        )
+    return name
+
+
+def split_path(path: str) -> List[str]:
+    """Split an absolute path into validated components.
+
+    ``"/"`` splits to ``[]`` (the root directory).
+    """
+    if not path or not path.startswith("/"):
+        raise InvalidPathFSError(f"path must be absolute: {path!r}")
+    components = [part for part in path.split("/") if part]
+    return [validate_name(part) for part in components]
+
+
+def parent_and_name(path: str) -> Tuple[List[str], str]:
+    """Split into (parent components, final name); root is rejected."""
+    components = split_path(path)
+    if not components:
+        raise InvalidPathFSError("the root directory has no name")
+    return components[:-1], components[-1]

@@ -1,0 +1,24 @@
+"""Replica-group network substrate.
+
+A reliable, partition-free network (the paper's Section 2 assumption)
+with two addressing modes -- multicast (Section 5.1) and unique
+addressing (Section 5.2) -- and per-category metering of high-level
+transmissions (Section 5's unit of network cost).
+"""
+
+from .message import BROADCAST, Message, MessageCategory
+from .network import NO_REPLY, Network, NetworkNode
+from .sizes import SizeModel
+from .traffic import TrafficMeter, TrafficSnapshot
+
+__all__ = [
+    "Network",
+    "NetworkNode",
+    "NO_REPLY",
+    "SizeModel",
+    "Message",
+    "MessageCategory",
+    "BROADCAST",
+    "TrafficMeter",
+    "TrafficSnapshot",
+]

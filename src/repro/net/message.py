@@ -1,0 +1,82 @@
+"""Message vocabulary for the replica network.
+
+Section 5 of the paper analyses *high-level transmissions*: vote
+requests, vote replies, block transfers, version-vector exchanges and so
+on, arguing that low-level message counts are proportional to these.  The
+simulator therefore counts messages by the same high-level categories.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Optional, Tuple
+
+from ..types import SiteId
+
+__all__ = ["MessageCategory", "Message", "BROADCAST"]
+
+#: Sentinel destination meaning "all other sites in the replica group".
+BROADCAST: Optional[int] = None
+
+_message_ids = itertools.count()
+
+
+class MessageCategory(enum.Enum):
+    """High-level transmission categories, following Section 5."""
+
+    #: Voting: request for votes (version number + weight) -- also carries
+    #: the requester's local version number so a newer site can push the
+    #: block (lazy per-block recovery, Section 3.1).
+    VOTE_REQUEST = "vote-request"
+    #: Voting: a site's vote (its version number and weight).
+    VOTE_REPLY = "vote-reply"
+    #: Transfer of a data block to refresh an out-of-date copy.
+    BLOCK_TRANSFER = "block-transfer"
+    #: The new block value pushed to the write quorum / available copies.
+    WRITE_UPDATE = "write-update"
+    #: Acknowledgement of a write update (available copy only).
+    WRITE_ACK = "write-ack"
+    #: A recovering site's broadcast asking which sites are operational.
+    RECOVERY_PROBE = "recovery-probe"
+    #: Response to a recovery probe (state + stored was-available set).
+    RECOVERY_PROBE_REPLY = "recovery-probe-reply"
+    #: A recovering site sends its version vector to its repair source.
+    VERSION_VECTOR_REQUEST = "version-vector-request"
+    #: The repair source's reply: correct version vector + stale blocks.
+    VERSION_VECTOR_REPLY = "version-vector-reply"
+
+    @property
+    def is_reply(self) -> bool:
+        """Whether this category is a response to another message."""
+        return self in (
+            MessageCategory.VOTE_REPLY,
+            MessageCategory.WRITE_ACK,
+            MessageCategory.RECOVERY_PROBE_REPLY,
+            MessageCategory.VERSION_VECTOR_REPLY,
+        )
+
+
+@dataclass(frozen=True)
+class Message:
+    """One high-level transmission.
+
+    ``dst is None`` (:data:`BROADCAST`) denotes a multicast to the whole
+    replica group; on a multicast network it costs one transmission, on a
+    unique-addressing network one per addressed destination.
+    """
+
+    src: SiteId
+    dst: Optional[SiteId]
+    category: MessageCategory
+    payload: Any = None
+    msg_id: int = field(default_factory=lambda: next(_message_ids))
+
+    @property
+    def is_broadcast(self) -> bool:
+        return self.dst is None
+
+    def describe(self) -> Tuple[str, SiteId, Optional[SiteId]]:
+        """Compact (category, src, dst) triple for logs and tests."""
+        return (self.category.value, self.src, self.dst)

@@ -1,0 +1,311 @@
+"""The replica-group network.
+
+Models the communications substrate of Section 2: a *reliable*,
+*partition-free* network connecting the fixed set of sites that hold
+copies of the reliable device.  Because delivery is reliable and the
+protocols are simple request/reply exchanges, delivery is synchronous --
+what the network really does is (a) route requests to the server handler
+of every reachable destination and (b) meter the number of high-level
+transmissions under the chosen addressing mode:
+
+* ``MULTICAST``  -- one transmission reaches every destination (Section 5.1);
+* ``UNIQUE``     -- one transmission per addressed destination (Section 5.2).
+
+Replies are always individually addressed.
+
+Failed (fail-stop) sites are unreachable: a request addressed to them is
+transmitted (and therefore counted, in unique addressing mode) but never
+answered.
+
+The network can additionally be **partitioned** into disjoint groups
+(:meth:`Network.partition` / :meth:`Network.heal`).  The paper assumes a
+partition-free network because the available-copy schemes "do not
+operate correctly in the presence of partitions" (Sections 3.2 and 6);
+the partition machinery exists to *demonstrate* that unsafety -- and
+voting's immunity to it -- in the partition experiment.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Protocol, Tuple
+
+from ..errors import UnknownSiteError
+from ..types import AddressingMode, SiteId
+from .message import BROADCAST, Message, MessageCategory
+from .sizes import SizeModel
+from .traffic import TrafficMeter
+
+__all__ = ["Network", "NetworkNode", "NO_REPLY"]
+
+#: Sentinel a handler may return to indicate the site does not answer
+#: (e.g. a comatose site ignoring a write update).  No reply transmission
+#: is counted and the site is omitted from the reply map.
+NO_REPLY = object()
+
+
+class NetworkNode(Protocol):
+    """What the network needs to know about a site.
+
+    Any object with a ``site_id`` and an ``is_reachable`` property can be
+    attached; :class:`repro.device.site.Site` is the real implementation.
+    """
+
+    @property
+    def site_id(self) -> SiteId: ...
+
+    @property
+    def is_reachable(self) -> bool: ...
+
+
+Handler = Callable[[Any], Any]
+
+
+class Network:
+    """Synchronous request/reply network with transmission metering.
+
+    Parameters
+    ----------
+    mode:
+        Addressing capability (multicast or unique addressing).
+    meter:
+        Traffic meter; a fresh one is created when omitted.
+    """
+
+    def __init__(
+        self,
+        mode: AddressingMode = AddressingMode.MULTICAST,
+        meter: Optional[TrafficMeter] = None,
+        size_model: Optional[SizeModel] = None,
+    ) -> None:
+        self._mode = mode
+        self._meter = meter if meter is not None else TrafficMeter()
+        self._size_model = size_model if size_model is not None \
+            else SizeModel()
+        self._nodes: Dict[SiteId, NetworkNode] = {}
+        #: site -> partition group id; empty when the network is whole.
+        self._partition: Dict[SiteId, int] = {}
+
+    # -- membership ---------------------------------------------------------
+
+    def attach(self, node: NetworkNode) -> None:
+        """Register a site with the network."""
+        self._nodes[node.site_id] = node
+
+    def node(self, site_id: SiteId) -> NetworkNode:
+        """Look up an attached site."""
+        try:
+            return self._nodes[site_id]
+        except KeyError:
+            raise UnknownSiteError(site_id) from None
+
+    @property
+    def site_ids(self) -> List[SiteId]:
+        """All attached sites, in id order."""
+        return sorted(self._nodes)
+
+    @property
+    def mode(self) -> AddressingMode:
+        return self._mode
+
+    @property
+    def meter(self) -> TrafficMeter:
+        return self._meter
+
+    @property
+    def size_model(self) -> SizeModel:
+        return self._size_model
+
+    # -- partitions (Section 6's caveat, made executable) -----------------
+
+    def partition(self, *groups) -> None:
+        """Split the network into disjoint ``groups`` of site ids.
+
+        Sites not listed in any group become isolated (their own
+        singleton partitions).  Messages between different groups are
+        transmitted -- and counted -- but never delivered.
+        """
+        assignment: Dict[SiteId, int] = {}
+        for index, group in enumerate(groups):
+            for site_id in group:
+                if site_id in assignment:
+                    raise ValueError(
+                        f"site {site_id} appears in more than one group"
+                    )
+                if site_id not in self._nodes:
+                    raise UnknownSiteError(site_id)
+                assignment[site_id] = index
+        next_group = len(groups)
+        for site_id in self._nodes:
+            if site_id not in assignment:
+                assignment[site_id] = next_group
+                next_group += 1
+        self._partition = assignment
+
+    def heal(self) -> None:
+        """Remove all partitions; every site can reach every site."""
+        self._partition = {}
+
+    @property
+    def is_partitioned(self) -> bool:
+        return bool(self._partition) and len(
+            set(self._partition.values())
+        ) > 1
+
+    def can_communicate(self, a: SiteId, b: SiteId) -> bool:
+        """Whether sites ``a`` and ``b`` are in the same partition."""
+        if not self._partition:
+            return True
+        return self._partition.get(a) == self._partition.get(b)
+
+    def _delivers(self, src: SiteId, node: NetworkNode) -> bool:
+        """Whether a message from ``src`` reaches ``node``."""
+        return node.is_reachable and self.can_communicate(
+            src, node.site_id
+        )
+
+    def reachable_sites(self, exclude: Optional[SiteId] = None) -> List[SiteId]:
+        """Ids of reachable sites (optionally excluding one), in id order."""
+        return [
+            s
+            for s in self.site_ids
+            if s != exclude and self._nodes[s].is_reachable
+        ]
+
+    # -- transmission cost accounting -----------------------------------------
+
+    def _count_request(
+        self, message: Message, destinations: List[SiteId]
+    ) -> None:
+        """Meter an outgoing request under the current addressing mode."""
+        if not destinations:
+            return
+        size = self._size_model.bytes_for(message)
+        if self._mode is AddressingMode.MULTICAST and message.is_broadcast:
+            self._meter.count(message, transmissions=1, bytes_each=size)
+        else:
+            self._meter.count(
+                message, transmissions=len(destinations), bytes_each=size
+            )
+
+    def _count_reply(self, message: Message) -> None:
+        """Meter a reply: replies are always individually addressed."""
+        self._meter.count(
+            message,
+            transmissions=1,
+            bytes_each=self._size_model.bytes_for(message),
+        )
+
+    # -- communication primitives ---------------------------------------------
+
+    def broadcast_query(
+        self,
+        src: SiteId,
+        request: MessageCategory,
+        reply: MessageCategory,
+        handler: Callable[[NetworkNode, Any], Any],
+        payload: Any = None,
+        destinations: Optional[List[SiteId]] = None,
+    ) -> Dict[SiteId, Any]:
+        """Send a request to many sites and gather replies.
+
+        ``destinations`` defaults to every other attached site.  The
+        request is metered per the addressing mode; each *reachable*
+        destination executes ``handler(node, payload)`` and its reply is
+        metered as one individually addressed transmission.  Unreachable
+        destinations silently produce no reply (fail-stop).
+
+        Returns a mapping ``site_id -> handler result`` over the sites
+        that replied.
+        """
+        if destinations is None:
+            destinations = [s for s in self.site_ids if s != src]
+        message = Message(
+            src=src, dst=BROADCAST, category=request, payload=payload
+        )
+        self._count_request(message, destinations)
+        replies: Dict[SiteId, Any] = {}
+        for dst in destinations:
+            node = self.node(dst)
+            if not self._delivers(src, node):
+                continue
+            result = handler(node, payload)
+            if result is NO_REPLY:
+                continue
+            self._count_reply(
+                Message(src=dst, dst=src, category=reply, payload=result)
+            )
+            replies[dst] = result
+        return replies
+
+    def broadcast_oneway(
+        self,
+        src: SiteId,
+        category: MessageCategory,
+        handler: Callable[[NetworkNode, Any], Any],
+        payload: Any = None,
+        destinations: Optional[List[SiteId]] = None,
+    ) -> List[SiteId]:
+        """Send a request to many sites without expecting replies.
+
+        Returns the ids of the reachable destinations that processed the
+        message (used by the available-copy write to learn nothing -- the
+        *naive* scheme's whole point -- but useful to tests).
+        """
+        if destinations is None:
+            destinations = [s for s in self.site_ids if s != src]
+        message = Message(
+            src=src, dst=BROADCAST, category=category, payload=payload
+        )
+        self._count_request(message, destinations)
+        delivered: List[SiteId] = []
+        for dst in destinations:
+            node = self.node(dst)
+            if not self._delivers(src, node):
+                continue
+            handler(node, payload)
+            delivered.append(dst)
+        return delivered
+
+    def unicast_query(
+        self,
+        src: SiteId,
+        dst: SiteId,
+        request: MessageCategory,
+        reply: MessageCategory,
+        handler: Callable[[NetworkNode, Any], Any],
+        payload: Any = None,
+    ) -> Tuple[bool, Any]:
+        """Send one request to one site and wait for its reply.
+
+        Returns ``(True, reply)`` if the destination was reachable, else
+        ``(False, None)`` (the request is still metered -- it was sent).
+        """
+        message = Message(src=src, dst=dst, category=request, payload=payload)
+        self._count_request(message, [dst])
+        node = self.node(dst)
+        if not self._delivers(src, node):
+            return False, None
+        result = handler(node, payload)
+        if result is NO_REPLY:
+            return False, None
+        self._count_reply(
+            Message(src=dst, dst=src, category=reply, payload=result)
+        )
+        return True, result
+
+    def unicast_oneway(
+        self,
+        src: SiteId,
+        dst: SiteId,
+        category: MessageCategory,
+        handler: Callable[[NetworkNode, Any], Any],
+        payload: Any = None,
+    ) -> bool:
+        """Send one request to one site without expecting a reply."""
+        message = Message(src=src, dst=dst, category=category, payload=payload)
+        self._count_request(message, [dst])
+        node = self.node(dst)
+        if not self._delivers(src, node):
+            return False
+        handler(node, payload)
+        return True

@@ -1,0 +1,97 @@
+"""Message-size model for byte-level traffic accounting.
+
+Section 5 counts *transmissions*, noting that one could "instead focus
+on the sizes of the messages by estimating the total number of actual
+blocks transferred by each scheme", with similar but "slightly less
+pronounced" differences.  This module makes that alternative accounting
+concrete: every high-level message gets a size from a small cost model
+-- a fixed header plus a payload that depends on the category (votes and
+acknowledgements are tiny; block transfers carry a whole block; version
+vector replies carry one block per stale entry).
+
+The defaults are deliberately round numbers; the *qualitative* claim
+("less pronounced but same ordering") is insensitive to them, which the
+tests verify by sweeping the header and block sizes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.version import VersionVector
+from .message import Message, MessageCategory
+
+__all__ = ["SizeModel"]
+
+
+@dataclass(frozen=True)
+class SizeModel:
+    """Bytes per message, by category and payload.
+
+    Parameters
+    ----------
+    header_bytes:
+        Fixed framing/addressing overhead of every transmission.
+    vote_bytes:
+        A vote: version number plus weight (Figure 3's reply).
+    vv_entry_bytes:
+        One version-vector entry (block index + version number).
+    block_bytes:
+        One data block -- must match the device's block size for the
+        accounting to mean anything.
+    """
+
+    header_bytes: int = 32
+    vote_bytes: int = 8
+    vv_entry_bytes: int = 8
+    block_bytes: int = 512
+
+    def __post_init__(self) -> None:
+        for name in ("header_bytes", "vote_bytes", "vv_entry_bytes",
+                     "block_bytes"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be non-negative")
+
+    def bytes_for(self, message: Message) -> int:
+        """Size of one transmission of ``message``."""
+        category = message.category
+        payload = message.payload
+        base = self.header_bytes
+        if category is MessageCategory.VOTE_REQUEST:
+            # block index + the reader's version (enables the push-based
+            # lazy repair counted as a single extra transmission)
+            return base + self.vote_bytes
+        if category is MessageCategory.VOTE_REPLY:
+            return base + self.vote_bytes
+        if category is MessageCategory.BLOCK_TRANSFER:
+            return base + self.vv_entry_bytes + self.block_bytes
+        if category is MessageCategory.WRITE_UPDATE:
+            return base + self.vv_entry_bytes + self.block_bytes
+        if category is MessageCategory.WRITE_ACK:
+            return base
+        if category is MessageCategory.RECOVERY_PROBE:
+            return base
+        if category is MessageCategory.RECOVERY_PROBE_REPLY:
+            # state tag + was-available set + scalar version total
+            size = base + 2 * self.vv_entry_bytes
+            if isinstance(payload, tuple) and len(payload) == 3:
+                size += len(payload[1]) * self.vv_entry_bytes
+            return size
+        if category is MessageCategory.VERSION_VECTOR_REQUEST:
+            size = base
+            if isinstance(payload, VersionVector):
+                size += len(payload) * self.vv_entry_bytes
+            return size
+        if category is MessageCategory.VERSION_VECTOR_REPLY:
+            size = base
+            if isinstance(payload, tuple) and len(payload) == 2:
+                vector, blocks = payload
+                if isinstance(vector, VersionVector):
+                    size += len(vector) * self.vv_entry_bytes
+                size += len(blocks) * (
+                    self.vv_entry_bytes + self.block_bytes
+                )
+            return size
+        raise ValueError(  # pragma: no cover - enum is closed
+            f"unknown category {category!r}"
+        )

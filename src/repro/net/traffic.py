@@ -1,0 +1,177 @@
+"""Traffic metering.
+
+The :class:`TrafficMeter` counts every high-level transmission the network
+carries, broken down by :class:`~repro.net.message.MessageCategory` and --
+when the caller brackets operations with :meth:`TrafficMeter.record` -- by
+operation kind (``read`` / ``write`` / ``recovery``).  The per-operation
+means are what Figures 11 and 12 of the paper plot.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, Optional
+import contextlib
+
+from ..sim.stats import RunningStat
+from .message import Message, MessageCategory
+
+__all__ = ["TrafficMeter", "TrafficSnapshot", "OperationKind"]
+
+#: Operation kinds used for attribution; free-form strings are accepted
+#: but these three are the ones the paper analyses.
+OperationKind = str
+
+READ = "read"
+WRITE = "write"
+RECOVERY = "recovery"
+
+
+@dataclass(frozen=True)
+class TrafficSnapshot:
+    """Immutable copy of a meter's counters at one instant."""
+
+    total: int
+    by_category: Dict[MessageCategory, int] = field(default_factory=dict)
+    total_bytes: int = 0
+
+    def delta(self, earlier: "TrafficSnapshot") -> "TrafficSnapshot":
+        """Messages counted between ``earlier`` and this snapshot."""
+        categories = {
+            cat: self.by_category.get(cat, 0) - earlier.by_category.get(cat, 0)
+            for cat in set(self.by_category) | set(earlier.by_category)
+        }
+        return TrafficSnapshot(
+            total=self.total - earlier.total,
+            by_category={c: n for c, n in categories.items() if n},
+            total_bytes=self.total_bytes - earlier.total_bytes,
+        )
+
+
+class TrafficMeter:
+    """Counts high-level transmissions and attributes them to operations."""
+
+    def __init__(self) -> None:
+        self._by_category: Counter = Counter()
+        self._total = 0
+        self._bytes_by_category: Counter = Counter()
+        self._total_bytes = 0
+        self._per_operation: Dict[OperationKind, RunningStat] = {}
+        self._per_operation_bytes: Dict[OperationKind, RunningStat] = {}
+        self._current_op: Optional[str] = None
+        self._op_start_total = 0
+        self._op_start_bytes = 0
+
+    # -- counting (called by the network) ----------------------------------
+
+    def count(
+        self,
+        message: Message,
+        transmissions: int = 1,
+        bytes_each: int = 0,
+    ) -> None:
+        """Record that ``message`` cost ``transmissions`` transmissions.
+
+        On a multicast network a broadcast costs 1; on a unique-addressing
+        network it costs one per destination -- the network passes the
+        right number, plus (optionally) the byte size of each
+        transmission from its :class:`~repro.net.sizes.SizeModel`.
+        """
+        self._by_category[message.category] += transmissions
+        self._total += transmissions
+        if bytes_each:
+            total = transmissions * bytes_each
+            self._bytes_by_category[message.category] += total
+            self._total_bytes += total
+
+    # -- queries ------------------------------------------------------------
+
+    @property
+    def total(self) -> int:
+        """Total transmissions counted so far."""
+        return self._total
+
+    @property
+    def total_bytes(self) -> int:
+        """Total bytes counted so far (0 unless a size model is wired)."""
+        return self._total_bytes
+
+    def category_count(self, category: MessageCategory) -> int:
+        """Transmissions counted for one category."""
+        return self._by_category[category]
+
+    def category_bytes(self, category: MessageCategory) -> int:
+        """Bytes counted for one category."""
+        return self._bytes_by_category[category]
+
+    def snapshot(self) -> TrafficSnapshot:
+        """Copy of all counters, for before/after comparisons."""
+        return TrafficSnapshot(
+            total=self._total,
+            by_category=dict(self._by_category),
+            total_bytes=self._total_bytes,
+        )
+
+    # -- per-operation attribution ------------------------------------------
+
+    @contextlib.contextmanager
+    def record(self, kind: OperationKind) -> Iterator[None]:
+        """Attribute all messages sent inside the block to ``kind``.
+
+        Nested recording is not supported (protocol operations in this
+        system never nest), and attempting it raises ``RuntimeError`` to
+        surface accounting bugs early.
+        """
+        if self._current_op is not None:
+            raise RuntimeError(
+                f"cannot record {kind!r} inside {self._current_op!r}"
+            )
+        self._current_op = kind
+        self._op_start_total = self._total
+        self._op_start_bytes = self._total_bytes
+        try:
+            yield
+        finally:
+            spent = self._total - self._op_start_total
+            self._per_operation.setdefault(kind, RunningStat()).add(spent)
+            spent_bytes = self._total_bytes - self._op_start_bytes
+            self._per_operation_bytes.setdefault(
+                kind, RunningStat()
+            ).add(spent_bytes)
+            self._current_op = None
+
+    def operations(self, kind: OperationKind) -> int:
+        """Number of operations recorded under ``kind``."""
+        stat = self._per_operation.get(kind)
+        return stat.count if stat else 0
+
+    def mean_messages(self, kind: OperationKind) -> float:
+        """Mean transmissions per operation of ``kind`` (0 if none)."""
+        stat = self._per_operation.get(kind)
+        return stat.mean if stat and stat.count else 0.0
+
+    def messages_for(self, kind: OperationKind) -> RunningStat:
+        """The full running statistic for ``kind`` (count/mean/stddev)."""
+        return self._per_operation.setdefault(kind, RunningStat())
+
+    def mean_bytes(self, kind: OperationKind) -> float:
+        """Mean bytes per operation of ``kind`` (0 if none)."""
+        stat = self._per_operation_bytes.get(kind)
+        return stat.mean if stat and stat.count else 0.0
+
+    def bytes_for(self, kind: OperationKind) -> RunningStat:
+        """The byte-count running statistic for ``kind``."""
+        return self._per_operation_bytes.setdefault(kind, RunningStat())
+
+    def reset(self) -> None:
+        """Zero every counter (per-operation statistics included)."""
+        self._by_category.clear()
+        self._total = 0
+        self._bytes_by_category.clear()
+        self._total_bytes = 0
+        self._per_operation.clear()
+        self._per_operation_bytes.clear()
+        self._current_op = None
+        self._op_start_total = 0
+        self._op_start_bytes = 0

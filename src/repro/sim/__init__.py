@@ -1,0 +1,32 @@
+"""Discrete-event simulation substrate.
+
+This subpackage supplies the stochastic environment the paper assumes:
+a simulated clock (:class:`~repro.sim.engine.Simulator`), independent
+Poisson failure/repair processes per site
+(:class:`~repro.sim.failures.FailureRepairProcess`), reproducible named
+random streams (:class:`~repro.sim.rng.RandomStreams`) and the statistics
+needed to turn event traces into availability estimates
+(:mod:`repro.sim.stats`).
+"""
+
+from .engine import EventHandle, Simulator
+from .failures import FailureRepairProcess, RepairDistribution
+from .rng import RandomStreams
+from .stats import (
+    ConfidenceInterval,
+    RunningStat,
+    TimeWeightedStat,
+    batch_means,
+)
+
+__all__ = [
+    "Simulator",
+    "EventHandle",
+    "FailureRepairProcess",
+    "RepairDistribution",
+    "RandomStreams",
+    "TimeWeightedStat",
+    "RunningStat",
+    "ConfidenceInterval",
+    "batch_means",
+]

@@ -1,0 +1,172 @@
+"""A small discrete-event simulation engine.
+
+The engine is a classic event-list simulator: callbacks are scheduled at
+future simulated times and executed in time order (FIFO among equal
+times).  It is deliberately minimal -- the protocols in this package are
+synchronous request/reply exchanges over a partition-free network, so the
+only things that genuinely need simulated time are site failures, site
+repairs, and workload arrivals.
+
+Example
+-------
+>>> sim = Simulator()
+>>> fired = []
+>>> handle = sim.schedule(2.0, fired.append, "late")
+>>> _ = sim.schedule(1.0, fired.append, "early")
+>>> sim.run()
+>>> fired
+['early', 'late']
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, List, Optional, Tuple
+
+from ..errors import ScheduleInPastError
+
+__all__ = ["Simulator", "EventHandle"]
+
+
+@dataclass(order=True)
+class _Event:
+    time: float
+    seq: int
+    handle: "EventHandle" = field(compare=False)
+    fn: Callable[..., Any] = field(compare=False)
+    args: Tuple[Any, ...] = field(compare=False)
+
+
+class EventHandle:
+    """Handle to a scheduled event, usable to cancel it.
+
+    Cancellation is O(1): the event stays in the heap but is skipped when
+    popped.
+    """
+
+    __slots__ = ("time", "_cancelled", "_fired")
+
+    def __init__(self, time: float) -> None:
+        self.time = time
+        self._cancelled = False
+        self._fired = False
+
+    def cancel(self) -> None:
+        """Prevent the event from firing.  Cancelling twice is harmless."""
+        self._cancelled = True
+
+    @property
+    def cancelled(self) -> bool:
+        return self._cancelled
+
+    @property
+    def fired(self) -> bool:
+        """Whether the event's callback has already run."""
+        return self._fired
+
+    @property
+    def pending(self) -> bool:
+        """Whether the event is still waiting to fire."""
+        return not (self._cancelled or self._fired)
+
+
+class Simulator:
+    """Event-list discrete-event simulator.
+
+    The simulator owns the clock (:attr:`now`).  Events scheduled for the
+    same instant fire in scheduling order, which keeps runs deterministic.
+    """
+
+    def __init__(self, start_time: float = 0.0) -> None:
+        self._now = float(start_time)
+        self._queue: List[_Event] = []
+        self._sequence = itertools.count()
+        self._running = False
+        self._stopped = False
+
+    # -- clock ------------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        """Current simulated time."""
+        return self._now
+
+    @property
+    def pending_events(self) -> int:
+        """Number of events waiting in the queue (including cancelled)."""
+        return sum(1 for event in self._queue if event.handle.pending)
+
+    # -- scheduling -------------------------------------------------------
+
+    def schedule(
+        self, delay: float, fn: Callable[..., Any], *args: Any
+    ) -> EventHandle:
+        """Schedule ``fn(*args)`` to run ``delay`` time units from now."""
+        if delay < 0:
+            raise ScheduleInPastError(f"negative delay {delay!r}")
+        return self.schedule_at(self._now + delay, fn, *args)
+
+    def schedule_at(
+        self, time: float, fn: Callable[..., Any], *args: Any
+    ) -> EventHandle:
+        """Schedule ``fn(*args)`` to run at absolute simulated ``time``."""
+        if time < self._now:
+            raise ScheduleInPastError(
+                f"cannot schedule at {time!r}, current time is {self._now!r}"
+            )
+        handle = EventHandle(time)
+        event = _Event(
+            time=float(time),
+            seq=next(self._sequence),
+            handle=handle,
+            fn=fn,
+            args=args,
+        )
+        heapq.heappush(self._queue, event)
+        return handle
+
+    # -- execution --------------------------------------------------------
+
+    def step(self) -> bool:
+        """Run the next pending event.  Returns False if none remain."""
+        while self._queue:
+            event = heapq.heappop(self._queue)
+            if event.handle.cancelled:
+                continue
+            self._now = event.time
+            event.handle._fired = True
+            event.fn(*event.args)
+            return True
+        return False
+
+    def run(self, until: Optional[float] = None) -> None:
+        """Run events until the queue drains or the clock passes ``until``.
+
+        When ``until`` is given, the clock is advanced to exactly ``until``
+        even if the last event fires earlier, so time-weighted statistics
+        can be finalised at a known horizon.
+        """
+        self._stopped = False
+        self._running = True
+        try:
+            while self._queue and not self._stopped:
+                head = self._queue[0]
+                if head.handle.cancelled:
+                    heapq.heappop(self._queue)
+                    continue
+                if until is not None and head.time > until:
+                    break
+                self.step()
+        finally:
+            self._running = False
+        if until is not None and self._now < until and not self._stopped:
+            self._now = float(until)
+
+    def stop(self) -> None:
+        """Stop :meth:`run` after the current event completes."""
+        self._stopped = True
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Simulator(now={self._now:g}, queued={len(self._queue)})"

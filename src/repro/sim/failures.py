@@ -1,0 +1,276 @@
+"""Site failure and repair processes.
+
+The paper's stochastic model (Section 4): each site fails independently
+after an exponentially distributed up-time with *failure rate* lambda, and
+is repaired after an exponentially distributed down-time with *repair
+rate* mu.  "Should several sites fail, the repair process will be
+performed in parallel on these failed sites."  The ratio
+``rho = lambda / mu`` is the single parameter all the availability
+results depend on.
+
+Two knobs generalise the model for ablations:
+
+* ``repair_distribution`` -- Section 4.4 discusses repair times with
+  coefficients of variation below one, under which sites tend to recover
+  in the order they failed; a gamma law with configurable cv models that.
+* ``repair_capacity`` -- the paper assumes unlimited parallel repair;
+  a finite capacity models a shared repair facility.  With capacity ``c``
+  at most ``c`` repairs proceed concurrently.  Two service disciplines:
+
+  - ``"fifo"`` -- each service slot is bound to a specific site, oldest
+    failure first.  After a total failure the last site to fail is
+    served last, which largely erases the tracked available-copy
+    scheme's early-recovery advantage (the serial-repair experiment
+    quantifies this).
+  - ``"random"`` -- when a service completes, the repaired site is
+    drawn uniformly from the *currently failed* set.  With exponential
+    services this is the Markovian single-repairman model analysed by
+    :mod:`repro.analysis.serial_repair` (uniform reassignment at each
+    completion is distributionally equivalent to a random-order server
+    under memoryless service times).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Union
+
+import numpy as np
+
+from ..types import SimTime, SiteId
+from .engine import Simulator
+from .rng import RandomStreams
+
+__all__ = ["FailureRepairProcess", "RepairDistribution"]
+
+
+@dataclass(frozen=True)
+class RepairDistribution:
+    """Specification of the repair-time distribution.
+
+    ``cv`` is the coefficient of variation (stddev / mean).  ``cv == 1``
+    gives the paper's exponential repairs; ``cv < 1`` gives the more
+    regular (gamma) repairs discussed in Section 4.4, under which sites
+    tend to recover in the same order as they failed.
+    """
+
+    cv: float = 1.0
+
+    def sample(self, rng: np.random.Generator, mean: float) -> float:
+        """Draw one repair time with the given mean."""
+        if self.cv == 1.0:
+            return float(rng.exponential(mean))
+        if self.cv <= 0:
+            return float(mean)
+        shape = 1.0 / (self.cv**2)
+        scale = mean / shape
+        return float(rng.gamma(shape, scale))
+
+
+FailureCallback = Callable[[SiteId, SimTime], None]
+
+
+class FailureRepairProcess:
+    """Drives a set of sites through independent failure/repair cycles.
+
+    All sites start *up*.  Listeners are notified synchronously, failure
+    callbacks before the next event fires, so protocol layers can update
+    their state machines at the exact instant of the transition.
+
+    Parameters
+    ----------
+    sim:
+        The discrete-event simulator supplying the clock.
+    site_ids:
+        The sites to drive.
+    failure_rate, repair_rate:
+        The paper's lambda and mu.  ``failure_rate = 0`` disables
+        failures.  Either may also be a mapping ``site_id -> rate`` for
+        heterogeneous sites (the case the paper's Section 4.1 explicitly
+        sets aside; see :mod:`repro.analysis.heterogeneous`).
+    streams:
+        Named RNG streams; each site gets its own independent stream.
+    repair_distribution:
+        Repair-time law (default exponential, i.e. the paper's model).
+    repair_capacity:
+        ``None`` (default) reproduces the paper's parallel repair; a
+        positive integer bounds concurrent repairs, queueing the rest.
+    repair_discipline:
+        Queue order when capacity binds: ``"fifo"`` or ``"random"``.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        site_ids: Sequence[SiteId],
+        failure_rate: Union[float, Mapping[SiteId, float]],
+        repair_rate: Union[float, Mapping[SiteId, float]],
+        streams: RandomStreams,
+        repair_distribution: RepairDistribution = RepairDistribution(),
+        repair_capacity: Optional[int] = None,
+        repair_discipline: str = "fifo",
+    ) -> None:
+        site_list = list(site_ids)
+
+        def expand(value, name, minimum_exclusive):
+            if isinstance(value, Mapping):
+                rates = {s: float(value[s]) for s in site_list}
+            else:
+                rates = {s: float(value) for s in site_list}
+            for rate in rates.values():
+                if rate < 0 or (minimum_exclusive and rate == 0):
+                    raise ValueError(
+                        f"{name} must be {'>' if minimum_exclusive else '>='}"
+                        f" 0, got {rate}"
+                    )
+            return rates
+
+        failure_rates = expand(failure_rate, "failure_rate", False)
+        repair_rates = expand(repair_rate, "repair_rate", True)
+        if repair_capacity is not None and repair_capacity < 1:
+            raise ValueError(
+                f"repair_capacity must be >= 1 or None, got {repair_capacity}"
+            )
+        if repair_discipline not in ("fifo", "random"):
+            raise ValueError(
+                f"repair_discipline must be 'fifo' or 'random', "
+                f"got {repair_discipline!r}"
+            )
+        self._sim = sim
+        self._site_ids = site_list
+        self._failure_rates = failure_rates
+        self._repair_rates = repair_rates
+        self._repair_distribution = repair_distribution
+        self._capacity = repair_capacity
+        self._discipline = repair_discipline
+        self._rngs: Dict[SiteId, np.random.Generator] = {
+            s: streams.stream(f"failure-process-site-{s}")
+            for s in self._site_ids
+        }
+        self._queue_rng = streams.stream("repair-queue-discipline")
+        self._facility_rng = streams.stream("repair-facility-times")
+        self._up: Dict[SiteId, bool] = {s: True for s in self._site_ids}
+        #: FIFO: sites waiting for a service slot.  Random: all failed
+        #: sites (services are not bound to sites).
+        self._repair_queue: List[SiteId] = []
+        self._active_repairs = 0
+        self._failure_listeners: List[FailureCallback] = []
+        self._repair_listeners: List[FailureCallback] = []
+        self._started = False
+
+    # -- wiring -----------------------------------------------------------
+
+    def on_failure(self, callback: FailureCallback) -> None:
+        """Register a callback invoked as ``callback(site_id, time)``."""
+        self._failure_listeners.append(callback)
+
+    def on_repair(self, callback: FailureCallback) -> None:
+        """Register a callback invoked as ``callback(site_id, time)``."""
+        self._repair_listeners.append(callback)
+
+    # -- queries ----------------------------------------------------------
+
+    def is_up(self, site_id: SiteId) -> bool:
+        """Whether the site's hardware is currently up."""
+        return self._up[site_id]
+
+    def up_sites(self) -> List[SiteId]:
+        """Sites whose hardware is currently up, in id order."""
+        return [s for s in self._site_ids if self._up[s]]
+
+    @property
+    def rho(self) -> float:
+        """The failure-to-repair ratio lambda/mu (homogeneous groups).
+
+        For heterogeneous groups this is the mean of the per-site
+        ratios; use :meth:`site_rho` for an individual site.
+        """
+        ratios = [self.site_rho(s) for s in self._site_ids]
+        return sum(ratios) / len(ratios)
+
+    def site_rho(self, site_id: SiteId) -> float:
+        """One site's failure-to-repair ratio."""
+        return self._failure_rates[site_id] / self._repair_rates[site_id]
+
+    @property
+    def queued_repairs(self) -> int:
+        """Failed sites waiting for the repair facility."""
+        return len(self._repair_queue)
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def start(self) -> None:
+        """Schedule the first failure of every site.  Idempotent."""
+        if self._started:
+            return
+        self._started = True
+        for site_id in self._site_ids:
+            self._schedule_failure(site_id)
+
+    def _schedule_failure(self, site_id: SiteId) -> None:
+        rate = self._failure_rates[site_id]
+        if rate == 0.0:
+            return  # this site never fails
+        delay = float(self._rngs[site_id].exponential(1.0 / rate))
+        self._sim.schedule(delay, self._fail, site_id)
+
+    def _begin_site_repair(self, site_id: SiteId) -> None:
+        """FIFO / parallel: a service slot bound to one site."""
+        self._active_repairs += 1
+        delay = self._repair_distribution.sample(
+            self._rngs[site_id], 1.0 / self._repair_rates[site_id]
+        )
+        self._sim.schedule(delay, self._site_repair_done, site_id)
+
+    def _begin_facility_service(self) -> None:
+        """Random discipline: an anonymous service completion."""
+        self._active_repairs += 1
+        # the shared facility's service rate is the mean repair rate
+        mean_rate = sum(self._repair_rates.values()) / len(
+            self._repair_rates
+        )
+        delay = self._repair_distribution.sample(
+            self._facility_rng, 1.0 / mean_rate
+        )
+        self._sim.schedule(delay, self._facility_service_done)
+
+    def _maybe_start_repairs(self) -> None:
+        if self._capacity is not None and self._discipline == "random":
+            while (
+                self._active_repairs < self._capacity
+                and self._active_repairs < len(self._repair_queue)
+            ):
+                self._begin_facility_service()
+            return
+        while self._repair_queue and (
+            self._capacity is None or self._active_repairs < self._capacity
+        ):
+            self._begin_site_repair(self._repair_queue.pop(0))
+
+    def _fail(self, site_id: SiteId) -> None:
+        self._up[site_id] = False
+        now = self._sim.now
+        for listener in self._failure_listeners:
+            listener(site_id, now)
+        self._repair_queue.append(site_id)
+        self._maybe_start_repairs()
+
+    def _mark_repaired(self, site_id: SiteId) -> None:
+        self._up[site_id] = True
+        now = self._sim.now
+        for listener in self._repair_listeners:
+            listener(site_id, now)
+        self._schedule_failure(site_id)
+
+    def _site_repair_done(self, site_id: SiteId) -> None:
+        self._active_repairs -= 1
+        self._mark_repaired(site_id)
+        self._maybe_start_repairs()
+
+    def _facility_service_done(self) -> None:
+        self._active_repairs -= 1
+        if self._repair_queue:
+            index = int(self._queue_rng.integers(len(self._repair_queue)))
+            site_id = self._repair_queue.pop(index)
+            self._mark_repaired(site_id)
+        self._maybe_start_repairs()

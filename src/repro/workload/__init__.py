@@ -1,0 +1,18 @@
+"""Workload generation and execution against simulated replica groups."""
+
+from .generator import WorkloadGenerator, WorkloadSpec
+from .ops import Operation, OperationOutcome, OpKind
+from .runner import WorkloadResult, WorkloadRunner
+from .trace import Trace, record_trace
+
+__all__ = [
+    "WorkloadSpec",
+    "WorkloadGenerator",
+    "Operation",
+    "OperationOutcome",
+    "OpKind",
+    "WorkloadRunner",
+    "WorkloadResult",
+    "Trace",
+    "record_trace",
+]

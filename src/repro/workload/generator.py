@@ -1,0 +1,116 @@
+"""Synthetic block-access workload generation.
+
+The paper parameterises its traffic comparison by the read-to-write
+ratio, citing Ousterhout et al.'s BSD trace study for a typical value
+around 2.5:1 (Section 5.1).  :class:`WorkloadGenerator` produces streams
+of read/write operations with a configurable ratio and a choice of block
+access distributions:
+
+* ``uniform`` -- every block equally likely;
+* ``zipf`` -- a hot set, closer to observed file system traffic;
+* ``sequential`` -- scans, the classic large-file access pattern.
+
+All randomness comes from named :class:`~repro.sim.rng.RandomStreams`, so
+workloads are reproducible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Optional
+
+import numpy as np
+
+from ..errors import ReproError
+from ..sim.rng import RandomStreams
+from .ops import Operation, OpKind
+
+__all__ = ["WorkloadSpec", "WorkloadGenerator"]
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """Shape of a synthetic workload."""
+
+    #: Expected reads per write (the paper's x; 2.5 is the cited typical).
+    read_write_ratio: float = 2.5
+    #: Operation arrival rate (operations per simulated time unit).
+    op_rate: float = 10.0
+    #: Block-selection distribution: uniform | zipf | sequential.
+    distribution: str = "uniform"
+    #: Zipf exponent (only for ``distribution="zipf"``).
+    zipf_exponent: float = 1.2
+
+    def __post_init__(self) -> None:
+        if self.read_write_ratio < 0:
+            raise ReproError(
+                f"read_write_ratio must be >= 0, got {self.read_write_ratio}"
+            )
+        if self.op_rate <= 0:
+            raise ReproError(f"op_rate must be > 0, got {self.op_rate}")
+        if self.distribution not in ("uniform", "zipf", "sequential"):
+            raise ReproError(f"unknown distribution {self.distribution!r}")
+        if self.zipf_exponent <= 1.0:
+            raise ReproError(
+                f"zipf_exponent must exceed 1, got {self.zipf_exponent}"
+            )
+
+    @property
+    def write_fraction(self) -> float:
+        """Probability an operation is a write."""
+        return 1.0 / (1.0 + self.read_write_ratio)
+
+
+class WorkloadGenerator:
+    """Reproducible stream of block operations."""
+
+    def __init__(
+        self,
+        spec: WorkloadSpec,
+        num_blocks: int,
+        streams: Optional[RandomStreams] = None,
+        name: str = "workload",
+    ) -> None:
+        if num_blocks < 1:
+            raise ReproError(f"need at least one block, got {num_blocks}")
+        self._spec = spec
+        self._num_blocks = num_blocks
+        streams = streams if streams is not None else RandomStreams()
+        self._rng: np.random.Generator = streams.stream(name)
+        self._cursor = 0  # for sequential access
+
+    @property
+    def spec(self) -> WorkloadSpec:
+        return self._spec
+
+    # -- draws ------------------------------------------------------------
+
+    def next_interarrival(self) -> float:
+        """Time until the next operation (exponential arrivals)."""
+        return float(self._rng.exponential(1.0 / self._spec.op_rate))
+
+    def _next_block(self) -> int:
+        kind = self._spec.distribution
+        if kind == "uniform":
+            return int(self._rng.integers(0, self._num_blocks))
+        if kind == "zipf":
+            while True:
+                value = int(self._rng.zipf(self._spec.zipf_exponent)) - 1
+                if value < self._num_blocks:
+                    return value
+        block = self._cursor
+        self._cursor = (self._cursor + 1) % self._num_blocks
+        return block
+
+    def next_operation(self) -> Operation:
+        """Draw the next operation."""
+        is_write = self._rng.random() < self._spec.write_fraction
+        return Operation(
+            kind=OpKind.WRITE if is_write else OpKind.READ,
+            block=self._next_block(),
+        )
+
+    def operations(self, count: int) -> Iterator[Operation]:
+        """A finite stream of ``count`` operations."""
+        for _ in range(count):
+            yield self.next_operation()

@@ -1,0 +1,42 @@
+"""Operation records for device workloads."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from ..types import BlockIndex, SimTime
+
+__all__ = ["OpKind", "Operation", "OperationOutcome"]
+
+
+class OpKind(enum.Enum):
+    """The two block-device operations the paper analyses."""
+
+    READ = "read"
+    WRITE = "write"
+
+
+@dataclass(frozen=True)
+class Operation:
+    """One intended device access."""
+
+    kind: OpKind
+    block: BlockIndex
+
+    def __str__(self) -> str:
+        return f"{self.kind.value}({self.block})"
+
+
+@dataclass(frozen=True)
+class OperationOutcome:
+    """What happened when an operation was attempted."""
+
+    op: Operation
+    time: SimTime
+    ok: bool
+    messages: int
+
+    @property
+    def failed(self) -> bool:
+        return not self.ok

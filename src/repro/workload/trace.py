@@ -1,0 +1,166 @@
+"""Workload traces: record, save, load and replay operation streams.
+
+The paper grounds its read-to-write ratio in a trace study (Ousterhout
+et al. [9]).  This module gives the repository the same methodology:
+an operation stream -- synthetic or captured from a run -- can be saved
+to a compact text format and replayed against any cluster, so two
+schemes can be compared under *byte-identical* workloads rather than
+merely statistically identical ones.
+
+Format: one operation per line, ``r <block>`` or ``w <block>``, with
+``#`` comments; timestamps are not stored (replay assigns arrivals).
+"""
+
+from __future__ import annotations
+
+import io
+from dataclasses import dataclass
+from typing import Iterable, Iterator, List, TextIO, Union
+
+from ..errors import ReproError
+from .generator import WorkloadGenerator, WorkloadSpec
+from .ops import Operation, OpKind
+
+__all__ = ["Trace", "record_trace"]
+
+_KIND_TO_TAG = {OpKind.READ: "r", OpKind.WRITE: "w"}
+_TAG_TO_KIND = {"r": OpKind.READ, "w": OpKind.WRITE}
+
+
+@dataclass(frozen=True)
+class Trace:
+    """An immutable sequence of block operations."""
+
+    operations: tuple
+
+    def __post_init__(self) -> None:
+        for op in self.operations:
+            if not isinstance(op, Operation):
+                raise ReproError(f"not an operation: {op!r}")
+
+    def __len__(self) -> int:
+        return len(self.operations)
+
+    def __iter__(self) -> Iterator[Operation]:
+        return iter(self.operations)
+
+    # -- statistics ---------------------------------------------------------
+
+    def read_write_ratio(self) -> float:
+        """Observed reads per write (inf if no writes)."""
+        reads = sum(1 for op in self if op.kind is OpKind.READ)
+        writes = len(self) - reads
+        if writes == 0:
+            return float("inf")
+        return reads / writes
+
+    def blocks_touched(self) -> int:
+        """Number of distinct blocks referenced."""
+        return len({op.block for op in self})
+
+    def max_block(self) -> int:
+        """Highest block index referenced (-1 for an empty trace)."""
+        return max((op.block for op in self), default=-1)
+
+    # -- serialisation ---------------------------------------------------------
+
+    def dump(self, stream: TextIO) -> None:
+        """Write the trace in the one-op-per-line format."""
+        stream.write(f"# repro trace: {len(self)} operations\n")
+        for op in self:
+            stream.write(f"{_KIND_TO_TAG[op.kind]} {op.block}\n")
+
+    def dumps(self) -> str:
+        """The trace as a string."""
+        buffer = io.StringIO()
+        self.dump(buffer)
+        return buffer.getvalue()
+
+    @classmethod
+    def load(cls, stream: Union[TextIO, str]) -> "Trace":
+        """Parse a trace from a stream or string."""
+        if isinstance(stream, str):
+            stream = io.StringIO(stream)
+        operations: List[Operation] = []
+        for line_number, raw in enumerate(stream, start=1):
+            line = raw.split("#", 1)[0].strip()
+            if not line:
+                continue
+            parts = line.split()
+            if len(parts) != 2 or parts[0] not in _TAG_TO_KIND:
+                raise ReproError(
+                    f"bad trace line {line_number}: {raw.rstrip()!r}"
+                )
+            try:
+                block = int(parts[1])
+            except ValueError:
+                raise ReproError(
+                    f"bad block index on line {line_number}: {parts[1]!r}"
+                ) from None
+            if block < 0:
+                raise ReproError(
+                    f"negative block index on line {line_number}"
+                )
+            operations.append(
+                Operation(kind=_TAG_TO_KIND[parts[0]], block=block)
+            )
+        return cls(operations=tuple(operations))
+
+    @classmethod
+    def from_operations(cls, operations: Iterable[Operation]) -> "Trace":
+        return cls(operations=tuple(operations))
+
+    # -- replay ------------------------------------------------------------------
+
+    def replay(
+        self,
+        cluster,
+        origin: int = 0,
+        op_rate: float = 10.0,
+    ):
+        """Replay the trace against a cluster; returns a WorkloadResult.
+
+        Arrivals are Poisson at ``op_rate`` (the trace stores order, not
+        timing).  Uses the same accounting as
+        :class:`~repro.workload.runner.WorkloadRunner`.
+        """
+        from .runner import WorkloadResult, WorkloadRunner
+
+        runner = WorkloadRunner(
+            cluster, WorkloadSpec(op_rate=op_rate), origin=origin
+        )
+        iterator = iter(self.operations)
+        interarrival = cluster.streams.stream("trace-replay")
+
+        def tick():
+            try:
+                op = next(iterator)
+            except StopIteration:
+                return
+            runner._attempt(op)
+            cluster.sim.schedule(
+                float(interarrival.exponential(1.0 / op_rate)), tick
+            )
+
+        cluster.sim.schedule(
+            float(interarrival.exponential(1.0 / op_rate)), tick
+        )
+        cluster.start_failures()
+        cluster.sim.run()
+        return runner.result
+
+
+def record_trace(
+    spec: WorkloadSpec,
+    num_blocks: int,
+    count: int,
+    seed: int = 0,
+) -> Trace:
+    """Generate a reproducible synthetic trace from a workload spec."""
+    from ..sim.rng import RandomStreams
+
+    generator = WorkloadGenerator(
+        spec, num_blocks=num_blocks,
+        streams=RandomStreams(seed=seed), name="trace-recorder",
+    )
+    return Trace.from_operations(generator.operations(count))

@@ -1,0 +1,160 @@
+"""Closed-form availability: the paper's stated identities and shapes."""
+
+import pytest
+
+from repro.analysis import (
+    available_copy_availability,
+    available_copy_closed_form,
+    naive_availability,
+    naive_b_polynomial,
+    scheme_availability,
+    site_availability,
+    voting_availability,
+)
+from repro.errors import AnalysisError
+from repro.types import SchemeName
+
+RHOS = (0.01, 0.05, 0.1, 0.2, 0.5, 1.0)
+
+
+class TestSiteAvailability:
+    def test_formula(self):
+        assert site_availability(0.0) == 1.0
+        assert site_availability(0.2) == pytest.approx(1 / 1.2)
+
+    def test_paper_calibration_point(self):
+        """rho = 0.20 corresponds to individual availability 83.33%."""
+        assert site_availability(0.20) == pytest.approx(0.8333, abs=1e-4)
+
+
+class TestVoting:
+    def test_single_copy_reduces_to_site(self):
+        for rho in RHOS:
+            assert voting_availability(1, rho) == pytest.approx(
+                site_availability(rho)
+            )
+
+    def test_perfect_copies(self):
+        assert voting_availability(5, 0.0) == 1.0
+
+    @pytest.mark.parametrize("k", [1, 2, 3, 4])
+    @pytest.mark.parametrize("rho", RHOS)
+    def test_even_equals_preceding_odd(self, k, rho):
+        """Equation (1.b): A_V(2k) == A_V(2k-1)."""
+        assert voting_availability(2 * k, rho) == pytest.approx(
+            voting_availability(2 * k - 1, rho), abs=1e-12
+        )
+
+    def test_three_copies_explicit_formula(self):
+        rho = 0.1
+        expected = (1 + 3 * rho) / (1 + rho) ** 3
+        assert voting_availability(3, rho) == pytest.approx(expected)
+
+    def test_more_copies_help_for_small_rho(self):
+        for n in (1, 3, 5, 7):
+            assert voting_availability(n + 2, 0.05) > voting_availability(
+                n, 0.05
+            )
+
+    def test_decreasing_in_rho(self):
+        values = [voting_availability(5, rho) for rho in RHOS]
+        assert values == sorted(values, reverse=True)
+
+
+class TestAvailableCopy:
+    def test_single_copy_reduces_to_site(self):
+        for rho in RHOS:
+            assert available_copy_availability(1, rho) == pytest.approx(
+                site_availability(rho)
+            )
+
+    @pytest.mark.parametrize("n", [2, 3, 4])
+    def test_closed_forms_match_chain(self, n):
+        for rho in RHOS:
+            assert available_copy_closed_form(n, rho) == pytest.approx(
+                available_copy_availability(n, rho), abs=1e-12
+            )
+
+    def test_closed_form_beyond_four_rejected(self):
+        with pytest.raises(AnalysisError):
+            available_copy_closed_form(5, 0.1)
+
+    def test_perfect_copies(self):
+        assert available_copy_availability(3, 0.0) == 1.0
+
+    def test_increasing_in_n(self):
+        for rho in (0.05, 0.2):
+            values = [
+                available_copy_availability(n, rho) for n in range(1, 6)
+            ]
+            assert values == sorted(values)
+
+    def test_decreasing_in_rho(self):
+        values = [available_copy_availability(3, rho) for rho in RHOS]
+        assert values == sorted(values, reverse=True)
+
+
+class TestNaive:
+    def test_identity_with_three_voting_copies(self):
+        """Section 4.3: A_NA(2) == A_V(3)."""
+        for rho in RHOS:
+            assert naive_availability(2, rho) == pytest.approx(
+                voting_availability(3, rho), abs=1e-12
+            )
+
+    def test_single_copy_reduces_to_site(self):
+        for rho in RHOS:
+            assert naive_availability(1, rho) == pytest.approx(
+                site_availability(rho)
+            )
+
+    def test_perfect_copies(self):
+        assert naive_availability(4, 0.0) == 1.0
+
+    def test_b_polynomial_small_case(self):
+        # B(2; rho) = 3/2 + 1/(2 rho), computed by hand from the paper.
+        rho = 0.25
+        assert naive_b_polynomial(2, rho) == pytest.approx(1.5 + 2.0)
+
+    def test_bounded_by_tracked_scheme(self):
+        for n in (2, 3, 4):
+            for rho in RHOS:
+                assert naive_availability(n, rho) <= (
+                    available_copy_availability(n, rho) + 1e-12
+                )
+
+    def test_negligible_gap_for_realistic_rho(self):
+        """Section 4.4: no significant difference for rho < 0.10."""
+        for n in (3, 4):
+            gap = available_copy_availability(n, 0.05) - naive_availability(
+                n, 0.05
+            )
+            assert gap < 1e-3
+
+
+class TestHeadlineComparisons:
+    def test_n_available_copies_beat_2n_voting_copies(self):
+        """The abstract's claim, checked across the Figure 9-10 range."""
+        for n in (2, 3, 4):
+            for rho in (0.02, 0.05, 0.1, 0.2):
+                assert available_copy_availability(
+                    n, rho
+                ) > voting_availability(2 * n, rho)
+                assert naive_availability(n, rho) >= (
+                    voting_availability(2 * n, rho) - 1e-12
+                )
+
+    def test_dispatch(self):
+        for scheme in SchemeName:
+            value = scheme_availability(scheme, 3, 0.1)
+            assert 0.9 < value < 1.0
+
+
+class TestValidation:
+    def test_bad_parameters_rejected(self):
+        with pytest.raises(AnalysisError):
+            voting_availability(0, 0.1)
+        with pytest.raises(AnalysisError):
+            naive_availability(3, -0.5)
+        with pytest.raises(AnalysisError):
+            available_copy_availability(-1, 0.1)

@@ -1,0 +1,81 @@
+"""Bounds and Theorem 4.1."""
+
+import pytest
+
+from repro.analysis import (
+    available_copy_availability,
+    available_copy_lower_bound,
+    sufficient_condition_holds,
+    theorem_4_1_holds,
+    theorem_4_1_margin,
+    verify_theorem_4_1,
+    voting_availability,
+    voting_upper_bound,
+)
+from repro.errors import AnalysisError
+
+RHOS = (0.05, 0.1, 0.25, 0.5, 0.75, 1.0)
+
+
+def test_lower_bound_is_actually_below_the_exact_value():
+    for n in (2, 3, 4, 5, 6):
+        for rho in RHOS:
+            assert available_copy_lower_bound(
+                n, rho
+            ) < available_copy_availability(n, rho)
+
+
+def test_upper_bound_is_actually_above_the_exact_value():
+    for n in (2, 3, 4, 5):
+        for rho in RHOS:
+            copies = 2 * n - 1
+            assert voting_upper_bound(copies, rho) > voting_availability(
+                copies, rho
+            )
+
+
+def test_upper_bound_requires_odd_group():
+    with pytest.raises(AnalysisError):
+        voting_upper_bound(4, 0.1)
+
+
+def test_sufficient_condition_per_paper():
+    """Inequality (6) holds for n >= 4 and all rho <= 1 (the induction
+    base and step of the paper's proof)."""
+    for n in (4, 5, 6, 7, 8):
+        for rho in RHOS:
+            assert sufficient_condition_holds(n, rho)
+
+
+def test_theorem_holds_across_the_stated_range():
+    for n in (2, 3, 4, 5, 6, 7, 8):
+        for rho in RHOS:
+            assert theorem_4_1_holds(n, rho), (n, rho)
+            assert theorem_4_1_margin(n, rho) > 0
+
+
+def test_theorem_margin_matches_direct_difference():
+    n, rho = 3, 0.2
+    expected = available_copy_availability(n, rho) - voting_availability(
+        5, rho
+    )
+    assert theorem_4_1_margin(n, rho) == pytest.approx(expected)
+
+
+def test_theorem_degenerate_at_rho_zero():
+    # both availabilities are exactly 1; strict inequality fails
+    assert not theorem_4_1_holds(3, 0.0)
+
+
+def test_verify_sweep_shape():
+    rows = verify_theorem_4_1([2, 3], [0.1, 0.5])
+    assert len(rows) == 4
+    for n, rho, margin, holds in rows:
+        assert holds and margin > 0
+
+
+def test_bounds_reject_bad_parameters():
+    with pytest.raises(AnalysisError):
+        available_copy_lower_bound(0, 0.1)
+    with pytest.raises(AnalysisError):
+        sufficient_condition_holds(3, -0.1)

@@ -1,0 +1,105 @@
+"""The paper's state diagrams versus its closed forms.
+
+These are the central correctness tests of the analytic layer: the
+Figure 7 chain must reproduce equations (2)-(4), the Figure 8 chain must
+reproduce the B(n; rho) formula, and the voting chain must reproduce
+equations (1.a)/(1.b) -- all to machine precision.
+"""
+
+import pytest
+
+from repro.analysis import (
+    available_copy_availability,
+    available_copy_chain,
+    available_copy_closed_form,
+    is_available_state,
+    is_voting_available,
+    naive_availability,
+    naive_available_copy_chain,
+    voting_availability,
+    voting_chain,
+)
+from repro.errors import AnalysisError
+
+RHOS = (0.01, 0.05, 0.1, 0.2, 0.5, 1.0)
+
+
+@pytest.mark.parametrize("rho", RHOS)
+@pytest.mark.parametrize("n", [2, 3, 4])
+def test_figure7_chain_matches_closed_forms(n, rho):
+    chain = available_copy_chain(n, rho)
+    from_chain = chain.probability_of(is_available_state)
+    closed = available_copy_closed_form(n, rho)
+    assert from_chain == pytest.approx(closed, abs=1e-12)
+
+
+@pytest.mark.parametrize("rho", RHOS)
+@pytest.mark.parametrize("n", [1, 2, 3, 4, 5, 6, 7])
+def test_figure8_chain_matches_b_formula(n, rho):
+    chain = naive_available_copy_chain(n, rho)
+    from_chain = chain.probability_of(is_available_state)
+    assert from_chain == pytest.approx(naive_availability(n, rho), abs=1e-12)
+
+
+@pytest.mark.parametrize("rho", RHOS)
+@pytest.mark.parametrize("n", [1, 2, 3, 4, 5, 6, 7, 8])
+def test_voting_chain_matches_equation_1(n, rho):
+    chain = voting_chain(n, rho)
+    from_chain = chain.probability_of(is_voting_available(n))
+    assert from_chain == pytest.approx(voting_availability(n, rho), abs=1e-12)
+
+
+@pytest.mark.parametrize("n", [2, 3, 4, 5])
+def test_chain_sizes_are_2n(n):
+    assert available_copy_chain(n, 0.1).num_states == 2 * n
+    assert naive_available_copy_chain(n, 0.1).num_states == 2 * n
+
+
+def test_naive_chain_has_no_early_exit():
+    """Figure 8: no transition from Sp_j (j <= n-2) to an S state."""
+    n = 4
+    chain = naive_available_copy_chain(n, 0.1)
+    for j in range(n - 1):
+        for dst in chain.states:
+            if dst[0] == "S":
+                assert chain.rate(("Sp", j), dst) == 0.0
+
+
+def test_tracked_chain_exits_every_comatose_state():
+    """Figure 7: rate mu from every Sp state to an available state."""
+    n = 4
+    chain = available_copy_chain(n, 0.1)
+    for j in range(n):
+        total_to_available = sum(
+            chain.rate(("Sp", j), dst)
+            for dst in chain.states
+            if dst[0] == "S"
+        )
+        assert total_to_available == pytest.approx(1.0)  # mu = 1
+
+
+def test_available_copy_general_n_is_consistent_with_chain():
+    for n in (5, 6):
+        for rho in (0.05, 0.3):
+            chain_value = available_copy_chain(n, rho).probability_of(
+                is_available_state
+            )
+            assert available_copy_availability(n, rho) == pytest.approx(
+                chain_value, abs=1e-12
+            )
+
+
+def test_invalid_parameters_rejected():
+    with pytest.raises(AnalysisError):
+        available_copy_chain(0, 0.1)
+    with pytest.raises(AnalysisError):
+        naive_available_copy_chain(3, -0.1)
+
+
+def test_tracked_always_at_least_naive():
+    for n in (2, 3, 4, 5):
+        for rho in RHOS:
+            assert (
+                available_copy_availability(n, rho)
+                >= naive_availability(n, rho) - 1e-12
+            )

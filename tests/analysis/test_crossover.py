@@ -1,0 +1,88 @@
+"""The Section 5.1 crossover claim."""
+
+import pytest
+
+from repro.analysis.crossover import (
+    crossover_failures_per_access,
+    traffic_rate_per_access,
+)
+from repro.errors import AnalysisError
+from repro.types import AddressingMode, SchemeName
+
+
+def test_rate_without_failures_is_pure_access_cost():
+    rate = traffic_rate_per_access(
+        SchemeName.NAIVE_AVAILABLE_COPY, 4, 0.05,
+        reads_per_write=2.5, failures_per_access=0.0,
+    )
+    # one message per write, writes are 1/(1+2.5) of accesses
+    assert rate == pytest.approx(1.0 / 3.5)
+
+
+def test_rate_grows_linearly_with_failure_frequency():
+    base = traffic_rate_per_access(
+        SchemeName.AVAILABLE_COPY, 4, 0.05, 2.5, 0.0
+    )
+    loaded = traffic_rate_per_access(
+        SchemeName.AVAILABLE_COPY, 4, 0.05, 2.5, 0.1
+    )
+    from repro.analysis import traffic_model
+
+    recovery = traffic_model(SchemeName.AVAILABLE_COPY, 4, 0.05).recovery
+    assert loaded - base == pytest.approx(0.1 * recovery)
+
+
+def test_voting_rate_is_failure_independent():
+    rates = {
+        traffic_rate_per_access(SchemeName.VOTING, 4, 0.05, 2.5, phi)
+        for phi in (0.0, 0.5, 10.0)
+    }
+    assert len(rates) == 1
+
+
+@pytest.mark.parametrize("mode", list(AddressingMode))
+@pytest.mark.parametrize("x", [1.0, 2.5, 4.0])
+@pytest.mark.parametrize("n", [3, 5, 8])
+def test_papers_crossover_claim(mode, x, n):
+    """Failures would have to out-number accesses: phi* > 1."""
+    for against in (SchemeName.AVAILABLE_COPY,
+                    SchemeName.NAIVE_AVAILABLE_COPY):
+        phi_star = crossover_failures_per_access(
+            n, 0.05, x, against=against, mode=mode
+        )
+        assert phi_star > 0.25, (mode, x, n, against, phi_star)
+        # for the typical read-dominated workloads the paper cites,
+        # the crossover sits above one failure per access
+        if x >= 2.5 and n >= 3:
+            assert phi_star > 0.4
+
+
+def test_crossover_balances_the_rates_exactly():
+    n, rho, x = 5, 0.05, 2.5
+    phi_star = crossover_failures_per_access(n, rho, x)
+    voting = traffic_rate_per_access(SchemeName.VOTING, n, rho, x, phi_star)
+    ac = traffic_rate_per_access(
+        SchemeName.AVAILABLE_COPY, n, rho, x, phi_star
+    )
+    assert voting == pytest.approx(ac)
+
+
+def test_beyond_crossover_voting_wins():
+    n, rho, x = 5, 0.05, 2.5
+    phi_star = crossover_failures_per_access(n, rho, x)
+    above = 2 * phi_star
+    assert traffic_rate_per_access(
+        SchemeName.VOTING, n, rho, x, above
+    ) < traffic_rate_per_access(
+        SchemeName.AVAILABLE_COPY, n, rho, x, above
+    )
+
+
+def test_validation():
+    with pytest.raises(AnalysisError):
+        crossover_failures_per_access(3, 0.05, 2.5,
+                                      against=SchemeName.VOTING)
+    with pytest.raises(AnalysisError):
+        traffic_rate_per_access(SchemeName.VOTING, 3, 0.05, -1.0, 0.0)
+    with pytest.raises(AnalysisError):
+        traffic_rate_per_access(SchemeName.VOTING, 3, 0.05, 1.0, -0.1)

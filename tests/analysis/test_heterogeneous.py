@@ -1,0 +1,198 @@
+"""Heterogeneous-site availability (the lifted Section 4.1 restriction)."""
+
+import pytest
+
+from repro.analysis import (
+    available_copy_availability,
+    naive_availability,
+    voting_availability,
+)
+from repro.analysis.heterogeneous import (
+    heterogeneous_available_copy_availability,
+    heterogeneous_naive_availability,
+    heterogeneous_voting_availability,
+)
+from repro.core import QuorumSpec
+from repro.errors import AnalysisError
+
+RHOS = (0.05, 0.2, 0.5)
+
+
+class TestReductionToHomogeneous:
+    """Equal per-site ratios must reproduce the paper's formulas."""
+
+    @pytest.mark.parametrize("n", [1, 2, 3, 4, 5])
+    @pytest.mark.parametrize("rho", RHOS)
+    def test_voting(self, n, rho):
+        assert heterogeneous_voting_availability(
+            [rho] * n
+        ) == pytest.approx(voting_availability(n, rho), abs=1e-12)
+
+    @pytest.mark.parametrize("n", [1, 2, 3, 4])
+    @pytest.mark.parametrize("rho", RHOS)
+    def test_naive(self, n, rho):
+        assert heterogeneous_naive_availability(
+            [rho] * n
+        ) == pytest.approx(naive_availability(n, rho), abs=1e-12)
+
+    @pytest.mark.parametrize("n", [1, 2, 3, 4])
+    @pytest.mark.parametrize("rho", RHOS)
+    def test_available_copy(self, n, rho):
+        assert heterogeneous_available_copy_availability(
+            [rho] * n
+        ) == pytest.approx(
+            available_copy_availability(n, rho), abs=1e-12
+        )
+
+
+class TestHeterogeneousBehaviour:
+    def test_one_reliable_site_carries_available_copy(self):
+        """A nearly perfect copy dominates the AC group's availability."""
+        mixed = heterogeneous_available_copy_availability(
+            [0.001, 0.5, 0.5]
+        )
+        assert mixed > 0.998
+
+    def test_concentrated_reliability_helps_voting_less_than_ac(self):
+        """One golden copy helps voting a bit (two quorums contain it)
+        but helps available copy enormously (it alone is service)."""
+        rhos = [0.001, 0.5, 0.5]
+        ac = heterogeneous_available_copy_availability(rhos)
+        mcv = heterogeneous_voting_availability(rhos)
+        assert mcv < ac
+        # both schemes gain over an evenly-mediocre group of the same
+        # mean rho, but AC converts the golden copy into a far larger
+        # *unavailability* reduction (it is never down while that copy
+        # is up; voting still needs a flaky partner for its quorum)
+        even = sum(rhos) / 3
+        voting_reduction = (1 - voting_availability(3, even)) / (1 - mcv)
+        ac_reduction = (
+            1 - available_copy_availability(3, even)
+        ) / (1 - ac)
+        assert voting_reduction > 1.0
+        assert ac_reduction > 10 * voting_reduction
+
+    def test_improving_any_site_helps_every_scheme(self):
+        base = [0.2, 0.2, 0.2]
+        for fn in (
+            heterogeneous_voting_availability,
+            heterogeneous_naive_availability,
+            heterogeneous_available_copy_availability,
+        ):
+            reference = fn(base)
+            for index in range(3):
+                better = list(base)
+                better[index] = 0.05
+                assert fn(better) > reference
+
+    def test_scheme_ordering_holds_with_mixed_rates(self):
+        rhos = [0.02, 0.1, 0.4]
+        mcv = heterogeneous_voting_availability(rhos)
+        nac = heterogeneous_naive_availability(rhos)
+        ac = heterogeneous_available_copy_availability(rhos)
+        assert mcv < nac <= ac
+
+    def test_tie_breaking_weight_belongs_on_the_reliable_site(self):
+        """For even groups, where the extra tie-breaking weight sits
+        matters: a 2-2 split wins only if it contains that site, so it
+        should be the most reliable one."""
+        rhos = [0.01, 0.4, 0.4, 0.4]
+        bonus_on_reliable = heterogeneous_voting_availability(
+            rhos,
+            spec=QuorumSpec.weighted([1.5, 1.0, 1.0, 1.0],
+                                     read_quorum=2.25, write_quorum=2.25),
+        )
+        bonus_on_flaky = heterogeneous_voting_availability(
+            rhos,
+            spec=QuorumSpec.weighted([1.0, 1.0, 1.0, 1.5],
+                                     read_quorum=2.25, write_quorum=2.25),
+        )
+        assert bonus_on_reliable > bonus_on_flaky
+
+    def test_three_site_majority_cannot_be_beaten_by_weights(self):
+        """'Any 2 of 3' is the maximal intersecting quorum family on
+        three sites, so no weight assignment improves on it."""
+        rhos = [0.01, 0.4, 0.4]
+        majority = heterogeneous_voting_availability(rhos)
+        skewed = heterogeneous_voting_availability(
+            rhos,
+            spec=QuorumSpec.weighted([2.0, 1.0, 1.0],
+                                     read_quorum=2.0, write_quorum=2.0),
+        )
+        assert skewed <= majority
+
+
+class TestValidation:
+    def test_empty_rejected(self):
+        with pytest.raises(AnalysisError):
+            heterogeneous_voting_availability([])
+
+    def test_negative_rejected(self):
+        with pytest.raises(AnalysisError):
+            heterogeneous_naive_availability([0.1, -0.2])
+
+    def test_spec_size_mismatch_rejected(self):
+        with pytest.raises(AnalysisError):
+            heterogeneous_voting_availability(
+                [0.1, 0.1], spec=QuorumSpec.majority(3)
+            )
+
+    def test_perfect_sites(self):
+        assert heterogeneous_available_copy_availability([0.0, 0.0]) == 1.0
+
+
+class TestSimulationAgreement:
+    @pytest.mark.parametrize(
+        "scheme_name,analytic",
+        [
+            ("voting", heterogeneous_voting_availability),
+            ("nac", heterogeneous_naive_availability),
+            ("ac", heterogeneous_available_copy_availability),
+        ],
+    )
+    def test_per_site_rates_in_the_simulator(self, scheme_name, analytic):
+        from repro.core import (
+            AvailableCopyProtocol,
+            NaiveAvailableCopyProtocol,
+            QuorumSpec,
+            VotingProtocol,
+        )
+        from repro.device import Site
+        from repro.net import Network
+        from repro.sim import (
+            FailureRepairProcess,
+            RandomStreams,
+            Simulator,
+            TimeWeightedStat,
+        )
+
+        rhos = {0: 0.05, 1: 0.2, 2: 0.4}
+        sim = Simulator()
+        network = Network()
+        if scheme_name == "voting":
+            spec = QuorumSpec.majority(3)
+            sites = [Site(i, 4, 16, weight=spec.weight_of(i))
+                     for i in range(3)]
+            protocol = VotingProtocol(sites, network, spec=spec)
+        elif scheme_name == "ac":
+            sites = [Site(i, 4, 16) for i in range(3)]
+            protocol = AvailableCopyProtocol(sites, network)
+        else:
+            sites = [Site(i, 4, 16) for i in range(3)]
+            protocol = NaiveAvailableCopyProtocol(sites, network)
+        process = FailureRepairProcess(
+            sim, [0, 1, 2], failure_rate=rhos, repair_rate=1.0,
+            streams=RandomStreams(seed=77),
+        )
+        protocol.bind(process)
+        tracker = TimeWeightedStat(initial_value=1.0)
+        sample = lambda _s, t: tracker.update(  # noqa: E731
+            1.0 if protocol.is_available() else 0.0, t
+        )
+        process.on_failure(sample)
+        process.on_repair(sample)
+        process.start()
+        sim.run(until=150_000.0)
+        tracker.finalize(sim.now)
+        expected = analytic([rhos[0], rhos[1], rhos[2]])
+        assert tracker.mean() == pytest.approx(expected, abs=0.01)

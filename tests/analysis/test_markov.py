@@ -1,0 +1,114 @@
+"""Unit tests for the CTMC solver."""
+
+import pytest
+
+from repro.analysis import MarkovChain
+from repro.errors import AnalysisError
+
+
+def two_state(lam=0.25, mu=1.0):
+    chain = MarkovChain()
+    chain.add_transition("up", "down", lam)
+    chain.add_transition("down", "up", mu)
+    return chain
+
+
+def test_two_state_chain():
+    chain = two_state(lam=0.25, mu=1.0)
+    pi = chain.steady_state()
+    assert pi["up"] == pytest.approx(0.8)
+    assert pi["down"] == pytest.approx(0.2)
+
+
+def test_birth_death_matches_product_formula():
+    """M/M/1/K queue: pi_k proportional to (lam/mu)^k."""
+    lam, mu, k_max = 0.5, 1.0, 5
+    chain = MarkovChain()
+    for k in range(k_max):
+        chain.add_transition(k, k + 1, lam)
+        chain.add_transition(k + 1, k, mu)
+    pi = chain.steady_state()
+    rho = lam / mu
+    norm = sum(rho**k for k in range(k_max + 1))
+    for k in range(k_max + 1):
+        assert pi[k] == pytest.approx(rho**k / norm)
+
+
+def test_probability_of_predicate():
+    chain = two_state(lam=1.0, mu=1.0)
+    assert chain.probability_of(lambda s: s == "up") == pytest.approx(0.5)
+
+
+def test_expected_value_conditional():
+    chain = MarkovChain()
+    chain.add_transition(1, 2, 1.0)
+    chain.add_transition(2, 1, 1.0)
+    unconditional = chain.expected_value(float)
+    assert unconditional == pytest.approx(1.5)
+    conditional = chain.expected_value(float, condition=lambda s: s == 2)
+    assert conditional == pytest.approx(2.0)
+
+
+def test_expected_value_zero_mass_condition_raises():
+    chain = two_state()
+    with pytest.raises(AnalysisError):
+        chain.expected_value(lambda s: 1.0, condition=lambda s: False)
+
+
+def test_accumulating_parallel_transitions():
+    chain = MarkovChain()
+    chain.add_transition("a", "b", 0.5)
+    chain.add_transition("a", "b", 0.5)
+    chain.add_transition("b", "a", 1.0)
+    assert chain.rate("a", "b") == 1.0
+    pi = chain.steady_state()
+    assert pi["a"] == pytest.approx(0.5)
+
+
+def test_self_loop_rejected():
+    chain = MarkovChain()
+    with pytest.raises(AnalysisError):
+        chain.add_transition("a", "a", 1.0)
+
+
+def test_negative_rate_rejected():
+    chain = MarkovChain()
+    with pytest.raises(AnalysisError):
+        chain.add_transition("a", "b", -1.0)
+
+
+def test_zero_rate_is_ignored():
+    chain = MarkovChain()
+    chain.add_transition("a", "b", 1.0)
+    chain.add_transition("b", "a", 1.0)
+    chain.add_transition("a", "b", 0.0)
+    assert chain.rate("a", "b") == 1.0
+
+
+def test_empty_chain_raises():
+    with pytest.raises(AnalysisError):
+        MarkovChain().steady_state()
+
+
+def test_generator_rows_sum_to_zero():
+    chain = two_state()
+    q = chain.generator_matrix()
+    assert abs(q.sum(axis=1)).max() < 1e-12
+
+
+def test_validate_balance_accepts_solution():
+    chain = two_state()
+    pi = chain.steady_state()
+    chain.validate_balance(pi)  # must not raise
+
+
+def test_validate_balance_rejects_wrong_distribution():
+    chain = two_state(lam=0.1)
+    with pytest.raises(AnalysisError):
+        chain.validate_balance({"up": 0.5, "down": 0.5})
+
+
+def test_transitions_iteration():
+    chain = two_state(lam=0.3, mu=0.7)
+    triples = set(chain.transitions())
+    assert triples == {("up", "down", 0.3), ("down", "up", 0.7)}

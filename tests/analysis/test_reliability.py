@@ -1,0 +1,197 @@
+"""Reliability (MTTF / survival) analysis tests."""
+
+import math
+
+import pytest
+
+from repro.analysis import MarkovChain
+from repro.analysis.reliability import (
+    mean_outage_duration,
+    mean_time_to_failure,
+    scheme_mean_outage,
+    scheme_mttf,
+    scheme_survival,
+    survival_probability,
+)
+from repro.errors import AnalysisError
+from repro.types import SchemeName
+
+
+def two_state(lam=0.25, mu=1.0):
+    chain = MarkovChain()
+    chain.add_transition("up", "down", lam)
+    chain.add_transition("down", "up", mu)
+    return chain
+
+
+class TestGenericMachinery:
+    def test_single_up_state_mttf_is_exponential_mean(self):
+        chain = two_state(lam=0.25)
+        mttf = mean_time_to_failure(chain, lambda s: s == "up", "up")
+        assert mttf == pytest.approx(4.0)
+
+    def test_two_up_states_in_series(self):
+        # a -> b -> dead, each at rate 1: MTTF from a = 2
+        chain = MarkovChain()
+        chain.add_transition("a", "b", 1.0)
+        chain.add_transition("b", "dead", 1.0)
+        chain.add_transition("dead", "a", 1.0)
+        mttf = mean_time_to_failure(chain, lambda s: s != "dead", "a")
+        assert mttf == pytest.approx(2.0)
+
+    def test_survival_is_exponential_for_single_up_state(self):
+        chain = two_state(lam=0.5)
+        for t in (0.0, 1.0, 3.0):
+            r = survival_probability(chain, lambda s: s == "up", "up", t)
+            assert r == pytest.approx(math.exp(-0.5 * t), abs=1e-9)
+
+    def test_survival_monotone_decreasing(self):
+        chain = two_state(lam=0.3)
+        values = [
+            survival_probability(chain, lambda s: s == "up", "up", t)
+            for t in (0.0, 1.0, 2.0, 5.0)
+        ]
+        assert values[0] == 1.0
+        assert values == sorted(values, reverse=True)
+
+    def test_outage_duration_two_state(self):
+        # up/down chain: A = mu/(lam+mu); MTTD must equal 1/mu
+        lam, mu = 0.25, 1.0
+        chain = two_state(lam, mu)
+        availability = mu / (lam + mu)
+        mttd = mean_outage_duration(
+            chain, lambda s: s == "up", "up", availability
+        )
+        assert mttd == pytest.approx(1.0 / mu)
+
+    def test_start_must_be_up(self):
+        chain = two_state()
+        with pytest.raises(AnalysisError):
+            mean_time_to_failure(chain, lambda s: s == "up", "down")
+
+    def test_negative_time_rejected(self):
+        chain = two_state()
+        with pytest.raises(AnalysisError):
+            survival_probability(chain, lambda s: s == "up", "up", -1.0)
+
+
+class TestSchemeMTTF:
+    def test_single_copy_mttf_is_one_over_lambda(self):
+        for scheme in SchemeName:
+            assert scheme_mttf(scheme, 1, 0.2) == pytest.approx(5.0)
+
+    def test_tracked_and_naive_have_identical_mttf(self):
+        """The schemes differ only after the first total failure."""
+        for n in (2, 3, 4):
+            for rho in (0.05, 0.2, 0.5):
+                assert scheme_mttf(
+                    SchemeName.AVAILABLE_COPY, n, rho
+                ) == pytest.approx(
+                    scheme_mttf(SchemeName.NAIVE_AVAILABLE_COPY, n, rho),
+                    rel=1e-9,
+                )
+
+    def test_available_copy_outlives_voting_at_equal_n(self):
+        for n in (2, 3, 5):
+            for rho in (0.05, 0.2):
+                assert scheme_mttf(
+                    SchemeName.AVAILABLE_COPY, n, rho
+                ) > scheme_mttf(SchemeName.VOTING, n, rho)
+
+    def test_mttf_increases_with_copies(self):
+        for scheme in SchemeName:
+            values = [scheme_mttf(scheme, n, 0.1) for n in (1, 2, 3, 4)]
+            assert all(
+                b >= a * (1 - 1e-9) for a, b in zip(values, values[1:])
+            ), (scheme, values)
+        # available copy gains from every copy...
+        ac = [scheme_mttf(SchemeName.AVAILABLE_COPY, n, 0.1)
+              for n in (1, 2, 3, 4)]
+        assert all(b > a for a, b in zip(ac, ac[1:]))
+
+    def test_voting_even_copy_is_worthless_for_mttf_too(self):
+        """The A_V(2k) = A_V(2k-1) identity extends to MTTF: the
+        tie-broken even copy never rescues a lost quorum."""
+        for k in (1, 2, 3):
+            for rho in (0.1, 0.4):
+                assert scheme_mttf(
+                    SchemeName.VOTING, 2 * k, rho
+                ) == pytest.approx(
+                    scheme_mttf(SchemeName.VOTING, max(2 * k - 1, 1), rho),
+                    rel=1e-9,
+                )
+
+    def test_mttf_decreases_with_rho(self):
+        values = [
+            scheme_mttf(SchemeName.AVAILABLE_COPY, 3, rho)
+            for rho in (0.05, 0.1, 0.3)
+        ]
+        assert values == sorted(values, reverse=True)
+
+    def test_two_copy_available_copy_closed_form(self):
+        """For n=2 AC, failure = both copies down.  Standard result for
+        a 2-unit parallel system with repair:
+        MTTF = (3*lam + mu) / (2*lam^2)."""
+        rho = 0.2  # lam = 0.2, mu = 1
+        expected = (3 * rho + 1.0) / (2 * rho**2)
+        assert scheme_mttf(
+            SchemeName.AVAILABLE_COPY, 2, rho
+        ) == pytest.approx(expected, rel=1e-9)
+
+    def test_rho_zero_rejected(self):
+        with pytest.raises(AnalysisError):
+            scheme_mttf(SchemeName.VOTING, 3, 0.0)
+
+
+class TestSchemeSurvival:
+    def test_starts_at_one_and_decays(self):
+        for scheme in SchemeName:
+            assert scheme_survival(scheme, 3, 0.1, 0.0) == 1.0
+            early = scheme_survival(scheme, 3, 0.1, 10.0)
+            late = scheme_survival(scheme, 3, 0.1, 100.0)
+            assert 0.0 <= late < early < 1.0
+
+    def test_ordering_matches_mttf_at_moderate_times(self):
+        t = 50.0
+        ac = scheme_survival(SchemeName.AVAILABLE_COPY, 3, 0.2, t)
+        mcv = scheme_survival(SchemeName.VOTING, 3, 0.2, t)
+        assert ac > mcv
+
+    def test_exponential_tail_approximation(self):
+        """For highly reliable groups R(t) ~ exp(-t / MTTF)."""
+        scheme, n, rho = SchemeName.AVAILABLE_COPY, 3, 0.1
+        mttf = scheme_mttf(scheme, n, rho)
+        t = mttf / 2
+        assert scheme_survival(scheme, n, rho, t) == pytest.approx(
+            math.exp(-t / mttf), abs=0.02
+        )
+
+
+class TestSchemeOutage:
+    def test_voting_outage_shorter_than_total_failure_recovery(self):
+        """Voting loses service on minority failures (quick to fix);
+        the AC schemes only on total failures (slow to fix) -- so
+        voting's episodes are shorter even though they are much more
+        frequent."""
+        n, rho = 3, 0.2
+        voting = scheme_mean_outage(SchemeName.VOTING, n, rho)
+        naive = scheme_mean_outage(SchemeName.NAIVE_AVAILABLE_COPY, n, rho)
+        assert voting < naive
+
+    def test_naive_outages_last_longer_than_tracked(self):
+        """Naive waits for every copy; tracked only for the last one."""
+        n, rho = 3, 0.2
+        tracked = scheme_mean_outage(SchemeName.AVAILABLE_COPY, n, rho)
+        naive = scheme_mean_outage(SchemeName.NAIVE_AVAILABLE_COPY, n, rho)
+        assert tracked < naive
+
+    def test_consistency_with_availability_identity(self):
+        """A = MTTF / (MTTF + MTTD) must hold by construction."""
+        from repro.analysis import scheme_availability
+
+        scheme, n, rho = SchemeName.NAIVE_AVAILABLE_COPY, 3, 0.3
+        mttf = scheme_mttf(scheme, n, rho)
+        mttd = scheme_mean_outage(scheme, n, rho)
+        assert mttf / (mttf + mttd) == pytest.approx(
+            scheme_availability(scheme, n, rho), rel=1e-9
+        )

@@ -1,0 +1,76 @@
+"""Replication sizing."""
+
+import pytest
+
+from repro.analysis import scheme_availability
+from repro.analysis.sizing import copies_needed, size_all_schemes
+from repro.errors import AnalysisError
+from repro.types import SchemeName
+
+
+def test_result_meets_target_and_is_minimal():
+    for scheme in SchemeName:
+        for rho in (0.05, 0.2):
+            for target in (0.99, 0.999, 0.99999):
+                n = copies_needed(scheme, rho, target)
+                assert scheme_availability(scheme, n, rho) >= target
+                if n > 1:
+                    assert scheme_availability(
+                        scheme, n - 1, rho
+                    ) < target
+
+
+def test_perfect_sites_need_one_copy():
+    for scheme in SchemeName:
+        assert copies_needed(scheme, 0.0, 0.999999) == 1
+
+
+def test_single_copy_suffices_for_modest_targets():
+    # one site at rho=0.05 is 95.2% available
+    for scheme in SchemeName:
+        assert copies_needed(scheme, 0.05, 0.95) == 1
+
+
+def test_voting_needs_about_twice_the_copies():
+    """Theorem 4.1, read as a storage bill."""
+    for rho, target in ((0.1, 0.9999), (0.2, 0.9999), (0.1, 0.999999)):
+        result = size_all_schemes(rho, target)
+        mcv = result.copies[SchemeName.VOTING]
+        ac = result.copies[SchemeName.AVAILABLE_COPY]
+        nac = result.copies[SchemeName.NAIVE_AVAILABLE_COPY]
+        assert ac <= nac <= mcv
+        assert result.voting_to_available_ratio >= 1.5
+
+
+def test_harder_targets_need_more_copies():
+    for scheme in SchemeName:
+        sizes = [
+            copies_needed(scheme, 0.2, t)
+            for t in (0.9, 0.99, 0.999, 0.9999)
+        ]
+        assert sizes == sorted(sizes)
+        assert sizes[-1] > sizes[0]
+
+
+def test_worse_sites_need_more_copies():
+    for scheme in SchemeName:
+        easy = copies_needed(scheme, 0.02, 0.9999)
+        hard = copies_needed(scheme, 0.3, 0.9999)
+        assert hard >= easy
+
+
+def test_voting_answers_are_odd():
+    """An even group never helps (equation 1.b), so the minimum is odd."""
+    for rho in (0.1, 0.3):
+        for target in (0.99, 0.9999):
+            n = copies_needed(SchemeName.VOTING, rho, target)
+            assert n == 1 or n % 2 == 1
+
+
+def test_validation():
+    with pytest.raises(AnalysisError):
+        copies_needed(SchemeName.VOTING, 0.1, 1.0)
+    with pytest.raises(AnalysisError):
+        copies_needed(SchemeName.VOTING, 0.1, 0.0)
+    with pytest.raises(AnalysisError):
+        copies_needed(SchemeName.VOTING, -0.1, 0.99)

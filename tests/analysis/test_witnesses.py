@@ -1,0 +1,85 @@
+"""Witness availability analysis."""
+
+import pytest
+
+from repro.analysis import (
+    voting_availability,
+    witness_configurations,
+    witness_voting_availability,
+)
+from repro.errors import AnalysisError
+
+RHOS = (0.02, 0.1, 0.3)
+
+
+def test_no_witnesses_reduces_to_equation_1():
+    for n in (1, 2, 3, 4, 5):
+        for rho in RHOS:
+            assert witness_voting_availability(n, 0, rho) == pytest.approx(
+                voting_availability(n, rho), abs=1e-12
+            )
+
+
+def test_two_copies_one_witness_equals_three_copies():
+    """With >= 2 data copies, every possible quorum contains a data
+    copy, so the witness substitutes perfectly."""
+    for rho in RHOS:
+        assert witness_voting_availability(2, 1, rho) == pytest.approx(
+            voting_availability(3, rho), abs=1e-12
+        )
+
+
+def test_single_copy_two_witnesses_pays_a_penalty():
+    """With one data copy, witnesses are a pure quorum tax: a quorum of
+    witnesses cannot serve reads, yet the quorum bar rises.  Strictly
+    below three full copies -- and even below the bare single copy."""
+    for rho in RHOS:
+        with_witnesses = witness_voting_availability(1, 2, rho)
+        assert with_witnesses < voting_availability(3, rho)
+        assert with_witnesses < voting_availability(1, rho)
+
+
+def test_more_data_at_fixed_group_size_never_hurts():
+    """Replacing a witness by a data copy (same quorum geometry) can
+    only help: every configuration the witness served, the copy serves
+    too, and it can additionally be read."""
+    for rho in RHOS:
+        for n in (2, 3, 4, 5):
+            values = [
+                witness_voting_availability(data, n - data, rho)
+                for data in range(1, n + 1)
+            ]
+            assert all(
+                later >= earlier - 1e-12
+                for earlier, later in zip(values, values[1:])
+            )
+
+
+def test_perfect_sites():
+    assert witness_voting_availability(2, 1, 0.0) == 1.0
+
+
+def test_matches_protocol_simulation():
+    from repro.experiments import simulate_witness_group
+
+    rho = 0.15
+    analytic = witness_voting_availability(2, 1, rho)
+    simulated = simulate_witness_group(2, 1, rho, horizon=60_000.0, seed=5)
+    assert simulated == pytest.approx(analytic, abs=0.01)
+
+
+def test_configuration_sweep_shape():
+    rows = list(witness_configurations(3, 0.1))
+    assert (1, 0, pytest.approx(voting_availability(1, 0.1))) in [
+        (d, w, a) for d, w, a in rows
+    ]
+    assert len(rows) == 6  # n=1:1, n=2:2, n=3:3
+
+
+def test_validation():
+    with pytest.raises(AnalysisError):
+        witness_voting_availability(0, 1, 0.1)
+    with pytest.raises(AnalysisError):
+        witness_voting_availability(2, -1, 0.1)
+    with pytest.raises(AnalysisError):
+        witness_voting_availability(2, 1, -0.1)

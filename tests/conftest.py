@@ -1,0 +1,58 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.device import ClusterConfig, ReplicatedCluster
+from repro.types import AddressingMode, SchemeName
+
+ALL_SCHEMES = tuple(SchemeName)
+ALL_MODES = tuple(AddressingMode)
+
+
+def make_cluster(
+    scheme: SchemeName,
+    num_sites: int = 3,
+    num_blocks: int = 32,
+    failure_rate: float = 0.0,
+    repair_rate: float = 1.0,
+    seed: int = 0,
+    **kwargs,
+) -> ReplicatedCluster:
+    """A cluster with failures disabled unless requested."""
+    return ReplicatedCluster(
+        ClusterConfig(
+            scheme=scheme,
+            num_sites=num_sites,
+            num_blocks=num_blocks,
+            failure_rate=failure_rate,
+            repair_rate=repair_rate,
+            seed=seed,
+            **kwargs,
+        )
+    )
+
+
+@pytest.fixture(params=ALL_SCHEMES, ids=[s.short for s in ALL_SCHEMES])
+def scheme(request) -> SchemeName:
+    """Parametrize a test over all three consistency schemes."""
+    return request.param
+
+
+@pytest.fixture(params=ALL_MODES, ids=[m.value for m in ALL_MODES])
+def addressing(request) -> AddressingMode:
+    """Parametrize a test over both network addressing modes."""
+    return request.param
+
+
+@pytest.fixture
+def quiet_cluster(scheme) -> ReplicatedCluster:
+    """A 3-site cluster of the parametrized scheme with no failures."""
+    return make_cluster(scheme)
+
+
+def block_of(cluster: ReplicatedCluster, fill: bytes) -> bytes:
+    """A full block of repeated ``fill`` bytes."""
+    size = cluster.protocol.block_size
+    return (fill * size)[:size]

@@ -1,0 +1,151 @@
+"""Behavioural tests for naive available copy (Figure 6)."""
+
+import pytest
+
+from repro.core import NaiveAvailableCopyProtocol
+from repro.device import Site
+from repro.errors import NoAvailableCopyError
+from repro.net import MessageCategory, Network
+from repro.types import AddressingMode, SchemeName, SiteState
+
+BLOCK_SIZE = 16
+NUM_BLOCKS = 8
+
+
+def make_group(n=3, mode=AddressingMode.MULTICAST):
+    sites = [Site(i, NUM_BLOCKS, BLOCK_SIZE) for i in range(n)]
+    network = Network(mode=mode)
+    protocol = NaiveAvailableCopyProtocol(sites, network)
+    return protocol, network.meter
+
+
+def fill(byte):
+    return bytes([byte]) * BLOCK_SIZE
+
+
+class TestBasicOperation:
+    def test_scheme_tag(self):
+        protocol, _ = make_group()
+        assert protocol.scheme is SchemeName.NAIVE_AVAILABLE_COPY
+
+    def test_write_reaches_every_available_copy(self):
+        protocol, _ = make_group()
+        protocol.write(1, 3, fill(4))
+        for site in protocol.sites:
+            assert site.read_block(3) == fill(4)
+
+    def test_reads_are_free(self):
+        protocol, meter = make_group()
+        protocol.write(0, 0, fill(1))
+        before = meter.total
+        protocol.read(1, 0)
+        assert meter.total == before
+
+
+class TestFireAndForgetWrites:
+    def test_multicast_write_costs_exactly_one(self):
+        protocol, meter = make_group(5)
+        before = meter.total
+        protocol.write(0, 0, fill(1))
+        assert meter.total - before == 1
+        assert meter.category_count(MessageCategory.WRITE_ACK) == 0
+
+    def test_cost_is_one_even_with_sites_down(self):
+        protocol, meter = make_group(5)
+        protocol.on_site_failed(3)
+        protocol.on_site_failed(4)
+        before = meter.total
+        protocol.write(0, 0, fill(1))
+        assert meter.total - before == 1
+
+    def test_unique_write_costs_n_minus_one_regardless_of_up_count(self):
+        protocol, meter = make_group(4, mode=AddressingMode.UNIQUE)
+        protocol.on_site_failed(2)
+        before = meter.total
+        protocol.write(0, 0, fill(1))
+        # the naive writer does not know who is up: it pays all n-1 sends
+        assert meter.total - before == 3
+
+
+class TestTotalFailure:
+    def test_must_wait_for_every_site(self):
+        protocol, _ = make_group(3)
+        protocol.write(0, 0, fill(1))
+        protocol.on_site_failed(0)
+        protocol.write(1, 0, fill(2))
+        protocol.on_site_failed(2)
+        protocol.write(1, 0, fill(3))
+        protocol.on_site_failed(1)  # 1 failed last with the newest data
+        # even the last-failed site cannot restore service alone
+        protocol.on_site_repaired(1)
+        assert protocol.site(1).state is SiteState.COMATOSE
+        assert not protocol.is_available()
+        protocol.on_site_repaired(0)
+        assert not protocol.is_available()
+        protocol.on_site_repaired(2)  # everyone back now
+        assert protocol.is_available()
+        for site in protocol.sites:
+            assert site.state is SiteState.AVAILABLE
+            assert site.read_block(0) == fill(3)
+        assert protocol.total_failure_recoveries == 1
+
+    def test_highest_version_wins_even_if_it_recovered_first(self):
+        protocol, _ = make_group(3)
+        protocol.on_site_failed(2)          # 2 misses everything
+        protocol.write(0, 0, fill(7))
+        protocol.on_site_failed(1)
+        protocol.write(0, 0, fill(8))
+        protocol.on_site_failed(0)          # 0 has the newest data
+        protocol.on_site_repaired(0)
+        protocol.on_site_repaired(1)
+        protocol.on_site_repaired(2)        # stale site recovers last
+        assert protocol.is_available()
+        for site in protocol.sites:
+            assert site.read_block(0) == fill(8)
+        protocol.check_invariants()
+
+    def test_write_during_total_failure_raises(self):
+        protocol, _ = make_group(2)
+        protocol.on_site_failed(1)
+        protocol.on_site_failed(0)
+        protocol.on_site_repaired(0)
+        with pytest.raises(NoAvailableCopyError):
+            protocol.write(0, 0, fill(1))
+
+    def test_comatose_refailure_resets_the_wait(self):
+        protocol, _ = make_group(3)
+        protocol.write(0, 0, fill(1))
+        for s in (0, 1, 2):
+            protocol.on_site_failed(s)
+        protocol.on_site_repaired(0)
+        protocol.on_site_repaired(1)
+        protocol.on_site_failed(0)      # a comatose copy dies again
+        protocol.on_site_repaired(2)
+        assert not protocol.is_available()  # 0 is missing again
+        protocol.on_site_repaired(0)
+        assert protocol.is_available()
+        protocol.check_invariants()
+
+
+class TestRepairTraffic:
+    def test_repair_with_survivor_costs_u_plus_two(self):
+        protocol, meter = make_group(3)
+        protocol.write(0, 0, fill(1))
+        protocol.on_site_failed(2)
+        protocol.write(0, 0, fill(2))
+        before = meter.total
+        protocol.on_site_repaired(2)
+        assert meter.total - before == 5  # probe + 2 replies + vv pair
+        assert protocol.site(2).read_block(0) == fill(2)
+
+    def test_repair_after_repair_uses_fresh_data(self):
+        protocol, _ = make_group(3)
+        protocol.write(0, 0, fill(1))
+        protocol.on_site_failed(1)
+        protocol.write(0, 0, fill(2))
+        protocol.on_site_repaired(1)
+        protocol.on_site_failed(2)
+        protocol.write(1, 0, fill(3))
+        protocol.on_site_repaired(2)
+        assert protocol.site(2).read_block(0) == fill(3)
+        protocol.check_invariants()

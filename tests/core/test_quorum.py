@@ -1,0 +1,113 @@
+"""Unit tests for quorum specifications."""
+
+import pytest
+
+from repro.core import QuorumSpec, TIE_BREAKER_WEIGHT
+from repro.errors import QuorumSpecError
+
+
+class TestMajority:
+    def test_odd_group_majority(self):
+        spec = QuorumSpec.majority(5)
+        assert spec.weights == (1.0,) * 5
+        assert spec.read_available([0, 1, 2])        # 3 of 5
+        assert not spec.read_available([0, 1])       # 2 of 5
+        assert spec.write_available([1, 2, 3])
+        assert not spec.write_available([3, 4])
+
+    def test_even_group_tie_break(self):
+        spec = QuorumSpec.majority(4)
+        assert spec.weights[0] == 1.0 + TIE_BREAKER_WEIGHT
+        # a 2-2 split containing the weighted site wins...
+        assert spec.read_available([0, 1])
+        # ...a 2-2 split without it loses
+        assert not spec.read_available([2, 3])
+        # 3 of 4 always wins
+        assert spec.read_available([1, 2, 3])
+
+    def test_single_site(self):
+        spec = QuorumSpec.majority(1)
+        assert spec.read_available([0])
+        assert not spec.read_available([])
+
+    def test_two_sites(self):
+        spec = QuorumSpec.majority(2)
+        assert spec.read_available([0])      # the weighted site alone
+        assert not spec.read_available([1])  # the other alone
+
+    def test_invalid_size(self):
+        with pytest.raises(QuorumSpecError):
+            QuorumSpec.majority(0)
+
+
+class TestWeighted:
+    def test_gifford_style_weights(self):
+        # 3 sites with weights 2,1,1; r=1, w=3 (read-one, write-all-ish)
+        spec = QuorumSpec.weighted([2, 1, 1], read_quorum=1, write_quorum=3)
+        assert spec.read_available([0])            # weight 2 > 1
+        assert not spec.read_available([1])        # weight 1 not > 1
+        assert spec.write_available([0, 1, 2])     # 4 > 3
+        assert not spec.write_available([0, 1])    # 3 not > 3
+
+    def test_safety_constraints_enforced(self):
+        # r + w < total: reads could miss writes
+        with pytest.raises(QuorumSpecError):
+            QuorumSpec.weighted([1, 1, 1], read_quorum=0.5, write_quorum=1)
+        # 2w < total: two writes could be disjoint
+        with pytest.raises(QuorumSpecError):
+            QuorumSpec.weighted([1, 1, 1, 1], read_quorum=3, write_quorum=1)
+
+    def test_nonpositive_weight_rejected(self):
+        with pytest.raises(QuorumSpecError):
+            QuorumSpec.weighted([1, 0], read_quorum=1, write_quorum=1)
+
+    def test_negative_quorum_rejected(self):
+        with pytest.raises(QuorumSpecError):
+            QuorumSpec.weighted([1, 1], read_quorum=-1, write_quorum=2)
+
+    def test_empty_group_rejected(self):
+        with pytest.raises(QuorumSpecError):
+            QuorumSpec.weighted([], read_quorum=0, write_quorum=0)
+
+
+class TestQueries:
+    def test_gathered_weight(self):
+        spec = QuorumSpec.majority(4)
+        assert spec.gathered_weight([0, 2]) == pytest.approx(2.5)
+        assert spec.total_weight == pytest.approx(4.5)
+        assert spec.weight_of(0) == pytest.approx(1.5)
+        assert spec.num_sites == 4
+
+    def test_quorum_predicate_is_strict(self):
+        spec = QuorumSpec.majority(5)  # thresholds 2.5
+        assert not spec.meets_read(2.5)
+        assert spec.meets_read(3.0)
+
+
+class TestIntersectionProperty:
+    """Any read quorum must intersect any write quorum (exhaustively)."""
+
+    @pytest.mark.parametrize("n", [1, 2, 3, 4, 5, 6])
+    def test_majority_quorums_intersect(self, n):
+        import itertools
+
+        spec = QuorumSpec.majority(n)
+        sites = range(n)
+        read_quorums = [
+            set(c)
+            for r in range(n + 1)
+            for c in itertools.combinations(sites, r)
+            if spec.read_available(c)
+        ]
+        write_quorums = [
+            set(c)
+            for r in range(n + 1)
+            for c in itertools.combinations(sites, r)
+            if spec.write_available(c)
+        ]
+        for read_q in read_quorums:
+            for write_q in write_quorums:
+                assert read_q & write_q, (read_q, write_q)
+        for w1 in write_quorums:
+            for w2 in write_quorums:
+                assert w1 & w2

@@ -1,0 +1,93 @@
+"""Unit tests for version vectors."""
+
+import pytest
+
+from repro.core import VersionVector
+
+
+def test_default_version_is_zero():
+    v = VersionVector()
+    assert v.get(7) == 0
+    assert len(v) == 0
+
+
+def test_set_and_get():
+    v = VersionVector()
+    v.set(3, 5)
+    assert v.get(3) == 5
+    assert len(v) == 1
+
+
+def test_setting_zero_removes_entry():
+    v = VersionVector({1: 4})
+    v.set(1, 0)
+    assert v.get(1) == 0
+    assert len(v) == 0
+
+
+def test_negative_version_rejected():
+    v = VersionVector()
+    with pytest.raises(ValueError):
+        v.set(0, -1)
+
+
+def test_bump_only_raises():
+    v = VersionVector({0: 5})
+    v.bump(0, 3)
+    assert v.get(0) == 5
+    v.bump(0, 9)
+    assert v.get(0) == 9
+
+
+def test_stale_relative_to():
+    mine = VersionVector({0: 1, 1: 5, 2: 2})
+    theirs = VersionVector({0: 3, 1: 5, 3: 1})
+    assert mine.stale_relative_to(theirs) == [0, 3]
+    assert theirs.stale_relative_to(mine) == [2]
+    assert mine.newer_than(theirs) == [2]
+
+
+def test_dominates():
+    a = VersionVector({0: 2, 1: 3})
+    b = VersionVector({0: 1, 1: 3})
+    assert a.dominates(b)
+    assert not b.dominates(a)
+    assert a.dominates(a.copy())
+
+
+def test_merge_max():
+    a = VersionVector({0: 2, 1: 1})
+    b = VersionVector({1: 4, 2: 7})
+    a.merge_max(b)
+    assert a.get(0) == 2
+    assert a.get(1) == 4
+    assert a.get(2) == 7
+
+
+def test_total():
+    assert VersionVector({0: 2, 5: 3}).total() == 5
+    assert VersionVector().total() == 0
+
+
+def test_copy_is_independent():
+    a = VersionVector({0: 1})
+    b = a.copy()
+    b.set(0, 9)
+    assert a.get(0) == 1
+
+
+def test_equality():
+    assert VersionVector({0: 1}) == VersionVector({0: 1})
+    assert VersionVector({0: 1}) != VersionVector({0: 2})
+    assert VersionVector({0: 0}) == VersionVector()
+
+
+def test_unhashable():
+    with pytest.raises(TypeError):
+        hash(VersionVector())
+
+
+def test_zero_entries_dropped_at_construction():
+    v = VersionVector({0: 0, 1: 2})
+    assert len(v) == 1
+    assert list(v.blocks()) == [1]

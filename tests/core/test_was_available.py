@@ -1,0 +1,48 @@
+"""Unit tests for was-available sets and their closure."""
+
+from repro.core import closure, closure_ready
+
+
+def test_closure_of_self_contained_set():
+    known = {0: {0, 1}, 1: {0, 1}}
+    assert closure({0, 1}, known) == {0, 1}
+
+
+def test_closure_chases_chains():
+    # 0 knows of 1; 1's stored set mentions 2; 2's mentions 3.
+    known = {0: {0, 1}, 1: {1, 2}, 2: {2, 3}}
+    assert closure({0}, known) == {0, 1, 2, 3}
+
+
+def test_unknown_members_are_terminal_but_retained():
+    # 1's stable storage cannot be consulted (not in known).
+    known = {0: {0, 1}}
+    assert closure({0}, known) == {0, 1}
+
+
+def test_closure_of_empty_seed():
+    assert closure(set(), {0: {1}}) == set()
+
+
+def test_closure_handles_cycles():
+    known = {0: {1}, 1: {0}}
+    assert closure({0}, known) == {0, 1}
+
+
+def test_closure_ready_requires_all_members_recovered():
+    known = {0: {0, 1}, 1: {1, 2}}
+    # 2 has not recovered -> not ready
+    assert closure_ready({0}, known, recovered={0, 1}) is None
+    # everyone recovered -> the closure is returned
+    ready = closure_ready({0}, known, recovered={0, 1, 2})
+    assert ready == {0, 1, 2}
+
+
+def test_closure_ready_ignores_unrelated_sites():
+    known = {0: {0}, 5: {5, 6}}
+    assert closure_ready({0}, known, recovered={0}) == {0}
+
+
+def test_closure_result_is_frozen():
+    result = closure({0}, {0: {0}})
+    assert isinstance(result, frozenset)

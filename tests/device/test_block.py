@@ -1,0 +1,85 @@
+"""Unit tests for the versioned block store."""
+
+import pytest
+
+from repro.device import BlockStore
+from repro.errors import BlockOutOfRangeError, BlockSizeError
+
+
+def test_geometry():
+    store = BlockStore(num_blocks=8, block_size=64)
+    assert store.num_blocks == 8
+    assert store.block_size == 64
+
+
+def test_invalid_geometry_rejected():
+    with pytest.raises(ValueError):
+        BlockStore(num_blocks=0)
+    with pytest.raises(ValueError):
+        BlockStore(num_blocks=4, block_size=0)
+
+
+def test_unwritten_blocks_read_as_zeros_with_version_zero():
+    store = BlockStore(num_blocks=4, block_size=16)
+    assert store.read(2) == bytes(16)
+    assert store.version(2) == 0
+    assert store.blocks_written == 0
+
+
+def test_write_then_read():
+    store = BlockStore(num_blocks=4, block_size=4)
+    store.write(1, b"abcd", version=3)
+    assert store.read(1) == b"abcd"
+    assert store.version(1) == 3
+    assert store.blocks_written == 1
+
+
+def test_overwrite_updates_version():
+    store = BlockStore(num_blocks=4, block_size=4)
+    store.write(0, b"aaaa", version=1)
+    store.write(0, b"bbbb", version=2)
+    assert store.read(0) == b"bbbb"
+    assert store.version(0) == 2
+    assert store.blocks_written == 1
+
+
+def test_out_of_range_access():
+    store = BlockStore(num_blocks=4, block_size=4)
+    with pytest.raises(BlockOutOfRangeError):
+        store.read(4)
+    with pytest.raises(BlockOutOfRangeError):
+        store.read(-1)
+    with pytest.raises(BlockOutOfRangeError):
+        store.write(100, b"aaaa", version=1)
+
+
+def test_wrong_size_write_rejected():
+    store = BlockStore(num_blocks=4, block_size=4)
+    with pytest.raises(BlockSizeError):
+        store.write(0, b"toolong!", version=1)
+    with pytest.raises(BlockSizeError):
+        store.write(0, b"x", version=1)
+
+
+def test_version_vector_is_a_copy():
+    store = BlockStore(num_blocks=4, block_size=4)
+    store.write(0, b"aaaa", version=5)
+    vector = store.version_vector()
+    vector.set(0, 99)
+    assert store.version(0) == 5
+
+
+def test_written_blocks_iteration():
+    store = BlockStore(num_blocks=8, block_size=4)
+    store.write(3, b"cccc", version=1)
+    store.write(1, b"aaaa", version=2)
+    entries = list(store.written_blocks())
+    assert entries == [(1, b"aaaa", 2), (3, b"cccc", 1)]
+
+
+def test_data_is_defensively_copied():
+    store = BlockStore(num_blocks=2, block_size=4)
+    payload = bytearray(b"abcd")
+    store.write(0, bytes(payload), version=1)
+    payload[0] = ord("z")
+    assert store.read(0) == b"abcd"

@@ -1,0 +1,95 @@
+"""Unit tests for the write-through buffer cache."""
+
+import pytest
+
+from repro.device import BufferCache, LocalBlockDevice
+
+
+def make_cached(capacity=2, num_blocks=8, block_size=8):
+    backing = LocalBlockDevice(num_blocks=num_blocks, block_size=block_size)
+    return BufferCache(backing, capacity_blocks=capacity), backing
+
+
+def test_read_miss_then_hit():
+    cache, backing = make_cached()
+    backing.write_block(0, b"AAAAAAAA")
+    assert cache.read_block(0) == b"AAAAAAAA"
+    assert cache.read_block(0) == b"AAAAAAAA"
+    assert cache.cache_stats.misses == 1
+    assert cache.cache_stats.hits == 1
+    assert backing.stats.reads == 1  # second read served from cache
+
+
+def test_write_through_updates_backing_immediately():
+    cache, backing = make_cached()
+    cache.write_block(1, b"BBBBBBBB")
+    assert backing.read_block(1) == b"BBBBBBBB"
+    # and the cache serves the new data without touching the backing
+    reads_before = backing.stats.reads
+    assert cache.read_block(1) == b"BBBBBBBB"
+    assert backing.stats.reads == reads_before
+
+
+def test_lru_eviction():
+    cache, backing = make_cached(capacity=2)
+    for i in range(3):
+        backing.write_block(i, bytes([i]) * 8)
+    cache.read_block(0)
+    cache.read_block(1)
+    cache.read_block(0)  # touch 0: 1 becomes LRU
+    cache.read_block(2)  # evicts 1
+    backing_reads = backing.stats.reads
+    cache.read_block(0)  # still cached
+    assert backing.stats.reads == backing_reads
+    cache.read_block(1)  # was evicted -> miss
+    assert backing.stats.reads == backing_reads + 1
+
+
+def test_invalidate_single_and_all():
+    cache, backing = make_cached(capacity=4)
+    backing.write_block(0, b"AAAAAAAA")
+    backing.write_block(1, b"BBBBBBBB")
+    cache.read_block(0)
+    cache.read_block(1)
+    cache.invalidate(0)
+    reads = backing.stats.reads
+    cache.read_block(1)  # hit
+    assert backing.stats.reads == reads
+    cache.read_block(0)  # miss after invalidate
+    assert backing.stats.reads == reads + 1
+    cache.invalidate()
+    cache.read_block(1)
+    assert backing.stats.reads == reads + 2
+
+
+def test_failed_write_does_not_pollute_cache():
+    from repro.errors import BlockSizeError
+
+    cache, backing = make_cached()
+    backing.write_block(0, b"AAAAAAAA")
+    cache.read_block(0)
+    with pytest.raises(BlockSizeError):
+        cache.write_block(0, b"bad")
+    assert cache.read_block(0) == b"AAAAAAAA"
+
+
+def test_hit_rate():
+    cache, backing = make_cached(capacity=4)
+    backing.write_block(0, bytes(8))
+    cache.read_block(0)
+    cache.read_block(0)
+    cache.read_block(0)
+    assert cache.cache_stats.hit_rate == pytest.approx(2 / 3)
+
+
+def test_capacity_validation():
+    backing = LocalBlockDevice(num_blocks=4, block_size=8)
+    with pytest.raises(ValueError):
+        BufferCache(backing, capacity_blocks=0)
+
+
+def test_geometry_passthrough():
+    cache, backing = make_cached()
+    assert cache.num_blocks == backing.num_blocks
+    assert cache.block_size == backing.block_size
+    assert cache.backing is backing

@@ -1,0 +1,80 @@
+"""Unit tests for the cluster builder."""
+
+import pytest
+
+from repro.device import ClusterConfig, ReplicatedCluster
+from repro.types import SchemeName
+
+from ..conftest import make_cluster
+
+
+def test_rho_property():
+    config = ClusterConfig(
+        scheme=SchemeName.VOTING, failure_rate=0.2, repair_rate=2.0
+    )
+    assert config.rho == pytest.approx(0.1)
+
+
+def test_voting_sites_get_spec_weights_even_group():
+    cluster = make_cluster(SchemeName.VOTING, num_sites=4)
+    weights = [s.weight for s in cluster.protocol.sites]
+    assert weights == [1.5, 1.0, 1.0, 1.0]
+
+
+def test_voting_sites_get_equal_weights_odd_group():
+    cluster = make_cluster(SchemeName.VOTING, num_sites=5)
+    assert [s.weight for s in cluster.protocol.sites] == [1.0] * 5
+
+
+def test_availability_tracker_starts_at_one(scheme):
+    cluster = make_cluster(scheme)
+    cluster.run_until(100.0)
+    assert cluster.availability() == 1.0
+
+
+def test_availability_reflects_protocol_predicate():
+    cluster = make_cluster(SchemeName.VOTING, num_sites=3,
+                           failure_rate=0.5, repair_rate=1.0, seed=5)
+    cluster.run_until(5_000.0)
+    availability = cluster.availability()
+    assert 0.0 < availability < 1.0
+
+
+def test_same_seed_reproduces_run(scheme):
+    results = []
+    for _ in range(2):
+        cluster = make_cluster(scheme, failure_rate=0.3, seed=17)
+        cluster.run_until(2_000.0)
+        results.append(
+            (cluster.availability(), cluster.meter.total,
+             cluster.meter.operations("recovery"))
+        )
+    assert results[0] == results[1]
+
+
+def test_different_seeds_differ(scheme):
+    a = make_cluster(scheme, failure_rate=0.3, seed=1)
+    b = make_cluster(scheme, failure_rate=0.3, seed=2)
+    a.run_until(2_000.0)
+    b.run_until(2_000.0)
+    assert a.availability() != b.availability()
+
+
+def test_protocol_matches_scheme(scheme):
+    cluster = make_cluster(scheme)
+    assert cluster.protocol.scheme is scheme
+
+
+def test_run_until_is_incremental(scheme):
+    cluster = make_cluster(scheme, failure_rate=0.1, seed=3)
+    cluster.run_until(100.0)
+    assert cluster.sim.now == 100.0
+    cluster.run_until(250.0)
+    assert cluster.sim.now == 250.0
+
+
+def test_unknown_scheme_rejected():
+    config = ClusterConfig(scheme=SchemeName.VOTING)
+    object.__setattr__(config, "scheme", "bogus")
+    with pytest.raises(ValueError):
+        ReplicatedCluster(config)

@@ -1,0 +1,44 @@
+"""Unit tests for the UNIX-model device driver stub."""
+
+from repro.device import DeviceDriverStub, LocalBlockDevice
+
+
+def test_forwards_every_request_without_cache():
+    server = LocalBlockDevice(num_blocks=8, block_size=8)
+    stub = DeviceDriverStub(server)
+    stub.write_block(0, bytes(8))
+    stub.read_block(0)
+    stub.read_block(0)
+    assert stub.stats.writes == 1
+    assert stub.stats.reads == 2
+    assert stub.forwarded == 3
+    assert server.stats.reads == 2
+
+
+def test_cache_absorbs_repeat_reads():
+    server = LocalBlockDevice(num_blocks=8, block_size=8)
+    stub = DeviceDriverStub(server, cache_blocks=4)
+    stub.write_block(0, b"ABCDEFGH")
+    stub.read_block(0)  # served from the write-through cache
+    stub.read_block(0)
+    assert stub.stats.reads == 2
+    assert server.stats.reads == 0
+    assert stub.forwarded == 1  # only the write went to the server
+    assert stub.cache is not None
+    assert stub.cache.cache_stats.hits == 2
+
+
+def test_reads_return_server_data():
+    server = LocalBlockDevice(num_blocks=8, block_size=8)
+    server.write_block(5, b"12345678")
+    stub = DeviceDriverStub(server, cache_blocks=2)
+    assert stub.read_block(5) == b"12345678"
+    assert stub.forwarded == 1
+
+
+def test_geometry_passthrough():
+    server = LocalBlockDevice(num_blocks=8, block_size=16)
+    stub = DeviceDriverStub(server)
+    assert stub.num_blocks == 8
+    assert stub.block_size == 16
+    assert stub.server is server

@@ -1,0 +1,56 @@
+"""Unit tests for the local (single-copy) block device."""
+
+import pytest
+
+from repro.device import LocalBlockDevice
+from repro.errors import BlockOutOfRangeError, BlockSizeError
+
+
+def test_read_back_what_was_written():
+    device = LocalBlockDevice(num_blocks=8, block_size=16)
+    data = b"0123456789abcdef"
+    device.write_block(3, data)
+    assert device.read_block(3) == data
+
+
+def test_capacity_properties():
+    device = LocalBlockDevice(num_blocks=10, block_size=32)
+    assert device.num_blocks == 10
+    assert device.block_size == 32
+    assert device.capacity_bytes == 320
+    assert device.zero_block() == bytes(32)
+
+
+def test_stats_count_operations():
+    device = LocalBlockDevice(num_blocks=4, block_size=8)
+    device.write_block(0, bytes(8))
+    device.read_block(0)
+    device.read_block(1)
+    assert device.stats.writes == 1
+    assert device.stats.reads == 2
+
+
+def test_versions_advance_per_block():
+    device = LocalBlockDevice(num_blocks=4, block_size=8)
+    device.write_block(0, bytes(8))
+    device.write_block(0, bytes(8))
+    device.write_block(1, bytes(8))
+    assert device.store.version(0) == 2
+    assert device.store.version(1) == 1
+
+
+def test_errors_propagate():
+    device = LocalBlockDevice(num_blocks=4, block_size=8)
+    with pytest.raises(BlockOutOfRangeError):
+        device.read_block(9)
+    with pytest.raises(BlockSizeError):
+        device.write_block(0, b"short")
+
+
+def test_stats_snapshot_is_independent():
+    device = LocalBlockDevice(num_blocks=4, block_size=8)
+    device.write_block(0, bytes(8))
+    snap = device.stats.snapshot()
+    device.write_block(0, bytes(8))
+    assert snap.writes == 1
+    assert device.stats.writes == 2

@@ -1,0 +1,124 @@
+"""Unit tests for the reliable-device facade."""
+
+import pytest
+
+from repro.errors import (
+    DeviceUnavailableError,
+    QuorumNotReachedError,
+    SiteDownError,
+)
+from repro.types import SchemeName
+
+from ..conftest import block_of, make_cluster
+
+
+def test_read_back_what_was_written(scheme):
+    cluster = make_cluster(scheme)
+    device = cluster.device()
+    data = block_of(cluster, b"Z")
+    device.write_block(5, data)
+    assert device.read_block(5) == data
+    assert device.stats.writes == 1
+    assert device.stats.reads == 1
+
+
+def test_geometry_matches_config(scheme):
+    cluster = make_cluster(scheme, num_blocks=17)
+    device = cluster.device()
+    assert device.num_blocks == 17
+    assert device.block_size == cluster.protocol.block_size
+
+
+def test_origin_defaults_to_first_site(scheme):
+    cluster = make_cluster(scheme)
+    assert cluster.device().origin == 0
+    assert cluster.device(origin=2).origin == 2
+
+
+def test_invalid_origin_rejected(scheme):
+    cluster = make_cluster(scheme)
+    with pytest.raises(SiteDownError):
+        cluster.device(origin=99)
+
+
+def test_failover_reroutes_around_down_origin(scheme):
+    cluster = make_cluster(scheme)
+    device = cluster.device(origin=0, failover=True)
+    data = block_of(cluster, b"Q")
+    device.write_block(0, data)
+    cluster.protocol.on_site_failed(0)
+    # the preferred origin is down; another site serves the request
+    assert device.read_block(0) == data
+    device.write_block(1, data)
+
+
+def test_no_failover_surfaces_site_down(scheme):
+    cluster = make_cluster(scheme)
+    device = cluster.device(origin=0, failover=False)
+    cluster.protocol.on_site_failed(0)
+    with pytest.raises(SiteDownError):
+        device.read_block(0)
+    assert device.stats.failed_reads == 1
+
+
+def test_total_failure_surfaces_unavailable(scheme):
+    cluster = make_cluster(scheme)
+    device = cluster.device()
+    for site_id in cluster.protocol.site_ids:
+        cluster.protocol.on_site_failed(site_id)
+    with pytest.raises(DeviceUnavailableError):
+        device.write_block(0, block_of(cluster, b"x"))
+    assert device.stats.failed_writes == 1
+
+
+def test_voting_needs_majority_not_just_one():
+    cluster = make_cluster(SchemeName.VOTING, num_sites=3)
+    device = cluster.device(origin=0)
+    cluster.protocol.on_site_failed(1)
+    device.write_block(0, block_of(cluster, b"m"))  # 2 of 3 still a quorum
+    cluster.protocol.on_site_failed(2)
+    with pytest.raises(QuorumNotReachedError):
+        device.write_block(0, block_of(cluster, b"m"))
+
+
+def test_available_copy_serves_with_single_survivor():
+    for scheme in (SchemeName.AVAILABLE_COPY,
+                   SchemeName.NAIVE_AVAILABLE_COPY):
+        cluster = make_cluster(scheme, num_sites=3)
+        device = cluster.device(origin=2)
+        cluster.protocol.on_site_failed(0)
+        cluster.protocol.on_site_failed(1)
+        data = block_of(cluster, b"s")
+        device.write_block(0, data)
+        assert device.read_block(0) == data
+
+
+def test_failover_skips_witness_sites():
+    """A witness cannot serve clients; failover must step over it."""
+    from repro.device import ReliableDevice
+    from repro.experiments import build_witness_group
+
+    protocol, _net = build_witness_group(data_copies=2, witnesses=1)
+    device = ReliableDevice(protocol, origin=0, failover=True)
+    data = b"\x21" * device.block_size
+    device.write_block(0, data)
+    protocol.on_site_failed(0)
+    # remaining available sites are {1 (data), 2 (witness)}; failover
+    # must pick the data site even though the witness is "available"
+    assert device.read_block(0) == data
+    device.write_block(1, data)
+
+
+def test_filesystem_over_witness_group():
+    from repro.device import ReliableDevice
+    from repro.experiments import build_witness_group
+    from repro.fs import FileSystem
+
+    protocol, _net = build_witness_group(
+        data_copies=2, witnesses=1, num_blocks=256, block_size=512
+    )
+    fs = FileSystem.format(ReliableDevice(protocol))
+    fs.create("/f")
+    fs.write_file("/f", b"witnessed")
+    protocol.on_site_failed(1)
+    assert fs.read_file("/f") == b"witnessed"

@@ -1,0 +1,101 @@
+"""Replica scrubbing (audit + anti-entropy repair)."""
+
+import pytest
+
+from repro.device.scrub import audit_replicas, scrub_replicas
+from repro.errors import NoAvailableCopyError
+from repro.types import SchemeName
+
+from ..conftest import block_of, make_cluster
+
+
+def test_fresh_group_is_clean(scheme):
+    cluster = make_cluster(scheme)
+    cluster.protocol.write(0, 0, block_of(cluster, b"a"))
+    report = audit_replicas(cluster.protocol)
+    assert report.clean
+    assert report.sites_audited == 3
+    assert "clean" in report.summary()
+
+
+def test_audit_finds_stale_voting_copies():
+    cluster = make_cluster(SchemeName.VOTING)
+    protocol = cluster.protocol
+    protocol.write(0, 0, block_of(cluster, b"1"))
+    protocol.write(0, 1, block_of(cluster, b"1"))
+    protocol.on_site_failed(2)
+    protocol.write(0, 0, block_of(cluster, b"2"))
+    protocol.write(0, 1, block_of(cluster, b"2"))
+    protocol.on_site_repaired(2)
+    report = audit_replicas(protocol)
+    assert not report.clean
+    assert report.stale == {2: [0, 1]}
+    assert "2 stale block copies" in report.summary()
+
+
+def test_scrub_repairs_stale_copies():
+    cluster = make_cluster(SchemeName.VOTING)
+    protocol = cluster.protocol
+    protocol.write(0, 0, block_of(cluster, b"1"))
+    protocol.on_site_failed(2)
+    protocol.write(0, 0, block_of(cluster, b"2"))
+    protocol.on_site_repaired(2)
+    report = scrub_replicas(protocol)
+    assert report.blocks_repaired == 1
+    assert protocol.site(2).read_block(0) == block_of(cluster, b"2")
+    # a second pass is clean and lazy repair is no longer needed
+    assert audit_replicas(protocol).clean
+    before = protocol.lazy_repairs
+    protocol.read(2, 0)
+    assert protocol.lazy_repairs == before
+
+
+def test_scrub_cost_is_metered():
+    cluster = make_cluster(SchemeName.VOTING)
+    protocol = cluster.protocol
+    protocol.write(0, 0, block_of(cluster, b"1"))
+    protocol.on_site_failed(1)
+    protocol.write(0, 0, block_of(cluster, b"2"))
+    protocol.on_site_repaired(1)
+    report = scrub_replicas(protocol)
+    # audit: 1 broadcast + 2 replies; repair: 1 block transfer
+    assert report.messages == 4
+
+
+def test_audit_skips_unreachable_sites():
+    cluster = make_cluster(SchemeName.VOTING)
+    protocol = cluster.protocol
+    protocol.write(0, 0, block_of(cluster, b"1"))
+    protocol.on_site_failed(2)
+    report = audit_replicas(protocol)
+    assert report.sites_audited == 2
+    assert report.clean  # the stale site is down, not lagging
+
+
+def test_available_copy_groups_always_audit_clean_under_churn(scheme):
+    if scheme is SchemeName.VOTING:
+        pytest.skip("voting intentionally tolerates stale copies")
+    cluster = make_cluster(scheme)
+    protocol = cluster.protocol
+    protocol.write(0, 0, block_of(cluster, b"1"))
+    protocol.on_site_failed(1)
+    protocol.write(0, 0, block_of(cluster, b"2"))
+    protocol.on_site_repaired(1)  # AC repairs on recovery
+    assert audit_replicas(protocol).clean
+
+
+def test_scrub_with_witnesses_ignores_them():
+    from repro.experiments import build_witness_group
+
+    protocol, _net = build_witness_group(data_copies=2, witnesses=1)
+    protocol.write(0, 0, b"\x01" * protocol.block_size)
+    report = audit_replicas(protocol)
+    assert report.clean  # the witness's missing data is not staleness
+
+
+def test_scrub_requires_a_data_site():
+    cluster = make_cluster(SchemeName.VOTING)
+    for s in (0, 1, 2):
+        cluster.protocol.on_site_failed(s)
+    with pytest.raises(NoAvailableCopyError):
+        audit_replicas(cluster.protocol)

@@ -1,0 +1,64 @@
+"""Unit tests for replica sites."""
+
+import pytest
+
+from repro.device import Site
+from repro.types import SiteState
+
+
+def test_initial_state_available():
+    site = Site(site_id=0, num_blocks=4)
+    assert site.state is SiteState.AVAILABLE
+    assert site.is_available
+    assert site.is_reachable
+
+
+def test_crash_preserves_stable_storage():
+    site = Site(site_id=1, num_blocks=4, block_size=4)
+    site.write_block(2, b"data", version=7)
+    site.meta["was_available"] = {0, 1}
+    site.crash()
+    assert site.state is SiteState.FAILED
+    assert not site.is_reachable
+    assert site.failures == 1
+    # stable storage survives
+    assert site.read_block(2) == b"data"
+    assert site.block_version(2) == 7
+    assert site.get_was_available() == {0, 1}
+
+
+def test_comatose_is_reachable_but_not_available():
+    site = Site(site_id=0, num_blocks=4)
+    site.set_state(SiteState.COMATOSE)
+    assert site.is_reachable
+    assert not site.is_available
+
+
+def test_was_available_defaults_to_self():
+    site = Site(site_id=3, num_blocks=4)
+    assert site.get_was_available() == {3}
+
+
+def test_was_available_round_trip_returns_copies():
+    site = Site(site_id=0, num_blocks=4)
+    original = {0, 1, 2}
+    site.set_was_available(original)
+    got = site.get_was_available()
+    got.add(99)
+    assert site.get_was_available() == {0, 1, 2}
+    original.add(98)
+    assert site.get_was_available() == {0, 1, 2}
+
+
+def test_version_total():
+    site = Site(site_id=0, num_blocks=4, block_size=4)
+    site.write_block(0, b"aaaa", version=2)
+    site.write_block(1, b"bbbb", version=5)
+    assert site.version_total() == 7
+
+
+def test_weight_must_be_positive():
+    with pytest.raises(ValueError):
+        Site(site_id=0, num_blocks=4, weight=0.0)
+    with pytest.raises(ValueError):
+        Site(site_id=0, num_blocks=4, weight=-1.0)

@@ -1,0 +1,102 @@
+"""Small-scale runs of the extension experiments."""
+
+import pytest
+
+from repro.experiments import (
+    byte_traffic_study,
+    partition_demo,
+    serial_repair_study,
+    witness_study,
+)
+from repro.types import SchemeName
+
+
+class TestByteStudy:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return byte_traffic_study(
+            site_counts=(2, 4), simulate=True, horizon=5_000.0
+        )
+
+    def test_ratios_less_pronounced_but_positive(self, report):
+        table = report.tables[0]
+        for row in table.rows:
+            _n, _mm, _nm, msg_ratio, _mb, _nb, byte_ratio = row
+            assert 1.0 < byte_ratio < msg_ratio
+
+    def test_simulation_cross_check_present(self, report):
+        check = report.tables[1]
+        assert len(check.rows) == 3
+        for _scheme, simulated, model in check.rows:
+            assert simulated == pytest.approx(model, rel=0.05)
+
+
+class TestWitnessStudy:
+    def test_analytic_only_run(self):
+        report = witness_study(
+            configurations=((2, 1), (3, 0), (2, 0)), simulate=False
+        )
+        table = report.tables[0]
+        assert "simulated" not in table.columns
+        rows = {(r[0], r[1]): r[2] for r in table.rows}
+        assert rows[(2, 1)] == pytest.approx(rows[(3, 0)], abs=1e-12)
+        assert rows[(2, 1)] > rows[(2, 0)]
+
+
+class TestSerialRepairStudy:
+    def test_short_run_shape(self):
+        report = serial_repair_study(
+            horizon=20_000.0, schemes=(SchemeName.NAIVE_AVAILABLE_COPY,)
+        )
+        (row,) = report.tables[0].rows
+        _s, par_an, par_sim, ser_chain, ser_sim, ser_fifo = row
+        assert ser_chain < par_an
+        assert ser_sim == pytest.approx(ser_chain, abs=0.02)
+        # naive is discipline-insensitive
+        assert ser_fifo == pytest.approx(ser_sim, abs=0.02)
+
+
+class TestPartitionDemo:
+    def test_rows_cover_all_schemes(self):
+        report = partition_demo()
+        schemes = [row[0] for row in report.tables[0].rows]
+        assert schemes == ["MCV", "AC", "NAC"]
+
+    def test_registered(self):
+        from repro.experiments import EXPERIMENTS
+
+        for required in ("partition-demo", "witness-study",
+                         "byte-traffic-study", "serial-repair-study"):
+            assert required in EXPERIMENTS
+
+
+class TestHeterogeneityStudy:
+    def test_analytic_only_run(self):
+        from repro.experiments import heterogeneity_study
+
+        report = heterogeneity_study(
+            mixes=((0.1, 0.1, 0.1), (0.01, 0.3, 0.3)), simulate=False
+        )
+        table = report.tables[0]
+        assert "MCV sim" not in table.columns
+        for row in table.rows:
+            _mix, mcv, ac, nac = row
+            assert mcv < nac <= ac
+
+    def test_homogeneous_row_matches_paper_formulas(self):
+        from repro.analysis import (
+            naive_availability,
+            voting_availability,
+        )
+        from repro.experiments import heterogeneity_study
+
+        report = heterogeneity_study(mixes=((0.2, 0.2, 0.2),),
+                                     simulate=False)
+        (_mix, mcv, _ac, nac) = report.tables[0].rows[0]
+        assert mcv == pytest.approx(voting_availability(3, 0.2), abs=1e-12)
+        assert nac == pytest.approx(naive_availability(3, 0.2), abs=1e-12)
+
+    def test_registered(self):
+        from repro.experiments import EXPERIMENTS
+
+        assert "heterogeneity-study" in EXPERIMENTS

@@ -1,0 +1,127 @@
+"""Shape assertions for the regenerated figures.
+
+These tests encode the *qualitative* claims of the paper's evaluation:
+who wins, where the curves separate, and which series are flat.  The
+absolute values are analytic and pinned elsewhere; here we check that
+the regenerated figures say what the paper's figures say.
+"""
+
+import pytest
+
+from repro.experiments import (
+    figure9,
+    figure10,
+    figure11,
+    figure12,
+    theorem41,
+)
+
+
+@pytest.fixture(scope="module")
+def fig9():
+    return figure9()
+
+
+@pytest.fixture(scope="module")
+def fig10():
+    return figure10()
+
+
+class TestFigure9:
+    def test_grid_covers_paper_range(self, fig9):
+        rhos = fig9.tables[0].column("rho")
+        assert rhos[0] == 0.0
+        assert rhos[-1] == pytest.approx(0.20)
+
+    def test_available_copy_dominates_voting(self, fig9):
+        table = fig9.tables[0]
+        for voting, ac, nac in zip(
+            table.column("A_V(6)"),
+            table.column("A_A(3)"),
+            table.column("A_NA(3)"),
+        ):
+            assert ac >= voting
+            assert nac >= voting - 1e-12
+
+    def test_ac_and_nac_indistinguishable_below_rho_010(self, fig9):
+        """Section 4.4: no significant difference for rho < 0.10."""
+        table = fig9.tables[0]
+        for rho, ac, nac in zip(
+            table.column("rho"),
+            table.column("A_A(3)"),
+            table.column("A_NA(3)"),
+        ):
+            if rho < 0.10:
+                assert ac - nac < 0.005
+
+    def test_all_start_at_one(self, fig9):
+        table = fig9.tables[0]
+        assert table.rows[0][1:] == [1.0, 1.0, 1.0]
+
+
+class TestFigure10:
+    def test_wider_margin_than_figure9_at_high_rho(self, fig9, fig10):
+        """Four copies vs eight voting copies separates even further."""
+        last9 = fig9.tables[0].rows[-1]
+        last10 = fig10.tables[0].rows[-1]
+        margin9 = last9[2] - last9[1]   # A_A(3) - A_V(6)
+        margin10 = last10[2] - last10[1]  # A_A(4) - A_V(8)
+        assert margin10 > 0
+        assert margin9 > 0
+
+    def test_dominance(self, fig10):
+        table = fig10.tables[0]
+        for voting, ac in zip(table.column("A_V(8)"), table.column("A_A(4)")):
+            assert ac >= voting
+
+
+class TestTrafficFigures:
+    def test_figure11_naive_series_is_constant_one(self):
+        table = figure11().tables[0]
+        assert set(table.column("NAC (any x)")) == {1.0}
+
+    def test_figure11_voting_grows_with_read_ratio(self):
+        table = figure11().tables[0]
+        for row in table.rows:
+            _n, x1, x2, x4, _ac, _nac = row
+            assert x1 < x2 < x4
+
+    def test_figure11_ordering_at_every_n(self):
+        table = figure11().tables[0]
+        for row in table.rows:
+            n, x1, _x2, _x4, ac, nac = row
+            assert nac <= ac <= x1
+
+    def test_figure12_amplifies_figure11(self):
+        t11 = figure11().tables[0]
+        t12 = figure12().tables[0]
+        for row11, row12 in zip(t11.rows, t12.rows):
+            if row11[0] < 3:
+                # at n=2 both networks cost the same broadcast fan-out
+                continue
+            gap11 = row11[3] - row11[5]  # MCV x=4 minus NAC
+            gap12 = row12[3] - row12[5]
+            assert gap12 > gap11
+
+    def test_custom_parameters_respected(self):
+        report = figure11(rho=0.1, site_counts=[3], read_ratios=[2.0])
+        table = report.tables[0]
+        assert table.column("n") == [3]
+        assert len(table.columns) == 4  # n, one MCV ratio, AC, NAC
+
+
+class TestTheorem41Report:
+    def test_no_violations(self):
+        report = theorem41(copies=(2, 3, 4), rhos=(0.1, 0.5, 1.0))
+        direct = report.tables[0]
+        assert all(direct.column("holds"))
+        assert any("violations" in note and ": 0" in note
+                   for note in report.notes)
+
+    def test_even_column_equals_odd_column(self):
+        report = theorem41(copies=(2, 3), rhos=(0.2, 0.8))
+        direct = report.tables[0]
+        for odd, even in zip(
+            direct.column("A_V(2n-1)"), direct.column("A_V(2n)")
+        ):
+            assert odd == pytest.approx(even, abs=1e-12)

@@ -1,0 +1,39 @@
+"""Registry wiring and small-scale smoke runs of every experiment."""
+
+import pytest
+
+from repro.experiments import EXPERIMENTS, run_experiment
+from repro.experiments.report import ExperimentReport
+
+
+def test_every_paper_figure_is_registered():
+    for required in ("figure-9", "figure-10", "figure-11", "figure-12",
+                     "theorem-4.1"):
+        assert required in EXPERIMENTS
+
+
+def test_validation_and_ablations_registered():
+    for required in (
+        "validation-availability",
+        "validation-traffic",
+        "ablation-voting-repair",
+        "ablation-was-available-freshness",
+        "ablation-repair-regularity",
+    ):
+        assert required in EXPERIMENTS
+
+
+def test_unknown_experiment_raises():
+    with pytest.raises(KeyError):
+        run_experiment("figure-99")
+
+
+@pytest.mark.parametrize(
+    "experiment_id",
+    ["figure-9", "figure-10", "figure-11", "figure-12", "theorem-4.1"],
+)
+def test_analytic_experiments_run(experiment_id):
+    report = run_experiment(experiment_id)
+    assert isinstance(report, ExperimentReport)
+    assert report.tables
+    assert report.render()

@@ -1,0 +1,48 @@
+"""Small-scale run of the reliability experiment."""
+
+import pytest
+
+from repro.experiments import reliability_study, simulated_mttf
+from repro.types import SchemeName
+
+
+@pytest.fixture(scope="module")
+def report():
+    return reliability_study(
+        site_counts=(1, 2), rho=0.3, simulate=False
+    )
+
+
+def test_analytic_tables_present(report):
+    assert len(report.tables) == 2
+    mttf = report.tables[0]
+    assert "MTTF simulated" not in mttf.columns  # simulate=False
+    assert len(mttf.rows) == 6  # 3 schemes x 2 sizes
+
+
+def test_survival_rows_decay(report):
+    survival = report.tables[1]
+    for row in survival.rows:
+        values = row[2:]
+        assert all(b <= a + 1e-12 for a, b in zip(values, values[1:]))
+
+
+def test_single_copy_rows_agree_across_schemes(report):
+    mttf = report.tables[0]
+    singles = [row for row in mttf.rows if row[1] == 1]
+    values = {round(row[2], 9) for row in singles}
+    assert len(values) == 1
+
+
+def test_simulated_mttf_matches_two_state_theory():
+    # single copy: MTTF = 1/lambda exactly
+    measured = simulated_mttf(
+        SchemeName.VOTING, n=1, rho=0.25, episodes=150, seed=3
+    )
+    assert measured == pytest.approx(4.0, rel=0.25)
+
+
+def test_registered():
+    from repro.experiments import EXPERIMENTS
+
+    assert "reliability-study" in EXPERIMENTS

@@ -1,0 +1,58 @@
+"""Report rendering primitives."""
+
+import pytest
+
+from repro.experiments import ExperimentReport, Table
+from repro.experiments.report import format_number
+
+
+def test_format_number():
+    assert format_number(0.5, precision=3) == "0.500"
+    assert format_number(7) == "7"
+    assert format_number(True) == "yes"
+    assert format_number(False) == "no"
+    assert format_number("text") == "text"
+
+
+def test_table_round_trip():
+    table = Table(title="t", columns=("a", "b"))
+    table.add_row(1, 2.0)
+    table.add_row(3, 4.0)
+    assert table.column("a") == [1, 3]
+    assert table.column("b") == [2.0, 4.0]
+
+
+def test_table_rejects_wrong_arity():
+    table = Table(title="t", columns=("a", "b"))
+    with pytest.raises(ValueError):
+        table.add_row(1)
+
+
+def test_table_render_alignment():
+    table = Table(title="numbers", columns=("n", "value"), precision=2)
+    table.add_row(1, 0.5)
+    table.add_row(100, 12.25)
+    text = table.render()
+    lines = text.splitlines()
+    assert lines[0] == "numbers"
+    assert "n" in lines[1] and "value" in lines[1]
+    assert set(lines[2]) <= {"-", " "}
+    widths = {len(line) for line in lines[1:]}
+    assert len(widths) == 1  # all rows padded to the same width
+
+
+def test_empty_table_renders():
+    table = Table(title="empty", columns=("x",))
+    assert "empty" in table.render()
+
+
+def test_report_render_includes_tables_and_notes():
+    report = ExperimentReport(experiment_id="exp", title="Title")
+    table = Table(title="t", columns=("a",))
+    table.add_row(1)
+    report.add_table(table)
+    report.note("a remark")
+    text = report.render()
+    assert "=== exp: Title ===" in text
+    assert "a remark" in text
+    assert "t" in text

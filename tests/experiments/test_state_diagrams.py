@@ -1,0 +1,62 @@
+"""Figures 7 and 8 rendered as transition tables."""
+
+import pytest
+
+from repro.experiments import figure7_8_diagrams
+
+
+@pytest.fixture(scope="module")
+def report():
+    return figure7_8_diagrams(n=3)
+
+
+def triples(table):
+    return {(row[0], row[1]): row[2] for row in table.rows}
+
+
+def test_figure7_key_transitions(report):
+    fig7 = triples(report.tables[0])
+    # every comatose state exits to an available state at rate mu
+    assert fig7[("S'0", "S1")] == "μ"
+    assert fig7[("S'1", "S2")] == "μ"
+    assert fig7[("S'2", "S3")] == "μ"
+    # S'0's other recovery goes comatose at (n-1) mu
+    assert fig7[("S'0", "S'1")] == "2μ"
+    # comatose copies fail at j * lambda
+    assert fig7[("S'2", "S'1")] == "2λ"
+    # available-state birth-death part
+    assert fig7[("S3", "S2")] == "3λ"
+    assert fig7[("S1", "S2")] == "2μ"
+
+
+def test_figure8_has_no_early_exits(report):
+    fig8 = triples(report.tables[1])
+    assert ("S'0", "S1") not in fig8
+    assert ("S'1", "S2") not in fig8
+    assert fig8[("S'2", "S3")] == "μ"  # only the full-house exit
+    # recoveries pile up comatose at (n - j) mu
+    assert fig8[("S'0", "S'1")] == "3μ"
+    assert fig8[("S'1", "S'2")] == "2μ"
+
+
+def test_available_parts_identical(report):
+    fig7 = triples(report.tables[0])
+    fig8 = triples(report.tables[1])
+    available_edges = [
+        ("S1", "S2"), ("S2", "S3"), ("S2", "S1"), ("S3", "S2"),
+        ("S1", "S'0"),
+    ]
+    for edge in available_edges:
+        assert fig7[edge] == fig8[edge]
+
+
+def test_state_counts(report):
+    # 2n states -> at most 3 exits per state
+    assert len(report.tables[0].rows) == 12
+    assert len(report.tables[1].rows) == 10
+
+
+def test_registered():
+    from repro.experiments import EXPERIMENTS
+
+    assert "figures-7-8" in EXPERIMENTS

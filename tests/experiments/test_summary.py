@@ -1,0 +1,69 @@
+"""The conclusions scorecard."""
+
+import pytest
+
+from repro.experiments import conclusions_summary
+
+
+@pytest.fixture(scope="module")
+def report():
+    return conclusions_summary()
+
+
+def metric(report, name):
+    table = report.tables[0]
+    for row in table.rows:
+        if row[0] == name:
+            return {"MCV": row[1], "AC": row[2], "NAC": row[3]}
+    raise KeyError(name)
+
+
+def test_availability_ordering(report):
+    a = metric(report, "availability (3 copies)")
+    assert a["MCV"] < a["NAC"] <= a["AC"]
+
+
+def test_write_traffic_ordering(report):
+    w = metric(report, "transmissions per write")
+    assert w["NAC"] == 1.0
+    assert w["NAC"] < w["AC"] < w["MCV"]
+
+
+def test_reads_free_only_for_available_copy(report):
+    r = metric(report, "transmissions per read")
+    assert r["AC"] == r["NAC"] == 0.0
+    assert r["MCV"] > 0
+
+
+def test_recovery_free_only_for_voting(report):
+    rec = metric(report, "transmissions per recovery")
+    assert rec["MCV"] == 0.0
+    assert rec["AC"] > 0 and rec["NAC"] > 0
+
+
+def test_identical_mttf_for_ac_variants(report):
+    mttf = metric(report, "MTTF (mean repair times)")
+    assert mttf["AC"] == pytest.approx(mttf["NAC"], rel=1e-9)
+    assert mttf["AC"] > 10 * mttf["MCV"]
+
+
+def test_naive_outages_longest(report):
+    outage = metric(report, "mean outage duration")
+    assert outage["MCV"] < outage["AC"] < outage["NAC"]
+
+
+def test_storage_bill(report):
+    copies = metric(report, "copies for 99.99% availability")
+    assert copies["AC"] == copies["NAC"] < copies["MCV"]
+
+
+def test_notes_quote_the_conclusions(report):
+    text = " ".join(report.notes)
+    assert "twice the number of sites" in text
+    assert "eclipses" in text
+
+
+def test_registered():
+    from repro.experiments import EXPERIMENTS
+
+    assert "conclusions-summary" in EXPERIMENTS

@@ -1,0 +1,91 @@
+"""Short-horizon runs of the simulation-validation experiments.
+
+Full-scale runs live in the benchmark harness; these keep horizons small
+so the unit suite stays fast while still exercising the experiment code
+end to end and asserting loose agreement bands.
+"""
+
+import pytest
+
+from repro.experiments import (
+    ValidationSettings,
+    ablation_repair_regularity,
+    ablation_voting_repair,
+    ablation_was_available_freshness,
+    validate_availability,
+    validate_traffic,
+)
+from repro.types import SchemeName
+
+
+@pytest.fixture(scope="module")
+def availability_report():
+    return validate_availability(
+        site_counts=(2, 3),
+        rhos=(0.1,),
+        settings=ValidationSettings(horizon=30_000.0, seed=5),
+    )
+
+
+def test_validate_availability_within_band(availability_report):
+    table = availability_report.tables[0]
+    for error in table.column("abs error"):
+        assert error < 0.01
+
+
+def test_validate_availability_covers_all_schemes(availability_report):
+    schemes = set(availability_report.tables[0].column("scheme"))
+    assert schemes == {s.short for s in SchemeName}
+
+
+def test_validate_traffic_within_band():
+    report = validate_traffic(
+        n=3,
+        rho=0.05,
+        settings=ValidationSettings(horizon=5_000.0, seed=6, op_rate=3.0),
+    )
+    table = report.tables[0]
+    for sim_col, model_col in (
+        ("write sim", "write model"),
+        ("read sim", "read model"),
+        ("recovery sim", "recovery model"),
+    ):
+        for sim, model in zip(table.column(sim_col),
+                              table.column(model_col)):
+            assert sim == pytest.approx(model, abs=0.35)
+
+
+def test_ablation_voting_repair_shape():
+    report = ablation_voting_repair(n=3, rho=0.1, horizon=5_000.0)
+    table = report.tables[0]
+    lazy, eager = table.rows
+    assert lazy[0].startswith("lazy")
+    assert lazy[1] == 0.0           # no recovery traffic
+    assert eager[1] > 0.0           # the conventional scheme pays
+    assert lazy[4] == pytest.approx(eager[4], abs=1e-12)  # same availability
+
+
+def test_ablation_was_available_freshness_shape():
+    report = ablation_was_available_freshness(
+        n=3, rho=0.3, write_rates=(0.02, 5.0), horizon=20_000.0
+    )
+    table = report.tables[0]
+    sparse, frequent = table.rows
+    # tracked variant does not care about the write rate
+    assert sparse[1] == pytest.approx(frequent[1], abs=0.02)
+    # with frequent writes the lazy variant approaches the tracked one
+    assert abs(frequent[2] - frequent[1]) <= abs(sparse[2] - sparse[1]) + 0.01
+    # the lazy variant is never better than tracked nor worse than naive
+    for row in table.rows:
+        assert row[2] <= row[1] + 0.01
+        assert row[2] >= row[3] - 0.01
+
+
+def test_ablation_repair_regularity_shape():
+    report = ablation_repair_regularity(
+        n=3, rho=0.3, cvs=(1.0, 0.25), horizon=30_000.0
+    )
+    table = report.tables[0]
+    exponential, regular = table.rows
+    # the AC advantage shrinks when repairs become regular (Section 4.4)
+    assert regular[3] <= exponential[3] + 0.005

@@ -1,0 +1,129 @@
+"""Open-file handle API."""
+
+import io
+
+import pytest
+
+from repro.device import LocalBlockDevice
+from repro.errors import (
+    FileNotFoundFSError,
+    FileSystemError,
+    IsADirectoryFSError,
+)
+from repro.fs import FileSystem
+
+
+@pytest.fixture
+def fs():
+    return FileSystem.format(LocalBlockDevice(num_blocks=256))
+
+
+def test_open_missing_raises(fs):
+    with pytest.raises(FileNotFoundFSError):
+        fs.open("/nope")
+
+
+def test_open_create(fs):
+    with fs.open("/new", create=True) as handle:
+        assert handle.size() == 0
+    assert fs.exists("/new")
+
+
+def test_open_existing_does_not_truncate(fs):
+    fs.create("/f")
+    fs.write_file("/f", b"keep me")
+    with fs.open("/f") as handle:
+        assert handle.read() == b"keep me"
+
+
+def test_open_directory_rejected(fs):
+    fs.mkdir("/d")
+    with pytest.raises(IsADirectoryFSError):
+        fs.open("/d")
+
+
+def test_sequential_write_then_read(fs):
+    with fs.open("/log", create=True) as handle:
+        assert handle.write(b"line one\n") == 9
+        handle.write(b"line two\n")
+        handle.seek(0)
+        assert handle.read() == b"line one\nline two\n"
+
+
+def test_partial_reads_advance_position(fs):
+    fs.create("/f")
+    fs.write_file("/f", b"abcdefgh")
+    with fs.open("/f") as handle:
+        assert handle.read(3) == b"abc"
+        assert handle.tell() == 3
+        assert handle.read(3) == b"def"
+        assert handle.read(100) == b"gh"
+        assert handle.read() == b""
+
+
+def test_seek_whence_modes(fs):
+    fs.create("/f")
+    fs.write_file("/f", b"0123456789")
+    with fs.open("/f") as handle:
+        handle.seek(4)
+        assert handle.read(1) == b"4"
+        handle.seek(-2, io.SEEK_END)
+        assert handle.read() == b"89"
+        handle.seek(2, io.SEEK_SET)
+        handle.seek(3, io.SEEK_CUR)
+        assert handle.tell() == 5
+    with fs.open("/f") as handle:
+        with pytest.raises(ValueError):
+            handle.seek(-1)
+        with pytest.raises(ValueError):
+            handle.seek(0, 99)
+
+
+def test_write_past_end_creates_hole(fs):
+    with fs.open("/sparse", create=True) as handle:
+        handle.seek(1000)
+        handle.write(b"tail")
+        handle.seek(0)
+        data = handle.read()
+    assert len(data) == 1004
+    assert data[:1000] == bytes(1000)
+    assert data[1000:] == b"tail"
+
+
+def test_truncate_resets_position(fs):
+    with fs.open("/f", create=True) as handle:
+        handle.write(b"content")
+        handle.truncate()
+        assert handle.tell() == 0
+        assert handle.size() == 0
+
+
+def test_two_handles_observe_each_other(fs):
+    fs.create("/shared")
+    a = fs.open("/shared")
+    b = fs.open("/shared")
+    a.write(b"from a")
+    assert b.read() == b"from a"
+    a.close()
+    b.close()
+
+
+def test_closed_handle_rejects_io(fs):
+    handle = fs.open("/f", create=True)
+    handle.close()
+    handle.close()  # idempotent
+    for operation in (handle.read, handle.tell, handle.size,
+                      lambda: handle.write(b"x"), lambda: handle.seek(0)):
+        with pytest.raises(FileSystemError):
+            operation()
+
+
+def test_handles_work_over_replicated_device(scheme):
+    from ..conftest import make_cluster
+
+    cluster = make_cluster(scheme, num_blocks=256)
+    fs = FileSystem.format(cluster.device())
+    with fs.open("/r", create=True) as handle:
+        handle.write(b"replicated stream")
+        handle.seek(0)
+        assert handle.read(10) == b"replicated"

@@ -1,0 +1,54 @@
+"""Superblock layout and serialisation."""
+
+import pytest
+
+from repro.errors import FSFormatError
+from repro.fs import SuperBlock
+
+
+def test_compute_geometry():
+    sb = SuperBlock.compute(num_blocks=512, block_size=512, num_inodes=64)
+    assert sb.bitmap_start == 1
+    assert sb.bitmap_blocks == 1  # 512 blocks need 512 bits = 64 bytes
+    assert sb.inode_start == 2
+    assert sb.inode_blocks == 8  # 64 inodes * 64 B / 512 B
+    assert sb.data_start == 10
+    assert sb.data_blocks == 502
+
+
+def test_pack_unpack_round_trip():
+    sb = SuperBlock.compute(num_blocks=256, block_size=512, num_inodes=32)
+    packed = sb.pack()
+    assert len(packed) == 512
+    assert SuperBlock.unpack(packed) == sb
+
+
+def test_unpack_rejects_bad_magic():
+    with pytest.raises(FSFormatError):
+        SuperBlock.unpack(bytes(512))
+
+
+def test_unpack_rejects_short_data():
+    with pytest.raises(FSFormatError):
+        SuperBlock.unpack(b"tiny")
+
+
+def test_tiny_device_rejected():
+    with pytest.raises(FSFormatError):
+        SuperBlock.compute(num_blocks=4, block_size=512, num_inodes=1000)
+
+
+def test_zero_inodes_rejected():
+    with pytest.raises(FSFormatError):
+        SuperBlock.compute(num_blocks=64, block_size=512, num_inodes=0)
+
+
+def test_block_too_small_for_inode_rejected():
+    with pytest.raises(FSFormatError):
+        SuperBlock.compute(num_blocks=64, block_size=32, num_inodes=4)
+
+
+def test_bitmap_spans_multiple_blocks_when_needed():
+    # 10000 blocks at 128 B/block: 1024 bits per bitmap block -> 10 blocks
+    sb = SuperBlock.compute(num_blocks=10_000, block_size=128, num_inodes=16)
+    assert sb.bitmap_blocks == 10

@@ -1,0 +1,61 @@
+"""Path parsing rules."""
+
+import pytest
+
+from repro.errors import InvalidPathFSError
+from repro.fs.layout import NAME_MAX
+from repro.fs.path import parent_and_name, split_path, validate_name
+
+
+def test_split_simple_paths():
+    assert split_path("/") == []
+    assert split_path("/a") == ["a"]
+    assert split_path("/a/b/c") == ["a", "b", "c"]
+
+
+def test_split_tolerates_repeated_slashes():
+    assert split_path("//a///b/") == ["a", "b"]
+
+
+def test_relative_path_rejected():
+    with pytest.raises(InvalidPathFSError):
+        split_path("a/b")
+    with pytest.raises(InvalidPathFSError):
+        split_path("")
+
+
+def test_reserved_names_rejected():
+    with pytest.raises(InvalidPathFSError):
+        split_path("/a/./b")
+    with pytest.raises(InvalidPathFSError):
+        split_path("/a/../b")
+
+
+def test_over_long_name_rejected():
+    long_name = "x" * (NAME_MAX + 1)
+    with pytest.raises(InvalidPathFSError):
+        split_path(f"/{long_name}")
+    # exactly NAME_MAX is fine
+    assert split_path("/" + "x" * NAME_MAX) == ["x" * NAME_MAX]
+
+
+def test_name_length_measured_in_bytes():
+    # 14 two-byte characters = 28 bytes > 27
+    with pytest.raises(InvalidPathFSError):
+        validate_name("é" * 14)
+    assert validate_name("é" * 13) == "é" * 13
+
+
+def test_nul_byte_rejected():
+    with pytest.raises(InvalidPathFSError):
+        validate_name("bad\x00name")
+
+
+def test_parent_and_name():
+    assert parent_and_name("/a") == ([], "a")
+    assert parent_and_name("/a/b/c") == (["a", "b"], "c")
+
+
+def test_parent_of_root_rejected():
+    with pytest.raises(InvalidPathFSError):
+        parent_and_name("/")

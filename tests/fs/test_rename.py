@@ -1,0 +1,100 @@
+"""Rename / move semantics."""
+
+import pytest
+
+from repro.device import LocalBlockDevice
+from repro.errors import (
+    FileExistsFSError,
+    FileNotFoundFSError,
+    InvalidPathFSError,
+)
+from repro.fs import FileSystem
+
+
+@pytest.fixture
+def fs():
+    filesystem = FileSystem.format(LocalBlockDevice(num_blocks=256))
+    filesystem.mkdir("/a")
+    filesystem.mkdir("/b")
+    filesystem.create("/a/file")
+    filesystem.write_file("/a/file", b"payload")
+    return filesystem
+
+
+def test_rename_within_directory(fs):
+    fs.rename("/a/file", "/a/renamed")
+    assert not fs.exists("/a/file")
+    assert fs.read_file("/a/renamed") == b"payload"
+
+
+def test_move_across_directories(fs):
+    fs.rename("/a/file", "/b/moved")
+    assert fs.listdir("/a") == []
+    assert fs.read_file("/b/moved") == b"payload"
+
+
+def test_move_preserves_inode_and_blocks(fs):
+    before = fs.stat("/a/file")
+    fs.rename("/a/file", "/b/file")
+    after = fs.stat("/b/file")
+    assert after.inode == before.inode
+    assert after.size == before.size
+    assert after.blocks == before.blocks
+
+
+def test_move_directory_with_contents(fs):
+    fs.mkdir("/a/sub")
+    fs.create("/a/sub/deep")
+    fs.write_file("/a/sub/deep", b"deep data")
+    fs.rename("/a/sub", "/b/sub")
+    assert fs.read_file("/b/sub/deep") == b"deep data"
+    assert not fs.exists("/a/sub")
+
+
+def test_destination_exists_rejected(fs):
+    fs.create("/b/taken")
+    with pytest.raises(FileExistsFSError):
+        fs.rename("/a/file", "/b/taken")
+    # source untouched by the failed attempt
+    assert fs.read_file("/a/file") == b"payload"
+
+
+def test_missing_source_rejected(fs):
+    with pytest.raises(FileNotFoundFSError):
+        fs.rename("/a/ghost", "/b/x")
+
+
+def test_moving_directory_into_itself_rejected(fs):
+    fs.mkdir("/a/sub")
+    with pytest.raises(InvalidPathFSError):
+        fs.rename("/a", "/a/sub/a")
+    with pytest.raises(InvalidPathFSError):
+        fs.rename("/a", "/a/inside")
+    # tree still intact
+    assert fs.exists("/a/file")
+
+
+def test_rename_root_rejected(fs):
+    with pytest.raises(InvalidPathFSError):
+        fs.rename("/", "/elsewhere")
+
+
+def test_rename_survives_remount(fs):
+    fs.rename("/a/file", "/b/file")
+    remounted = FileSystem.mount(fs.device)
+    assert remounted.read_file("/b/file") == b"payload"
+    assert not remounted.exists("/a/file")
+
+
+def test_rename_over_replicated_device(scheme):
+    from ..conftest import make_cluster
+
+    cluster = make_cluster(scheme, num_blocks=256)
+    fs = FileSystem.format(cluster.device())
+    fs.mkdir("/x")
+    fs.create("/x/f")
+    fs.write_file("/x/f", b"data")
+    cluster.protocol.on_site_failed(1)
+    fs.rename("/x/f", "/moved")
+    cluster.protocol.on_site_repaired(1)
+    assert fs.read_file("/moved") == b"data"

@@ -1,0 +1,66 @@
+"""Partition behaviour of the three schemes (Section 6's caveat)."""
+
+import pytest
+
+from repro.errors import QuorumNotReachedError
+from repro.experiments import run_partition_scenario
+from repro.types import SchemeName
+
+from ..conftest import block_of, make_cluster
+
+
+def test_voting_minority_side_refuses_everything():
+    cluster = make_cluster(SchemeName.VOTING, num_sites=5)
+    protocol, network = cluster.protocol, cluster.network
+    data = block_of(cluster, b"v")
+    protocol.write(0, 0, data)
+    network.partition([0, 1], [2, 3, 4])
+    with pytest.raises(QuorumNotReachedError):
+        protocol.write(0, 0, block_of(cluster, b"x"))
+    with pytest.raises(QuorumNotReachedError):
+        protocol.read(1, 0)
+    # the majority side continues normally
+    protocol.write(2, 0, block_of(cluster, b"m"))
+    assert protocol.read(3, 0) == block_of(cluster, b"m")
+
+
+def test_voting_heals_cleanly():
+    cluster = make_cluster(SchemeName.VOTING, num_sites=3)
+    protocol, network = cluster.protocol, cluster.network
+    protocol.write(0, 0, block_of(cluster, b"1"))
+    network.partition([0], [1, 2])
+    protocol.write(1, 0, block_of(cluster, b"2"))
+    network.heal()
+    # every origin converges on the majority's value
+    for origin in protocol.site_ids:
+        assert protocol.read(origin, 0) == block_of(cluster, b"2")
+    assert protocol.consistency_report() == {}
+
+
+def test_scenario_outcomes_match_the_paper():
+    for scheme in SchemeName:
+        outcome = run_partition_scenario(scheme)
+        if scheme is SchemeName.VOTING:
+            assert not outcome["side_a_wrote"]
+            assert outcome["side_b_wrote"]
+            assert not outcome["diverged"]
+            assert outcome["post_heal_reads_agree"]
+        else:
+            # the documented unsafety: both sides write, copies diverge
+            assert outcome["side_a_wrote"]
+            assert outcome["side_b_wrote"]
+            assert outcome["diverged"]
+            assert not outcome["post_heal_reads_agree"]
+
+
+def test_available_copy_split_brain_same_version_different_data():
+    cluster = make_cluster(SchemeName.AVAILABLE_COPY, num_sites=2)
+    protocol, network = cluster.protocol, cluster.network
+    protocol.write(0, 0, block_of(cluster, b"0"))
+    network.partition([0], [1])
+    protocol.write(0, 0, block_of(cluster, b"a"))
+    protocol.write(1, 0, block_of(cluster, b"b"))
+    network.heal()
+    a, b = protocol.sites
+    assert a.block_version(0) == b.block_version(0) == 2
+    assert a.read_block(0) != b.read_block(0)  # irreconcilable

@@ -1,0 +1,112 @@
+"""Monte-Carlo validation of Section 4 and Section 5 at medium scale.
+
+These runs are longer than unit tests but bounded (~seconds).  The
+benchmark harness runs the full-scale versions.
+"""
+
+import pytest
+
+from repro.analysis import (
+    naive_availability,
+    scheme_availability,
+    traffic_model,
+    voting_availability,
+)
+from repro.device import ClusterConfig, ReplicatedCluster
+from repro.types import AddressingMode, SchemeName
+from repro.workload import OpKind, WorkloadRunner, WorkloadSpec
+
+HORIZON = 60_000.0
+
+
+def run_cluster(scheme, n, rho, seed=101, **kwargs):
+    cluster = ReplicatedCluster(
+        ClusterConfig(
+            scheme=scheme, num_sites=n, num_blocks=16,
+            failure_rate=rho, repair_rate=1.0, seed=seed, **kwargs,
+        )
+    )
+    cluster.run_until(HORIZON)
+    return cluster
+
+
+@pytest.mark.parametrize("n", [2, 3])
+@pytest.mark.parametrize("rho", [0.1, 0.3])
+def test_simulated_availability_matches_theory(scheme, n, rho):
+    cluster = run_cluster(scheme, n, rho)
+    expected = scheme_availability(scheme, n, rho)
+    assert cluster.availability() == pytest.approx(expected, abs=0.012)
+
+
+def test_voting_even_group_matches_odd_formula():
+    """A_V(4) == A_V(3): the tie-breaking weight makes the fourth copy
+    worthless, in simulation as in equation (1.b)."""
+    rho = 0.2
+    even = run_cluster(SchemeName.VOTING, 4, rho, seed=7)
+    assert even.availability() == pytest.approx(
+        voting_availability(3, rho), abs=0.012
+    )
+
+
+def test_naive_two_copies_equal_three_voting_copies():
+    """Section 4.3's identity A_NA(2) = A_V(3), in simulation."""
+    rho = 0.25
+    nac = run_cluster(SchemeName.NAIVE_AVAILABLE_COPY, 2, rho, seed=9)
+    assert nac.availability() == pytest.approx(
+        naive_availability(2, rho), abs=0.015
+    )
+    mcv = run_cluster(SchemeName.VOTING, 3, rho, seed=9)
+    assert abs(nac.availability() - mcv.availability()) < 0.02
+
+
+def test_simulated_scheme_ordering_matches_theory():
+    """AC >= NAC >> voting with the same number of sites."""
+    rho, n, seed = 0.3, 3, 21
+    results = {
+        scheme: run_cluster(scheme, n, rho, seed=seed).availability()
+        for scheme in SchemeName
+    }
+    assert results[SchemeName.AVAILABLE_COPY] >= (
+        results[SchemeName.NAIVE_AVAILABLE_COPY] - 0.005
+    )
+    assert results[SchemeName.NAIVE_AVAILABLE_COPY] > (
+        results[SchemeName.VOTING] + 0.01
+    )
+
+
+@pytest.mark.parametrize("mode", list(AddressingMode))
+def test_simulated_traffic_matches_cost_models(scheme, mode):
+    n, rho = 4, 0.05
+    cluster = ReplicatedCluster(
+        ClusterConfig(
+            scheme=scheme, num_sites=n, num_blocks=16,
+            failure_rate=rho, repair_rate=1.0, addressing=mode, seed=33,
+        )
+    )
+    runner = WorkloadRunner(cluster, WorkloadSpec(op_rate=2.0))
+    result = runner.run(20_000.0)
+    model = traffic_model(scheme, n, rho, mode=mode)
+    assert result.mean_messages(OpKind.WRITE) == pytest.approx(
+        model.write, abs=0.25
+    )
+    assert result.mean_messages(OpKind.READ) == pytest.approx(
+        model.read, abs=0.25
+    )
+    assert cluster.meter.mean_messages("recovery") == pytest.approx(
+        model.recovery, abs=0.35
+    )
+
+
+def test_available_copy_invariants_hold_throughout_a_long_run():
+    cluster = ReplicatedCluster(
+        ClusterConfig(
+            scheme=SchemeName.AVAILABLE_COPY, num_sites=3, num_blocks=8,
+            failure_rate=0.4, repair_rate=1.0, seed=55,
+        )
+    )
+    runner = WorkloadRunner(cluster, WorkloadSpec(op_rate=1.0))
+    # interleave checks with simulation progress
+    for step in range(1, 11):
+        runner._cluster.sim.run(until=step * 1_000.0)
+        cluster.protocol.check_invariants()
+    assert cluster.protocol.total_failure_recoveries >= 0

@@ -1,0 +1,31 @@
+"""Unit tests for message vocabulary."""
+
+from repro.net import BROADCAST, Message, MessageCategory
+
+
+def test_broadcast_flag():
+    assert Message(src=0, dst=BROADCAST,
+                   category=MessageCategory.WRITE_UPDATE).is_broadcast
+    assert not Message(src=0, dst=1,
+                       category=MessageCategory.WRITE_UPDATE).is_broadcast
+
+
+def test_reply_categories():
+    replies = {c for c in MessageCategory if c.is_reply}
+    assert replies == {
+        MessageCategory.VOTE_REPLY,
+        MessageCategory.WRITE_ACK,
+        MessageCategory.RECOVERY_PROBE_REPLY,
+        MessageCategory.VERSION_VECTOR_REPLY,
+    }
+
+
+def test_message_ids_are_unique():
+    a = Message(src=0, dst=1, category=MessageCategory.VOTE_REQUEST)
+    b = Message(src=0, dst=1, category=MessageCategory.VOTE_REQUEST)
+    assert a.msg_id != b.msg_id
+
+
+def test_describe():
+    m = Message(src=2, dst=5, category=MessageCategory.BLOCK_TRANSFER)
+    assert m.describe() == ("block-transfer", 2, 5)

@@ -1,0 +1,172 @@
+"""Unit tests for the metered request/reply network."""
+
+import pytest
+
+from repro.errors import UnknownSiteError
+from repro.net import NO_REPLY, MessageCategory, Network
+from repro.types import AddressingMode
+
+
+class FakeNode:
+    """Minimal NetworkNode for testing."""
+
+    def __init__(self, site_id, reachable=True):
+        self.site_id = site_id
+        self.is_reachable = reachable
+        self.received = []
+
+    def handle(self, payload):
+        self.received.append(payload)
+        return f"reply-from-{self.site_id}"
+
+
+def make_network(mode, n=4, down=()):
+    net = Network(mode=mode)
+    nodes = {}
+    for i in range(n):
+        node = FakeNode(i, reachable=i not in down)
+        net.attach(node)
+        nodes[i] = node
+    return net, nodes
+
+
+REQ = MessageCategory.VOTE_REQUEST
+REP = MessageCategory.VOTE_REPLY
+
+
+class TestBroadcastQuery:
+    def test_multicast_costs_one_plus_replies(self):
+        net, _nodes = make_network(AddressingMode.MULTICAST)
+        replies = net.broadcast_query(
+            0, REQ, REP, handler=lambda node, p: node.handle(p)
+        )
+        assert set(replies) == {1, 2, 3}
+        # 1 broadcast + 3 replies
+        assert net.meter.total == 4
+        assert net.meter.category_count(REQ) == 1
+        assert net.meter.category_count(REP) == 3
+
+    def test_unique_costs_one_per_destination(self):
+        net, _nodes = make_network(AddressingMode.UNIQUE)
+        net.broadcast_query(0, REQ, REP, handler=lambda n, p: n.handle(p))
+        # 3 requests + 3 replies
+        assert net.meter.category_count(REQ) == 3
+        assert net.meter.category_count(REP) == 3
+
+    def test_down_sites_get_no_reply_but_unique_still_pays_send(self):
+        net, _nodes = make_network(AddressingMode.UNIQUE, down={2})
+        replies = net.broadcast_query(
+            0, REQ, REP, handler=lambda n, p: n.handle(p)
+        )
+        assert set(replies) == {1, 3}
+        assert net.meter.category_count(REQ) == 3  # sent to 2 anyway
+        assert net.meter.category_count(REP) == 2
+
+    def test_multicast_to_down_sites_costs_one(self):
+        net, _nodes = make_network(AddressingMode.MULTICAST, down={1, 2, 3})
+        replies = net.broadcast_query(
+            0, REQ, REP, handler=lambda n, p: n.handle(p)
+        )
+        assert replies == {}
+        assert net.meter.total == 1
+
+    def test_explicit_destinations(self):
+        net, nodes = make_network(AddressingMode.MULTICAST)
+        replies = net.broadcast_query(
+            0, REQ, REP,
+            handler=lambda n, p: n.handle(p),
+            destinations=[2],
+        )
+        assert set(replies) == {2}
+        assert nodes[1].received == []
+        assert net.meter.total == 2
+
+    def test_empty_destinations_cost_nothing(self):
+        net, _nodes = make_network(AddressingMode.MULTICAST)
+        replies = net.broadcast_query(
+            0, REQ, REP, handler=lambda n, p: n.handle(p), destinations=[]
+        )
+        assert replies == {}
+        assert net.meter.total == 0
+
+    def test_no_reply_sentinel_suppresses_reply(self):
+        net, _nodes = make_network(AddressingMode.MULTICAST)
+
+        def picky(node, _payload):
+            return NO_REPLY if node.site_id == 2 else "ok"
+
+        replies = net.broadcast_query(0, REQ, REP, handler=picky)
+        assert set(replies) == {1, 3}
+        assert net.meter.category_count(REP) == 2
+
+    def test_payload_delivered(self):
+        net, nodes = make_network(AddressingMode.MULTICAST)
+        net.broadcast_query(
+            0, REQ, REP, handler=lambda n, p: n.handle(p), payload="hello"
+        )
+        assert nodes[1].received == ["hello"]
+
+
+class TestBroadcastOneway:
+    def test_no_reply_traffic(self):
+        net, nodes = make_network(AddressingMode.MULTICAST)
+        delivered = net.broadcast_oneway(
+            0, MessageCategory.WRITE_UPDATE,
+            handler=lambda n, p: n.handle(p),
+        )
+        assert delivered == [1, 2, 3]
+        assert net.meter.total == 1
+
+    def test_unique_oneway_counts_destinations(self):
+        net, _nodes = make_network(AddressingMode.UNIQUE, down={3})
+        delivered = net.broadcast_oneway(
+            0, MessageCategory.WRITE_UPDATE,
+            handler=lambda n, p: n.handle(p),
+        )
+        assert delivered == [1, 2]
+        assert net.meter.total == 3
+
+
+class TestUnicast:
+    def test_query_round_trip(self):
+        net, _nodes = make_network(AddressingMode.MULTICAST)
+        ok, reply = net.unicast_query(
+            0, 2, REQ, REP, handler=lambda n, p: n.handle(p)
+        )
+        assert ok and reply == "reply-from-2"
+        assert net.meter.total == 2
+
+    def test_query_to_down_site(self):
+        net, _nodes = make_network(AddressingMode.MULTICAST, down={2})
+        ok, reply = net.unicast_query(
+            0, 2, REQ, REP, handler=lambda n, p: n.handle(p)
+        )
+        assert not ok and reply is None
+        assert net.meter.total == 1  # the request was transmitted
+
+    def test_oneway(self):
+        net, nodes = make_network(AddressingMode.UNIQUE)
+        assert net.unicast_oneway(
+            0, 1, MessageCategory.BLOCK_TRANSFER,
+            handler=lambda n, p: n.handle(p), payload=b"x",
+        )
+        assert nodes[1].received == [b"x"]
+        assert net.meter.total == 1
+
+
+class TestMembership:
+    def test_unknown_site_raises(self):
+        net, _nodes = make_network(AddressingMode.MULTICAST)
+        with pytest.raises(UnknownSiteError):
+            net.node(99)
+
+    def test_reachable_sites(self):
+        net, _nodes = make_network(AddressingMode.MULTICAST, down={1})
+        assert net.reachable_sites() == [0, 2, 3]
+        assert net.reachable_sites(exclude=0) == [2, 3]
+
+    def test_site_ids_sorted(self):
+        net = Network()
+        net.attach(FakeNode(5))
+        net.attach(FakeNode(1))
+        assert net.site_ids == [1, 5]

@@ -1,0 +1,112 @@
+"""Network partition mechanics."""
+
+import pytest
+
+from repro.errors import UnknownSiteError
+from repro.net import MessageCategory, Network
+from repro.types import AddressingMode
+
+
+class FakeNode:
+    def __init__(self, site_id, reachable=True):
+        self.site_id = site_id
+        self.is_reachable = reachable
+        self.received = []
+
+    def handle(self, payload):
+        self.received.append(payload)
+        return f"reply-{self.site_id}"
+
+
+def make_network(n=4):
+    net = Network(mode=AddressingMode.MULTICAST)
+    nodes = {}
+    for i in range(n):
+        node = FakeNode(i)
+        net.attach(node)
+        nodes[i] = node
+    return net, nodes
+
+
+REQ, REP = MessageCategory.VOTE_REQUEST, MessageCategory.VOTE_REPLY
+
+
+def test_whole_network_by_default():
+    net, _ = make_network()
+    assert not net.is_partitioned
+    assert net.can_communicate(0, 3)
+
+
+def test_partition_blocks_cross_group_delivery():
+    net, nodes = make_network()
+    net.partition([0, 1], [2, 3])
+    replies = net.broadcast_query(0, REQ, REP,
+                                  handler=lambda n, p: n.handle(p))
+    assert set(replies) == {1}
+    assert nodes[2].received == []
+    assert net.is_partitioned
+
+
+def test_partition_still_counts_transmissions():
+    net, _ = make_network()
+    net.partition([0], [1, 2, 3])
+    before = net.meter.total
+    replies = net.broadcast_query(0, REQ, REP,
+                                  handler=lambda n, p: n.handle(p))
+    assert replies == {}
+    # the broadcast left site 0 (1 transmission); no replies came back
+    assert net.meter.total - before == 1
+
+
+def test_unlisted_sites_are_isolated():
+    net, nodes = make_network()
+    net.partition([0, 1])  # 2 and 3 unlisted
+    assert not net.can_communicate(2, 3)
+    assert not net.can_communicate(2, 0)
+    assert net.can_communicate(0, 1)
+    ok, _ = net.unicast_query(2, 3, REQ, REP,
+                              handler=lambda n, p: n.handle(p))
+    assert not ok
+
+
+def test_heal_restores_full_connectivity():
+    net, nodes = make_network()
+    net.partition([0], [1, 2, 3])
+    net.heal()
+    assert not net.is_partitioned
+    replies = net.broadcast_query(0, REQ, REP,
+                                  handler=lambda n, p: n.handle(p))
+    assert set(replies) == {1, 2, 3}
+
+
+def test_overlapping_groups_rejected():
+    net, _ = make_network()
+    with pytest.raises(ValueError):
+        net.partition([0, 1], [1, 2])
+
+
+def test_unknown_site_in_group_rejected():
+    net, _ = make_network()
+    with pytest.raises(UnknownSiteError):
+        net.partition([0, 99])
+
+
+def test_failed_sites_remain_unreachable_within_partition():
+    net, nodes = make_network()
+    nodes[1].is_reachable = False
+    net.partition([0, 1], [2, 3])
+    replies = net.broadcast_query(0, REQ, REP,
+                                  handler=lambda n, p: n.handle(p))
+    assert replies == {}
+
+
+def test_oneway_respects_partitions():
+    net, nodes = make_network()
+    net.partition([0, 1], [2, 3])
+    delivered = net.broadcast_oneway(
+        0, MessageCategory.WRITE_UPDATE, handler=lambda n, p: n.handle(p)
+    )
+    assert delivered == [1]
+    assert net.unicast_oneway(
+        0, 2, MessageCategory.WRITE_UPDATE, handler=lambda n, p: None
+    ) is False

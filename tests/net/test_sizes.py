@@ -1,0 +1,121 @@
+"""Message-size model tests."""
+
+import pytest
+
+from repro.core import VersionVector
+from repro.net import Message, MessageCategory, SizeModel
+
+
+def msg(category, payload=None):
+    return Message(src=0, dst=1, category=category, payload=payload)
+
+
+def test_defaults_are_sane():
+    sizes = SizeModel()
+    assert sizes.block_bytes == 512
+    assert sizes.header_bytes == 32
+
+
+def test_votes_are_small_blocks_are_big():
+    sizes = SizeModel()
+    vote = sizes.bytes_for(msg(MessageCategory.VOTE_REPLY))
+    block = sizes.bytes_for(msg(MessageCategory.BLOCK_TRANSFER))
+    assert vote == 40
+    assert block == 32 + 8 + 512
+    assert block > 10 * vote
+
+
+def test_write_update_carries_a_block():
+    sizes = SizeModel(block_bytes=1024)
+    assert sizes.bytes_for(msg(MessageCategory.WRITE_UPDATE)) == \
+        32 + 8 + 1024
+
+
+def test_ack_and_probe_are_header_only():
+    sizes = SizeModel()
+    assert sizes.bytes_for(msg(MessageCategory.WRITE_ACK)) == 32
+    assert sizes.bytes_for(msg(MessageCategory.RECOVERY_PROBE)) == 32
+
+
+def test_probe_reply_scales_with_was_available_set():
+    sizes = SizeModel()
+    small = sizes.bytes_for(
+        msg(MessageCategory.RECOVERY_PROBE_REPLY,
+            ("available", {0}, 5))
+    )
+    large = sizes.bytes_for(
+        msg(MessageCategory.RECOVERY_PROBE_REPLY,
+            ("available", {0, 1, 2, 3}, 5))
+    )
+    assert large == small + 3 * sizes.vv_entry_bytes
+
+
+def test_vv_request_scales_with_vector_entries():
+    sizes = SizeModel()
+    empty = sizes.bytes_for(
+        msg(MessageCategory.VERSION_VECTOR_REQUEST, VersionVector())
+    )
+    three = sizes.bytes_for(
+        msg(MessageCategory.VERSION_VECTOR_REQUEST,
+            VersionVector({0: 1, 1: 2, 2: 3}))
+    )
+    assert empty == 32
+    assert three == 32 + 3 * 8
+
+
+def test_vv_reply_carries_one_block_per_stale_entry():
+    sizes = SizeModel()
+    vector = VersionVector({0: 1})
+    no_blocks = sizes.bytes_for(
+        msg(MessageCategory.VERSION_VECTOR_REPLY, (vector, {}))
+    )
+    two_blocks = sizes.bytes_for(
+        msg(MessageCategory.VERSION_VECTOR_REPLY,
+            (vector, {0: (b"x", 1), 1: (b"y", 1)}))
+    )
+    assert two_blocks - no_blocks == 2 * (8 + 512)
+
+
+def test_negative_sizes_rejected():
+    with pytest.raises(ValueError):
+        SizeModel(header_bytes=-1)
+
+
+def test_meter_accumulates_bytes_through_network():
+    from repro.net import Network
+    from repro.types import AddressingMode
+
+    class Node:
+        def __init__(self, site_id):
+            self.site_id = site_id
+            self.is_reachable = True
+
+    net = Network(mode=AddressingMode.MULTICAST,
+                  size_model=SizeModel(block_bytes=100))
+    for i in range(3):
+        net.attach(Node(i))
+    net.broadcast_oneway(
+        0, MessageCategory.WRITE_UPDATE, handler=lambda n, p: None
+    )
+    # one multicast write update: header 32 + entry 8 + block 100
+    assert net.meter.total_bytes == 140
+    assert net.meter.category_bytes(MessageCategory.WRITE_UPDATE) == 140
+
+
+def test_unique_mode_multiplies_bytes_by_destinations():
+    from repro.net import Network
+    from repro.types import AddressingMode
+
+    class Node:
+        def __init__(self, site_id):
+            self.site_id = site_id
+            self.is_reachable = True
+
+    net = Network(mode=AddressingMode.UNIQUE,
+                  size_model=SizeModel(block_bytes=100))
+    for i in range(4):
+        net.attach(Node(i))
+    net.broadcast_oneway(
+        0, MessageCategory.WRITE_UPDATE, handler=lambda n, p: None
+    )
+    assert net.meter.total_bytes == 3 * 140

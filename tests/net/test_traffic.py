@@ -1,0 +1,90 @@
+"""Unit tests for the traffic meter."""
+
+import pytest
+
+from repro.net import Message, MessageCategory, TrafficMeter
+
+
+def msg(category=MessageCategory.VOTE_REQUEST, src=0, dst=1):
+    return Message(src=src, dst=dst, category=category)
+
+
+def test_counting_by_category():
+    meter = TrafficMeter()
+    meter.count(msg(MessageCategory.VOTE_REQUEST))
+    meter.count(msg(MessageCategory.VOTE_REPLY))
+    meter.count(msg(MessageCategory.VOTE_REPLY))
+    assert meter.total == 3
+    assert meter.category_count(MessageCategory.VOTE_REPLY) == 2
+    assert meter.category_count(MessageCategory.BLOCK_TRANSFER) == 0
+
+
+def test_multi_transmission_count():
+    meter = TrafficMeter()
+    meter.count(msg(), transmissions=5)
+    assert meter.total == 5
+
+
+def test_snapshot_delta():
+    meter = TrafficMeter()
+    meter.count(msg(MessageCategory.WRITE_UPDATE))
+    before = meter.snapshot()
+    meter.count(msg(MessageCategory.WRITE_UPDATE))
+    meter.count(msg(MessageCategory.WRITE_ACK))
+    delta = meter.snapshot().delta(before)
+    assert delta.total == 2
+    assert delta.by_category == {
+        MessageCategory.WRITE_UPDATE: 1,
+        MessageCategory.WRITE_ACK: 1,
+    }
+
+
+def test_record_attributes_messages_to_operation():
+    meter = TrafficMeter()
+    with meter.record("write"):
+        meter.count(msg(), transmissions=3)
+    with meter.record("write"):
+        meter.count(msg(), transmissions=5)
+    with meter.record("read"):
+        pass  # zero-message operation still counts
+    assert meter.operations("write") == 2
+    assert meter.mean_messages("write") == pytest.approx(4.0)
+    assert meter.operations("read") == 1
+    assert meter.mean_messages("read") == 0.0
+
+
+def test_nested_record_rejected():
+    meter = TrafficMeter()
+    with pytest.raises(RuntimeError):
+        with meter.record("write"):
+            with meter.record("read"):
+                pass
+
+
+def test_record_releases_on_exception():
+    meter = TrafficMeter()
+    with pytest.raises(ValueError):
+        with meter.record("write"):
+            raise ValueError("boom")
+    # the operation was still recorded and a new one can start
+    assert meter.operations("write") == 1
+    with meter.record("read"):
+        pass
+    assert meter.operations("read") == 1
+
+
+def test_reset_clears_everything():
+    meter = TrafficMeter()
+    meter.count(msg())
+    with meter.record("write"):
+        meter.count(msg())
+    meter.reset()
+    assert meter.total == 0
+    assert meter.operations("write") == 0
+    assert meter.mean_messages("write") == 0.0
+
+
+def test_mean_messages_unknown_kind_is_zero():
+    meter = TrafficMeter()
+    assert meter.mean_messages("recovery") == 0.0
+    assert meter.operations("recovery") == 0

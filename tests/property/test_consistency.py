@@ -1,0 +1,193 @@
+"""Property-based consistency testing of all three protocols.
+
+The invariant (single writer at a time, partition-free network, fail-stop
+sites): **a successful read of block k returns the value of the most
+recent successful write to block k**, no matter how failures, repairs,
+reads and writes interleave.  This is the correctness property all three
+of the paper's schemes promise; hypothesis drives random histories
+against each protocol and checks every read against a model.
+
+A second property: once every site has been repaired, the replica group
+must be available and fully consistent (every site holds the model's
+data) -- recovery always converges.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import DeviceUnavailableError, SiteDownError
+from repro.types import SchemeName, SiteState
+
+from ..conftest import make_cluster
+
+N_SITES = 3
+N_BLOCKS = 4
+BLOCK_SIZE = 8
+
+sites = st.integers(min_value=0, max_value=N_SITES - 1)
+blocks = st.integers(min_value=0, max_value=N_BLOCKS - 1)
+values = st.integers(min_value=1, max_value=255)
+
+events = st.one_of(
+    st.tuples(st.just("write"), sites, blocks, values),
+    st.tuples(st.just("read"), sites, blocks),
+    st.tuples(st.just("fail"), sites),
+    st.tuples(st.just("repair"), sites),
+)
+
+
+def fill(value: int) -> bytes:
+    return bytes([value]) * BLOCK_SIZE
+
+
+def apply_history(protocol, history):
+    """Run a history, checking reads against the last-write model."""
+    model = {}
+    for event in history:
+        kind = event[0]
+        if kind == "fail":
+            site = protocol.site(event[1])
+            if site.state is not SiteState.FAILED:
+                protocol.on_site_failed(event[1])
+        elif kind == "repair":
+            site = protocol.site(event[1])
+            if site.state is SiteState.FAILED:
+                protocol.on_site_repaired(event[1])
+        elif kind == "write":
+            _k, origin, block, value = event
+            try:
+                protocol.write(origin, block, fill(value))
+            except (DeviceUnavailableError, SiteDownError):
+                continue
+            model[block] = value
+        else:
+            _k, origin, block = event
+            try:
+                data = protocol.read(origin, block)
+            except (DeviceUnavailableError, SiteDownError):
+                continue
+            expected = fill(model[block]) if block in model \
+                else bytes(BLOCK_SIZE)
+            assert data == expected, (
+                f"read({origin}, {block}) returned {data!r}, "
+                f"model says {expected!r}"
+            )
+    return model
+
+
+def repair_everything(protocol):
+    for site in protocol.sites:
+        if site.state is SiteState.FAILED:
+            protocol.on_site_repaired(site.site_id)
+
+
+def final_checks(protocol, model):
+    repair_everything(protocol)
+    assert protocol.is_available(), "all sites repaired yet unavailable"
+    for block, value in model.items():
+        for origin in protocol.site_ids:
+            assert protocol.read(origin, block) == fill(value)
+    assert protocol.consistency_report() == {}
+
+
+@st.composite
+def histories(draw):
+    return draw(st.lists(events, min_size=1, max_size=50))
+
+
+class TestLinearizability:
+    @settings(max_examples=120, deadline=None)
+    @given(history=histories())
+    def test_voting(self, history):
+        cluster = make_cluster(
+            SchemeName.VOTING, num_sites=N_SITES,
+            num_blocks=N_BLOCKS, block_size=BLOCK_SIZE,
+        )
+        model = apply_history(cluster.protocol, history)
+        final_checks(cluster.protocol, model)
+
+    @settings(max_examples=120, deadline=None)
+    @given(history=histories())
+    def test_available_copy_tracked(self, history):
+        cluster = make_cluster(
+            SchemeName.AVAILABLE_COPY, num_sites=N_SITES,
+            num_blocks=N_BLOCKS, block_size=BLOCK_SIZE,
+        )
+        model = apply_history(cluster.protocol, history)
+        cluster.protocol.check_invariants()
+        final_checks(cluster.protocol, model)
+
+    @settings(max_examples=120, deadline=None)
+    @given(history=histories())
+    def test_available_copy_lazy_sets(self, history):
+        cluster = make_cluster(
+            SchemeName.AVAILABLE_COPY, num_sites=N_SITES,
+            num_blocks=N_BLOCKS, block_size=BLOCK_SIZE,
+            track_failures=False,
+        )
+        model = apply_history(cluster.protocol, history)
+        cluster.protocol.check_invariants()
+        final_checks(cluster.protocol, model)
+
+    @settings(max_examples=120, deadline=None)
+    @given(history=histories())
+    def test_naive(self, history):
+        cluster = make_cluster(
+            SchemeName.NAIVE_AVAILABLE_COPY, num_sites=N_SITES,
+            num_blocks=N_BLOCKS, block_size=BLOCK_SIZE,
+        )
+        model = apply_history(cluster.protocol, history)
+        cluster.protocol.check_invariants()
+        final_checks(cluster.protocol, model)
+
+
+@settings(max_examples=80, deadline=None)
+@given(history=histories(), scheme=st.sampled_from(list(SchemeName)))
+def test_available_means_some_origin_can_write(history, scheme):
+    cluster = make_cluster(
+        scheme, num_sites=N_SITES, num_blocks=N_BLOCKS,
+        block_size=BLOCK_SIZE,
+    )
+    protocol = cluster.protocol
+    apply_history(protocol, history)
+    if protocol.is_available():
+        wrote = False
+        for origin in protocol.site_ids:
+            try:
+                protocol.write(origin, 0, fill(200))
+                wrote = True
+                break
+            except (DeviceUnavailableError, SiteDownError):
+                continue
+        assert wrote, "predicate says available but no origin can write"
+    else:
+        for origin in protocol.site_ids:
+            with pytest.raises((DeviceUnavailableError, SiteDownError)):
+                protocol.write(origin, 0, fill(200))
+
+
+# A wider group exercises longer was-available chains in the closure
+# computation (site A learns about D only via B and C's stored sets).
+WIDE = 4
+wide_sites = st.integers(min_value=0, max_value=WIDE - 1)
+wide_events = st.one_of(
+    st.tuples(st.just("write"), wide_sites, blocks, values),
+    st.tuples(st.just("read"), wide_sites, blocks),
+    st.tuples(st.just("fail"), wide_sites),
+    st.tuples(st.just("repair"), wide_sites),
+)
+
+
+@settings(max_examples=80, deadline=None)
+@given(history=st.lists(wide_events, min_size=1, max_size=60))
+def test_available_copy_lazy_sets_four_sites(history):
+    cluster = make_cluster(
+        SchemeName.AVAILABLE_COPY, num_sites=WIDE,
+        num_blocks=N_BLOCKS, block_size=BLOCK_SIZE,
+        track_failures=False,
+    )
+    model = apply_history(cluster.protocol, history)
+    cluster.protocol.check_invariants()
+    final_checks(cluster.protocol, model)

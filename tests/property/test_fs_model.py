@@ -1,0 +1,109 @@
+"""Model-based testing of the file system against a dict of bytes."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.device import LocalBlockDevice
+from repro.errors import FileSystemError
+from repro.fs import FileSystem
+
+NAMES = ["alpha", "beta", "gamma", "delta"]
+
+operations = st.one_of(
+    st.tuples(st.just("create"), st.sampled_from(NAMES)),
+    st.tuples(
+        st.just("write"),
+        st.sampled_from(NAMES),
+        st.binary(min_size=0, max_size=600),
+        st.integers(min_value=0, max_value=1200),
+    ),
+    st.tuples(st.just("unlink"), st.sampled_from(NAMES)),
+    st.tuples(st.just("truncate"), st.sampled_from(NAMES)),
+)
+
+
+def apply_to_model(model, op):
+    """Apply ``op`` to the dict model; returns whether it should succeed."""
+    kind = op[0]
+    name = op[1]
+    if kind == "create":
+        if name in model:
+            return False
+        model[name] = b""
+        return True
+    if name not in model:
+        return False
+    if kind == "write":
+        _k, _n, data, offset = op
+        current = model[name]
+        if offset > len(current):
+            current = current + bytes(offset - len(current))
+        model[name] = (
+            current[:offset] + data + current[offset + len(data):]
+        )
+    elif kind == "unlink":
+        del model[name]
+    elif kind == "truncate":
+        model[name] = b""
+    return True
+
+
+@settings(max_examples=60, deadline=None)
+@given(ops=st.lists(operations, min_size=1, max_size=30))
+def test_fs_matches_dict_model(ops):
+    device = LocalBlockDevice(num_blocks=1024, block_size=512)
+    fs = FileSystem.format(device, num_inodes=32)
+    model = {}
+    for op in ops:
+        kind, name = op[0], op[1]
+        path = f"/{name}"
+        try:
+            if kind == "create":
+                fs.create(path)
+                fs_ok = True
+            elif kind == "write":
+                fs.write_file(path, op[2], offset=op[3])
+                fs_ok = True
+            elif kind == "unlink":
+                fs.unlink(path)
+                fs_ok = True
+            else:
+                fs.truncate(path)
+                fs_ok = True
+        except FileSystemError:
+            fs_ok = False
+        model_copy = dict(model)
+        model_ok = apply_to_model(model, op)
+        if not model_ok:
+            model = model_copy  # failed ops must not change the model
+        assert fs_ok == model_ok, (op, fs_ok, model_ok)
+    # final state comparison
+    assert sorted(fs.listdir("/")) == sorted(model)
+    for name, contents in model.items():
+        assert fs.read_file(f"/{name}") == contents
+        assert fs.stat(f"/{name}").size == len(contents)
+
+
+@settings(max_examples=40, deadline=None)
+@given(ops=st.lists(operations, min_size=1, max_size=25))
+def test_fs_model_survives_remount(ops):
+    device = LocalBlockDevice(num_blocks=1024, block_size=512)
+    fs = FileSystem.format(device, num_inodes=32)
+    model = {}
+    for op in ops:
+        path = f"/{op[1]}"
+        try:
+            if op[0] == "create":
+                fs.create(path)
+            elif op[0] == "write":
+                fs.write_file(path, op[2], offset=op[3])
+            elif op[0] == "unlink":
+                fs.unlink(path)
+            else:
+                fs.truncate(path)
+        except FileSystemError:
+            continue
+        apply_to_model(model, op)
+    remounted = FileSystem.mount(device)
+    assert sorted(remounted.listdir("/")) == sorted(model)
+    for name, contents in model.items():
+        assert remounted.read_file(f"/{name}") == contents

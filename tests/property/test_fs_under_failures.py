@@ -1,0 +1,98 @@
+"""Model-based FS testing with random failure injection.
+
+Runs random namespace/data operations against the file system mounted
+on a replicated device while randomly crashing and repairing sites
+between operations.  With failover enabled and at least a quorum /
+available copy alive, every operation must behave exactly as on a local
+disk (the dict model); when the device is unavailable the operation
+must fail cleanly without corrupting anything -- verified by running
+fsck and comparing the tree against the model at the end, after all
+sites are repaired.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import DeviceUnavailableError, FileSystemError
+from repro.fs import FileSystem
+from repro.fs.check import check_filesystem
+from repro.types import SchemeName, SiteState
+
+from ..conftest import make_cluster
+
+NAMES = ["a", "b", "c"]
+N_SITES = 3
+
+fs_ops = st.one_of(
+    st.tuples(st.just("create"), st.sampled_from(NAMES)),
+    st.tuples(
+        st.just("write"),
+        st.sampled_from(NAMES),
+        st.binary(min_size=1, max_size=300),
+    ),
+    st.tuples(st.just("unlink"), st.sampled_from(NAMES)),
+    st.tuples(st.just("fail"), st.integers(0, N_SITES - 1)),
+    st.tuples(st.just("repair"), st.integers(0, N_SITES - 1)),
+)
+
+
+def apply_op(fs, model, op):
+    kind = op[0]
+    name = op[1] if isinstance(op[1], str) else None
+    path = f"/{name}" if name else None
+    try:
+        if kind == "create":
+            fs.create(path)
+            assert name not in model
+            model[name] = b""
+        elif kind == "write":
+            fs.write_file(path, op[2])
+            assert name in model
+            data = op[2]
+            old = model[name]
+            model[name] = data + old[len(data):]
+        elif kind == "unlink":
+            fs.unlink(path)
+            assert name in model
+            del model[name]
+    except DeviceUnavailableError:
+        pass  # clean refusal: the model must not change either
+    except FileSystemError:
+        # namespace errors must agree with the model
+        if kind == "create":
+            assert name in model
+        else:
+            assert name not in model
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    ops=st.lists(fs_ops, min_size=1, max_size=30),
+    scheme=st.sampled_from(list(SchemeName)),
+)
+def test_fs_with_failover_matches_model(ops, scheme):
+    cluster = make_cluster(scheme, num_sites=N_SITES, num_blocks=512)
+    protocol = cluster.protocol
+    fs = FileSystem.format(cluster.device(failover=True))
+    model = {}
+    for op in ops:
+        if op[0] == "fail":
+            site = protocol.site(op[1])
+            if site.state is not SiteState.FAILED:
+                protocol.on_site_failed(op[1])
+            continue
+        if op[0] == "repair":
+            site = protocol.site(op[1])
+            if site.state is SiteState.FAILED:
+                protocol.on_site_repaired(op[1])
+            continue
+        apply_op(fs, model, op)
+    # repair everything; the device must be fully usable again
+    for site in protocol.sites:
+        if site.state is SiteState.FAILED:
+            protocol.on_site_repaired(site.site_id)
+    assert protocol.is_available()
+    assert sorted(fs.listdir("/")) == sorted(model)
+    for name, contents in model.items():
+        assert fs.read_file(f"/{name}") == contents
+    report = check_filesystem(fs)
+    assert report.ok, report.errors

@@ -1,0 +1,73 @@
+"""Property-based tests for the CTMC solver."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis import MarkovChain
+
+rates = st.floats(min_value=0.05, max_value=10.0,
+                  allow_nan=False, allow_infinity=False)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    birth=st.lists(rates, min_size=1, max_size=6),
+    death=st.lists(rates, min_size=6, max_size=6),
+)
+def test_birth_death_product_form(birth, death):
+    """For a birth-death chain, pi_k = pi_0 * prod(b_i / d_{i+1})."""
+    k = len(birth)
+    chain = MarkovChain()
+    for i in range(k):
+        chain.add_transition(i, i + 1, birth[i])
+        chain.add_transition(i + 1, i, death[i])
+    pi = chain.steady_state()
+    weights = [1.0]
+    for i in range(k):
+        weights.append(weights[-1] * birth[i] / death[i])
+    norm = sum(weights)
+    for state in range(k + 1):
+        assert pi[state] == pytest.approx(weights[state] / norm, rel=1e-8)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    n=st.integers(min_value=2, max_value=6),
+    seed=st.integers(min_value=0, max_value=10_000),
+)
+def test_random_dense_chain_satisfies_balance(n, seed):
+    rng = np.random.default_rng(seed)
+    chain = MarkovChain()
+    for i in range(n):
+        for j in range(n):
+            if i != j:
+                chain.add_transition(i, j, float(rng.uniform(0.1, 5.0)))
+    pi = chain.steady_state()
+    assert sum(pi.values()) == pytest.approx(1.0)
+    assert all(p >= 0 for p in pi.values())
+    chain.validate_balance(pi, tol=1e-8)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    n=st.integers(min_value=2, max_value=5),
+    seed=st.integers(min_value=0, max_value=10_000),
+)
+def test_steady_state_is_fixed_point_of_uniformization(n, seed):
+    """pi P = pi for the uniformized transition matrix P = I + Q/q."""
+    rng = np.random.default_rng(seed)
+    chain = MarkovChain()
+    for i in range(n):
+        for j in range(n):
+            if i != j and rng.random() < 0.8:
+                chain.add_transition(i, j, float(rng.uniform(0.1, 3.0)))
+    # ensure irreducibility with a cycle
+    for i in range(n):
+        chain.add_transition(i, (i + 1) % n, 0.5)
+    q_matrix = chain.generator_matrix()
+    uniform_rate = max(-q_matrix.diagonal()) * 1.1
+    p_matrix = np.eye(n) + q_matrix / uniform_rate
+    pi = chain.steady_state()
+    vec = np.array([pi[s] for s in chain.states])
+    assert np.allclose(vec @ p_matrix, vec, atol=1e-9)

@@ -1,0 +1,85 @@
+"""Property-based tests for quorum safety."""
+
+import itertools
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core import QuorumSpec
+
+
+@st.composite
+def valid_specs(draw):
+    """Random weighted specs satisfying the safety constraints."""
+    n = draw(st.integers(min_value=1, max_value=6))
+    weights = draw(
+        st.lists(
+            st.floats(min_value=0.5, max_value=4.0,
+                      allow_nan=False, allow_infinity=False),
+            min_size=n, max_size=n,
+        )
+    )
+    total = sum(weights)
+    write_quorum = draw(
+        st.floats(min_value=total / 2.0, max_value=total,
+                  allow_nan=False, allow_infinity=False)
+    )
+    read_quorum = draw(
+        st.floats(min_value=total - write_quorum, max_value=total,
+                  allow_nan=False, allow_infinity=False)
+    )
+    return QuorumSpec.weighted(weights, read_quorum, write_quorum)
+
+
+def quorums(spec, predicate):
+    n = spec.num_sites
+    for r in range(n + 1):
+        for combo in itertools.combinations(range(n), r):
+            if predicate(combo):
+                yield set(combo)
+
+
+@settings(max_examples=60, deadline=None)
+@given(spec=valid_specs())
+def test_write_quorums_pairwise_intersect(spec):
+    write_quorums = list(quorums(spec, spec.write_available))
+    for a in write_quorums:
+        for b in write_quorums:
+            assert a & b, (spec, a, b)
+
+
+@settings(max_examples=60, deadline=None)
+@given(spec=valid_specs())
+def test_read_quorums_intersect_write_quorums(spec):
+    read_quorums = list(quorums(spec, spec.read_available))
+    write_quorums = list(quorums(spec, spec.write_available))
+    for r in read_quorums:
+        for w in write_quorums:
+            assert r & w, (spec, r, w)
+
+
+@settings(max_examples=60, deadline=None)
+@given(spec=valid_specs())
+def test_quorums_are_monotone(spec):
+    """Adding a site never destroys a quorum."""
+    n = spec.num_sites
+    for combo in quorums(spec, spec.read_available):
+        for extra in set(range(n)) - combo:
+            assert spec.read_available(combo | {extra})
+
+
+@given(n=st.integers(min_value=1, max_value=12))
+def test_majority_all_sites_always_a_quorum(n):
+    spec = QuorumSpec.majority(n)
+    everyone = range(n)
+    assert spec.read_available(everyone)
+    assert spec.write_available(everyone)
+
+
+@given(n=st.integers(min_value=2, max_value=12))
+def test_majority_minority_never_a_quorum(n):
+    spec = QuorumSpec.majority(n)
+    # the weakest half: the highest-indexed floor(n/2) sites, which
+    # exclude the tie-breaking site 0
+    minority = range(n - n // 2, n)
+    assert not spec.read_available(minority)
+    assert not spec.write_available(minority)

@@ -1,0 +1,108 @@
+"""Exact per-operation transmission counts, property-tested.
+
+For ANY subset of failed sites (leaving the protocol operable), the
+number of transmissions of a single successful operation must equal the
+Section 5 formula evaluated at the *actual* number of participants --
+not just on average, but exactly, operation by operation.
+"""
+
+from hypothesis import assume, given, settings, strategies as st
+
+from repro.errors import DeviceUnavailableError, SiteDownError
+from repro.types import AddressingMode, SchemeName
+
+from ..conftest import block_of, make_cluster
+
+site_subsets = st.sets(st.integers(0, 4), max_size=4)
+modes = st.sampled_from(list(AddressingMode))
+N = 5
+
+
+def prepared_cluster(scheme, failed, mode):
+    cluster = make_cluster(
+        scheme, num_sites=N, num_blocks=4, addressing=mode
+    )
+    for site_id in sorted(failed):
+        cluster.protocol.on_site_failed(site_id)
+    return cluster
+
+
+@settings(max_examples=80, deadline=None)
+@given(failed=site_subsets, mode=modes)
+def test_voting_write_cost_formula(failed, mode):
+    assume(0 not in failed)  # origin must be up
+    cluster = prepared_cluster(SchemeName.VOTING, failed, mode)
+    protocol = cluster.protocol
+    u = N - len(failed)  # operational sites, origin included
+    before = cluster.meter.total
+    try:
+        protocol.write(0, 0, block_of(cluster, b"w"))
+    except DeviceUnavailableError:
+        return  # no quorum: formula applies to successful writes only
+    spent = cluster.meter.total - before
+    if mode is AddressingMode.MULTICAST:
+        assert spent == 1 + u  # 1 + U_V
+    else:
+        assert spent == N + 2 * u - 3
+
+
+@settings(max_examples=80, deadline=None)
+@given(failed=site_subsets, mode=modes)
+def test_voting_fresh_read_cost_formula(failed, mode):
+    assume(0 not in failed)
+    cluster = prepared_cluster(SchemeName.VOTING, failed, mode)
+    protocol = cluster.protocol
+    u = N - len(failed)
+    before = cluster.meter.total
+    try:
+        protocol.read(0, 0)  # local copy is fresh (never written)
+    except DeviceUnavailableError:
+        return
+    spent = cluster.meter.total - before
+    if mode is AddressingMode.MULTICAST:
+        assert spent == u  # U_V
+    else:
+        assert spent == N + u - 2
+
+
+@settings(max_examples=80, deadline=None)
+@given(failed=site_subsets, mode=modes)
+def test_available_copy_write_cost_formula(failed, mode):
+    assume(0 not in failed)
+    cluster = prepared_cluster(SchemeName.AVAILABLE_COPY, failed, mode)
+    u = N - len(failed)
+    before = cluster.meter.total
+    cluster.protocol.write(0, 0, block_of(cluster, b"w"))
+    spent = cluster.meter.total - before
+    if mode is AddressingMode.MULTICAST:
+        assert spent == u  # U_A
+    else:
+        assert spent == N + u - 2
+
+
+@settings(max_examples=80, deadline=None)
+@given(failed=site_subsets, mode=modes)
+def test_naive_write_cost_is_constant(failed, mode):
+    assume(0 not in failed)
+    cluster = prepared_cluster(
+        SchemeName.NAIVE_AVAILABLE_COPY, failed, mode
+    )
+    before = cluster.meter.total
+    cluster.protocol.write(0, 0, block_of(cluster, b"w"))
+    spent = cluster.meter.total - before
+    assert spent == (1 if mode is AddressingMode.MULTICAST else N - 1)
+
+
+@settings(max_examples=80, deadline=None)
+@given(failed=site_subsets, mode=modes)
+def test_available_copy_reads_are_always_free(failed, mode):
+    assume(0 not in failed)
+    for scheme in (SchemeName.AVAILABLE_COPY,
+                   SchemeName.NAIVE_AVAILABLE_COPY):
+        cluster = prepared_cluster(scheme, failed, mode)
+        before = cluster.meter.total
+        try:
+            cluster.protocol.read(0, 0)
+        except (DeviceUnavailableError, SiteDownError):
+            continue
+        assert cluster.meter.total == before

@@ -1,0 +1,79 @@
+"""Property-based tests for VersionVector algebra."""
+
+from hypothesis import given, strategies as st
+
+from repro.core import VersionVector
+
+vectors = st.dictionaries(
+    keys=st.integers(min_value=0, max_value=15),
+    values=st.integers(min_value=0, max_value=20),
+    max_size=10,
+).map(VersionVector)
+
+
+@given(a=vectors)
+def test_copy_equals_original(a):
+    assert a.copy() == a
+
+
+@given(a=vectors)
+def test_dominates_is_reflexive(a):
+    assert a.dominates(a)
+
+
+@given(a=vectors, b=vectors)
+def test_stale_blocks_are_exactly_where_other_is_newer(a, b):
+    stale = a.stale_relative_to(b)
+    for block in stale:
+        assert a.get(block) < b.get(block)
+    all_blocks = set(a.blocks()) | set(b.blocks())
+    for block in all_blocks - set(stale):
+        assert a.get(block) >= b.get(block)
+
+
+@given(a=vectors, b=vectors)
+def test_merge_max_dominates_both(a, b):
+    merged = a.copy()
+    merged.merge_max(b)
+    assert merged.dominates(a)
+    assert merged.dominates(b)
+
+
+@given(a=vectors, b=vectors)
+def test_merge_max_is_commutative(a, b):
+    left = a.copy()
+    left.merge_max(b)
+    right = b.copy()
+    right.merge_max(a)
+    assert left == right
+
+
+@given(a=vectors, b=vectors)
+def test_merge_max_is_idempotent(a, b):
+    once = a.copy()
+    once.merge_max(b)
+    twice = once.copy()
+    twice.merge_max(b)
+    assert once == twice
+
+
+@given(a=vectors, b=vectors)
+def test_mutual_domination_means_equality(a, b):
+    if a.dominates(b) and b.dominates(a):
+        assert a == b
+
+
+@given(a=vectors, b=vectors)
+def test_repair_semantics(a, b):
+    """Applying the blocks 'a' lacks from a dominating 'b' yields 'b'
+    exactly on those blocks -- what the Figure 5 exchange relies on."""
+    stale = a.stale_relative_to(b)
+    repaired = a.copy()
+    for block in stale:
+        repaired.set(block, b.get(block))
+    assert repaired.dominates(b)
+
+
+@given(a=vectors)
+def test_total_is_sum_of_entries(a):
+    assert a.total() == sum(v for _b, v in a.items())

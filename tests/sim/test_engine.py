@@ -1,0 +1,151 @@
+"""Unit tests for the discrete-event engine."""
+
+import pytest
+
+from repro.errors import ScheduleInPastError
+from repro.sim import Simulator
+
+
+def test_events_fire_in_time_order():
+    sim = Simulator()
+    fired = []
+    sim.schedule(3.0, fired.append, "c")
+    sim.schedule(1.0, fired.append, "a")
+    sim.schedule(2.0, fired.append, "b")
+    sim.run()
+    assert fired == ["a", "b", "c"]
+
+
+def test_simultaneous_events_fire_in_scheduling_order():
+    sim = Simulator()
+    fired = []
+    for tag in ("first", "second", "third"):
+        sim.schedule(5.0, fired.append, tag)
+    sim.run()
+    assert fired == ["first", "second", "third"]
+
+
+def test_clock_advances_to_event_times():
+    sim = Simulator()
+    seen = []
+    sim.schedule(2.5, lambda: seen.append(sim.now))
+    sim.schedule(7.25, lambda: seen.append(sim.now))
+    sim.run()
+    assert seen == [2.5, 7.25]
+    assert sim.now == 7.25
+
+
+def test_run_until_stops_before_later_events():
+    sim = Simulator()
+    fired = []
+    sim.schedule(1.0, fired.append, "early")
+    sim.schedule(10.0, fired.append, "late")
+    sim.run(until=5.0)
+    assert fired == ["early"]
+    assert sim.now == 5.0  # clock advanced to the horizon
+    sim.run()
+    assert fired == ["early", "late"]
+
+
+def test_run_until_advances_clock_even_with_no_events():
+    sim = Simulator()
+    sim.run(until=42.0)
+    assert sim.now == 42.0
+
+
+def test_events_can_schedule_more_events():
+    sim = Simulator()
+    fired = []
+
+    def chain(n):
+        fired.append(n)
+        if n < 3:
+            sim.schedule(1.0, chain, n + 1)
+
+    sim.schedule(1.0, chain, 0)
+    sim.run()
+    assert fired == [0, 1, 2, 3]
+    assert sim.now == 4.0
+
+
+def test_cancelled_event_does_not_fire():
+    sim = Simulator()
+    fired = []
+    handle = sim.schedule(1.0, fired.append, "no")
+    sim.schedule(2.0, fired.append, "yes")
+    handle.cancel()
+    sim.run()
+    assert fired == ["yes"]
+    assert handle.cancelled
+    assert not handle.fired
+
+
+def test_cancel_twice_is_harmless():
+    sim = Simulator()
+    handle = sim.schedule(1.0, lambda: None)
+    handle.cancel()
+    handle.cancel()
+    sim.run()
+    assert handle.cancelled
+
+
+def test_handle_lifecycle_flags():
+    sim = Simulator()
+    handle = sim.schedule(1.0, lambda: None)
+    assert handle.pending
+    sim.run()
+    assert handle.fired
+    assert not handle.pending
+
+
+def test_negative_delay_rejected():
+    sim = Simulator()
+    with pytest.raises(ScheduleInPastError):
+        sim.schedule(-0.5, lambda: None)
+
+
+def test_schedule_at_in_past_rejected():
+    sim = Simulator()
+    sim.schedule(5.0, lambda: None)
+    sim.run()
+    with pytest.raises(ScheduleInPastError):
+        sim.schedule_at(1.0, lambda: None)
+
+
+def test_stop_halts_run():
+    sim = Simulator()
+    fired = []
+    sim.schedule(1.0, fired.append, "a")
+    sim.schedule(2.0, lambda: sim.stop())
+    sim.schedule(3.0, fired.append, "b")
+    sim.run()
+    assert fired == ["a"]
+    sim.run()  # resumes
+    assert fired == ["a", "b"]
+
+
+def test_step_returns_false_when_empty():
+    sim = Simulator()
+    assert sim.step() is False
+    sim.schedule(1.0, lambda: None)
+    assert sim.step() is True
+    assert sim.step() is False
+
+
+def test_pending_events_counts_uncancelled():
+    sim = Simulator()
+    h1 = sim.schedule(1.0, lambda: None)
+    sim.schedule(2.0, lambda: None)
+    assert sim.pending_events == 2
+    h1.cancel()
+    assert sim.pending_events == 1
+
+
+def test_zero_delay_event_fires_at_current_time():
+    sim = Simulator()
+    sim.schedule(5.0, lambda: None)
+    sim.run()
+    seen = []
+    sim.schedule(0.0, lambda: seen.append(sim.now))
+    sim.run()
+    assert seen == [5.0]

@@ -1,0 +1,209 @@
+"""Unit tests for the failure/repair processes."""
+
+import pytest
+
+from repro.sim import (
+    FailureRepairProcess,
+    RandomStreams,
+    RepairDistribution,
+    Simulator,
+    TimeWeightedStat,
+)
+
+
+def make_process(lam=0.1, mu=1.0, n=3, seed=0, cv=1.0):
+    sim = Simulator()
+    process = FailureRepairProcess(
+        sim=sim,
+        site_ids=list(range(n)),
+        failure_rate=lam,
+        repair_rate=mu,
+        streams=RandomStreams(seed=seed),
+        repair_distribution=RepairDistribution(cv=cv),
+    )
+    return sim, process
+
+
+def test_all_sites_start_up():
+    _sim, process = make_process()
+    assert process.up_sites() == [0, 1, 2]
+    assert all(process.is_up(s) for s in range(3))
+
+
+def test_failure_and_repair_callbacks_fire():
+    sim, process = make_process(lam=0.5, seed=1)
+    events = []
+    process.on_failure(lambda s, t: events.append(("down", s, t)))
+    process.on_repair(lambda s, t: events.append(("up", s, t)))
+    process.start()
+    sim.run(until=100.0)
+    downs = [e for e in events if e[0] == "down"]
+    ups = [e for e in events if e[0] == "up"]
+    assert downs, "expected some failures in 100 time units at rate 0.5"
+    assert ups
+    # every site alternates down/up
+    for site in range(3):
+        states = [e[0] for e in events if e[1] == site]
+        for first, second in zip(states, states[1:]):
+            assert first != second
+
+
+def test_zero_failure_rate_never_fails():
+    sim, process = make_process(lam=0.0)
+    fired = []
+    process.on_failure(lambda s, t: fired.append(s))
+    process.start()
+    sim.run(until=1_000.0)
+    assert fired == []
+    assert process.up_sites() == [0, 1, 2]
+
+
+def test_invalid_rates_rejected():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        FailureRepairProcess(
+            sim, [0], failure_rate=-1.0, repair_rate=1.0,
+            streams=RandomStreams(),
+        )
+    with pytest.raises(ValueError):
+        FailureRepairProcess(
+            sim, [0], failure_rate=0.1, repair_rate=0.0,
+            streams=RandomStreams(),
+        )
+
+
+def test_rho_property():
+    _sim, process = make_process(lam=0.2, mu=2.0)
+    assert process.rho == pytest.approx(0.1)
+
+
+def test_single_site_availability_matches_theory():
+    """A single site's long-run up fraction must approach 1/(1+rho)."""
+    rho = 0.2
+    sim, process = make_process(lam=rho, mu=1.0, n=1, seed=42)
+    stat = TimeWeightedStat(initial_value=1.0)
+    process.on_failure(lambda s, t: stat.update(0.0, t))
+    process.on_repair(lambda s, t: stat.update(1.0, t))
+    process.start()
+    sim.run(until=200_000.0)
+    stat.finalize(sim.now)
+    assert stat.mean() == pytest.approx(1.0 / (1.0 + rho), abs=0.005)
+
+
+def test_deterministic_given_seed():
+    events_a, events_b = [], []
+    for collector in (events_a, events_b):
+        sim, process = make_process(lam=0.3, seed=9)
+        process.on_failure(lambda s, t, c=collector: c.append((s, t)))
+        process.start()
+        sim.run(until=50.0)
+    assert events_a == events_b
+
+
+def test_start_is_idempotent():
+    sim, process = make_process(lam=0.5, seed=2)
+    process.start()
+    queued = sim.pending_events
+    process.start()
+    assert sim.pending_events == queued
+
+
+def test_low_cv_repairs_are_more_regular():
+    """Gamma repairs with cv=0.2 cluster around the mean repair time."""
+    import numpy as np
+
+    dist_regular = RepairDistribution(cv=0.2)
+    dist_exponential = RepairDistribution(cv=1.0)
+    rng = np.random.default_rng(0)
+    regular = [dist_regular.sample(rng, 1.0) for _ in range(4000)]
+    exponential = [dist_exponential.sample(rng, 1.0) for _ in range(4000)]
+    assert np.mean(regular) == pytest.approx(1.0, abs=0.05)
+    assert np.mean(exponential) == pytest.approx(1.0, abs=0.05)
+    assert np.std(regular) < 0.5 * np.std(exponential)
+
+
+def test_degenerate_cv_gives_constant_repairs():
+    import numpy as np
+
+    dist = RepairDistribution(cv=0.0)
+    rng = np.random.default_rng(0)
+    assert dist.sample(rng, 2.5) == 2.5
+    assert dist.sample(rng, 2.5) == 2.5
+
+
+class TestRepairCapacity:
+    def test_capacity_validation(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            FailureRepairProcess(
+                sim, [0], failure_rate=0.1, repair_rate=1.0,
+                streams=RandomStreams(), repair_capacity=0,
+            )
+        with pytest.raises(ValueError):
+            FailureRepairProcess(
+                sim, [0], failure_rate=0.1, repair_rate=1.0,
+                streams=RandomStreams(), repair_discipline="lifo",
+            )
+
+    def _run(self, capacity, discipline, n=4, lam=0.5, horizon=2_000.0,
+             seed=11):
+        sim = Simulator()
+        process = FailureRepairProcess(
+            sim, list(range(n)), failure_rate=lam, repair_rate=1.0,
+            streams=RandomStreams(seed=seed),
+            repair_capacity=capacity, repair_discipline=discipline,
+        )
+        down_spans = {}
+        totals = []
+        starts = {}
+        process.on_failure(lambda s, t: starts.__setitem__(s, t))
+        process.on_repair(lambda s, t: totals.append(t - starts[s]))
+        process.start()
+        sim.run(until=horizon)
+        return process, totals
+
+    def test_unlimited_capacity_mean_downtime_is_one_over_mu(self):
+        _process, downs = self._run(capacity=None, discipline="fifo")
+        assert sum(downs) / len(downs) == pytest.approx(1.0, abs=0.1)
+
+    def test_single_facility_downtimes_include_queueing(self):
+        _process, downs = self._run(capacity=1, discipline="fifo")
+        # waiting in the queue makes mean downtime exceed the service
+        # time 1/mu by a visible margin at this failure rate
+        assert sum(downs) / len(downs) > 1.3
+
+    def test_queue_is_empty_under_unlimited_capacity(self):
+        process, _ = self._run(capacity=None, discipline="fifo")
+        assert process.queued_repairs == 0
+
+    def test_all_sites_eventually_repaired(self):
+        for discipline in ("fifo", "random"):
+            process, downs = self._run(capacity=1, discipline=discipline)
+            assert downs, "some repairs must have completed"
+            # the process keeps cycling: each site is either up or in
+            # the repair pipeline, never lost
+            sim_up = set(process.up_sites())
+            pipeline = process.queued_repairs + (
+                len(process._site_ids) - len(sim_up)
+                - process.queued_repairs
+            )
+            assert len(sim_up) + pipeline == len(process._site_ids)
+
+    def test_fifo_repairs_in_failure_order_when_saturated(self):
+        sim = Simulator()
+        process = FailureRepairProcess(
+            sim, [0, 1, 2], failure_rate=5.0, repair_rate=0.5,
+            streams=RandomStreams(seed=2), repair_capacity=1,
+            repair_discipline="fifo",
+        )
+        failures, repairs = [], []
+        process.on_failure(lambda s, t: failures.append(s))
+        process.on_repair(lambda s, t: repairs.append(s))
+        process.start()
+        sim.run(until=40.0)
+        # reconstruct expected repair order by replaying the queue
+        queue, expected = [], []
+        fi = iter(failures)
+        pending = list(failures)
+        # simple check: the first repair is the first failure
+        assert repairs[0] == failures[0]

@@ -1,0 +1,117 @@
+"""Unit tests for the statistics helpers."""
+
+import math
+
+import pytest
+
+from repro.sim import (
+    ConfidenceInterval,
+    RunningStat,
+    TimeWeightedStat,
+    batch_means,
+)
+
+
+class TestTimeWeightedStat:
+    def test_constant_signal(self):
+        stat = TimeWeightedStat(initial_value=1.0)
+        stat.finalize(at_time=10.0)
+        assert stat.mean() == 1.0
+
+    def test_square_wave(self):
+        stat = TimeWeightedStat(initial_value=1.0)
+        stat.update(0.0, at_time=10.0)
+        stat.update(1.0, at_time=15.0)
+        stat.finalize(at_time=20.0)
+        assert stat.mean() == pytest.approx(0.75)
+        assert stat.integral() == pytest.approx(15.0)
+
+    def test_nonboolean_values(self):
+        stat = TimeWeightedStat(initial_value=2.0)
+        stat.update(4.0, at_time=1.0)
+        stat.finalize(at_time=2.0)
+        assert stat.mean() == pytest.approx(3.0)
+
+    def test_time_cannot_go_backwards(self):
+        stat = TimeWeightedStat()
+        stat.update(1.0, at_time=5.0)
+        with pytest.raises(ValueError):
+            stat.update(0.0, at_time=4.0)
+
+    def test_zero_elapsed_returns_current_value(self):
+        stat = TimeWeightedStat(initial_value=0.5)
+        assert stat.mean() == 0.5
+
+    def test_repeated_updates_at_same_time(self):
+        stat = TimeWeightedStat(initial_value=0.0)
+        stat.update(1.0, at_time=1.0)
+        stat.update(0.0, at_time=1.0)  # instantaneous blip contributes 0
+        stat.finalize(at_time=2.0)
+        assert stat.mean() == pytest.approx(0.0)
+
+    def test_nonzero_start_time(self):
+        stat = TimeWeightedStat(initial_value=1.0, start_time=100.0)
+        stat.finalize(at_time=110.0)
+        assert stat.elapsed == pytest.approx(10.0)
+        assert stat.mean() == 1.0
+
+
+class TestRunningStat:
+    def test_mean_and_variance(self):
+        stat = RunningStat()
+        stat.extend([2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0])
+        assert stat.count == 8
+        assert stat.mean == pytest.approx(5.0)
+        assert stat.variance == pytest.approx(32.0 / 7.0)
+
+    def test_single_value(self):
+        stat = RunningStat()
+        stat.add(3.0)
+        assert stat.mean == 3.0
+        assert stat.variance == 0.0
+        assert stat.stddev == 0.0
+
+    def test_empty(self):
+        stat = RunningStat()
+        assert stat.count == 0
+        assert stat.mean == 0.0
+        assert stat.stderr == 0.0
+
+    def test_stderr(self):
+        stat = RunningStat()
+        stat.extend([1.0, 2.0, 3.0, 4.0])
+        expected = stat.stddev / math.sqrt(4)
+        assert stat.stderr == pytest.approx(expected)
+
+
+class TestConfidenceInterval:
+    def test_bounds_and_containment(self):
+        ci = ConfidenceInterval(mean=10.0, half_width=2.0, confidence=0.95)
+        assert ci.low == 8.0
+        assert ci.high == 12.0
+        assert ci.contains(9.5)
+        assert not ci.contains(12.5)
+
+    def test_str_mentions_confidence(self):
+        ci = ConfidenceInterval(mean=1.0, half_width=0.1, confidence=0.9)
+        assert "90%" in str(ci)
+
+
+class TestBatchMeans:
+    def test_too_few_samples_returns_none(self):
+        assert batch_means([1.0] * 5, num_batches=10) is None
+
+    def test_constant_series_has_zero_width(self):
+        ci = batch_means([3.0] * 100, num_batches=10)
+        assert ci is not None
+        assert ci.mean == pytest.approx(3.0)
+        assert ci.half_width == pytest.approx(0.0)
+
+    def test_interval_covers_true_mean_of_iid_series(self):
+        import numpy as np
+
+        rng = np.random.default_rng(0)
+        samples = rng.normal(5.0, 1.0, size=10_000).tolist()
+        ci = batch_means(samples, num_batches=20, confidence=0.99)
+        assert ci is not None
+        assert ci.contains(5.0)

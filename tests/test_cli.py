@@ -1,0 +1,120 @@
+"""Command-line interface tests."""
+
+import io
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def run_cli(*argv):
+    out = io.StringIO()
+    code = main(list(argv), out=out)
+    return code, out.getvalue()
+
+
+def test_list_enumerates_experiments():
+    code, output = run_cli("list")
+    assert code == 0
+    for expected in ("figure-9", "figure-10", "figure-11", "figure-12",
+                     "theorem-4.1", "reliability-study"):
+        assert expected in output
+
+
+def test_run_prints_a_figure():
+    code, output = run_cli("run", "figure-9")
+    assert code == 0
+    assert "Three Available Copies" in output
+    assert "A_V(6)" in output
+
+
+def test_run_unknown_experiment_fails_cleanly():
+    code, _output = run_cli("run", "figure-99")
+    assert code == 2
+
+
+def test_availability_command():
+    code, output = run_cli("availability", "-n", "3", "--rho", "0.1")
+    assert code == 0
+    assert "MCV" in output and "AC" in output and "NAC" in output
+    assert "0.976709" in output  # A_V(3) at rho=0.1
+    assert "0.997824" in output  # A_A(3)
+    assert "0.995847" in output  # A_NA(3)
+
+
+def test_simulate_command_reports_agreement():
+    code, output = run_cli(
+        "simulate", "--scheme", "NAC", "-n", "2", "--rho", "0.2",
+        "--horizon", "5000", "--seed", "3",
+    )
+    assert code == 0
+    assert "availability: simulated" in output
+    assert "write msgs:   simulated 1.000  model 1.000" in output
+
+
+def test_scheme_parsing_accepts_aliases():
+    parser = build_parser()
+    for alias in ("voting", "MCV", "mcv"):
+        args = parser.parse_args(["simulate", "--scheme", alias])
+        from repro.types import SchemeName
+
+        assert args.scheme is SchemeName.VOTING
+
+
+def test_unknown_scheme_rejected():
+    parser = build_parser()
+    with pytest.raises(SystemExit):
+        parser.parse_args(["simulate", "--scheme", "paxos"])
+
+
+def test_module_entry_point():
+    import subprocess
+    import sys
+
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro", "list"],
+        capture_output=True, text=True,
+    )
+    assert proc.returncode == 0
+    assert "figure-9" in proc.stdout
+
+
+def test_mttf_command():
+    code, output = run_cli("mttf", "-n", "3", "--rho", "0.2")
+    assert code == 0
+    assert "80.00" in output          # MTTF of AC and NAC at rho=0.2
+    assert "8.33" in output           # MTTF of MCV
+
+
+def test_trace_generate_and_stats(tmp_path):
+    code, output = run_cli("trace", "generate", "--count", "50",
+                           "--seed", "9", "--blocks", "16")
+    assert code == 0
+    path = tmp_path / "w.trace"
+    path.write_text(output)
+    code, summary = run_cli("trace", "stats", str(path))
+    assert code == 0
+    assert "50 operations" in summary
+
+
+def test_trace_generate_is_deterministic():
+    _code, a = run_cli("trace", "generate", "--count", "20", "--seed", "3")
+    _code, b = run_cli("trace", "generate", "--count", "20", "--seed", "3")
+    assert a == b
+
+
+def test_trace_stats_missing_file():
+    code, _output = run_cli("trace", "stats", "/no/such/file.trace")
+    assert code == 2
+
+
+def test_size_command():
+    code, output = run_cli("size", "--rho", "0.1", "--target", "0.9999")
+    assert code == 0
+    assert "MCV" in output and "AC" in output
+    assert "Theorem 4.1" in output
+
+
+def test_size_command_rejects_bad_target():
+    code, output = run_cli("size", "--rho", "0.1", "--target", "1.5")
+    assert code != 0 or "error" in output.lower()

@@ -1,0 +1,89 @@
+"""Workload generator statistics and determinism."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.sim import RandomStreams
+from repro.workload import OpKind, WorkloadGenerator, WorkloadSpec
+
+
+def make_generator(spec=None, num_blocks=64, seed=0, name="w"):
+    spec = spec or WorkloadSpec()
+    return WorkloadGenerator(
+        spec, num_blocks=num_blocks, streams=RandomStreams(seed), name=name
+    )
+
+
+class TestSpecValidation:
+    def test_defaults(self):
+        spec = WorkloadSpec()
+        assert spec.read_write_ratio == 2.5
+        assert spec.write_fraction == pytest.approx(1 / 3.5)
+
+    def test_invalid_values_rejected(self):
+        with pytest.raises(ReproError):
+            WorkloadSpec(read_write_ratio=-1)
+        with pytest.raises(ReproError):
+            WorkloadSpec(op_rate=0)
+        with pytest.raises(ReproError):
+            WorkloadSpec(distribution="bogus")
+        with pytest.raises(ReproError):
+            WorkloadSpec(zipf_exponent=1.0)
+
+    def test_write_only_workload(self):
+        assert WorkloadSpec(read_write_ratio=0.0).write_fraction == 1.0
+
+
+class TestStatistics:
+    def test_read_write_ratio_approximated(self):
+        gen = make_generator(WorkloadSpec(read_write_ratio=2.5), seed=1)
+        ops = list(gen.operations(20_000))
+        reads = sum(1 for op in ops if op.kind is OpKind.READ)
+        writes = len(ops) - reads
+        assert reads / writes == pytest.approx(2.5, rel=0.1)
+
+    def test_interarrival_mean_matches_rate(self):
+        gen = make_generator(WorkloadSpec(op_rate=4.0), seed=2)
+        times = [gen.next_interarrival() for _ in range(20_000)]
+        assert sum(times) / len(times) == pytest.approx(0.25, rel=0.05)
+
+    def test_uniform_blocks_cover_range(self):
+        gen = make_generator(num_blocks=8, seed=3)
+        blocks = {op.block for op in gen.operations(2_000)}
+        assert blocks == set(range(8))
+
+    def test_zipf_is_skewed(self):
+        spec = WorkloadSpec(distribution="zipf", zipf_exponent=1.5)
+        gen = make_generator(spec, num_blocks=64, seed=4)
+        from collections import Counter
+
+        counts = Counter(op.block for op in gen.operations(10_000))
+        assert counts[0] > counts.get(32, 0) * 3
+
+    def test_zipf_respects_bounds(self):
+        spec = WorkloadSpec(distribution="zipf")
+        gen = make_generator(spec, num_blocks=4, seed=5)
+        assert all(0 <= op.block < 4 for op in gen.operations(3_000))
+
+    def test_sequential_wraps_around(self):
+        spec = WorkloadSpec(distribution="sequential")
+        gen = make_generator(spec, num_blocks=3, seed=6)
+        blocks = [op.block for op in gen.operations(7)]
+        assert blocks == [0, 1, 2, 0, 1, 2, 0]
+
+
+class TestDeterminism:
+    def test_same_seed_same_stream(self):
+        a = [str(op) for op in make_generator(seed=9).operations(100)]
+        b = [str(op) for op in make_generator(seed=9).operations(100)]
+        assert a == b
+
+    def test_different_names_differ(self):
+        a = [str(op) for op in make_generator(seed=9, name="x").operations(100)]
+        b = [str(op) for op in make_generator(seed=9, name="y").operations(100)]
+        assert a != b
+
+
+def test_invalid_block_count_rejected():
+    with pytest.raises(ReproError):
+        WorkloadGenerator(WorkloadSpec(), num_blocks=0)

@@ -1,0 +1,121 @@
+"""Workload runner accounting."""
+
+import pytest
+
+from repro.types import SchemeName
+from repro.workload import OpKind, WorkloadRunner, WorkloadSpec
+
+from ..conftest import make_cluster
+
+
+def test_all_ops_succeed_without_failures(scheme):
+    cluster = make_cluster(scheme, failure_rate=0.0)
+    runner = WorkloadRunner(cluster, WorkloadSpec(op_rate=5.0))
+    result = runner.run(200.0)
+    total = sum(result.attempted.values())
+    assert total > 500
+    assert result.attempted == result.succeeded
+    assert result.failure_fraction(OpKind.READ) == 0.0
+
+
+def test_reads_cost_nothing_under_available_copy():
+    cluster = make_cluster(SchemeName.NAIVE_AVAILABLE_COPY)
+    runner = WorkloadRunner(cluster, WorkloadSpec(op_rate=5.0))
+    result = runner.run(100.0)
+    assert result.mean_messages(OpKind.READ) == 0.0
+    assert result.mean_messages(OpKind.WRITE) == 1.0
+
+
+def test_failures_are_counted_separately():
+    cluster = make_cluster(
+        SchemeName.VOTING, failure_rate=0.5, repair_rate=1.0, seed=4
+    )
+    runner = WorkloadRunner(cluster, WorkloadSpec(op_rate=2.0))
+    result = runner.run(2_000.0)
+    assert result.failure_fraction(OpKind.READ) > 0.0
+    assert result.succeeded[OpKind.READ] < result.attempted[OpKind.READ]
+
+
+def test_voting_wasted_messages_on_failed_ops():
+    cluster = make_cluster(
+        SchemeName.VOTING, num_sites=3, failure_rate=0.5, repair_rate=1.0,
+        seed=4,
+    )
+    runner = WorkloadRunner(cluster, WorkloadSpec(op_rate=2.0))
+    result = runner.run(2_000.0)
+    # failed voting ops still paid for their vote phase (Section 5's
+    # "overhead of unsuccessful writes")
+    assert result.wasted_messages(OpKind.WRITE) > 0
+
+
+def test_outcome_log_retained_on_request(scheme):
+    cluster = make_cluster(scheme)
+    runner = WorkloadRunner(
+        cluster, WorkloadSpec(op_rate=10.0), keep_outcomes=True
+    )
+    result = runner.run(10.0)
+    assert result.outcomes
+    assert all(o.ok for o in result.outcomes)
+    times = [o.time for o in result.outcomes]
+    assert times == sorted(times)
+
+
+def test_outcome_log_off_by_default(scheme):
+    cluster = make_cluster(scheme)
+    runner = WorkloadRunner(cluster, WorkloadSpec(op_rate=10.0))
+    result = runner.run(10.0)
+    assert result.outcomes == []
+
+
+def test_runner_is_deterministic():
+    results = []
+    for _ in range(2):
+        cluster = make_cluster(
+            SchemeName.AVAILABLE_COPY, failure_rate=0.2, seed=7
+        )
+        runner = WorkloadRunner(cluster, WorkloadSpec(op_rate=3.0))
+        result = runner.run(500.0)
+        results.append(
+            (result.attempted, result.succeeded, cluster.meter.total)
+        )
+    assert results[0] == results[1]
+
+
+def test_mean_messages_zero_when_no_ops():
+    cluster = make_cluster(SchemeName.VOTING)
+    runner = WorkloadRunner(cluster, WorkloadSpec(op_rate=1.0))
+    assert runner.result.mean_messages(OpKind.WRITE) == 0.0
+    assert runner.result.failure_fraction(OpKind.WRITE) == 0.0
+
+
+def test_random_origin_policy_spreads_operations():
+    cluster = make_cluster(SchemeName.NAIVE_AVAILABLE_COPY, num_sites=4)
+    runner = WorkloadRunner(
+        cluster, WorkloadSpec(op_rate=20.0), origin_policy="random",
+        keep_outcomes=True,
+    )
+    runner.run(50.0)
+    # with ~1000 ops over 4 sites, work is shared (indirectly observable:
+    # reads from non-zero origins are local under AC -> still all succeed)
+    assert sum(runner.result.attempted.values()) > 500
+    assert runner.result.attempted == runner.result.succeeded
+
+
+def test_random_origin_exercises_voting_lazy_repair():
+    """With multiple origins, a repaired site serves reads before its
+    blocks are fresh, triggering the paper's lazy per-block recovery."""
+    cluster = make_cluster(
+        SchemeName.VOTING, num_sites=3, num_blocks=4,
+        failure_rate=0.2, repair_rate=1.0, seed=12,
+    )
+    runner = WorkloadRunner(
+        cluster, WorkloadSpec(op_rate=5.0), origin_policy="random"
+    )
+    runner.run(5_000.0)
+    assert cluster.protocol.lazy_repairs > 0
+
+
+def test_invalid_origin_policy_rejected():
+    cluster = make_cluster(SchemeName.VOTING)
+    with pytest.raises(ValueError):
+        WorkloadRunner(cluster, WorkloadSpec(), origin_policy="bogus")

@@ -1,0 +1,80 @@
+"""Trace record / serialise / replay."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.types import SchemeName
+from repro.workload import OpKind, Operation, WorkloadSpec
+from repro.workload.trace import Trace, record_trace
+
+from ..conftest import make_cluster
+
+
+def test_record_is_reproducible():
+    a = record_trace(WorkloadSpec(), num_blocks=8, count=50, seed=3)
+    b = record_trace(WorkloadSpec(), num_blocks=8, count=50, seed=3)
+    assert list(a) == list(b)
+    c = record_trace(WorkloadSpec(), num_blocks=8, count=50, seed=4)
+    assert list(a) != list(c)
+
+
+def test_round_trip_through_text():
+    trace = record_trace(WorkloadSpec(), num_blocks=16, count=100, seed=1)
+    text = trace.dumps()
+    assert Trace.load(text).operations == trace.operations
+
+
+def test_format_is_human_readable():
+    trace = Trace.from_operations(
+        [Operation(OpKind.READ, 3), Operation(OpKind.WRITE, 7)]
+    )
+    assert trace.dumps().splitlines()[1:] == ["r 3", "w 7"]
+
+
+def test_load_tolerates_comments_and_blanks():
+    trace = Trace.load("# header\n\nr 1  # trailing comment\nw 2\n")
+    assert [str(op) for op in trace] == ["read(1)", "write(2)"]
+
+
+@pytest.mark.parametrize("bad", ["x 1", "r", "r one", "r -2", "read 1 2"])
+def test_malformed_lines_rejected(bad):
+    with pytest.raises(ReproError):
+        Trace.load(bad)
+
+
+def test_statistics():
+    trace = Trace.load("r 0\nr 5\nr 5\nw 2\n")
+    assert trace.read_write_ratio() == 3.0
+    assert trace.blocks_touched() == 3
+    assert trace.max_block() == 5
+    assert len(trace) == 4
+
+
+def test_read_only_trace_ratio_is_infinite():
+    assert Trace.load("r 0\n").read_write_ratio() == float("inf")
+
+
+def test_replay_executes_every_operation(scheme):
+    trace = record_trace(
+        WorkloadSpec(read_write_ratio=1.0), num_blocks=8, count=120, seed=9
+    )
+    cluster = make_cluster(scheme, num_blocks=8)
+    result = trace.replay(cluster, op_rate=50.0)
+    assert sum(result.attempted.values()) == 120
+    assert result.attempted == result.succeeded
+
+
+def test_identical_trace_enables_exact_scheme_comparison():
+    """The point of traces: compare schemes on the same op sequence."""
+    trace = record_trace(WorkloadSpec(), num_blocks=8, count=200, seed=5)
+    totals = {}
+    for scheme in SchemeName:
+        cluster = make_cluster(scheme, num_blocks=8)
+        trace.replay(cluster, op_rate=100.0)
+        totals[scheme] = cluster.meter.total
+    # identical ops, vastly different transmission bills
+    assert totals[SchemeName.NAIVE_AVAILABLE_COPY] < \
+        totals[SchemeName.AVAILABLE_COPY] < totals[SchemeName.VOTING]
+    # NAC's bill is exactly the number of writes in the trace
+    writes = sum(1 for op in trace if op.kind is OpKind.WRITE)
+    assert totals[SchemeName.NAIVE_AVAILABLE_COPY] == writes
