@@ -125,6 +125,23 @@ def build_parser() -> argparse.ArgumentParser:
         choices=[m.value for m in AddressingMode],
         default=AddressingMode.MULTICAST.value,
     )
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="seeded fault-injection run with consistency checking",
+    )
+    chaos.add_argument("--scheme", type=_scheme, default=None,
+                       help="one scheme (default: all three)")
+    chaos.add_argument("--seed", type=int, default=0)
+    chaos.add_argument("-n", "--sites", type=int, default=5)
+    chaos.add_argument("--blocks", type=int, default=24)
+    chaos.add_argument("--operations", type=int, default=400)
+    chaos.add_argument("--fault-rate", type=float, default=0.30,
+                       help="per-step fault probability (default 0.30)")
+    chaos.add_argument("--max-attempts", type=int, default=3,
+                       help="device retry budget per operation")
+    chaos.add_argument("--verbose", action="store_true",
+                       help="also print the history event counts")
     return parser
 
 
@@ -261,6 +278,43 @@ def _cmd_simulate(args, out) -> int:
     return 0
 
 
+def _cmd_chaos(args, out) -> int:
+    from .device.reliable import RetryPolicy
+    from .faults import ChaosConfig, run_chaos
+
+    try:
+        retry = RetryPolicy(max_attempts=args.max_attempts,
+                            initial_delay=0.0)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    schemes = [args.scheme] if args.scheme else list(SchemeName)
+    all_ok = True
+    for scheme in schemes:
+        result = run_chaos(ChaosConfig(
+            scheme=scheme,
+            seed=args.seed,
+            num_sites=args.sites,
+            num_blocks=args.blocks,
+            operations=args.operations,
+            fault_rate=args.fault_rate,
+            retry=retry,
+        ))
+        print(result.summary(), file=out)
+        if args.verbose:
+            for kind, count in sorted(result.history.items()):
+                print(f"    {kind:22s} {count}", file=out)
+        for violation in result.violations:
+            print(f"  VIOLATION {violation}", file=out)
+        for site_id, block in result.unaccounted_corruptions:
+            print(f"  UNACCOUNTED corruption at site {site_id}, "
+                  f"block {block}", file=out)
+        all_ok = all_ok and result.ok
+    print("chaos: all checks passed" if all_ok
+          else "chaos: CONSISTENCY CHECK FAILED", file=out)
+    return 0 if all_ok else 1
+
+
 def main(argv: Optional[List[str]] = None, out=None) -> int:
     """CLI entry point; returns the process exit code."""
     out = out if out is not None else sys.stdout
@@ -277,4 +331,6 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
         return _cmd_mttf(args, out)
     if args.command == "trace":
         return _cmd_trace(args, out)
+    if args.command == "chaos":
+        return _cmd_chaos(args, out)
     return _cmd_simulate(args, out)

@@ -38,7 +38,7 @@ from typing import TYPE_CHECKING
 
 if TYPE_CHECKING:
     from ..device.site import Site
-from ..errors import NoAvailableCopyError, SiteDownError
+from ..errors import CorruptBlockError, NoAvailableCopyError, SiteDownError
 from ..net.message import MessageCategory
 from ..net.network import NO_REPLY, Network
 from ..types import BlockIndex, SchemeName, SiteId, SiteState
@@ -67,8 +67,11 @@ class AvailableCopyBase(ReplicationProtocol):
     def read(self, origin: SiteId, block: BlockIndex) -> bytes:
         """Read locally; available copies are always current.
 
-        Generates no network traffic (the paper's headline advantage of
-        the available-copy schemes for read-dominated workloads).
+        Generates no network traffic on the fault-free path (the paper's
+        headline advantage of the available-copy schemes for
+        read-dominated workloads).  A corrupt local copy is quarantined
+        and self-healed from any other copy holding at least the local
+        version -- one repair-request/block-transfer exchange.
         """
         site = self.require_origin(origin)
         if site.state is not SiteState.AVAILABLE:
@@ -76,7 +79,68 @@ class AvailableCopyBase(ReplicationProtocol):
                 origin, "comatose sites cannot serve reads"
             )
         with self.meter.record("read"):
-            return site.read_block(block)
+            try:
+                return site.read_block(block)
+            except CorruptBlockError:
+                self.note_corruption(origin, block)
+                needed = site.block_version(block)
+                site.store.quarantine(block)
+                if not self._fetch_for(site, block, needed):
+                    raise CorruptBlockError(
+                        block, origin,
+                        detail="no intact copy reachable to heal from",
+                    ) from None
+                self.note_heal(origin, block)
+                return site.read_block(block)
+
+    def _fetch_for(
+        self,
+        target: 'Site',
+        block: BlockIndex,
+        needed: int,
+        exclude: Set[SiteId] = frozenset(),
+    ) -> bool:
+        """Fetch a fresh copy of ``block`` (version >= ``needed``) for
+        ``target`` from some peer; returns whether one was obtained.
+
+        Peers whose own copy turns out corrupt are quarantined and
+        skipped, so one sweep detects every bad copy it touches.
+        """
+
+        def serve(node, payload):
+            index, wanted = payload
+            if node.block_version(index) < wanted:
+                return NO_REPLY
+            try:
+                data = node.read_block(index)
+            except CorruptBlockError:
+                self.note_corruption(node.site_id, index)
+                node.store.quarantine(index)
+                return NO_REPLY
+            return data, node.block_version(index)
+
+        skip = set(exclude) | {target.site_id}
+        candidates = [
+            s.site_id for s in self.available_sites()
+            if s.site_id not in skip
+        ] + [
+            s.site_id for s in self.comatose_sites()
+            if s.site_id not in skip
+        ]
+        for peer in candidates:
+            ok, reply = self.network.unicast_query(
+                src=target.site_id,
+                dst=peer,
+                request=MessageCategory.BLOCK_REPAIR_REQUEST,
+                reply=MessageCategory.BLOCK_TRANSFER,
+                handler=serve,
+                payload=(block, needed),
+            )
+            if ok:
+                data, version = reply
+                target.write_block(block, data, version)
+                return True
+        return False
 
     # -- availability predicate (Section 4's event) ---------------------------
 
@@ -126,29 +190,52 @@ class AvailableCopyBase(ReplicationProtocol):
         ``target`` sends its version vector; ``source`` replies with the
         correct vector plus copies of every block modified while
         ``target`` was down.  Two transmissions, as Section 5.1 counts.
+
+        Stale blocks whose copy at the source is corrupt are omitted
+        from the reply (the source quarantines them); the target fetches
+        those from another peer, or -- when no intact copy exists
+        anywhere -- quarantines its own stale copy at the correct
+        version rather than silently serving outdated data.
         """
+        before = target.version_vector()
 
         def serve(node, payload):
             vector: VersionVector = payload
             stale = vector.stale_relative_to(node.version_vector())
-            blocks = {
-                b: (node.read_block(b), node.block_version(b)) for b in stale
-            }
+            blocks = {}
+            for b in stale:
+                try:
+                    blocks[b] = (node.read_block(b), node.block_version(b))
+                except CorruptBlockError:
+                    self.note_corruption(node.site_id, b)
+                    node.store.quarantine(b)
             return node.version_vector(), blocks
 
-        delivered, reply = self.network.unicast_query(
-            src=target.site_id,
-            dst=source.site_id,
-            request=MessageCategory.VERSION_VECTOR_REQUEST,
-            reply=MessageCategory.VERSION_VECTOR_REPLY,
-            handler=serve,
-            payload=target.version_vector(),
-        )
-        if not delivered:  # pragma: no cover - sources are always reachable
+        delivered, reply = False, None
+        for _ in range(3):  # rides out transient delivery loss
+            delivered, reply = self.network.unicast_query(
+                src=target.site_id,
+                dst=source.site_id,
+                request=MessageCategory.VERSION_VECTOR_REQUEST,
+                reply=MessageCategory.VERSION_VECTOR_REPLY,
+                handler=serve,
+                payload=before,
+            )
+            if delivered:
+                break
+        if not delivered:
             raise SiteDownError(source.site_id, "repair source vanished")
-        _vector, blocks = reply
+        vector, blocks = reply
         for block, (data, version) in sorted(blocks.items()):
             target.write_block(block, data, version)
+        missing = [
+            b for b in before.stale_relative_to(vector) if b not in blocks
+        ]
+        for block in missing:
+            needed = vector.get(block)
+            if not self._fetch_for(target, block, needed,
+                                   exclude={source.site_id}):
+                target.store.quarantine(block, needed)
         target.set_state(SiteState.AVAILABLE)
 
     # -- invariant (exercised by tests) ------------------------------------------
@@ -204,7 +291,7 @@ class AvailableCopyProtocol(AvailableCopyBase):
 
     # -- write: "write to all available copies" ---------------------------------
 
-    def write(self, origin: SiteId, block: BlockIndex, data: bytes) -> None:
+    def write(self, origin: SiteId, block: BlockIndex, data: bytes) -> int:
         site = self._require_available_origin(origin)
         with self.meter.record("write"):
             recipients = {s.site_id for s in self.available_sites()}
@@ -221,15 +308,35 @@ class AvailableCopyProtocol(AvailableCopyBase):
             # The write is broadcast; the recipient set rides along (the
             # paper's atomic-broadcast assumption, relaxable by delaying
             # the information one write without extra messages).
-            self.network.broadcast_query(
+            replies = self.network.broadcast_query(
                 src=origin,
                 request=MessageCategory.WRITE_UPDATE,
                 reply=MessageCategory.WRITE_ACK,
                 handler=apply,
                 payload=(block, bytes(data), new_version, recipients),
             )
+            if site.state is not SiteState.AVAILABLE:
+                # Crashed mid-fan-out (fault injection): a torn group
+                # write -- some available copies applied it, the local
+                # one never will.  Repair supersedes the survivors'
+                # higher-versioned copies when the origin rejoins.
+                if self.recorder is not None:
+                    self.recorder.torn_write(block, bytes(data), new_version)
+                raise SiteDownError(origin, "failed during the write fan-out")
+            # "Write to all available copies" demands every recipient
+            # actually take the update; a still-available site whose
+            # acknowledgement is missing (transient message loss) can no
+            # longer be assumed current and is fenced out of the group.
+            # Partitioned-away sites are exempt: nothing can be proven
+            # about them, which is exactly why available-copy schemes
+            # are unsafe under partitions (Section 6).
+            for silent in sorted(recipients - {origin} - set(replies)):
+                if (self.site(silent).state is SiteState.AVAILABLE
+                        and self.network.can_communicate(origin, silent)):
+                    self.fence(silent)
             site.write_block(block, bytes(data), new_version)
             site.set_was_available(recipients)
+            return new_version
 
     # -- failure handling ---------------------------------------------------------
 

@@ -24,6 +24,7 @@ from typing import TYPE_CHECKING
 
 if TYPE_CHECKING:
     from ..device.site import Site
+from ..errors import SiteDownError
 from ..net.message import MessageCategory
 from ..net.network import Network
 from ..types import BlockIndex, SchemeName, SiteId, SiteState
@@ -49,10 +50,17 @@ class NaiveAvailableCopyProtocol(AvailableCopyBase):
 
     # -- write: one unacknowledged broadcast --------------------------------
 
-    def write(self, origin: SiteId, block: BlockIndex, data: bytes) -> None:
+    def write(self, origin: SiteId, block: BlockIndex, data: bytes) -> int:
         """Broadcast the new block to all sites; reliable delivery does
         the rest (Section 5.1: one message on a multicast network,
-        ``n - 1`` with unique addressing)."""
+        ``n - 1`` with unique addressing).
+
+        The scheme has no acknowledgements, so enforcing "every
+        available copy takes every write" falls to the transport's
+        delivery receipts: an available site the reliable broadcast
+        could not deliver to (transient message loss, injected faults)
+        is fenced -- treated as failed until it runs the ordinary
+        repair procedure."""
         site = self._require_available_origin(origin)
         with self.meter.record("write"):
             new_version = site.block_version(block) + 1
@@ -62,13 +70,25 @@ class NaiveAvailableCopyProtocol(AvailableCopyBase):
                 if node.state is SiteState.AVAILABLE:
                     node.write_block(index, blob, version)
 
-            self.network.broadcast_oneway(
+            delivered = self.network.broadcast_oneway(
                 src=origin,
                 category=MessageCategory.WRITE_UPDATE,
                 handler=apply,
                 payload=(block, bytes(data), new_version),
             )
+            if site.state is SiteState.FAILED:
+                # Crashed mid-fan-out (fault injection): a torn write.
+                if self.recorder is not None:
+                    self.recorder.torn_write(block, bytes(data), new_version)
+                raise SiteDownError(origin, "failed during the write fan-out")
+            for peer in self.available_sites():
+                if (peer.site_id != origin
+                        and peer.site_id not in delivered
+                        and self.network.can_communicate(
+                            origin, peer.site_id)):
+                    self.fence(peer.site_id)
             site.write_block(block, bytes(data), new_version)
+            return new_version
 
     # -- failure handling -------------------------------------------------------
 

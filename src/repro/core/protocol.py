@@ -57,6 +57,17 @@ class ReplicationProtocol(abc.ABC):
             raise ValueError(
                 f"replica sites disagree on device geometry: {geometries}"
             )
+        #: Optional fault-history recorder (see :mod:`repro.faults`); the
+        #: protocols notify it of detections, heals and fencings.  None on
+        #: the fault-free path.
+        self.recorder = None
+        #: Corrupt copies detected at read/repair/scrub time.
+        self.corruptions_detected = 0
+        #: Corrupt copies overwritten with fresh data from a peer.
+        self.blocks_healed = 0
+        #: Sites evicted from the group after failing to take a write
+        #: fan-out (available-copy schemes enforcing fail-stop).
+        self.sites_fenced = 0
 
     # -- structure ----------------------------------------------------------
 
@@ -133,10 +144,12 @@ class ReplicationProtocol(abc.ABC):
         """
 
     @abc.abstractmethod
-    def write(self, origin: SiteId, block: BlockIndex, data: bytes) -> None:
+    def write(self, origin: SiteId, block: BlockIndex, data: bytes) -> int:
         """Write ``block`` on behalf of the file system at ``origin``.
 
-        Raises :class:`~repro.errors.DeviceUnavailableError` when the
+        Returns the version number assigned to the write (the fault
+        checker correlates histories with it).  Raises
+        :class:`~repro.errors.DeviceUnavailableError` when the
         consistency protocol cannot currently serve writes.
         """
 
@@ -163,6 +176,33 @@ class ReplicationProtocol(abc.ABC):
         """Subscribe this protocol to a failure/repair process."""
         process.on_failure(lambda site_id, _t: self.on_site_failed(site_id))
         process.on_repair(lambda site_id, _t: self.on_site_repaired(site_id))
+
+    # -- fault observability -----------------------------------------------------
+
+    def note_corruption(self, site_id: SiteId, block: BlockIndex) -> None:
+        """A corrupt copy of ``block`` was detected at ``site_id``."""
+        self.corruptions_detected += 1
+        if self.recorder is not None:
+            self.recorder.corruption_detected(site_id, block)
+
+    def note_heal(self, site_id: SiteId, block: BlockIndex) -> None:
+        """A corrupt copy of ``block`` at ``site_id`` was refreshed."""
+        self.blocks_healed += 1
+        if self.recorder is not None:
+            self.recorder.block_healed(site_id, block)
+
+    def fence(self, site_id: SiteId) -> None:
+        """Evict a non-responding site, enforcing the fail-stop model.
+
+        Available-copy correctness hinges on every available copy taking
+        every write; a site whose delivery receipt / acknowledgement is
+        missing can no longer be assumed current, so it is treated as
+        failed and must run the ordinary repair procedure to rejoin.
+        """
+        self.sites_fenced += 1
+        if self.recorder is not None:
+            self.recorder.site_fenced(site_id)
+        self.on_site_failed(site_id)
 
     # -- recovery traffic attribution -------------------------------------------
 

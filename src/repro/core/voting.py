@@ -44,6 +44,8 @@ from typing import TYPE_CHECKING
 if TYPE_CHECKING:
     from ..device.site import Site
 from ..errors import (
+    CorruptBlockError,
+    DeviceUnavailableError,
     NoCurrentDataCopyError,
     QuorumNotReachedError,
     SiteDownError,
@@ -162,22 +164,6 @@ class VotingProtocol(ReplicationProtocol):
         top = max(versions.values())
         return min(s for s, v in versions.items() if v == top)
 
-    def _best_data_voter(
-        self, versions: Dict[SiteId, int]
-    ) -> Optional[SiteId]:
-        """The *data* voter holding the quorum's highest version.
-
-        ``None`` when only witnesses contributed the highest version --
-        the quorum can prove what the current version number is but
-        cannot produce its contents.
-        """
-        top = max(versions.values())
-        data = [
-            s for s, v in versions.items()
-            if v == top and s in set(self._data_ids)
-        ]
-        return min(data) if data else None
-
     # -- Figure 3: READ -------------------------------------------------------
 
     def read(self, origin: SiteId, block: BlockIndex) -> bytes:
@@ -190,33 +176,93 @@ class VotingProtocol(ReplicationProtocol):
                 raise QuorumNotReachedError(gathered, self._spec.read_quorum)
             top = max(versions.values())
             if versions[origin] < top:
-                source = self._best_data_voter(versions)
-                if source is None:
-                    raise NoCurrentDataCopyError(
-                        f"version {top} of block {block} is attested only "
-                        "by witnesses; no data copy is reachable"
-                    )
-                self._pull_block(source=source, target=site, block=block)
+                self._refresh_from_voters(site, block, versions, top)
                 self.lazy_repairs += 1
-            return site.read_block(block)
+            try:
+                return site.read_block(block)
+            except CorruptBlockError:
+                # Quorum composition guarantees a current copy exists in
+                # the quorum; self-heal the local one from it and retry.
+                self.note_corruption(origin, block)
+                site.store.quarantine(block, top)
+                self._refresh_from_voters(site, block, versions, top)
+                self.note_heal(origin, block)
+                return site.read_block(block)
 
-    def _pull_block(
-        self, source: SiteId, target: 'Site', block: BlockIndex
+    def _refresh_from_voters(
+        self,
+        site: 'Site',
+        block: BlockIndex,
+        versions: Dict[SiteId, int],
+        top: int,
     ) -> None:
+        """Pull the current copy of ``block`` from the best intact voter.
+
+        Tries the data voters holding the quorum's highest version in id
+        order; a voter whose own copy turns out corrupt is quarantined
+        and skipped, as is one whose block transfer is lost in transit.
+        Raises :class:`NoCurrentDataCopyError` when only witnesses
+        attest ``top`` and :class:`CorruptBlockError` when every data
+        copy at ``top`` is corrupt.
+        """
+        data_ids = set(self._data_ids)
+        candidates = sorted(
+            s for s, v in versions.items()
+            if v == top and s != site.site_id and s in data_ids
+        )
+        if not candidates:
+            raise NoCurrentDataCopyError(
+                f"version {top} of block {block} is attested only "
+                "by witnesses; no data copy is reachable"
+            )
+        any_intact = False
+        for source in candidates:
+            holder = self.site(source)
+            try:
+                data = holder.read_block(block)
+            except CorruptBlockError:
+                self.note_corruption(source, block)
+                holder.store.quarantine(block)
+                continue
+            any_intact = True
+            if self._push_block(
+                source=source, target=site, block=block,
+                data=data, version=holder.block_version(block),
+            ):
+                return
+        if any_intact:
+            # Intact copies exist but no transfer arrived (transient
+            # delivery loss) -- the read fails cleanly rather than
+            # serving the stale local copy; a retry can succeed.
+            raise DeviceUnavailableError(
+                f"could not refresh block {block}: every block "
+                "transfer from a current copy was lost"
+            )
+        raise CorruptBlockError(
+            block, site.site_id,
+            detail=f"every reachable copy at version {top} is corrupt",
+        )
+
+    def _push_block(
+        self,
+        source: SiteId,
+        target: 'Site',
+        block: BlockIndex,
+        data: bytes,
+        version: int,
+    ) -> bool:
         """The highest-versioned voter pushes the block to the reader.
 
         The vote request already carried the reader's version number, so
         a single block transfer suffices (the "+1" of Section 5.1).
+        Returns whether the transfer was actually delivered.
         """
-        holder = self.site(source)
-        data = holder.read_block(block)
-        version = holder.block_version(block)
 
         def deliver(node, payload):
             index, blob, v = payload
             node.write_block(index, blob, v)
 
-        self.network.unicast_oneway(
+        return self.network.unicast_oneway(
             src=source,
             dst=target.site_id,
             category=MessageCategory.BLOCK_TRANSFER,
@@ -226,7 +272,7 @@ class VotingProtocol(ReplicationProtocol):
 
     # -- Figure 4: WRITE -----------------------------------------------------
 
-    def write(self, origin: SiteId, block: BlockIndex, data: bytes) -> None:
+    def write(self, origin: SiteId, block: BlockIndex, data: bytes) -> int:
         site = self.require_origin(origin)
         if site.is_witness:
             raise SiteDownError(origin, "witnesses cannot serve clients")
@@ -244,14 +290,45 @@ class VotingProtocol(ReplicationProtocol):
                 else:
                     node.write_block(index, blob, v)
 
-            self.network.broadcast_oneway(
+            delivered = self.network.broadcast_oneway(
                 src=origin,
                 category=MessageCategory.WRITE_UPDATE,
                 handler=apply,
                 payload=(block, bytes(data), new_version),
                 destinations=quorum_members,
             )
+            missed = [m for m in quorum_members if m not in delivered]
+            if missed and site.state is not SiteState.FAILED:
+                # Transient delivery loss inside the fan-out: members
+                # that missed the update cannot be counted toward the
+                # write quorum (quorum intersection would otherwise
+                # admit a stale read).  If what actually applied -- the
+                # origin plus the delivered members -- still carries a
+                # write quorum, the write stands; otherwise it is torn.
+                applied = site.weight + sum(
+                    self.site(m).weight
+                    for m in quorum_members
+                    if m in delivered
+                )
+                if not self._spec.meets_write(applied):
+                    if self.recorder is not None:
+                        self.recorder.torn_write(
+                            block, bytes(data), new_version
+                        )
+                    raise QuorumNotReachedError(
+                        applied, self._spec.write_quorum
+                    )
+            if site.state is SiteState.FAILED:
+                # The origin crashed mid-fan-out (fault injection): some
+                # quorum members applied the update, some did not, and
+                # the local copy never will -- a torn group write.  The
+                # higher version at whichever sites took it supersedes
+                # stale copies through the ordinary lazy-repair path.
+                if self.recorder is not None:
+                    self.recorder.torn_write(block, bytes(data), new_version)
+                raise SiteDownError(origin, "failed during the write fan-out")
             site.write_block(block, bytes(data), new_version)
+            return new_version
 
     # -- availability & failure handling -----------------------------------------
 
@@ -300,9 +377,14 @@ class VotingProtocol(ReplicationProtocol):
         def serve(node, payload):
             vector = payload
             stale = vector.stale_relative_to(node.version_vector())
-            return {
-                b: (node.read_block(b), node.block_version(b)) for b in stale
-            }
+            blocks = {}
+            for b in stale:
+                try:
+                    blocks[b] = (node.read_block(b), node.block_version(b))
+                except CorruptBlockError:
+                    self.note_corruption(node.site_id, b)
+                    node.store.quarantine(b)
+            return blocks
 
         delivered, blocks = self.network.unicast_query(
             src=site.site_id,

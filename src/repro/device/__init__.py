@@ -16,7 +16,7 @@ from .driver import DeviceDriverStub
 from .interface import BlockDevice, DeviceStats
 from .local import LocalBlockDevice
 from .persistence import dump_site, dump_store, load_site, load_store
-from .reliable import ReliableDevice
+from .reliable import FaultStats, ReliableDevice, RetryPolicy
 from .scrub import ScrubReport, audit_replicas, scrub_replicas
 from .site import Site
 
@@ -28,6 +28,8 @@ __all__ = [
     "LocalBlockDevice",
     "Site",
     "ReliableDevice",
+    "RetryPolicy",
+    "FaultStats",
     "ScrubReport",
     "audit_replicas",
     "scrub_replicas",

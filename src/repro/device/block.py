@@ -4,14 +4,24 @@ A :class:`BlockStore` is the stable storage of a single replica server:
 an array of fixed-size blocks, each carrying the version number the
 consistency protocols compare.  Storage is sparse; blocks never written
 read back as zeros, like a freshly initialised disk.
+
+Every write also records a CRC32 of the block contents.  Reads verify
+it, so silent corruption (bit rot, torn sectors -- failure modes the
+paper's fail-stop model excludes) surfaces as a
+:class:`~repro.errors.CorruptBlockError` instead of wrong data.  A
+detected-bad copy can be *quarantined*: its contents are dropped while
+its version number is kept, so the staleness machinery of the
+consistency protocols treats it as a copy in need of repair rather than
+silently serving zeros.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, Tuple
+import zlib
+from typing import Dict, Iterator, List, Optional, Set, Tuple
 
 from ..core.version import VersionVector
-from ..errors import BlockOutOfRangeError, BlockSizeError
+from ..errors import BlockOutOfRangeError, BlockSizeError, CorruptBlockError
 from ..types import BlockIndex, VersionNumber
 
 __all__ = ["BlockStore", "DEFAULT_BLOCK_SIZE"]
@@ -42,6 +52,8 @@ class BlockStore:
         self._block_size = int(block_size)
         self._data: Dict[BlockIndex, bytes] = {}
         self._versions = VersionVector()
+        self._sums: Dict[BlockIndex, int] = {}
+        self._quarantined: Set[BlockIndex] = set()
         self._zero = bytes(self._block_size)
 
     # -- geometry -----------------------------------------------------------
@@ -62,9 +74,20 @@ class BlockStore:
     # -- block access -------------------------------------------------------
 
     def read(self, index: BlockIndex) -> bytes:
-        """Contents of block ``index`` (zeros if never written)."""
+        """Contents of block ``index`` (zeros if never written).
+
+        Raises :class:`~repro.errors.CorruptBlockError` when the stored
+        data fails checksum verification or the block is quarantined.
+        """
         self.check_index(index)
-        return self._data.get(index, self._zero)
+        data = self._data.get(index)
+        if data is None:
+            if index in self._quarantined:
+                raise CorruptBlockError(index, detail="copy quarantined")
+            return self._zero
+        if zlib.crc32(data) != self._sums.get(index):
+            raise CorruptBlockError(index)
+        return data
 
     def write(
         self, index: BlockIndex, data: bytes, version: VersionNumber
@@ -72,12 +95,15 @@ class BlockStore:
         """Store ``data`` as block ``index`` at the given version.
 
         The caller (the consistency protocol) owns version assignment;
-        the store only enforces geometry.
+        the store only enforces geometry.  Writing clears any quarantine
+        on the block.
         """
         self.check_index(index)
         if len(data) != self._block_size:
             raise BlockSizeError(len(data), self._block_size)
         self._data[index] = bytes(data)
+        self._sums[index] = zlib.crc32(self._data[index])
+        self._quarantined.discard(index)
         self._versions.set(index, version)
 
     def set_version(self, index: BlockIndex, version: VersionNumber) -> None:
@@ -90,6 +116,72 @@ class BlockStore:
         if version < 0:
             raise ValueError(f"negative version {version}")
         self._versions.set(index, version)
+
+    # -- integrity ----------------------------------------------------------
+
+    def checksum(self, index: BlockIndex) -> Optional[int]:
+        """The CRC32 recorded for block ``index`` (None if no data)."""
+        self.check_index(index)
+        return self._sums.get(index)
+
+    def verify(self, index: BlockIndex) -> bool:
+        """Whether block ``index`` would read back without error."""
+        self.check_index(index)
+        data = self._data.get(index)
+        if data is None:
+            return index not in self._quarantined
+        return zlib.crc32(data) == self._sums.get(index)
+
+    def corrupt_blocks(self) -> List[BlockIndex]:
+        """Indexes whose copy needs repair (bad checksum or quarantined)."""
+        return sorted(
+            index
+            for index in set(self._data) | self._quarantined
+            if not self.verify(index)
+        )
+
+    def quarantine(
+        self, index: BlockIndex, version: Optional[VersionNumber] = None
+    ) -> None:
+        """Drop a detected-bad copy but remember it existed.
+
+        The contents and checksum are discarded; the version number is
+        kept (optionally raised to ``version``, for repairs that learn a
+        current version they cannot fetch).  Reads of a quarantined
+        block raise :class:`~repro.errors.CorruptBlockError` until a
+        write repairs it -- never silently serve zeros for data that
+        did exist.
+        """
+        self.check_index(index)
+        self._data.pop(index, None)
+        self._sums.pop(index, None)
+        self._quarantined.add(index)
+        if version is not None:
+            self._versions.bump(index, version)
+
+    def is_quarantined(self, index: BlockIndex) -> bool:
+        self.check_index(index)
+        return index in self._quarantined
+
+    def quarantined_blocks(self) -> List[BlockIndex]:
+        """Quarantined indexes, sorted."""
+        return sorted(self._quarantined)
+
+    def inject_corruption(self, index: BlockIndex, data: bytes) -> None:
+        """Overwrite stored contents *without* updating the checksum.
+
+        Models bit rot on stable storage; only meaningful for blocks
+        that hold data.  Test/fault-injection hook -- protocols never
+        call this.
+        """
+        self.check_index(index)
+        if index not in self._data:
+            raise ValueError(
+                f"block {index} holds no data to corrupt"
+            )
+        if len(data) != self._block_size:
+            raise BlockSizeError(len(data), self._block_size)
+        self._data[index] = bytes(data)
 
     def version(self, index: BlockIndex) -> VersionNumber:
         """Version number of block ``index`` (0 if never written)."""

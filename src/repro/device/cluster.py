@@ -36,7 +36,7 @@ from ..sim.rng import RandomStreams
 from ..sim.stats import TimeWeightedStat
 from ..types import AddressingMode, SchemeName, SiteId
 from .block import DEFAULT_BLOCK_SIZE
-from .reliable import ReliableDevice
+from .reliable import ReliableDevice, RetryPolicy
 from .site import Site
 
 __all__ = ["ClusterConfig", "ReplicatedCluster"]
@@ -178,7 +178,22 @@ class ReplicatedCluster:
     # -- client-facing views ------------------------------------------------------
 
     def device(
-        self, origin: Optional[SiteId] = None, failover: bool = True
+        self,
+        origin: Optional[SiteId] = None,
+        failover: bool = True,
+        retry: Optional[RetryPolicy] = None,
+        degrade_to_read_only: bool = False,
     ) -> ReliableDevice:
-        """A reliable-device view of the group, attached at ``origin``."""
-        return ReliableDevice(self.protocol, origin=origin, failover=failover)
+        """A reliable-device view of the group, attached at ``origin``.
+
+        ``retry`` and ``degrade_to_read_only`` are forwarded to
+        :class:`~repro.device.reliable.ReliableDevice`; a retrying
+        device gets the cluster's simulator as its backoff clock."""
+        return ReliableDevice(
+            self.protocol,
+            origin=origin,
+            failover=failover,
+            retry=retry,
+            clock=self.sim if retry is not None else None,
+            degrade_to_read_only=degrade_to_read_only,
+        )

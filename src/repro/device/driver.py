@@ -20,6 +20,7 @@ from __future__ import annotations
 
 from typing import Optional
 
+from ..errors import DeviceError
 from ..types import BlockIndex
 from .cache import BufferCache
 from .interface import BlockDevice
@@ -67,14 +68,26 @@ class DeviceDriverStub(BlockDevice):
         return self._cache
 
     def read_block(self, index: BlockIndex) -> bytes:
-        self.stats.reads += 1
         before = self._server.stats.reads + self._server.stats.failed_reads
-        data = self._inner.read_block(index)
+        try:
+            data = self._inner.read_block(index)
+        except DeviceError:
+            self.stats.failed_reads += 1
+            after = (self._server.stats.reads
+                     + self._server.stats.failed_reads)
+            self.forwarded += after - before
+            raise
+        self.stats.reads += 1
         after = self._server.stats.reads + self._server.stats.failed_reads
         self.forwarded += after - before
         return data
 
     def write_block(self, index: BlockIndex, data: bytes) -> None:
+        try:
+            self._inner.write_block(index, data)
+        except DeviceError:
+            self.stats.failed_writes += 1
+            self.forwarded += 1
+            raise
         self.stats.writes += 1
-        self._inner.write_block(index, data)
         self.forwarded += 1

@@ -36,17 +36,26 @@ def dump_store(store: BlockStore) -> bytes:
     """Serialise a block store (versions + any stored data).
 
     Version-only entries (witness replicas track versions without
-    contents) are preserved with a has-data flag of 0.
+    contents) are preserved with a has-data flag of 0; quarantined
+    entries (copy failed its checksum and was dropped) with a flag of
+    2, so a reloaded site still refuses to serve the damaged block.
     """
     with_data = {index: data for index, data, _v in store.written_blocks()}
+    quarantined = set(store.quarantined_blocks())
     entries = sorted(store.version_vector().items())
     parts = [struct.pack("<III", store.num_blocks, store.block_size,
                          len(entries))]
     for index, version in entries:
         data = with_data.get(index)
+        if index in quarantined:
+            flag = 2
+        elif data is not None:
+            flag = 1
+        else:
+            flag = 0
         parts.append(_BLOCK_ENTRY.pack(index, version))
-        parts.append(struct.pack("<B", 1 if data is not None else 0))
-        if data is not None:
+        parts.append(struct.pack("<B", flag))
+        if flag == 1:
             parts.append(data)
     return b"".join(parts)
 
@@ -59,16 +68,21 @@ def load_store(blob: bytes, offset: int = 0):
     for _ in range(count):
         index, version = _BLOCK_ENTRY.unpack_from(blob, offset)
         offset += _BLOCK_ENTRY.size
-        (has_data,) = struct.unpack_from("<B", blob, offset)
+        (flag,) = struct.unpack_from("<B", blob, offset)
         offset += 1
-        if has_data:
+        if flag == 1:
             data = blob[offset : offset + block_size]
             if len(data) != block_size:
                 raise DeviceError("truncated block payload in site image")
             offset += block_size
             store.write(index, data, version)
-        else:
+        elif flag == 2:
             store.set_version(index, version)
+            store.quarantine(index)
+        elif flag == 0:
+            store.set_version(index, version)
+        else:
+            raise DeviceError(f"unknown block flag {flag} in site image")
     return store, offset
 
 
@@ -118,8 +132,12 @@ def load_site(blob: bytes) -> Site:
         is_witness=bool(witness),
     )
     with_data = {index: data for index, data, _v in store.written_blocks()}
+    quarantined = set(store.quarantined_blocks())
     for index, version in store.version_vector().items():
-        if index in with_data:
+        if index in quarantined:
+            site.store.set_version(index, version)
+            site.store.quarantine(index)
+        elif index in with_data:
             site.store.write(index, with_data[index], version)
         else:
             site.store.set_version(index, version)

@@ -15,18 +15,103 @@ require it to reside on the same site as the device driver stub"; with
 ``failover=True`` (default) the device transparently re-attaches to
 another operational site when its preferred origin is down, modelling the
 diskless-workstation deployment of Section 2.
+
+Resilience extensions (inert unless configured):
+
+* ``retry`` -- a :class:`RetryPolicy` bounds how many times a failed
+  operation is reattempted.  With ``clock`` set to the group's
+  :class:`~repro.sim.engine.Simulator`, each reattempt first advances
+  simulated time by an exponentially backed-off delay, giving the
+  failure/repair processes a chance to restore the group.  (Only for
+  harness-driven operation: the simulator is not re-entrant, so a
+  clocked device must not be used from inside simulation events.)
+* ``degrade_to_read_only`` -- when a write exhausts its retry budget
+  without reaching a quorum / available copy, the device stops
+  accepting writes (:class:`~repro.errors.ReadOnlyDeviceError`) until
+  :meth:`reset_degraded` is called; reads continue.
+* ``fault_stats`` -- structured counters for retries, failovers,
+  corrupt reads and rejected writes.
 """
 
 from __future__ import annotations
 
-from typing import Optional
+from dataclasses import dataclass
+from typing import Iterator, Optional
 
 from ..core.protocol import ReplicationProtocol
-from ..errors import DeviceUnavailableError, SiteDownError
+from ..errors import (
+    CorruptBlockError,
+    DeviceUnavailableError,
+    ReadOnlyDeviceError,
+    SiteDownError,
+)
+from ..sim.engine import Simulator
 from ..types import BlockIndex, SiteId, SiteState
 from .interface import BlockDevice
 
-__all__ = ["ReliableDevice"]
+__all__ = ["ReliableDevice", "RetryPolicy", "FaultStats"]
+
+#: Errors a retry can plausibly outwait: the group being unavailable,
+#: the origin being down (it may repair), or a corrupt copy (a scrub or
+#: another client's read may heal it).
+_RETRYABLE = (DeviceUnavailableError, SiteDownError, CorruptBlockError)
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded exponential backoff for device operations.
+
+    ``max_attempts`` counts the initial try: 3 means one try plus two
+    retries.  Delays follow ``initial_delay * backoff_factor**k`` capped
+    at ``max_delay``; they are only meaningful when the device has a
+    simulation clock to advance.
+    """
+
+    max_attempts: int = 3
+    initial_delay: float = 1.0
+    backoff_factor: float = 2.0
+    max_delay: float = 60.0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError(
+                f"max_attempts must be >= 1, got {self.max_attempts}"
+            )
+        if self.initial_delay < 0:
+            raise ValueError("initial_delay must be non-negative")
+        if self.backoff_factor < 1.0:
+            raise ValueError("backoff_factor must be >= 1")
+        if self.max_delay < self.initial_delay:
+            raise ValueError("max_delay must be >= initial_delay")
+
+    def delays(self) -> Iterator[float]:
+        """The backoff delay before each retry (``max_attempts - 1``)."""
+        delay = self.initial_delay
+        for _ in range(self.max_attempts - 1):
+            yield min(delay, self.max_delay)
+            delay *= self.backoff_factor
+
+
+@dataclass
+class FaultStats:
+    """Per-device fault and resilience counters."""
+
+    #: Reattempts after a retryable failure (not counting first tries).
+    retries: int = 0
+    #: Operations issued from a non-preferred origin site.
+    failovers: int = 0
+    #: Reads that surfaced a corrupt block to the device layer.
+    corrupt_reads: int = 0
+    #: Writes rejected because the device degraded to read-only mode.
+    degraded_writes_rejected: int = 0
+
+    def snapshot(self) -> dict:
+        return {
+            "retries": self.retries,
+            "failovers": self.failovers,
+            "corrupt_reads": self.corrupt_reads,
+            "degraded_writes_rejected": self.degraded_writes_rejected,
+        }
 
 
 class ReliableDevice(BlockDevice):
@@ -43,6 +128,17 @@ class ReliableDevice(BlockDevice):
         When True, pick another usable site if the preferred origin
         cannot currently initiate operations; when False, surface
         :class:`~repro.errors.SiteDownError` instead.
+    retry:
+        Optional :class:`RetryPolicy`; None (default) preserves the
+        original fail-fast behaviour exactly.
+    clock:
+        Optional simulator whose time backoff delays advance.  Without
+        it retries are immediate (useful when some other agent -- a
+        scrubber, a fault plan -- changes group state between attempts).
+    degrade_to_read_only:
+        When True, a write that (after retries) cannot reach the group
+        flips the device into read-only mode instead of leaving later
+        writes to fail the same slow way.
     """
 
     def __init__(
@@ -50,12 +146,23 @@ class ReliableDevice(BlockDevice):
         protocol: ReplicationProtocol,
         origin: Optional[SiteId] = None,
         failover: bool = True,
+        retry: Optional[RetryPolicy] = None,
+        clock: Optional[Simulator] = None,
+        degrade_to_read_only: bool = False,
     ) -> None:
         super().__init__()
         self._protocol = protocol
         self._origin = protocol.site_ids[0] if origin is None else origin
         protocol.site(self._origin)  # validate membership early
         self._failover = failover
+        self._retry = retry
+        self._clock = clock
+        self._degrade_to_read_only = degrade_to_read_only
+        self._degraded = False
+        self.fault_stats = FaultStats()
+        #: Version number assigned to the most recent successful write
+        #: (None before any); fault-history harnesses correlate with it.
+        self.last_write_version: Optional[int] = None
 
     # -- geometry -------------------------------------------------------------
 
@@ -76,9 +183,18 @@ class ReliableDevice(BlockDevice):
         """The preferred origin site."""
         return self._origin
 
+    @property
+    def degraded(self) -> bool:
+        """Whether the device is currently refusing writes."""
+        return self._degraded
+
+    def reset_degraded(self) -> None:
+        """Operator action: accept writes again."""
+        self._degraded = False
+
     # -- origin selection ----------------------------------------------------------
 
-    def _pick_origin(self) -> SiteId:
+    def _pick_origin(self, count: bool = True) -> SiteId:
         """The site operations will be issued from right now."""
         preferred = self._protocol.site(self._origin)
         if preferred.state is SiteState.AVAILABLE:
@@ -90,16 +206,51 @@ class ReliableDevice(BlockDevice):
             if not getattr(s, "is_witness", False)
         ]
         if candidates:
+            if count:
+                self.fault_stats.failovers += 1
             return candidates[0].site_id
         raise DeviceUnavailableError(
             "no site can currently serve the reliable device"
         )
 
+    def current_origin(self) -> SiteId:
+        """Where the next operation would be issued from (no counting).
+
+        Raises :class:`~repro.errors.DeviceUnavailableError` when no
+        site can serve; fault harnesses use this to aim mid-write
+        crashes at the site that will actually run the fan-out.
+        """
+        return self._pick_origin(count=False)
+
+    # -- retry loop ---------------------------------------------------------------
+
+    def _with_retries(self, attempt):
+        """Run ``attempt`` under the retry policy; raise its last error."""
+        if self._retry is None:
+            return attempt()
+        delays = self._retry.delays()
+        while True:
+            try:
+                return attempt()
+            except _RETRYABLE:
+                delay = next(delays, None)
+                if delay is None:
+                    raise
+                if self._clock is not None and delay > 0:
+                    self._clock.run(until=self._clock.now + delay)
+                self.fault_stats.retries += 1
+
     # -- BlockDevice implementation ---------------------------------------------------
 
     def read_block(self, index: BlockIndex) -> bytes:
         try:
-            data = self._protocol.read(self._pick_origin(), index)
+            data = self._with_retries(
+                lambda: self._protocol.read(self._pick_origin(), index)
+            )
+        except CorruptBlockError:
+            self.fault_stats.corrupt_reads += 1
+            self.stats.failed_reads += 1
+            raise
         except (DeviceUnavailableError, SiteDownError):
             self.stats.failed_reads += 1
             raise
@@ -107,9 +258,22 @@ class ReliableDevice(BlockDevice):
         return data
 
     def write_block(self, index: BlockIndex, data: bytes) -> None:
+        if self._degraded:
+            self.fault_stats.degraded_writes_rejected += 1
+            self.stats.failed_writes += 1
+            raise ReadOnlyDeviceError(
+                "device is in read-only degraded mode"
+            )
         try:
-            self._protocol.write(self._pick_origin(), index, data)
+            version = self._with_retries(
+                lambda: self._protocol.write(
+                    self._pick_origin(), index, data
+                )
+            )
         except (DeviceUnavailableError, SiteDownError):
             self.stats.failed_writes += 1
+            if self._degrade_to_read_only:
+                self._degraded = True
             raise
         self.stats.writes += 1
+        self.last_write_version = version

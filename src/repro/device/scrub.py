@@ -8,6 +8,12 @@ is that tool: it collects version vectors from every reachable site,
 reports which copies lag the group maximum, and (optionally) pushes
 fresh blocks to them.
 
+The audit also covers *integrity*: each site verifies its block
+checksums and piggybacks the list of corrupt copies on its
+version-vector reply (no extra transmissions), so scrubbing bounds not
+just the staleness window but the exposure window of silent corruption.
+``scrub_replicas`` heals corrupt copies from an intact peer.
+
 For the available-copy schemes a scrub of a healthy group finds nothing
 (available copies are identical by construction -- the scrubber is also
 a handy invariant probe for tests).
@@ -34,13 +40,16 @@ class ScrubReport:
     sites_audited: int
     #: site -> blocks on which that site lags the group maximum.
     stale: Dict[SiteId, List[BlockIndex]] = field(default_factory=dict)
+    #: site -> blocks whose copy failed checksum verification there.
+    corrupt: Dict[SiteId, List[BlockIndex]] = field(default_factory=dict)
     blocks_repaired: int = 0
+    blocks_healed: int = 0
     messages: int = 0
 
     @property
     def clean(self) -> bool:
-        """No stale copies among the audited sites."""
-        return not self.stale
+        """No stale and no corrupt copies among the audited sites."""
+        return not self.stale and not self.corrupt
 
     def summary(self) -> str:
         if self.clean:
@@ -48,28 +57,51 @@ class ScrubReport:
                 f"scrub: clean ({self.sites_audited} sites, "
                 f"{self.messages} transmissions)"
             )
-        lagging = sum(len(blocks) for blocks in self.stale.values())
+        parts = []
+        if self.stale:
+            lagging = sum(len(blocks) for blocks in self.stale.values())
+            parts.append(
+                f"{lagging} stale block copies on "
+                f"{len(self.stale)} site(s), {self.blocks_repaired} "
+                "repaired"
+            )
+        if self.corrupt:
+            bad = sum(len(blocks) for blocks in self.corrupt.values())
+            parts.append(
+                f"{bad} corrupt block copies on "
+                f"{len(self.corrupt)} site(s), {self.blocks_healed} "
+                "healed"
+            )
         return (
-            f"scrub: {lagging} stale block copies on "
-            f"{len(self.stale)} site(s), {self.blocks_repaired} "
-            f"repaired, {self.messages} transmissions"
+            f"scrub: {', '.join(parts)}, {self.messages} transmissions"
         )
 
 
 def _collect_vectors(protocol: ReplicationProtocol, coordinator: SiteId):
-    """Gather version vectors from all reachable sites (metered)."""
+    """Gather version vectors and integrity findings from all reachable
+    sites (metered).
+
+    Each site piggybacks the list of its corrupt block copies on the
+    same reply, so the integrity audit costs no extra transmissions.
+    Returns ``(vectors, corrupt)`` maps keyed by site id.
+    """
 
     def serve(node, _payload):
-        return node.version_vector()
+        return node.version_vector(), node.store.corrupt_blocks()
 
-    vectors = protocol.network.broadcast_query(
+    replies = protocol.network.broadcast_query(
         coordinator,
         request=MessageCategory.VERSION_VECTOR_REQUEST,
         reply=MessageCategory.VERSION_VECTOR_REPLY,
         handler=serve,
     )
-    vectors[coordinator] = protocol.site(coordinator).version_vector()
-    return vectors
+    local = protocol.site(coordinator)
+    replies[coordinator] = (
+        local.version_vector(), local.store.corrupt_blocks()
+    )
+    vectors = {s: vector for s, (vector, _bad) in replies.items()}
+    corrupt = {s: bad for s, (_vector, bad) in replies.items() if bad}
+    return vectors, corrupt
 
 
 def _pick_coordinator(protocol: ReplicationProtocol) -> SiteId:
@@ -83,10 +115,13 @@ def _pick_coordinator(protocol: ReplicationProtocol) -> SiteId:
 
 
 def audit_replicas(protocol: ReplicationProtocol) -> ScrubReport:
-    """Read-only staleness audit of all reachable copies."""
+    """Read-only staleness + integrity audit of all reachable copies."""
     coordinator = _pick_coordinator(protocol)
     before = protocol.meter.total
-    vectors = _collect_vectors(protocol, coordinator)
+    vectors, corrupt = _collect_vectors(protocol, coordinator)
+    for site_id, blocks in sorted(corrupt.items()):
+        for block in blocks:
+            protocol.note_corruption(site_id, block)
     # group maximum per block
     group_max = {}
     for vector in vectors.values():
@@ -108,46 +143,82 @@ def audit_replicas(protocol: ReplicationProtocol) -> ScrubReport:
         coordinator=coordinator,
         sites_audited=len(vectors),
         stale=stale,
+        corrupt={s: list(blocks) for s, blocks in sorted(corrupt.items())},
         messages=protocol.meter.total - before,
     )
 
 
+def _push_block(protocol, source, target_id, block) -> bool:
+    """One block-transfer transmission from ``source`` to ``target_id``."""
+
+    def deliver(node, payload):
+        index, data, version = payload
+        node.write_block(index, data, version)
+
+    return protocol.network.unicast_oneway(
+        src=source.site_id,
+        dst=target_id,
+        category=MessageCategory.BLOCK_TRANSFER,
+        handler=deliver,
+        payload=(
+            block,
+            source.read_block(block),
+            source.block_version(block),
+        ),
+    )
+
+
+def _intact_source(protocol, block, exclude, at_least=0):
+    """The best verified copy of ``block`` among operational data sites."""
+    candidates = [
+        s for s in protocol.operational_sites()
+        if s.site_id != exclude
+        and not getattr(s, "is_witness", False)
+        and s.store.verify(block)
+        and s.block_version(block) >= at_least
+    ]
+    if not candidates:
+        return None
+    return max(candidates, key=lambda s: (s.block_version(block),
+                                          -s.site_id))
+
+
 def scrub_replicas(protocol: ReplicationProtocol) -> ScrubReport:
-    """Audit, then push fresh blocks to every lagging reachable copy.
+    """Audit, then push fresh blocks to every lagging or corrupt
+    reachable copy.
 
     Repairs use one block-transfer transmission per stale block, sourced
-    from a site holding the group-maximum version.
+    from a site holding the group-maximum version; corrupt copies are
+    healed the same way from a checksum-verified peer holding at least
+    the damaged copy's version.
     """
     report = audit_replicas(protocol)
     before = protocol.meter.total
     sites_by_id = {s.site_id: s for s in protocol.sites}
     for site_id, blocks in sorted(report.stale.items()):
+        for block in blocks:
+            source = _intact_source(protocol, block, exclude=site_id)
+            if source is None:
+                continue  # no verified copy anywhere; stays reported
+            if _push_block(protocol, source, site_id, block):
+                report.blocks_repaired += 1
+    for site_id, blocks in sorted(report.corrupt.items()):
         target = sites_by_id[site_id]
         for block in blocks:
-            source = max(
-                (
-                    s for s in protocol.operational_sites()
-                    if not getattr(s, "is_witness", False)
-                ),
-                key=lambda s: (s.block_version(block), -s.site_id),
+            if target.store.verify(block):
+                continue  # already fixed by the staleness pass
+            needed = target.block_version(block)
+            source = _intact_source(
+                protocol, block, exclude=site_id, at_least=needed
             )
-
-            def deliver(node, payload):
-                index, data, version = payload
-                node.write_block(index, data, version)
-
-            delivered = protocol.network.unicast_oneway(
-                src=source.site_id,
-                dst=site_id,
-                category=MessageCategory.BLOCK_TRANSFER,
-                handler=deliver,
-                payload=(
-                    block,
-                    source.read_block(block),
-                    source.block_version(block),
-                ),
-            )
-            if delivered:
-                report.blocks_repaired += 1
+            if source is None:
+                # Data loss: no intact copy current enough exists.  Keep
+                # the bad copy quarantined so reads fail loudly instead
+                # of returning damaged or stale bytes.
+                target.store.quarantine(block)
+                continue
+            if _push_block(protocol, source, site_id, block):
+                report.blocks_healed += 1
+                protocol.note_heal(site_id, block)
     report.messages += protocol.meter.total - before
     return report

@@ -49,6 +49,37 @@ class DeviceUnavailableError(DeviceError):
     """
 
 
+class CorruptBlockError(DeviceError):
+    """A block's contents failed checksum verification.
+
+    Raised at read time when stable storage returns data that does not
+    match the checksum recorded at write time (bit rot / silent
+    corruption), or when the only reachable copies of a block are
+    quarantined.  The fail-stop model of the paper excludes this failure
+    mode; the fault-injection subsystem adds it back.
+    """
+
+    def __init__(self, index: int, site_id: "int | None" = None,
+                 detail: str = "") -> None:
+        where = f" at site {site_id}" if site_id is not None else ""
+        suffix = f": {detail}" if detail else ""
+        super().__init__(
+            f"block {index}{where} failed checksum verification{suffix}"
+        )
+        self.index = index
+        self.site_id = site_id
+
+
+class ReadOnlyDeviceError(DeviceError):
+    """The device has degraded to read-only mode.
+
+    A :class:`~repro.device.reliable.ReliableDevice` configured with
+    ``degrade_to_read_only=True`` stops accepting writes after a write
+    exhausts its retry budget without reaching a quorum / available
+    copy; reads continue to be served.
+    """
+
+
 class SiteDownError(DeviceError):
     """An operation was initiated at (or addressed to) a failed site."""
 

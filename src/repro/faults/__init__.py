@@ -1,0 +1,31 @@
+"""Fault injection, history checking and chaos harness.
+
+The paper's model is fail-stop: sites halt cleanly and storage is
+trusted.  This package deliberately steps outside that model so the
+repository can *demonstrate* which guarantees survive and which are
+restored by the integrity machinery:
+
+* :class:`FaultInjector` -- deterministic injection of silent block
+  corruption, mid-write crashes (torn group writes) and transient
+  delivery drops into a live replica group.
+* :class:`HistoryRecorder` / :func:`check_history` -- a linearisable
+  read-latest-write checker over the recorded operation/fault history.
+* :func:`run_chaos` -- a seeded closed-loop harness driving random
+  operations and faults, used by ``python -m repro chaos`` and the
+  property-based tests.
+"""
+
+from .checker import HistoryRecorder, Violation, check_history
+from .chaos import ChaosConfig, ChaosResult, run_chaos
+from .injector import FaultInjector, InjectionCounts
+
+__all__ = [
+    "FaultInjector",
+    "InjectionCounts",
+    "HistoryRecorder",
+    "Violation",
+    "check_history",
+    "ChaosConfig",
+    "ChaosResult",
+    "run_chaos",
+]

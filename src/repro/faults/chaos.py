@@ -1,0 +1,278 @@
+"""Seeded closed-loop chaos harness for the reliable device.
+
+:func:`run_chaos` drives a replica group through a deterministic,
+seed-replayable schedule of client operations and injected faults --
+silent corruption, whole-site and mid-write crashes, delivery drops --
+interleaved with repairs and background scrubs, recording everything in
+a :class:`~repro.faults.checker.HistoryRecorder`.  At the end it repairs
+every site, scrubs, reads back every block, and has the checker verify
+that no successful read ever violated read-latest-write and that every
+injected corruption was either detected (healed/quarantined) or
+harmlessly overwritten.
+
+This is both a CLI tool (``python -m repro chaos``) and the engine
+behind the property-based fault tests: same seed, same schedule, same
+verdict.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..core.available_copy import AvailableCopyProtocol
+from ..core.naive import NaiveAvailableCopyProtocol
+from ..core.quorum import QuorumSpec
+from ..core.voting import VotingProtocol
+from ..device.reliable import ReliableDevice, RetryPolicy
+from ..device.scrub import scrub_replicas
+from ..device.site import Site
+from ..errors import (
+    CorruptBlockError,
+    DeviceError,
+    NoAvailableCopyError,
+    SiteDownError,
+)
+from ..net.network import Network
+from ..types import SchemeName, SiteState
+from .checker import HistoryRecorder, Violation
+from .injector import FaultInjector, InjectionCounts
+
+__all__ = ["ChaosConfig", "ChaosResult", "run_chaos"]
+
+
+@dataclass(frozen=True)
+class ChaosConfig:
+    """Parameters of one chaos run (everything derives from ``seed``)."""
+
+    scheme: SchemeName = SchemeName.VOTING
+    seed: int = 0
+    num_sites: int = 5
+    num_blocks: int = 24
+    block_size: int = 64
+    #: Client operation steps (each may also draw a fault).
+    operations: int = 400
+    #: Probability that a step injects a fault before the operation.
+    fault_rate: float = 0.30
+    #: Relative odds of each fault family, given a fault fires.
+    corrupt_weight: float = 0.35
+    crash_weight: float = 0.20
+    mid_write_weight: float = 0.15
+    drop_weight: float = 0.30
+    #: Probability per step that one failed site is repaired.
+    repair_rate: float = 0.20
+    #: Scrub every this many steps (0 disables background scrubs).
+    scrub_every: int = 60
+    #: Fraction of operations that are writes.
+    write_fraction: float = 0.5
+    retry: Optional[RetryPolicy] = RetryPolicy(
+        max_attempts=3, initial_delay=0.0
+    )
+
+
+@dataclass
+class ChaosResult:
+    """Verdict and accounting of one chaos run."""
+
+    scheme: SchemeName
+    seed: int
+    operations: int
+    injected: InjectionCounts
+    violations: List[Violation]
+    #: (site, block) corruptions neither detected nor overwritten.
+    unaccounted_corruptions: List[Tuple[int, int]]
+    corruptions_detected: int = 0
+    blocks_healed: int = 0
+    sites_fenced: int = 0
+    reads_ok: int = 0
+    reads_failed: int = 0
+    writes_ok: int = 0
+    writes_failed: int = 0
+    torn_writes: int = 0
+    retries: int = 0
+    failovers: int = 0
+    messages: int = 0
+    history: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        """No consistency violations and every corruption accounted for."""
+        return not self.violations and not self.unaccounted_corruptions
+
+    def summary(self) -> str:
+        status = "OK" if self.ok else "FAILED"
+        return (
+            f"chaos[{self.scheme.value}, seed={self.seed}]: {status} -- "
+            f"{self.injected.total_faults} faults "
+            f"({self.injected.corruptions} corruptions, "
+            f"{self.injected.crashes + self.injected.mid_write_crashes} "
+            f"crashes of which {self.injected.mid_write_crashes} "
+            f"mid-write, {self.injected.drops} drops), "
+            f"{self.writes_ok}/{self.writes_ok + self.writes_failed} "
+            f"writes ok, {self.reads_ok}/"
+            f"{self.reads_ok + self.reads_failed} reads ok, "
+            f"{self.torn_writes} torn, "
+            f"{self.corruptions_detected} corruptions detected, "
+            f"{self.blocks_healed} healed, {self.sites_fenced} fenced, "
+            f"{self.retries} retries, {len(self.violations)} violations"
+        )
+
+
+def _build_protocol(config: ChaosConfig):
+    if config.scheme is SchemeName.VOTING:
+        spec = QuorumSpec.majority(config.num_sites)
+        sites = [
+            Site(i, config.num_blocks, config.block_size,
+                 weight=spec.weight_of(i))
+            for i in range(config.num_sites)
+        ]
+        return VotingProtocol(sites, Network(), spec=spec)
+    sites = [
+        Site(i, config.num_blocks, config.block_size)
+        for i in range(config.num_sites)
+    ]
+    if config.scheme is SchemeName.AVAILABLE_COPY:
+        return AvailableCopyProtocol(sites, Network())
+    if config.scheme is SchemeName.NAIVE_AVAILABLE_COPY:
+        return NaiveAvailableCopyProtocol(sites, Network())
+    raise ValueError(f"unknown scheme {config.scheme!r}")
+
+
+def _inject_one(rng, config, protocol, injector, device) -> None:
+    """Draw and apply one fault (best effort: a draw may be a no-op)."""
+    weights = [
+        ("corrupt", config.corrupt_weight),
+        ("crash", config.crash_weight),
+        ("mid_write", config.mid_write_weight),
+        ("drop", config.drop_weight),
+    ]
+    kind = rng.choices(
+        [k for k, _ in weights], weights=[w for _, w in weights]
+    )[0]
+    site_ids = protocol.site_ids
+    if kind == "corrupt":
+        # Aim at a written, intact copy so the injection takes.
+        candidates = [
+            (s.site_id, index)
+            for s in protocol.sites
+            for index, _data, _v in s.store.written_blocks()
+            if s.store.verify(index)
+        ]
+        if candidates:
+            site_id, block = rng.choice(candidates)
+            injector.corrupt_block(
+                site_id, block, flip=rng.randrange(config.block_size)
+            )
+    elif kind == "crash":
+        up = [s.site_id for s in protocol.operational_sites()]
+        if up:
+            injector.crash_site(rng.choice(up))
+    elif kind == "mid_write":
+        try:
+            origin = device.current_origin()
+        except DeviceError:
+            return
+        survivors = rng.randrange(1, max(2, config.num_sites - 1))
+        injector.arm_mid_write_crash(origin, survivors=survivors)
+    elif kind == "drop":
+        injector.drop_deliveries(
+            rng.choice(site_ids), count=rng.randrange(1, 4)
+        )
+
+
+def _scrub_quietly(protocol) -> None:
+    try:
+        scrub_replicas(protocol)
+    except NoAvailableCopyError:
+        pass
+
+
+def run_chaos(config: ChaosConfig) -> ChaosResult:
+    """Run one seeded chaos schedule and check its history."""
+    rng = random.Random(config.seed)
+    protocol = _build_protocol(config)
+    recorder = HistoryRecorder()
+    protocol.recorder = recorder
+    injector = FaultInjector(protocol, recorder=recorder).attach()
+    device = ReliableDevice(
+        protocol, failover=True, retry=config.retry
+    )
+    result = ChaosResult(
+        scheme=config.scheme,
+        seed=config.seed,
+        operations=config.operations,
+        injected=injector.counts,
+        violations=[],
+        unaccounted_corruptions=[],
+    )
+
+    def do_write(block: int, value: bytes) -> None:
+        try:
+            device.write_block(block, value)
+        except DeviceError as exc:
+            result.writes_failed += 1
+            recorder.write_failed(block, type(exc).__name__)
+        else:
+            result.writes_ok += 1
+            recorder.write_ok(block, value, device.last_write_version)
+
+    def do_read(block: int) -> None:
+        try:
+            value = device.read_block(block)
+        except DeviceError as exc:
+            result.reads_failed += 1
+            recorder.read_failed(block, type(exc).__name__)
+        else:
+            result.reads_ok += 1
+            recorder.read_ok(block, value)
+
+    for step in range(config.operations):
+        if rng.random() < config.fault_rate:
+            _inject_one(rng, config, protocol, injector, device)
+        if rng.random() < config.repair_rate:
+            down = [
+                s.site_id for s in protocol.sites
+                if s.state is SiteState.FAILED
+            ]
+            if down:
+                injector.repair_site(rng.choice(down))
+        block = rng.randrange(config.num_blocks)
+        if rng.random() < config.write_fraction:
+            value = bytes(
+                rng.getrandbits(8) for _ in range(config.block_size)
+            )
+            do_write(block, value)
+        else:
+            do_read(block)
+        if config.scrub_every and (step + 1) % config.scrub_every == 0:
+            _scrub_quietly(protocol)
+
+    # -- quiescence: stop injecting, repair everything, scrub, read back -------
+    injector.disarm_mid_write_crash()
+    injector.detach()  # pending drop budgets must not blind the audit
+    for site in protocol.sites:
+        if site.state is SiteState.FAILED:
+            injector.repair_site(site.site_id)
+    _scrub_quietly(protocol)
+    for block in range(config.num_blocks):
+        do_read(block)
+
+    # -- verdict -------------------------------------------------------------------
+    result.torn_writes = recorder.count("torn_write")
+    result.violations = recorder.check()
+    for site_id, block in sorted(recorder.unresolved_corruptions()):
+        # Undetected is fine only if the copy is now verifiably intact
+        # (a later write or repair overwrote the damage) or the store
+        # quarantined it without a protocol-level detection event.
+        store = protocol.site(site_id).store
+        if not store.verify(block):
+            result.unaccounted_corruptions.append((site_id, block))
+    result.corruptions_detected = protocol.corruptions_detected
+    result.blocks_healed = protocol.blocks_healed
+    result.sites_fenced = protocol.sites_fenced
+    result.retries = device.fault_stats.retries
+    result.failovers = device.fault_stats.failovers
+    result.messages = protocol.meter.total
+    result.history = recorder.summary()
+    return result

@@ -1,0 +1,220 @@
+"""History-based consistency checking for fault schedules.
+
+A :class:`HistoryRecorder` collects the complete, ordered history of a
+fault experiment: every device-level read and write (successful, failed
+or *torn*), every injected fault, and every detection/heal/fence the
+protocols report.  :func:`check_history` then verifies the device's one
+externally visible guarantee -- **read-latest-write** -- against that
+history.
+
+The correctness condition, per block:
+
+* A successful read must return either the value of the latest
+  *committed* write (or all-zeroes if there has been none), or the
+  value of a **torn** write whose version is at least the committed
+  version.  A torn write -- the origin crashed mid-fan-out -- is
+  indeterminate: some replicas applied it, so the group may legally
+  serve it; but once a committed write supersedes it (strictly higher
+  version) it must never reappear.
+* A failed read (device unavailable, site down, corruption reported) is
+  *allowed* under faults -- availability is what Section 4 trades away
+  -- but wrong data never is.
+
+Version collisions are real, not a modelling artefact: a torn write at
+version ``v`` and a later independent committed write at the same ``v``
+cannot be ordered without two-phase commit, which the paper's protocols
+deliberately omit.  The admissible-set semantics above absorbs exactly
+that ambiguity and no more.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Set, Tuple
+
+from ..types import BlockIndex, SiteId
+
+__all__ = ["Event", "HistoryRecorder", "Violation", "check_history"]
+
+
+@dataclass(frozen=True)
+class Event:
+    """One entry in a fault-experiment history."""
+
+    kind: str
+    block: Optional[BlockIndex] = None
+    site: Optional[SiteId] = None
+    value: Optional[bytes] = None
+    version: Optional[int] = None
+    info: str = ""
+
+
+@dataclass(frozen=True)
+class Violation:
+    """A read that returned data no admissible write explains."""
+
+    event_index: int
+    block: BlockIndex
+    observed: bytes
+    admissible: str
+
+    def __str__(self) -> str:
+        return (
+            f"event {self.event_index}: read of block {self.block} "
+            f"returned {self.observed[:16]!r}... but admissible values "
+            f"were {self.admissible}"
+        )
+
+
+class HistoryRecorder:
+    """Ordered log of operations and faults for one replica group.
+
+    The chaos harness records device operations; the
+    :class:`~repro.faults.injector.FaultInjector` records injections;
+    the protocols themselves (via
+    :meth:`~repro.core.protocol.ReplicationProtocol.note_corruption`
+    and friends) record detections, heals and fencings.
+    """
+
+    def __init__(self) -> None:
+        self.events: List[Event] = []
+
+    def _add(self, **kw: Any) -> None:
+        self.events.append(Event(**kw))
+
+    # -- device operations (recorded by the harness) --------------------------
+
+    def write_ok(self, block: BlockIndex, value: bytes,
+                 version: int) -> None:
+        self._add(kind="write_ok", block=block, value=bytes(value),
+                  version=version)
+
+    def torn_write(self, block: BlockIndex, value: bytes,
+                   version: int) -> None:
+        """The origin crashed mid-fan-out: outcome indeterminate."""
+        self._add(kind="torn_write", block=block, value=bytes(value),
+                  version=version)
+
+    def write_failed(self, block: BlockIndex, reason: str = "") -> None:
+        self._add(kind="write_failed", block=block, info=reason)
+
+    def read_ok(self, block: BlockIndex, value: bytes) -> None:
+        self._add(kind="read_ok", block=block, value=bytes(value))
+
+    def read_failed(self, block: BlockIndex, reason: str = "") -> None:
+        self._add(kind="read_failed", block=block, info=reason)
+
+    # -- faults (recorded by the injector) ------------------------------------
+
+    def crash(self, site: SiteId, mid_write: bool = False) -> None:
+        self._add(kind="crash", site=site,
+                  info="mid-write" if mid_write else "")
+
+    def repair(self, site: SiteId) -> None:
+        self._add(kind="repair", site=site)
+
+    def corruption_injected(self, site: SiteId,
+                            block: BlockIndex) -> None:
+        self._add(kind="corruption_injected", site=site, block=block)
+
+    def delivery_dropped(self, site: SiteId, category: str) -> None:
+        self._add(kind="delivery_dropped", site=site, info=category)
+
+    # -- protocol observations (recorded via the protocol hooks) ----------------
+
+    def corruption_detected(self, site: SiteId,
+                            block: BlockIndex) -> None:
+        self._add(kind="corruption_detected", site=site, block=block)
+
+    def block_healed(self, site: SiteId, block: BlockIndex) -> None:
+        self._add(kind="block_healed", site=site, block=block)
+
+    def site_fenced(self, site: SiteId) -> None:
+        self._add(kind="site_fenced", site=site)
+
+    # -- summaries ------------------------------------------------------------
+
+    def count(self, kind: str) -> int:
+        return sum(1 for e in self.events if e.kind == kind)
+
+    def summary(self) -> Dict[str, int]:
+        out: Dict[str, int] = {}
+        for event in self.events:
+            out[event.kind] = out.get(event.kind, 0) + 1
+        return out
+
+    # -- corruption accounting --------------------------------------------------
+
+    def unresolved_corruptions(self) -> Set[Tuple[SiteId, BlockIndex]]:
+        """Injected corruptions never detected by any protocol path.
+
+        An entry here is not automatically a bug -- a later write can
+        legitimately overwrite a corrupt copy before anything reads it
+        -- but the chaos harness requires each one to be explained by a
+        verified-clean final store.
+        """
+        latent: Set[Tuple[SiteId, BlockIndex]] = set()
+        for event in self.events:
+            key = (event.site, event.block)
+            if event.kind == "corruption_injected":
+                latent.add(key)
+            elif event.kind == "corruption_detected":
+                latent.discard(key)
+        return latent
+
+    def check(self) -> List[Violation]:
+        return check_history(self.events)
+
+
+def check_history(events: List[Event]) -> List[Violation]:
+    """Verify read-latest-write over a recorded history.
+
+    Returns the (possibly empty) list of violations: successful reads
+    whose value matches neither the latest committed write nor any
+    still-admissible torn write.
+    """
+    committed_value: Dict[BlockIndex, bytes] = {}
+    committed_version: Dict[BlockIndex, int] = {}
+    #: block -> {value: version} of torn writes still admissible.
+    torn: Dict[BlockIndex, Dict[bytes, int]] = {}
+    violations: List[Violation] = []
+
+    for index, event in enumerate(events):
+        if event.kind == "write_ok":
+            committed_value[event.block] = event.value
+            committed_version[event.block] = event.version
+            block_torn = torn.get(event.block)
+            if block_torn:
+                # A committed write at version v supersedes every torn
+                # write strictly below v; equal-version torn writes
+                # remain ambiguous (no global order exists).
+                for value, version in list(block_torn.items()):
+                    if version < event.version:
+                        del block_torn[value]
+        elif event.kind == "torn_write":
+            current = committed_version.get(event.block, 0)
+            if event.version >= current:
+                torn.setdefault(event.block, {})[event.value] = (
+                    event.version
+                )
+        elif event.kind == "read_ok":
+            expected = committed_value.get(event.block)
+            if expected is None:
+                expected = bytes(len(event.value))
+            if event.value == expected:
+                continue
+            if event.value in torn.get(event.block, {}):
+                continue
+            admissible = [
+                f"committed v{committed_version.get(event.block, 0)}"
+            ]
+            admissible += [
+                f"torn v{v}" for v in torn.get(event.block, {}).values()
+            ]
+            violations.append(Violation(
+                event_index=index,
+                block=event.block,
+                observed=event.value,
+                admissible=", ".join(admissible),
+            ))
+    return violations

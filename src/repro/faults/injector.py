@@ -1,0 +1,227 @@
+"""Deterministic fault injection for replica groups.
+
+A :class:`FaultInjector` attaches to a group's
+:class:`~repro.net.network.Network` as its delivery interceptor and
+offers three fault families, each stepping outside the paper's fail-stop
+model in a controlled way:
+
+* **Silent corruption** -- :meth:`corrupt_block` flips bytes in one
+  site's stored copy without touching its recorded checksum, modelling
+  bit rot / a misdirected disk write.  Nothing notices until the copy is
+  next read or scrubbed.
+* **Torn group writes** -- :meth:`arm_mid_write_crash` crashes the
+  origin site after a chosen number of replicas have applied the
+  fan-out of its next write, so some copies carry the new version and
+  the origin's own local write never happens.
+* **Transient delivery drops** -- :meth:`drop_deliveries` makes the
+  next ``count`` deliveries addressed to a site vanish (the unicast /
+  broadcast primitive sees a NO_REPLY from it), modelling message loss
+  without a site failure.
+
+Every injection is counted and, when a recorder is attached, logged to
+the fault history so the checker can account for it.  All injections
+are explicit method calls -- the injector draws no randomness of its
+own, which keeps fault plans replayable from a single seed in the
+harness that drives it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from ..core.protocol import ReplicationProtocol
+from ..errors import SiteDownError
+from ..net.message import Message, MessageCategory
+from ..types import BlockIndex, SiteId, SiteState
+
+__all__ = ["FaultInjector", "InjectionCounts"]
+
+
+@dataclass
+class InjectionCounts:
+    """How many faults of each family have been injected."""
+
+    corruptions: int = 0
+    crashes: int = 0
+    mid_write_crashes: int = 0
+    drops: int = 0
+    repairs: int = 0
+
+    @property
+    def total_faults(self) -> int:
+        """Injected faults (repairs are remedies, not faults)."""
+        return (self.corruptions + self.crashes
+                + self.mid_write_crashes + self.drops)
+
+    def snapshot(self) -> dict:
+        return {
+            "corruptions": self.corruptions,
+            "crashes": self.crashes,
+            "mid_write_crashes": self.mid_write_crashes,
+            "drops": self.drops,
+            "repairs": self.repairs,
+        }
+
+
+class FaultInjector:
+    """Injects storage, crash and delivery faults into a replica group.
+
+    Implements the network's
+    :class:`~repro.net.network.DeliveryInterceptor` protocol; call
+    :meth:`attach` to start intercepting deliveries and
+    :meth:`detach` to restore the fault-free network.
+    """
+
+    def __init__(
+        self,
+        protocol: ReplicationProtocol,
+        recorder=None,
+    ) -> None:
+        self._protocol = protocol
+        self._recorder = recorder
+        self.counts = InjectionCounts()
+        #: dst site id -> deliveries still to be dropped.
+        self._drop_budget: Dict[SiteId, int] = {}
+        #: (origin, deliveries remaining before the crash) or None.
+        self._armed: Optional[tuple] = None
+        #: Deliveries suppressed because their source crashed mid-write
+        #: (a consequence of an injected crash, not a separate fault).
+        self.torn_deliveries_suppressed = 0
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def attach(self) -> "FaultInjector":
+        self._protocol.network.set_interceptor(self)
+        return self
+
+    def detach(self) -> None:
+        if self._protocol.network.interceptor is self:
+            self._protocol.network.set_interceptor(None)
+
+    # -- fault family 1: silent corruption ---------------------------------------
+
+    def corrupt_block(
+        self, site_id: SiteId, block: BlockIndex, flip: int = 0
+    ) -> bool:
+        """Flip one byte of ``site_id``'s copy of ``block`` in place.
+
+        The recorded checksum is left alone, so the copy now fails
+        verification -- silently, until read or scrubbed.  Returns False
+        (no fault injected) when the site holds no data for the block
+        or the copy is already corrupt/quarantined.
+        """
+        site = self._protocol.site(site_id)
+        store = site.store
+        if store.checksum(block) is None or not store.verify(block):
+            return False
+        data = bytearray(store.read(block))
+        pos = flip % len(data)
+        data[pos] ^= 0xA5
+        store.inject_corruption(block, bytes(data))
+        self.counts.corruptions += 1
+        if self._recorder is not None:
+            self._recorder.corruption_injected(site_id, block)
+        return True
+
+    # -- fault family 2: crashes (incl. torn writes) ------------------------------
+
+    def crash_site(self, site_id: SiteId) -> bool:
+        """Fail-stop ``site_id`` immediately.  False if already down."""
+        if self._protocol.site(site_id).state is SiteState.FAILED:
+            return False
+        self._protocol.on_site_failed(site_id)
+        self.counts.crashes += 1
+        if self._recorder is not None:
+            self._recorder.crash(site_id)
+        return True
+
+    def repair_site(self, site_id: SiteId) -> bool:
+        """Bring a failed site back through the recovery procedure."""
+        if self._protocol.site(site_id).state is not SiteState.FAILED:
+            return False
+        if self._recorder is not None:
+            # Recorded first: repair procedures may heal corrupt blocks,
+            # and those heal events must follow the repair in history.
+            self._recorder.repair(site_id)
+        try:
+            self._protocol.on_site_repaired(site_id)
+        except SiteDownError:
+            # The recovery exchange itself fell victim to injected
+            # faults (e.g. its block transfers were dropped).  Roll the
+            # site back to FAILED so a later repair retries from scratch.
+            self._protocol.site(site_id).crash()
+            return False
+        self.counts.repairs += 1
+        return True
+
+    def arm_mid_write_crash(self, origin: SiteId, survivors: int = 1) -> None:
+        """Crash ``origin`` during its next write fan-out.
+
+        The crash fires once ``survivors`` replicas have applied the
+        WRITE_UPDATE; the rest of the fan-out is suppressed (a failed
+        site sends nothing), producing a torn group write: some copies
+        carry the new version, the origin's local copy does not.
+        """
+        if survivors < 1:
+            raise ValueError("survivors must be >= 1")
+        self._armed = (origin, survivors)
+
+    @property
+    def mid_write_crash_armed(self) -> bool:
+        return self._armed is not None
+
+    def disarm_mid_write_crash(self) -> None:
+        self._armed = None
+
+    # -- fault family 3: delivery drops -------------------------------------------
+
+    def drop_deliveries(self, site_id: SiteId, count: int = 1) -> None:
+        """Make the next ``count`` deliveries to ``site_id`` vanish."""
+        if count < 1:
+            raise ValueError("count must be >= 1")
+        self._drop_budget[site_id] = (
+            self._drop_budget.get(site_id, 0) + count
+        )
+
+    def pending_drops(self, site_id: SiteId) -> int:
+        return self._drop_budget.get(site_id, 0)
+
+    # -- DeliveryInterceptor implementation ----------------------------------------
+
+    def allow_delivery(self, message: Message, dst: SiteId) -> bool:
+        # A source that crashed mid-fan-out sends nothing further: the
+        # remaining deliveries of its torn write are suppressed.
+        if (message.category is MessageCategory.WRITE_UPDATE
+                and self._protocol.site(message.src).state
+                is SiteState.FAILED):
+            self.torn_deliveries_suppressed += 1
+            return False
+        budget = self._drop_budget.get(dst, 0)
+        if budget > 0:
+            self._drop_budget[dst] = budget - 1
+            self.counts.drops += 1
+            if self._recorder is not None:
+                self._recorder.delivery_dropped(
+                    dst, message.category.value
+                )
+            return False
+        return True
+
+    def after_delivery(self, message: Message, dst: SiteId) -> None:
+        if self._armed is None:
+            return
+        origin, remaining = self._armed
+        if (message.category is not MessageCategory.WRITE_UPDATE
+                or message.src != origin):
+            return
+        remaining -= 1
+        if remaining > 0:
+            self._armed = (origin, remaining)
+            return
+        self._armed = None
+        if self._protocol.site(origin).state is not SiteState.FAILED:
+            self._protocol.on_site_failed(origin)
+            self.counts.mid_write_crashes += 1
+            if self._recorder is not None:
+                self._recorder.crash(origin, mid_write=True)

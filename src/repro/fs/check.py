@@ -8,7 +8,10 @@ on-device metadata:
   area, marked allocated in the bitmap, and referenced exactly once;
 * every allocated inode is reachable from the root (else: orphan);
 * every allocated data block is referenced (else: leak);
-* file sizes fit within the blocks their inodes can map.
+* file sizes fit within the blocks their inodes can map;
+* every referenced block passes its device-level checksum (a block the
+  device refuses to serve -- :class:`~repro.errors.CorruptBlockError`
+  -- is reported in the distinct ``corrupt`` category).
 
 Used by tests to prove namespace operations never corrupt the device --
 including when the device is the replicated one with failures injected
@@ -20,6 +23,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Set
 
+from ..errors import CorruptBlockError
 from .directory import Directory
 from .filesystem import FileSystem, ROOT_INODE, _POINTER
 from .inode import FileType, NO_BLOCK
@@ -33,16 +37,28 @@ class CheckReport:
 
     errors: List[str] = field(default_factory=list)
     warnings: List[str] = field(default_factory=list)
+    #: Blocks the device refused to serve (failed checksum): distinct
+    #: from structural errors because the *metadata* may be intact and
+    #: the block may be healable from a replica.
+    corrupt: List[str] = field(default_factory=list)
     inodes_reachable: int = 0
     blocks_referenced: int = 0
 
     @property
     def ok(self) -> bool:
-        """No errors (warnings are tolerated)."""
-        return not self.errors
+        """No errors and no corrupt blocks (warnings are tolerated)."""
+        return not self.errors and not self.corrupt
 
     def summary(self) -> str:
-        status = "clean" if self.ok else f"{len(self.errors)} error(s)"
+        if self.ok:
+            status = "clean"
+        else:
+            parts = []
+            if self.errors:
+                parts.append(f"{len(self.errors)} error(s)")
+            if self.corrupt:
+                parts.append(f"{len(self.corrupt)} corrupt block(s)")
+            status = ", ".join(parts)
         return (
             f"fsck: {status}, {self.inodes_reachable} inodes, "
             f"{self.blocks_referenced} blocks, "
@@ -71,7 +87,14 @@ def check_filesystem(fs: FileSystem) -> CheckReport:
     reachable: Set[int] = set()
 
     def claim_blocks(owner: str, inode) -> None:
-        for block in _blocks_of(fs, inode):
+        try:
+            blocks = _blocks_of(fs, inode)
+        except CorruptBlockError as exc:
+            report.corrupt.append(
+                f"{owner}: indirect block unreadable: {exc}"
+            )
+            return
+        for block in blocks:
             if not sb.data_start <= block < sb.num_blocks:
                 report.errors.append(
                     f"{owner}: block {block} outside the data area"
@@ -99,6 +122,11 @@ def check_filesystem(fs: FileSystem) -> CheckReport:
             return
         try:
             inode = fs._inodes.read(inode_number)
+        except CorruptBlockError as exc:
+            report.corrupt.append(
+                f"{path}: inode {inode_number} unreadable: {exc}"
+            )
+            return
         except Exception as exc:  # out-of-range inode numbers
             report.errors.append(f"{path}: unreadable inode: {exc}")
             return
@@ -116,7 +144,14 @@ def check_filesystem(fs: FileSystem) -> CheckReport:
             )
         claim_blocks(path, inode)
         if inode.is_directory:
-            for entry in Directory(fs, inode).entries():
+            try:
+                entries = list(Directory(fs, inode).entries())
+            except CorruptBlockError as exc:
+                report.corrupt.append(
+                    f"{path}: directory data unreadable: {exc}"
+                )
+                return
+            for entry in entries:
                 walk(f"{path.rstrip('/')}/{entry.name}",
                      entry.inode_number)
 
@@ -124,7 +159,10 @@ def check_filesystem(fs: FileSystem) -> CheckReport:
 
     # orphan inodes: allocated but unreachable
     for number in range(sb.num_inodes):
-        inode = fs._inodes.read(number)
+        try:
+            inode = fs._inodes.read(number)
+        except CorruptBlockError:
+            continue  # already reported by the walk (or unreferenced)
         if not inode.is_free and number not in reachable:
             report.errors.append(
                 f"inode {number} ({inode.file_type.name.lower()}) is "
@@ -136,9 +174,20 @@ def check_filesystem(fs: FileSystem) -> CheckReport:
             report.warnings.append(
                 f"block {block} is allocated but referenced by no inode"
             )
+    # integrity: every referenced data block must be readable
+    for block, owner in sorted(seen_blocks.items()):
+        try:
+            fs.device.read_block(block)
+        except CorruptBlockError as exc:
+            report.corrupt.append(
+                f"{owner}: data block {block} failed its checksum: {exc}"
+            )
     # root must be a directory
-    root = fs._inodes.read(ROOT_INODE)
-    if root.file_type is not FileType.DIRECTORY:
+    try:
+        root = fs._inodes.read(ROOT_INODE)
+    except CorruptBlockError:
+        root = None  # reported by the walk
+    if root is not None and root.file_type is not FileType.DIRECTORY:
         report.errors.append("root inode is not a directory")
 
     report.inodes_reachable = len(reachable)

@@ -46,6 +46,9 @@ class MessageCategory(enum.Enum):
     VERSION_VECTOR_REQUEST = "version-vector-request"
     #: The repair source's reply: correct version vector + stale blocks.
     VERSION_VECTOR_REPLY = "version-vector-reply"
+    #: A site that detected a corrupt local copy asks a peer for a fresh
+    #: one (self-healing reads; answered with a BLOCK_TRANSFER).
+    BLOCK_REPAIR_REQUEST = "block-repair-request"
 
     @property
     def is_reply(self) -> bool:

@@ -35,7 +35,7 @@ from .message import BROADCAST, Message, MessageCategory
 from .sizes import SizeModel
 from .traffic import TrafficMeter
 
-__all__ = ["Network", "NetworkNode", "NO_REPLY"]
+__all__ = ["Network", "NetworkNode", "DeliveryInterceptor", "NO_REPLY"]
 
 #: Sentinel a handler may return to indicate the site does not answer
 #: (e.g. a comatose site ignoring a write update).  No reply transmission
@@ -58,6 +58,23 @@ class NetworkNode(Protocol):
 
 
 Handler = Callable[[Any], Any]
+
+
+class DeliveryInterceptor(Protocol):
+    """Hook between transmission and delivery, for fault injection.
+
+    The network consults :meth:`allow_delivery` for every message that
+    *would* be delivered (reachable destination, same partition); a
+    False return drops the message after it was metered -- the receiver
+    simply never answers, exactly like a transient network fault.
+    :meth:`after_delivery` runs after the destination's handler, which
+    lets an injector crash a site *mid-broadcast* (after k of n
+    destinations have applied a write -- a torn group write).
+    """
+
+    def allow_delivery(self, message: Message, dst: SiteId) -> bool: ...
+
+    def after_delivery(self, message: Message, dst: SiteId) -> None: ...
 
 
 class Network:
@@ -84,6 +101,35 @@ class Network:
         self._nodes: Dict[SiteId, NetworkNode] = {}
         #: site -> partition group id; empty when the network is whole.
         self._partition: Dict[SiteId, int] = {}
+        #: Optional fault-injection hook; None on the fault-free path.
+        self._interceptor: Optional[DeliveryInterceptor] = None
+
+    # -- fault injection ----------------------------------------------------
+
+    def set_interceptor(
+        self, interceptor: Optional[DeliveryInterceptor]
+    ) -> None:
+        """Install (or with None, remove) the delivery interceptor."""
+        self._interceptor = interceptor
+
+    @property
+    def interceptor(self) -> Optional[DeliveryInterceptor]:
+        return self._interceptor
+
+    def _deliver(
+        self, message: Message, node: NetworkNode, handler, payload
+    ):
+        """Run ``handler`` at ``node`` unless the interceptor drops the
+        message; returns ``(delivered, result)``."""
+        hook = self._interceptor
+        if hook is not None and not hook.allow_delivery(
+            message, node.site_id
+        ):
+            return False, None
+        result = handler(node, payload)
+        if hook is not None:
+            hook.after_delivery(message, node.site_id)
+        return True, result
 
     # -- membership ---------------------------------------------------------
 
@@ -228,8 +274,8 @@ class Network:
             node = self.node(dst)
             if not self._delivers(src, node):
                 continue
-            result = handler(node, payload)
-            if result is NO_REPLY:
+            delivered, result = self._deliver(message, node, handler, payload)
+            if not delivered or result is NO_REPLY:
                 continue
             self._count_reply(
                 Message(src=dst, dst=src, category=reply, payload=result)
@@ -262,8 +308,9 @@ class Network:
             node = self.node(dst)
             if not self._delivers(src, node):
                 continue
-            handler(node, payload)
-            delivered.append(dst)
+            ok, _ = self._deliver(message, node, handler, payload)
+            if ok:
+                delivered.append(dst)
         return delivered
 
     def unicast_query(
@@ -285,8 +332,8 @@ class Network:
         node = self.node(dst)
         if not self._delivers(src, node):
             return False, None
-        result = handler(node, payload)
-        if result is NO_REPLY:
+        delivered, result = self._deliver(message, node, handler, payload)
+        if not delivered or result is NO_REPLY:
             return False, None
         self._count_reply(
             Message(src=dst, dst=src, category=reply, payload=result)
@@ -307,5 +354,5 @@ class Network:
         node = self.node(dst)
         if not self._delivers(src, node):
             return False
-        handler(node, payload)
-        return True
+        delivered, _ = self._deliver(message, node, handler, payload)
+        return delivered

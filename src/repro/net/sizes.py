@@ -88,10 +88,20 @@ class SizeModel:
                 vector, blocks = payload
                 if isinstance(vector, VersionVector):
                     size += len(vector) * self.vv_entry_bytes
-                size += len(blocks) * (
-                    self.vv_entry_bytes + self.block_bytes
-                )
+                if isinstance(blocks, dict):
+                    size += len(blocks) * (
+                        self.vv_entry_bytes + self.block_bytes
+                    )
+                else:
+                    # a list of corrupt block indexes (scrub audits
+                    # piggyback integrity findings on the vector reply)
+                    size += len(blocks) * self.vv_entry_bytes
+            elif isinstance(payload, VersionVector):
+                size += len(payload) * self.vv_entry_bytes
             return size
+        if category is MessageCategory.BLOCK_REPAIR_REQUEST:
+            # block index + the requester's version number
+            return base + self.vv_entry_bytes
         raise ValueError(  # pragma: no cover - enum is closed
             f"unknown category {category!r}"
         )

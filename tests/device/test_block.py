@@ -83,3 +83,79 @@ def test_data_is_defensively_copied():
     store.write(0, bytes(payload), version=1)
     payload[0] = ord("z")
     assert store.read(0) == b"abcd"
+
+
+class TestChecksums:
+    def test_checksum_recorded_on_write(self):
+        store = BlockStore(num_blocks=4, block_size=8)
+        assert store.checksum(0) is None
+        store.write(0, b"ABCDEFGH", version=1)
+        assert store.checksum(0) is not None
+        assert store.verify(0)
+
+    def test_unwritten_blocks_verify_vacuously(self):
+        store = BlockStore(num_blocks=4, block_size=8)
+        assert store.verify(3)
+        assert store.corrupt_blocks() == []
+
+    def test_injected_corruption_fails_verification(self):
+        from repro.errors import CorruptBlockError
+
+        store = BlockStore(num_blocks=4, block_size=8)
+        store.write(1, b"AAAAAAAA", version=1)
+        store.inject_corruption(1, b"AAAAAAAB")
+        assert not store.verify(1)
+        assert store.corrupt_blocks() == [1]
+        with pytest.raises(CorruptBlockError):
+            store.read(1)
+
+    def test_corruption_requires_existing_data(self):
+        store = BlockStore(num_blocks=4, block_size=8)
+        with pytest.raises(ValueError):
+            store.inject_corruption(0, b"XXXXXXXX")
+        store.write(0, b"AAAAAAAA", version=1)
+        with pytest.raises(BlockSizeError):
+            store.inject_corruption(0, b"short")
+
+    def test_rewrite_heals_corruption(self):
+        store = BlockStore(num_blocks=4, block_size=8)
+        store.write(1, b"AAAAAAAA", version=1)
+        store.inject_corruption(1, b"AAAAAAAB")
+        store.write(1, b"CCCCCCCC", version=2)
+        assert store.verify(1)
+        assert store.read(1) == b"CCCCCCCC"
+
+
+class TestQuarantine:
+    def test_quarantine_keeps_version_drops_data(self):
+        from repro.errors import CorruptBlockError
+
+        store = BlockStore(num_blocks=4, block_size=8)
+        store.write(2, b"AAAAAAAA", version=5)
+        store.quarantine(2)
+        assert store.is_quarantined(2)
+        assert store.version(2) == 5  # version metadata is trusted
+        with pytest.raises(CorruptBlockError):
+            store.read(2)  # never silently serve zeroes
+        assert store.quarantined_blocks() == [2]
+        assert store.corrupt_blocks() == [2]
+
+    def test_quarantine_can_poison_to_a_newer_version(self):
+        store = BlockStore(num_blocks=4, block_size=8)
+        store.write(2, b"AAAAAAAA", version=3)
+        store.quarantine(2, version=9)
+        assert store.version(2) == 9
+
+    def test_write_clears_quarantine(self):
+        store = BlockStore(num_blocks=4, block_size=8)
+        store.write(2, b"AAAAAAAA", version=1)
+        store.quarantine(2)
+        store.write(2, b"BBBBBBBB", version=2)
+        assert not store.is_quarantined(2)
+        assert store.read(2) == b"BBBBBBBB"
+
+    def test_quarantined_blocks_not_listed_as_written(self):
+        store = BlockStore(num_blocks=4, block_size=8)
+        store.write(2, b"AAAAAAAA", version=1)
+        store.quarantine(2)
+        assert [b for b, _d, _v in store.written_blocks()] == []

@@ -112,3 +112,27 @@ def test_power_cycle_recovery(scheme):
     protocol2.on_site_repaired(2)
     assert protocol2.read(2, 0) == b"B" * 16
     assert protocol2.consistency_report() == {}
+
+
+def test_quarantined_blocks_survive_round_trip():
+    from repro.errors import CorruptBlockError
+
+    site = make_site()
+    site.store.quarantine(5)
+    blob = dump_store(site.store)
+    store, _ = load_store(blob)
+    assert store.is_quarantined(5)
+    assert store.version(5) == 7
+    with pytest.raises(CorruptBlockError):
+        store.read(5)
+    # intact entries are untouched
+    assert store.read(0) == b"0" * 16
+
+
+def test_site_round_trip_preserves_quarantine():
+    site = make_site()
+    site.store.quarantine(0)
+    rebuilt = load_site(dump_site(site))
+    assert rebuilt.store.is_quarantined(0)
+    assert rebuilt.store.version(0) == 3
+    assert rebuilt.store.read(5) == b"5" * 16

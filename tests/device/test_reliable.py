@@ -122,3 +122,155 @@ def test_filesystem_over_witness_group():
     fs.write_file("/f", b"witnessed")
     protocol.on_site_failed(1)
     assert fs.read_file("/f") == b"witnessed"
+
+
+class TestFailoverEdges:
+    """Origin-down and all-down behaviour on both operation paths."""
+
+    def test_no_failover_write_surfaces_site_down(self, scheme):
+        cluster = make_cluster(scheme)
+        device = cluster.device(origin=0, failover=False)
+        cluster.protocol.on_site_failed(0)
+        with pytest.raises(SiteDownError):
+            device.write_block(0, block_of(cluster, b"w"))
+        assert device.stats.failed_writes == 1
+
+    def test_no_failover_read_surfaces_site_down(self, scheme):
+        cluster = make_cluster(scheme)
+        device = cluster.device(origin=0, failover=False)
+        cluster.protocol.on_site_failed(0)
+        with pytest.raises(SiteDownError):
+            device.read_block(0)
+        assert device.stats.failed_reads == 1
+
+    def test_all_sites_down_read_surfaces_unavailable(self, scheme):
+        cluster = make_cluster(scheme)
+        device = cluster.device()
+        for site_id in cluster.protocol.site_ids:
+            cluster.protocol.on_site_failed(site_id)
+        with pytest.raises(DeviceUnavailableError):
+            device.read_block(0)
+        assert device.stats.failed_reads == 1
+
+    def test_all_sites_down_write_surfaces_unavailable(self, scheme):
+        cluster = make_cluster(scheme)
+        device = cluster.device()
+        for site_id in cluster.protocol.site_ids:
+            cluster.protocol.on_site_failed(site_id)
+        with pytest.raises(DeviceUnavailableError):
+            device.write_block(0, block_of(cluster, b"x"))
+        assert device.stats.failed_writes == 1
+
+    def test_failover_is_counted(self, scheme):
+        cluster = make_cluster(scheme)
+        device = cluster.device(origin=0)
+        device.write_block(0, block_of(cluster, b"f"))
+        assert device.fault_stats.failovers == 0
+        cluster.protocol.on_site_failed(0)
+        device.read_block(0)
+        assert device.fault_stats.failovers == 1
+
+
+class TestRetryPolicy:
+    def test_delay_sequence_is_capped_exponential(self):
+        from repro.device import RetryPolicy
+
+        policy = RetryPolicy(max_attempts=5, initial_delay=1.0,
+                             backoff_factor=3.0, max_delay=10.0)
+        assert list(policy.delays()) == [1.0, 3.0, 9.0, 10.0]
+
+    def test_validation(self):
+        from repro.device import RetryPolicy
+
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(backoff_factor=0.5)
+        with pytest.raises(ValueError):
+            RetryPolicy(initial_delay=5.0, max_delay=1.0)
+
+    def test_retry_outwaits_a_repair(self, scheme):
+        """The backoff clock advances simulated time past a repair."""
+        from repro.device import RetryPolicy
+
+        cluster = make_cluster(scheme)
+        protocol = cluster.protocol
+        device = cluster.device(
+            retry=RetryPolicy(max_attempts=3, initial_delay=5.0)
+        )
+        data = block_of(cluster, b"r")
+        device.write_block(0, data)
+        for site_id in protocol.site_ids:
+            protocol.on_site_failed(site_id)
+        for site_id in protocol.site_ids:
+            cluster.sim.schedule(
+                3.0, lambda s=site_id: protocol.on_site_repaired(s)
+            )
+        assert device.read_block(0) == data
+        assert device.fault_stats.retries == 1
+
+    def test_retry_budget_exhausts(self, scheme):
+        from repro.device import RetryPolicy
+
+        cluster = make_cluster(scheme)
+        device = cluster.device(retry=RetryPolicy(max_attempts=3,
+                                                  initial_delay=0.0))
+        for site_id in cluster.protocol.site_ids:
+            cluster.protocol.on_site_failed(site_id)
+        with pytest.raises(DeviceUnavailableError):
+            device.read_block(0)
+        assert device.fault_stats.retries == 2  # 3 attempts = 2 retries
+
+    def test_no_retry_by_default(self, scheme):
+        cluster = make_cluster(scheme)
+        device = cluster.device()
+        for site_id in cluster.protocol.site_ids:
+            cluster.protocol.on_site_failed(site_id)
+        with pytest.raises(DeviceUnavailableError):
+            device.read_block(0)
+        assert device.fault_stats.retries == 0
+
+
+class TestDegradedMode:
+    def test_write_failure_degrades_to_read_only(self, scheme):
+        from repro.errors import ReadOnlyDeviceError
+
+        cluster = make_cluster(scheme, num_sites=3)
+        protocol = cluster.protocol
+        device = cluster.device(origin=0, degrade_to_read_only=True)
+        data = block_of(cluster, b"d")
+        device.write_block(0, data)
+        for site_id in protocol.site_ids:
+            protocol.on_site_failed(site_id)
+        with pytest.raises(DeviceUnavailableError):
+            device.write_block(1, data)
+        assert device.degraded
+        # repaired or not, the device now refuses writes...
+        for site_id in protocol.site_ids:
+            protocol.on_site_repaired(site_id)
+        with pytest.raises(ReadOnlyDeviceError):
+            device.write_block(1, data)
+        assert device.fault_stats.degraded_writes_rejected == 1
+        # ...but keeps serving reads
+        assert device.read_block(0) == data
+        device.reset_degraded()
+        device.write_block(1, data)
+
+    def test_reads_never_degrade(self, scheme):
+        cluster = make_cluster(scheme)
+        device = cluster.device(degrade_to_read_only=True)
+        for site_id in cluster.protocol.site_ids:
+            cluster.protocol.on_site_failed(site_id)
+        with pytest.raises(DeviceUnavailableError):
+            device.read_block(0)
+        assert not device.degraded
+
+
+def test_write_exposes_assigned_version(scheme):
+    cluster = make_cluster(scheme)
+    device = cluster.device()
+    assert device.last_write_version is None
+    device.write_block(3, block_of(cluster, b"v"))
+    assert device.last_write_version == 1
+    device.write_block(3, block_of(cluster, b"w"))
+    assert device.last_write_version == 2

@@ -99,3 +99,69 @@ def test_scrub_requires_a_data_site():
         cluster.protocol.on_site_failed(s)
     with pytest.raises(NoAvailableCopyError):
         audit_replicas(cluster.protocol)
+
+
+class TestIntegrityScrub:
+    """Checksum auditing and healing (piggybacked on the vector sweep)."""
+
+    def _corrupt(self, cluster, site_id, block):
+        store = cluster.protocol.site(site_id).store
+        data = bytearray(store.read(block))
+        data[0] ^= 0xFF
+        store.inject_corruption(block, bytes(data))
+
+    def test_audit_reports_corrupt_copies(self, scheme):
+        cluster = make_cluster(scheme)
+        protocol = cluster.protocol
+        protocol.write(0, 3, block_of(cluster, b"c"))
+        self._corrupt(cluster, 1, 3)
+        report = audit_replicas(protocol)
+        assert not report.clean
+        assert report.corrupt == {1: [3]}
+        assert "1 corrupt block copies" in report.summary()
+        assert protocol.corruptions_detected == 1
+
+    def test_audit_costs_no_extra_transmissions(self, scheme):
+        """The corruption list rides on the version-vector replies."""
+        cluster = make_cluster(scheme)
+        protocol = cluster.protocol
+        protocol.write(0, 0, block_of(cluster, b"m"))
+        clean = audit_replicas(protocol)
+        self._corrupt(cluster, 1, 0)
+        dirty = audit_replicas(protocol)
+        assert dirty.messages == clean.messages
+
+    def test_scrub_heals_corrupt_copy_from_peer(self, scheme):
+        cluster = make_cluster(scheme)
+        protocol = cluster.protocol
+        data = block_of(cluster, b"h")
+        protocol.write(0, 2, data)
+        self._corrupt(cluster, 1, 2)
+        report = scrub_replicas(protocol)
+        assert report.blocks_healed == 1
+        assert protocol.blocks_healed == 1
+        assert protocol.site(1).store.verify(2)
+        assert protocol.site(1).store.read(2) == data
+        assert "1 healed" in report.summary()
+
+    def test_scrub_quarantines_when_no_intact_copy_exists(self, scheme):
+        from repro.errors import CorruptBlockError
+
+        cluster = make_cluster(scheme)
+        protocol = cluster.protocol
+        protocol.write(0, 1, block_of(cluster, b"q"))
+        for site in protocol.sites:
+            self._corrupt(cluster, site.site_id, 1)
+        scrub_replicas(protocol)
+        for site in protocol.sites:
+            assert site.store.is_quarantined(1)
+            with pytest.raises(CorruptBlockError):
+                site.store.read(1)
+
+    def test_scrub_of_clean_group_reports_clean(self, scheme):
+        cluster = make_cluster(scheme)
+        protocol = cluster.protocol
+        protocol.write(0, 0, block_of(cluster, b"k"))
+        report = scrub_replicas(protocol)
+        assert report.clean
+        assert report.blocks_healed == 0

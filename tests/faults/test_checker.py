@@ -1,0 +1,122 @@
+"""Admissible-set semantics of the history consistency checker."""
+
+from repro.faults import HistoryRecorder, check_history
+from repro.faults.checker import Event
+
+B = 0  # the block every test exercises
+VALUE_A = b"a" * 8
+VALUE_B = b"b" * 8
+VALUE_C = b"c" * 8
+ZEROS = bytes(8)
+
+
+def test_read_of_latest_committed_write_is_clean():
+    rec = HistoryRecorder()
+    rec.write_ok(B, VALUE_A, 1)
+    rec.write_ok(B, VALUE_B, 2)
+    rec.read_ok(B, VALUE_B)
+    assert rec.check() == []
+
+
+def test_read_of_a_stale_value_is_a_violation():
+    rec = HistoryRecorder()
+    rec.write_ok(B, VALUE_A, 1)
+    rec.write_ok(B, VALUE_B, 2)
+    rec.read_ok(B, VALUE_A)
+    violations = rec.check()
+    assert len(violations) == 1
+    assert violations[0].block == B
+    assert violations[0].observed == VALUE_A
+    assert "v2" in str(violations[0])
+
+
+def test_unwritten_block_must_read_as_zeroes():
+    rec = HistoryRecorder()
+    rec.read_ok(B, ZEROS)
+    rec.read_ok(B, VALUE_A)  # never written: anything else is wrong
+    assert len(rec.check()) == 1
+
+
+def test_torn_write_is_admissible_until_superseded():
+    rec = HistoryRecorder()
+    rec.write_ok(B, VALUE_A, 1)
+    rec.torn_write(B, VALUE_B, 2)
+    rec.read_ok(B, VALUE_A)  # old committed value: fine
+    rec.read_ok(B, VALUE_B)  # torn value: also fine (indeterminate)
+    assert rec.check() == []
+
+
+def test_committed_write_supersedes_lower_torn_writes():
+    rec = HistoryRecorder()
+    rec.torn_write(B, VALUE_A, 1)
+    rec.write_ok(B, VALUE_B, 2)
+    rec.read_ok(B, VALUE_A)  # torn v1 < committed v2: must not reappear
+    assert len(rec.check()) == 1
+
+
+def test_equal_version_torn_write_stays_admissible():
+    # a torn write at v2 and an independent committed write at v2 have
+    # no global order without 2PC; either value may be served
+    rec = HistoryRecorder()
+    rec.write_ok(B, VALUE_A, 1)
+    rec.torn_write(B, VALUE_B, 2)
+    rec.write_ok(B, VALUE_C, 2)
+    rec.read_ok(B, VALUE_B)
+    rec.read_ok(B, VALUE_C)
+    assert rec.check() == []
+
+
+def test_torn_write_below_current_committed_is_never_admitted():
+    rec = HistoryRecorder()
+    rec.write_ok(B, VALUE_B, 5)
+    rec.torn_write(B, VALUE_A, 3)  # already superseded on arrival
+    rec.read_ok(B, VALUE_A)
+    assert len(rec.check()) == 1
+
+
+def test_failed_operations_are_not_correctness_violations():
+    rec = HistoryRecorder()
+    rec.write_ok(B, VALUE_A, 1)
+    rec.read_failed(B, "device unavailable")
+    rec.write_failed(B, "quorum not reached")
+    assert rec.check() == []
+
+
+def test_blocks_are_tracked_independently():
+    rec = HistoryRecorder()
+    rec.write_ok(0, VALUE_A, 1)
+    rec.write_ok(1, VALUE_B, 1)
+    rec.read_ok(0, VALUE_A)
+    rec.read_ok(1, VALUE_B)
+    rec.read_ok(1, VALUE_A)  # block 1 never held VALUE_A
+    violations = rec.check()
+    assert [v.block for v in violations] == [1]
+
+
+def test_check_history_accepts_raw_events():
+    events = [
+        Event(kind="write_ok", block=B, value=VALUE_A, version=1),
+        Event(kind="read_ok", block=B, value=VALUE_B),
+    ]
+    assert len(check_history(events)) == 1
+
+
+def test_unresolved_corruptions_accounting():
+    rec = HistoryRecorder()
+    rec.corruption_injected(1, 4)
+    rec.corruption_injected(2, 7)
+    rec.corruption_detected(1, 4)  # scrub or read caught this one
+    assert rec.unresolved_corruptions() == {(2, 7)}
+
+
+def test_summary_and_count():
+    rec = HistoryRecorder()
+    rec.write_ok(B, VALUE_A, 1)
+    rec.read_ok(B, VALUE_A)
+    rec.read_ok(B, VALUE_A)
+    rec.crash(2)
+    rec.repair(2)
+    assert rec.count("read_ok") == 2
+    assert rec.summary() == {
+        "write_ok": 1, "read_ok": 2, "crash": 1, "repair": 1,
+    }

@@ -1,0 +1,178 @@
+"""The fault injector's three fault families."""
+
+import pytest
+
+from repro.core import QuorumSpec, VotingProtocol
+from repro.core.naive import NaiveAvailableCopyProtocol
+from repro.device import Site
+from repro.errors import CorruptBlockError, SiteDownError
+from repro.faults import FaultInjector, HistoryRecorder
+from repro.net import Network
+from repro.types import SchemeName, SiteState
+
+BLOCK_SIZE = 16
+NUM_BLOCKS = 8
+
+
+def make_voting(n=3, recorder=None):
+    spec = QuorumSpec.majority(n)
+    sites = [
+        Site(i, NUM_BLOCKS, BLOCK_SIZE, weight=spec.weight_of(i))
+        for i in range(n)
+    ]
+    protocol = VotingProtocol(sites, Network(), spec=spec)
+    protocol.recorder = recorder
+    return protocol
+
+
+def fill(byte):
+    return bytes([byte]) * BLOCK_SIZE
+
+
+class TestAttachment:
+    def test_attach_and_detach(self):
+        protocol = make_voting()
+        injector = FaultInjector(protocol)
+        assert protocol.network.interceptor is None
+        injector.attach()
+        assert protocol.network.interceptor is injector
+        injector.detach()
+        assert protocol.network.interceptor is None
+
+    def test_detach_leaves_foreign_interceptor_alone(self):
+        protocol = make_voting()
+        first = FaultInjector(protocol).attach()
+        second = FaultInjector(protocol)
+        second.detach()  # never attached; must not clobber `first`
+        assert protocol.network.interceptor is first
+
+
+class TestCorruption:
+    def test_corrupt_block_flips_data_in_place(self):
+        protocol = make_voting()
+        protocol.write(0, 3, fill(7))
+        injector = FaultInjector(protocol)
+        assert injector.corrupt_block(1, 3)
+        assert injector.counts.corruptions == 1
+        assert not protocol.site(1).store.verify(3)
+        with pytest.raises(CorruptBlockError):
+            protocol.site(1).store.read(3)
+
+    def test_corrupting_an_unwritten_block_is_a_noop(self):
+        protocol = make_voting()
+        injector = FaultInjector(protocol)
+        assert not injector.corrupt_block(1, 3)
+        assert injector.counts.corruptions == 0
+
+    def test_corrupting_twice_is_a_noop(self):
+        protocol = make_voting()
+        protocol.write(0, 3, fill(7))
+        injector = FaultInjector(protocol)
+        assert injector.corrupt_block(1, 3)
+        assert not injector.corrupt_block(1, 3)
+        assert injector.counts.corruptions == 1
+
+
+class TestCrashes:
+    def test_crash_and_repair(self):
+        protocol = make_voting()
+        injector = FaultInjector(protocol)
+        assert injector.crash_site(1)
+        assert protocol.site(1).state is SiteState.FAILED
+        assert not injector.crash_site(1)  # already down
+        assert injector.repair_site(1)
+        assert protocol.site(1).state is SiteState.AVAILABLE
+        assert not injector.repair_site(1)  # already up
+        assert injector.counts.crashes == 1
+        assert injector.counts.repairs == 1
+
+    def test_mid_write_crash_tears_the_fan_out(self):
+        recorder = HistoryRecorder()
+        protocol = make_voting(n=5, recorder=recorder)
+        injector = FaultInjector(protocol, recorder=recorder).attach()
+        injector.arm_mid_write_crash(0, survivors=1)
+        with pytest.raises(SiteDownError):
+            protocol.write(0, 2, fill(9))
+        assert injector.counts.mid_write_crashes == 1
+        assert not injector.mid_write_crash_armed
+        assert protocol.site(0).state is SiteState.FAILED
+        # exactly one replica applied the update; the origin never did
+        versions = [s.block_version(2) for s in protocol.sites]
+        assert versions.count(1) == 1
+        assert protocol.site(0).block_version(2) == 0
+        # the history saw the torn write and the crash
+        kinds = [e.kind for e in recorder.events]
+        assert "torn_write" in kinds
+        assert "crash" in kinds
+
+    def test_suppressed_deliveries_are_not_counted_as_drops(self):
+        protocol = make_voting(n=5)
+        injector = FaultInjector(protocol).attach()
+        injector.arm_mid_write_crash(0, survivors=1)
+        with pytest.raises(SiteDownError):
+            protocol.write(0, 2, fill(9))
+        assert injector.counts.drops == 0
+        assert injector.torn_deliveries_suppressed >= 1
+
+    def test_disarm(self):
+        protocol = make_voting()
+        injector = FaultInjector(protocol).attach()
+        injector.arm_mid_write_crash(0)
+        injector.disarm_mid_write_crash()
+        protocol.write(0, 0, fill(1))  # completes normally
+        assert injector.counts.mid_write_crashes == 0
+
+    def test_arm_validates_survivors(self):
+        protocol = make_voting()
+        injector = FaultInjector(protocol)
+        with pytest.raises(ValueError):
+            injector.arm_mid_write_crash(0, survivors=0)
+
+
+class TestDrops:
+    def test_drop_budget_consumed_per_delivery(self):
+        protocol = make_voting()
+        injector = FaultInjector(protocol).attach()
+        injector.drop_deliveries(2, count=2)
+        assert injector.pending_drops(2) == 2
+        protocol.write(0, 0, fill(1))  # vote request to 2 dropped
+        assert injector.pending_drops(2) < 2
+        assert injector.counts.drops >= 1
+
+    def test_dropped_vote_excludes_the_site_from_the_quorum(self):
+        protocol = make_voting()
+        injector = FaultInjector(protocol).attach()
+        injector.drop_deliveries(2, count=1)
+        protocol.write(0, 0, fill(1))
+        # site 2 never saw the vote request, so it kept version 0 and
+        # was not part of the write quorum
+        assert protocol.site(2).block_version(0) == 0
+
+    def test_naive_write_fences_a_site_with_dropped_delivery(self):
+        sites = [Site(i, NUM_BLOCKS, BLOCK_SIZE) for i in range(3)]
+        protocol = NaiveAvailableCopyProtocol(sites, Network())
+        injector = FaultInjector(protocol).attach()
+        injector.drop_deliveries(1, count=1)
+        protocol.write(0, 0, fill(4))
+        assert protocol.site(1).state is SiteState.FAILED
+        assert protocol.sites_fenced == 1
+
+    def test_drop_validates_count(self):
+        protocol = make_voting()
+        with pytest.raises(ValueError):
+            FaultInjector(protocol).drop_deliveries(0, count=0)
+
+
+def test_detached_injector_changes_nothing():
+    """A constructed-but-detached injector leaves behaviour untouched."""
+    reference = make_voting()
+    reference.write(0, 0, fill(1))
+    reference.read(1, 0)
+    subject = make_voting()
+    FaultInjector(subject)  # never attached
+    subject.write(0, 0, fill(1))
+    subject.read(1, 0)
+    assert subject.meter.total == reference.meter.total
+    for ref_site, sub_site in zip(reference.sites, subject.sites):
+        assert (ref_site.version_vector().items()
+                == sub_site.version_vector().items())

@@ -117,3 +117,28 @@ def test_replicated_device_with_failures_stays_clean(scheme):
     protocol.on_site_repaired(0)
     report = check_filesystem(fs)
     assert report.ok, report.errors
+
+
+class TestCorruptBlocks:
+    """Checksum failures surface in the distinct ``corrupt`` category."""
+
+    def test_corrupt_data_block_is_reported(self, fs):
+        block = fs._resolve("/d/file").direct[0]
+        data = bytearray(fs.device.read_block(block))
+        data[0] ^= 0xFF
+        fs.device.store.inject_corruption(block, bytes(data))
+        report = check_filesystem(fs)
+        assert not report.ok
+        assert report.errors == []  # the *metadata* is still intact
+        assert any(f"data block {block}" in c for c in report.corrupt)
+        assert "corrupt block(s)" in report.summary()
+
+    def test_corrupt_directory_block_is_reported(self, fs):
+        block = fs._resolve("/d").direct[0]
+        data = bytearray(fs.device.read_block(block))
+        data[0] ^= 0xFF
+        fs.device.store.inject_corruption(block, bytes(data))
+        report = check_filesystem(fs)
+        assert not report.ok
+        assert any("unreadable" in c or "checksum" in c
+                   for c in report.corrupt)
