@@ -2,7 +2,7 @@
 
 PYTHON ?= python3
 
-.PHONY: install test bench examples experiments lint clean
+.PHONY: install test coverage bench examples experiments lint clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -12,6 +12,10 @@ test:
 
 test-output:
 	$(PYTHON) -m pytest tests/ 2>&1 | tee test_output.txt
+
+coverage:
+	$(PYTHON) -m pytest tests/ --cov=repro \
+		--cov-report=term-missing --cov-fail-under=75
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s

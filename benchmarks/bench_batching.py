@@ -1,0 +1,35 @@
+"""Batched multi-block I/O study (single-round group quorums)."""
+
+from repro.experiments import batching_study
+
+from .conftest import emit
+
+
+def test_batching_study(benchmark):
+    report = benchmark.pedantic(
+        lambda: batching_study(num_sites=5, batch=8),
+        rounds=1,
+        iterations=1,
+    )
+    emit(report)
+
+    # the acceptance bar: >=3x fewer messages at batch=8 on voting --
+    # the measured amortization is the full 8x (one round per batch)
+    table = report.tables[0]
+    for scheme, op, seq, batched, speedup, *_rounds in table.rows:
+        if scheme == "MCV":
+            assert seq >= 3 * batched
+            assert speedup >= 3.0
+        if op == "write":
+            # every scheme's write fan-out collapses to one round
+            assert batched <= seq / 3 or seq <= 1
+
+    # one protocol round per batch vs one per block, on every scheme
+    for _scheme, _op, _seq, _batched, _speedup, seq_r, batch_r in table.rows:
+        assert batch_r == 1
+        assert seq_r == 8
+
+    # the sweep is monotone: bigger batches never cost more per block
+    sweep = report.tables[1]
+    per_block = sweep.column("read msgs/blk")
+    assert per_block == sorted(per_block, reverse=True)

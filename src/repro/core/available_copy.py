@@ -32,7 +32,7 @@ ablation experiment quantifies exactly that.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple
 
 from typing import TYPE_CHECKING
 
@@ -92,6 +92,42 @@ class AvailableCopyBase(ReplicationProtocol):
                     ) from None
                 self.note_heal(origin, block)
                 return site.read_block(block)
+
+    def read_batch(
+        self, origin: SiteId, blocks: Sequence[BlockIndex]
+    ) -> Dict[BlockIndex, bytes]:
+        """Read a whole batch locally in one metered operation.
+
+        Available copies are always current, so a batch read stays a
+        purely local affair (zero fault-free network traffic, like
+        :meth:`read`); each corrupt block heals individually through the
+        ordinary repair-request path.
+        """
+        ordered = list(dict.fromkeys(blocks))
+        if not ordered:
+            return {}
+        site = self.require_origin(origin)
+        if site.state is not SiteState.AVAILABLE:
+            raise SiteDownError(
+                origin, "comatose sites cannot serve reads"
+            )
+        with self.meter.record("batch_read"):
+            out: Dict[BlockIndex, bytes] = {}
+            for block in ordered:
+                try:
+                    out[block] = site.read_block(block)
+                except CorruptBlockError:
+                    self.note_corruption(origin, block)
+                    needed = site.block_version(block)
+                    site.store.quarantine(block)
+                    if not self._fetch_for(site, block, needed):
+                        raise CorruptBlockError(
+                            block, origin,
+                            detail="no intact copy reachable to heal from",
+                        ) from None
+                    self.note_heal(origin, block)
+                    out[block] = site.read_block(block)
+            return out
 
     def _fetch_for(
         self,
@@ -337,6 +373,66 @@ class AvailableCopyProtocol(AvailableCopyBase):
             site.write_block(block, bytes(data), new_version)
             site.set_was_available(recipients)
             return new_version
+
+    def write_batch(
+        self, origin: SiteId, updates: Mapping[BlockIndex, bytes]
+    ) -> Dict[BlockIndex, int]:
+        """Write a whole batch to all available copies in ONE fan-out.
+
+        One BATCH_WRITE_UPDATE broadcast carries every block; each
+        recipient applies all of them and sends one acknowledgement.
+        Version assignment, fencing of silent members and torn-write
+        semantics are per block, exactly as in :meth:`write`; a
+        mid-fan-out origin crash tears every block of the batch
+        individually.
+        """
+        blocks = sorted(updates)
+        if not blocks:
+            return {}
+        site = self._require_available_origin(origin)
+        with self.meter.record("batch_write"):
+            recipients = {s.site_id for s in self.available_sites()}
+            new_versions = {b: site.block_version(b) + 1 for b in blocks}
+            batch = {
+                b: (bytes(updates[b]), new_versions[b]) for b in blocks
+            }
+
+            def apply(node, payload):
+                shipped, was_available = payload
+                if node.state is not SiteState.AVAILABLE:
+                    return NO_REPLY
+                for index in sorted(shipped):
+                    blob, version = shipped[index]
+                    node.write_block(index, blob, version)
+                node.set_was_available(was_available)
+                return True
+
+            replies = self.network.broadcast_query(
+                src=origin,
+                request=MessageCategory.BATCH_WRITE_UPDATE,
+                reply=MessageCategory.BATCH_WRITE_ACK,
+                handler=apply,
+                payload=(batch, recipients),
+            )
+            if site.state is not SiteState.AVAILABLE:
+                # Crashed mid-fan-out: every block of the batch is torn
+                # the same way a single-block write would be.
+                if self.recorder is not None:
+                    for b in blocks:
+                        self.recorder.torn_write(
+                            b, bytes(updates[b]), new_versions[b]
+                        )
+                raise SiteDownError(
+                    origin, "failed during the batched write fan-out"
+                )
+            for silent in sorted(recipients - {origin} - set(replies)):
+                if (self.site(silent).state is SiteState.AVAILABLE
+                        and self.network.can_communicate(origin, silent)):
+                    self.fence(silent)
+            for b in blocks:
+                site.write_block(b, bytes(updates[b]), new_versions[b])
+            site.set_was_available(recipients)
+            return new_versions
 
     # -- failure handling ---------------------------------------------------------
 

@@ -23,7 +23,7 @@ number of repair events reproduces the paper's per-recovery costs.
 from __future__ import annotations
 
 import abc
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Mapping, Optional, Sequence
 
 from typing import TYPE_CHECKING
 
@@ -152,6 +152,49 @@ class ReplicationProtocol(abc.ABC):
         :class:`~repro.errors.DeviceUnavailableError` when the
         consistency protocol cannot currently serve writes.
         """
+
+    # -- batched operations (the vectorized I/O pipeline) ---------------------
+
+    def read_batch(
+        self, origin: SiteId, blocks: Sequence[BlockIndex]
+    ) -> Dict[BlockIndex, bytes]:
+        """Read a whole batch of blocks on behalf of ``origin``.
+
+        Semantically equivalent to calling :meth:`read` once per block,
+        but implementations amortize the consistency machinery: the
+        three concrete protocols collect versions for every block in
+        ONE round and refresh stale copies with ONE scatter-gather
+        transfer per source, so an n-block batch costs one quorum
+        round instead of n.  Per-block guarantees (quorum intersection,
+        read-latest-write) are unchanged; nothing is promised *across*
+        blocks.  The base implementation loops, so every protocol is
+        batch-capable by construction.
+        """
+        return {
+            block: self.read(origin, block)
+            for block in dict.fromkeys(blocks)
+        }
+
+    def write_batch(
+        self, origin: SiteId, updates: Mapping[BlockIndex, bytes]
+    ) -> Dict[BlockIndex, int]:
+        """Write a whole batch of blocks on behalf of ``origin``.
+
+        Returns ``block -> assigned version``.  Implementations fan the
+        entire batch out in ONE transmission (plus one shared
+        version-collection round for voting), preserving each scheme's
+        per-block semantics: version assignment, quorum checks, fencing
+        of silent members and torn-write reporting all behave exactly as
+        if the blocks had been written one at a time.  A mid-fan-out
+        origin crash tears every block of the batch the same way a
+        single-block write is torn -- each block individually remains
+        consistent; no cross-block atomicity is claimed.  The base
+        implementation loops in ascending index order.
+        """
+        return {
+            block: self.write(origin, block, updates[block])
+            for block in sorted(updates)
+        }
 
     @abc.abstractmethod
     def is_available(self) -> bool:

@@ -37,7 +37,7 @@ highest version and raise
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from typing import TYPE_CHECKING
 
@@ -163,6 +163,38 @@ class VotingProtocol(ReplicationProtocol):
         """The voter holding the highest version (lowest id on ties)."""
         top = max(versions.values())
         return min(s for s, v in versions.items() if v == top)
+
+    def _collect_batch_votes(
+        self, origin: 'Site', blocks: Sequence[BlockIndex]
+    ) -> Tuple[float, Dict[SiteId, Dict[BlockIndex, int]]]:
+        """ONE vote-collection round covering every block in the batch.
+
+        A single BATCH_VOTE_REQUEST carries all the indexes; each
+        reachable voter answers with one BATCH_VOTE_REPLY mapping every
+        requested block to its version number.  The gathered weight is
+        necessarily uniform across the batch -- the same voters answered
+        for every block -- which is what lets one quorum check cover
+        them all.
+        """
+
+        def vote(node, payload):
+            return {b: node.block_version(b) for b in payload}
+
+        replies = self.network.broadcast_query(
+            origin.site_id,
+            request=MessageCategory.BATCH_VOTE_REQUEST,
+            reply=MessageCategory.BATCH_VOTE_REPLY,
+            handler=vote,
+            payload=tuple(blocks),
+        )
+        versions: Dict[SiteId, Dict[BlockIndex, int]] = dict(replies)
+        versions[origin.site_id] = {
+            b: origin.block_version(b) for b in blocks
+        }
+        gathered = self._spec.gathered_weight(
+            self._index_of[s] for s in versions
+        )
+        return gathered, versions
 
     # -- Figure 3: READ -------------------------------------------------------
 
@@ -329,6 +361,187 @@ class VotingProtocol(ReplicationProtocol):
                 raise SiteDownError(origin, "failed during the write fan-out")
             site.write_block(block, bytes(data), new_version)
             return new_version
+
+    # -- batched operations ---------------------------------------------------
+
+    def read_batch(
+        self, origin: SiteId, blocks: Sequence[BlockIndex]
+    ) -> Dict[BlockIndex, bytes]:
+        """Read a whole batch behind ONE vote-collection round.
+
+        The quorum check covers every block at once (the same voters
+        answered for all of them); stale local copies are refreshed with
+        one scatter-gather transfer per source site instead of one
+        transfer per block.  Per-block semantics -- quorum intersection,
+        lazy repair, corruption healing -- are identical to :meth:`read`.
+        """
+        ordered = list(dict.fromkeys(blocks))
+        if not ordered:
+            return {}
+        site = self.require_origin(origin)
+        if site.is_witness:
+            raise SiteDownError(origin, "witnesses cannot serve clients")
+        with self.meter.record("batch_read"):
+            gathered, votes = self._collect_batch_votes(site, ordered)
+            if not self._spec.meets_read(gathered):
+                raise QuorumNotReachedError(gathered, self._spec.read_quorum)
+            per_block: Dict[BlockIndex, Dict[SiteId, int]] = {
+                b: {s: votes[s][b] for s in votes} for b in ordered
+            }
+            tops = {b: max(per_block[b].values()) for b in ordered}
+            stale = [
+                b for b in ordered if votes[origin][b] < tops[b]
+            ]
+            if stale:
+                self._batch_refresh(site, stale, per_block, tops)
+                self.lazy_repairs += len(stale)
+            out: Dict[BlockIndex, bytes] = {}
+            for b in ordered:
+                try:
+                    out[b] = site.read_block(b)
+                except CorruptBlockError:
+                    self.note_corruption(origin, b)
+                    site.store.quarantine(b, tops[b])
+                    self._refresh_from_voters(site, b, per_block[b], tops[b])
+                    self.note_heal(origin, b)
+                    out[b] = site.read_block(b)
+            return out
+
+    def _batch_refresh(
+        self,
+        site: 'Site',
+        stale: Sequence[BlockIndex],
+        per_block: Dict[BlockIndex, Dict[SiteId, int]],
+        tops: Dict[BlockIndex, int],
+    ) -> None:
+        """Refresh all stale blocks with one transfer per source site.
+
+        Blocks are grouped by their best current holder; each holder
+        ships its group in a single BATCH_BLOCK_TRANSFER.  Blocks whose
+        primary copy turns out corrupt (or whose transfer is dropped)
+        fall back to the sequential per-block refresh path, preserving
+        its quarantine/heal semantics exactly.
+        """
+        data_ids = set(self._data_ids)
+        by_source: Dict[SiteId, List[BlockIndex]] = {}
+        for b in stale:
+            candidates = sorted(
+                s for s, v in per_block[b].items()
+                if v == tops[b] and s != site.site_id and s in data_ids
+            )
+            if not candidates:
+                raise NoCurrentDataCopyError(
+                    f"version {tops[b]} of block {b} is attested only "
+                    "by witnesses; no data copy is reachable"
+                )
+            by_source.setdefault(candidates[0], []).append(b)
+
+        def deliver(node, payload):
+            for index in sorted(payload):
+                blob, v = payload[index]
+                node.write_block(index, blob, v)
+
+        fallback: List[BlockIndex] = []
+        for source_id in sorted(by_source):
+            holder = self.site(source_id)
+            shipment: Dict[BlockIndex, Tuple[bytes, int]] = {}
+            for b in by_source[source_id]:
+                try:
+                    shipment[b] = (
+                        holder.read_block(b), holder.block_version(b)
+                    )
+                except CorruptBlockError:
+                    self.note_corruption(source_id, b)
+                    holder.store.quarantine(b)
+                    fallback.append(b)
+            if not shipment:
+                continue
+            delivered = self.network.unicast_oneway(
+                src=source_id,
+                dst=site.site_id,
+                category=MessageCategory.BATCH_BLOCK_TRANSFER,
+                handler=deliver,
+                payload=shipment,
+            )
+            if not delivered:
+                fallback.extend(sorted(shipment))
+        for b in fallback:
+            self._refresh_from_voters(site, b, per_block[b], tops[b])
+
+    def write_batch(
+        self, origin: SiteId, updates: Mapping[BlockIndex, bytes]
+    ) -> Dict[BlockIndex, int]:
+        """Write a whole batch behind ONE vote round and ONE fan-out.
+
+        Version assignment is per block (each block's quorum maximum
+        plus one) and a mid-fan-out origin crash or an insufficient
+        applied weight tears *every* block of the batch individually,
+        exactly as :meth:`write` tears a single block.  No cross-block
+        atomicity is claimed.
+        """
+        blocks = sorted(updates)
+        if not blocks:
+            return {}
+        site = self.require_origin(origin)
+        if site.is_witness:
+            raise SiteDownError(origin, "witnesses cannot serve clients")
+        with self.meter.record("batch_write"):
+            gathered, votes = self._collect_batch_votes(site, blocks)
+            if not self._spec.meets_write(gathered):
+                raise QuorumNotReachedError(gathered, self._spec.write_quorum)
+            new_versions = {
+                b: max(votes[s][b] for s in votes) + 1 for b in blocks
+            }
+            payload = {
+                b: (bytes(updates[b]), new_versions[b]) for b in blocks
+            }
+            quorum_members = [s for s in votes if s != origin]
+
+            def apply(node, payload):
+                for index in sorted(payload):
+                    blob, v = payload[index]
+                    if node.is_witness:
+                        node.store.set_version(index, v)
+                    else:
+                        node.write_block(index, blob, v)
+
+            delivered = self.network.broadcast_oneway(
+                src=origin,
+                category=MessageCategory.BATCH_WRITE_UPDATE,
+                handler=apply,
+                payload=payload,
+                destinations=quorum_members,
+            )
+            missed = [m for m in quorum_members if m not in delivered]
+            if missed and site.state is not SiteState.FAILED:
+                applied = site.weight + sum(
+                    self.site(m).weight
+                    for m in quorum_members
+                    if m in delivered
+                )
+                if not self._spec.meets_write(applied):
+                    if self.recorder is not None:
+                        for b in blocks:
+                            self.recorder.torn_write(
+                                b, bytes(updates[b]), new_versions[b]
+                            )
+                    raise QuorumNotReachedError(
+                        applied, self._spec.write_quorum
+                    )
+            if site.state is SiteState.FAILED:
+                # Mid-fan-out origin crash: every block of the batch is
+                # torn the same way a single-block write would be.
+                if self.recorder is not None:
+                    for b in blocks:
+                        self.recorder.torn_write(
+                            b, bytes(updates[b]), new_versions[b]
+                        )
+                raise SiteDownError(
+                    origin, "failed during the batched write fan-out"
+                )
+            for b in blocks:
+                site.write_block(b, bytes(updates[b]), new_versions[b])
+            return new_versions
 
     # -- availability & failure handling -----------------------------------------
 

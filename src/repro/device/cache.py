@@ -18,6 +18,7 @@ from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence
 
 from ..types import BlockIndex
 from .interface import BlockDevice
@@ -95,8 +96,70 @@ class BufferCache(BlockDevice):
         self.stats.writes += 1
         self._remember(index, bytes(data))
 
-    def invalidate(self, index: BlockIndex = None) -> None:
-        """Drop one block (or everything, when ``index`` is None)."""
+    # -- batched access -----------------------------------------------------
+
+    def read_blocks(
+        self, indices: Sequence[BlockIndex]
+    ) -> Dict[BlockIndex, bytes]:
+        """Serve hits from the cache, fetch all misses in ONE backing call.
+
+        A partial hit costs exactly one backing round for the missing
+        blocks; a full hit costs none.  Hit/miss accounting and LRU
+        recency are per block, identical to the sequential path.
+        """
+        ordered = list(dict.fromkeys(indices))
+        self.stats.reads += len(ordered)
+        self.stats.note_batch_read(len(ordered))
+        result: Dict[BlockIndex, bytes] = {}
+        misses: List[BlockIndex] = []
+        for index in ordered:
+            cached = self._blocks.get(index)
+            if cached is not None:
+                self.cache_stats.hits += 1
+                self._blocks.move_to_end(index)
+                result[index] = cached
+            else:
+                self.cache_stats.misses += 1
+                misses.append(index)
+        if misses:
+            fetched = self._backing.read_blocks(misses)
+            for index in misses:
+                data = fetched[index]
+                self._remember(index, data)
+                result[index] = data
+        # present results in first-occurrence order, like the request
+        return {index: result[index] for index in ordered}
+
+    def write_blocks(self, writes: Mapping[BlockIndex, bytes]) -> None:
+        """Write-through a whole batch with one backing call.
+
+        The backing device sees the entire batch at once (and may
+        raise before anything is cached); only then does the cache
+        absorb the new contents, so a failed batch never pollutes it.
+        """
+        self._backing.write_blocks(writes)
+        self.stats.writes += len(writes)
+        self.stats.note_batch_write(len(writes))
+        for index in sorted(writes):
+            self._remember(index, bytes(writes[index]))
+
+    def invalidate(self, index: Optional[BlockIndex] = None) -> None:
+        """Drop one block (or everything, when ``index`` is None).
+
+        >>> from repro.device import BufferCache, LocalBlockDevice
+        >>> backing = LocalBlockDevice(num_blocks=4, block_size=4)
+        >>> backing.write_block(0, b"abcd")
+        >>> cache = BufferCache(backing, capacity_blocks=2)
+        >>> cache.read_block(0)
+        b'abcd'
+        >>> cache.invalidate(0)        # one block
+        >>> cache.read_block(0) == b"abcd" and cache.cache_stats.misses
+        2
+        >>> cache.invalidate()         # None: everything
+        >>> _ = cache.read_block(0)
+        >>> cache.cache_stats.misses
+        3
+        """
         if index is None:
             self._blocks.clear()
         else:

@@ -18,7 +18,7 @@ the same layering as the paper's Figure 1:
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Dict, Mapping, Optional, Sequence
 
 from ..errors import DeviceError
 from ..types import BlockIndex
@@ -91,3 +91,36 @@ class DeviceDriverStub(BlockDevice):
             raise
         self.stats.writes += 1
         self.forwarded += 1
+
+    # -- batched access ------------------------------------------------------
+
+    def read_blocks(
+        self, indices: Sequence[BlockIndex]
+    ) -> Dict[BlockIndex, bytes]:
+        """Forward a whole batch (through the cache, if interposed)."""
+        before = self._server.stats.reads + self._server.stats.failed_reads
+        try:
+            data = self._inner.read_blocks(indices)
+        except DeviceError:
+            self.stats.failed_reads += 1
+            after = (self._server.stats.reads
+                     + self._server.stats.failed_reads)
+            self.forwarded += after - before
+            raise
+        self.stats.reads += len(data)
+        self.stats.note_batch_read(len(data))
+        after = self._server.stats.reads + self._server.stats.failed_reads
+        self.forwarded += after - before
+        return data
+
+    def write_blocks(self, writes: Mapping[BlockIndex, bytes]) -> None:
+        """Forward a whole batch of writes in one request."""
+        try:
+            self._inner.write_blocks(writes)
+        except DeviceError:
+            self.stats.failed_writes += 1
+            self.forwarded += len(writes)
+            raise
+        self.stats.writes += len(writes)
+        self.stats.note_batch_write(len(writes))
+        self.forwarded += len(writes)

@@ -14,6 +14,7 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass, field
+from typing import Dict, Mapping, Sequence
 
 from ..types import BlockIndex
 
@@ -22,12 +23,26 @@ __all__ = ["BlockDevice", "DeviceStats"]
 
 @dataclass
 class DeviceStats:
-    """Operation counters maintained by every block device."""
+    """Operation counters maintained by every block device.
+
+    ``reads``/``writes`` count *blocks* moved, whichever path moved
+    them, so the classic counters stay comparable across the sequential
+    and the batched pipelines.  The ``batch_*`` counters additionally
+    record how much of that volume travelled through the vectorized
+    :meth:`BlockDevice.read_blocks` / :meth:`BlockDevice.write_blocks`
+    entry points: ``batch_reads``/``batch_writes`` count batch *calls*,
+    ``batch_read_blocks``/``batch_write_blocks`` count the blocks those
+    calls carried (mean batch size = blocks / calls).
+    """
 
     reads: int = 0
     writes: int = 0
     failed_reads: int = 0
     failed_writes: int = 0
+    batch_reads: int = 0
+    batch_writes: int = 0
+    batch_read_blocks: int = 0
+    batch_write_blocks: int = 0
 
     def snapshot(self) -> "DeviceStats":
         """An independent copy of the counters."""
@@ -36,7 +51,21 @@ class DeviceStats:
             writes=self.writes,
             failed_reads=self.failed_reads,
             failed_writes=self.failed_writes,
+            batch_reads=self.batch_reads,
+            batch_writes=self.batch_writes,
+            batch_read_blocks=self.batch_read_blocks,
+            batch_write_blocks=self.batch_write_blocks,
         )
+
+    def note_batch_read(self, num_blocks: int) -> None:
+        """Record one batched read call carrying ``num_blocks`` blocks."""
+        self.batch_reads += 1
+        self.batch_read_blocks += num_blocks
+
+    def note_batch_write(self, num_blocks: int) -> None:
+        """Record one batched write call carrying ``num_blocks`` blocks."""
+        self.batch_writes += 1
+        self.batch_write_blocks += num_blocks
 
 
 class BlockDevice(abc.ABC):
@@ -70,6 +99,41 @@ class BlockDevice(abc.ABC):
     @abc.abstractmethod
     def write_block(self, index: BlockIndex, data: bytes) -> None:
         """Replace the contents of block ``index`` with ``data``."""
+
+    # -- batched access -----------------------------------------------------
+
+    def read_blocks(
+        self, indices: Sequence[BlockIndex]
+    ) -> Dict[BlockIndex, bytes]:
+        """Return the contents of every block in ``indices``.
+
+        Duplicate indexes are collapsed (first occurrence wins the
+        ordering).  The base implementation loops over
+        :meth:`read_block`; devices that can amortize work across a
+        batch -- the buffer cache, the reliable device, the replication
+        protocols -- override it with a genuinely vectorized path that
+        pays one round of coordination for the whole batch.
+
+        Per-block semantics are identical to the sequential path: each
+        returned value is what :meth:`read_block` would have returned at
+        this point.  No atomicity is promised *across* blocks.
+        """
+        return {
+            index: self.read_block(index)
+            for index in dict.fromkeys(indices)
+        }
+
+    def write_blocks(self, writes: Mapping[BlockIndex, bytes]) -> None:
+        """Write every ``index -> data`` entry of ``writes``.
+
+        The base implementation loops over :meth:`write_block` in
+        ascending index order (deterministic, like a sorted scatter).
+        Overrides fan the whole batch out in a single round.  Each block
+        individually honours the write contract; there is no all-or-
+        nothing guarantee across the batch.
+        """
+        for index in sorted(writes):
+            self.write_block(index, writes[index])
 
     # -- conveniences shared by all devices --------------------------------
 

@@ -8,6 +8,8 @@ independently of replication.
 
 from __future__ import annotations
 
+from typing import Dict, Mapping, Sequence
+
 from ..errors import BlockSizeError
 from ..types import BlockIndex
 from .block import DEFAULT_BLOCK_SIZE, BlockStore
@@ -46,6 +48,29 @@ class LocalBlockDevice(BlockDevice):
         # tests.
         version = self._store.version(index) + 1
         self._store.write(index, data, version)
+
+    def read_blocks(
+        self, indices: Sequence[BlockIndex]
+    ) -> Dict[BlockIndex, bytes]:
+        """Serve a whole batch in one pass over the store."""
+        out = {
+            index: self._store.read(index)
+            for index in dict.fromkeys(indices)
+        }
+        self.stats.reads += len(out)
+        self.stats.note_batch_read(len(out))
+        return out
+
+    def write_blocks(self, writes: Mapping[BlockIndex, bytes]) -> None:
+        """Apply a whole batch in one pass over the store."""
+        for data in writes.values():
+            if len(data) != self.block_size:
+                raise BlockSizeError(len(data), self.block_size)
+        for index in sorted(writes):
+            version = self._store.version(index) + 1
+            self._store.write(index, writes[index], version)
+        self.stats.writes += len(writes)
+        self.stats.note_batch_write(len(writes))
 
     @property
     def store(self) -> BlockStore:

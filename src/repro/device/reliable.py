@@ -36,7 +36,7 @@ Resilience extensions (inert unless configured):
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator, Optional
+from typing import Dict, Iterator, Mapping, Optional, Sequence
 
 from ..core.protocol import ReplicationProtocol
 from ..errors import (
@@ -104,6 +104,12 @@ class FaultStats:
     corrupt_reads: int = 0
     #: Writes rejected because the device degraded to read-only mode.
     degraded_writes_rejected: int = 0
+    #: Protocol round-trips spent serving reads (one per attempt,
+    #: retries included).  A sequential n-block read costs n rounds; a
+    #: batched one costs 1 -- the latency win batching buys.
+    read_rounds: int = 0
+    #: Protocol round-trips spent serving writes (same accounting).
+    write_rounds: int = 0
 
     def snapshot(self) -> dict:
         return {
@@ -111,6 +117,8 @@ class FaultStats:
             "failovers": self.failovers,
             "corrupt_reads": self.corrupt_reads,
             "degraded_writes_rejected": self.degraded_writes_rejected,
+            "read_rounds": self.read_rounds,
+            "write_rounds": self.write_rounds,
         }
 
 
@@ -163,6 +171,10 @@ class ReliableDevice(BlockDevice):
         #: Version number assigned to the most recent successful write
         #: (None before any); fault-history harnesses correlate with it.
         self.last_write_version: Optional[int] = None
+        #: Per-block versions of the most recent successful write or
+        #: batched write (None before any); the batched analogue of
+        #: :attr:`last_write_version`.
+        self.last_write_versions: Optional[Dict[BlockIndex, int]] = None
 
     # -- geometry -------------------------------------------------------------
 
@@ -243,10 +255,12 @@ class ReliableDevice(BlockDevice):
     # -- BlockDevice implementation ---------------------------------------------------
 
     def read_block(self, index: BlockIndex) -> bytes:
+        def attempt() -> bytes:
+            self.fault_stats.read_rounds += 1
+            return self._protocol.read(self._pick_origin(), index)
+
         try:
-            data = self._with_retries(
-                lambda: self._protocol.read(self._pick_origin(), index)
-            )
+            data = self._with_retries(attempt)
         except CorruptBlockError:
             self.fault_stats.corrupt_reads += 1
             self.stats.failed_reads += 1
@@ -264,12 +278,13 @@ class ReliableDevice(BlockDevice):
             raise ReadOnlyDeviceError(
                 "device is in read-only degraded mode"
             )
+
+        def attempt() -> int:
+            self.fault_stats.write_rounds += 1
+            return self._protocol.write(self._pick_origin(), index, data)
+
         try:
-            version = self._with_retries(
-                lambda: self._protocol.write(
-                    self._pick_origin(), index, data
-                )
-            )
+            version = self._with_retries(attempt)
         except (DeviceUnavailableError, SiteDownError):
             self.stats.failed_writes += 1
             if self._degrade_to_read_only:
@@ -277,3 +292,70 @@ class ReliableDevice(BlockDevice):
             raise
         self.stats.writes += 1
         self.last_write_version = version
+        self.last_write_versions = {index: version}
+
+    # -- batched access ------------------------------------------------------
+
+    def read_blocks(
+        self, indices: Sequence[BlockIndex]
+    ) -> Dict[BlockIndex, bytes]:
+        """Read a whole batch through ONE protocol round per attempt.
+
+        The retry policy governs the batch as a unit: a retryable
+        failure re-runs the entire batch (protocol batch reads are
+        idempotent), so an n-block batch that succeeds first try costs
+        one round instead of n.
+        """
+        ordered = list(dict.fromkeys(indices))
+        if not ordered:
+            return {}
+
+        def attempt() -> Dict[BlockIndex, bytes]:
+            self.fault_stats.read_rounds += 1
+            return self._protocol.read_batch(self._pick_origin(), ordered)
+
+        try:
+            data = self._with_retries(attempt)
+        except CorruptBlockError:
+            self.fault_stats.corrupt_reads += 1
+            self.stats.failed_reads += 1
+            raise
+        except (DeviceUnavailableError, SiteDownError):
+            self.stats.failed_reads += 1
+            raise
+        self.stats.reads += len(data)
+        self.stats.note_batch_read(len(data))
+        return data
+
+    def write_blocks(self, writes: Mapping[BlockIndex, bytes]) -> None:
+        """Write a whole batch through ONE protocol round per attempt.
+
+        Degraded-mode rejection, retry accounting and read-only
+        demotion all apply to the batch as a unit; per-block version
+        assignment happens inside the protocol exactly as on the
+        sequential path.
+        """
+        if not writes:
+            return
+        if self._degraded:
+            self.fault_stats.degraded_writes_rejected += 1
+            self.stats.failed_writes += 1
+            raise ReadOnlyDeviceError(
+                "device is in read-only degraded mode"
+            )
+
+        def attempt() -> Dict[BlockIndex, int]:
+            self.fault_stats.write_rounds += 1
+            return self._protocol.write_batch(self._pick_origin(), writes)
+
+        try:
+            versions = self._with_retries(attempt)
+        except (DeviceUnavailableError, SiteDownError):
+            self.stats.failed_writes += 1
+            if self._degrade_to_read_only:
+                self._degraded = True
+            raise
+        self.stats.writes += len(versions)
+        self.stats.note_batch_write(len(versions))
+        self.last_write_version = max(versions.values())
+        self.last_write_versions = dict(versions)

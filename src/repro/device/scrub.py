@@ -168,6 +168,31 @@ def _push_block(protocol, source, target_id, block) -> bool:
     )
 
 
+def _push_blocks(protocol, source, target_id, blocks) -> bool:
+    """Ship a whole group of blocks in ONE scatter-gather transmission.
+
+    The batched sweep groups each lagging target's blocks by repair
+    source; every (source, target) pair then costs a single
+    BATCH_BLOCK_TRANSFER instead of one BLOCK_TRANSFER per block.
+    """
+
+    def deliver(node, payload):
+        for index in sorted(payload):
+            data, version = payload[index]
+            node.write_block(index, data, version)
+
+    return protocol.network.unicast_oneway(
+        src=source.site_id,
+        dst=target_id,
+        category=MessageCategory.BATCH_BLOCK_TRANSFER,
+        handler=deliver,
+        payload={
+            block: (source.read_block(block), source.block_version(block))
+            for block in blocks
+        },
+    )
+
+
 def _intact_source(protocol, block, exclude, at_least=0):
     """The best verified copy of ``block`` among operational data sites."""
     candidates = [
@@ -196,12 +221,19 @@ def scrub_replicas(protocol: ReplicationProtocol) -> ScrubReport:
     before = protocol.meter.total
     sites_by_id = {s.site_id: s for s in protocol.sites}
     for site_id, blocks in sorted(report.stale.items()):
+        # Group this target's lagging blocks by repair source so each
+        # (source, target) pair costs one batched transmission.
+        by_source: Dict[SiteId, List[BlockIndex]] = {}
         for block in blocks:
             source = _intact_source(protocol, block, exclude=site_id)
             if source is None:
                 continue  # no verified copy anywhere; stays reported
-            if _push_block(protocol, source, site_id, block):
-                report.blocks_repaired += 1
+            by_source.setdefault(source.site_id, []).append(block)
+        for source_id in sorted(by_source):
+            group = by_source[source_id]
+            if _push_blocks(protocol, sites_by_id[source_id],
+                            site_id, group):
+                report.blocks_repaired += len(group)
     for site_id, blocks in sorted(report.corrupt.items()):
         target = sites_by_id[site_id]
         for block in blocks:

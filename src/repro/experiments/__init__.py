@@ -19,6 +19,7 @@ from .figures import (
     figure12,
     traffic_comparison,
 )
+from .batching_study import batching_study
 from .byte_study import byte_traffic_study
 from .witness_study import witness_study, build_witness_group, simulate_witness_group
 from .heterogeneity_study import heterogeneity_study, simulate_heterogeneous
@@ -50,6 +51,7 @@ __all__ = [
     "conclusions_summary",
     "transition_table",
     "reliability_study",
+    "batching_study",
     "byte_traffic_study",
     "witness_study",
     "partition_demo",

@@ -15,6 +15,7 @@ from .ablations import (
     ablation_voting_repair,
     ablation_was_available_freshness,
 )
+from .batching_study import batching_study
 from .byte_study import byte_traffic_study
 from .figures import figure9, figure10, figure11, figure12
 from .heterogeneity_study import heterogeneity_study
@@ -41,6 +42,7 @@ EXPERIMENTS: Dict[str, Callable[[], ExperimentReport]] = {
     "validation-traffic": validate_traffic,
     "reliability-study": reliability_study,
     "byte-traffic-study": byte_traffic_study,
+    "batching-study": batching_study,
     "witness-study": witness_study,
     "partition-demo": partition_demo,
     "serial-repair-study": serial_repair_study,

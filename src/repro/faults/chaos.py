@@ -66,6 +66,13 @@ class ChaosConfig:
     scrub_every: int = 60
     #: Fraction of operations that are writes.
     write_fraction: float = 0.5
+    #: Probability per step that the operation is a *batched* multi-block
+    #: access instead of a single-block one.  0 (default) preserves the
+    #: historical rng draw sequence exactly, so existing seeded
+    #: schedules replay unchanged.
+    batch_rate: float = 0.0
+    #: Largest batch a batched step may issue (>= 2 when batch_rate > 0).
+    max_batch: int = 8
     retry: Optional[RetryPolicy] = RetryPolicy(
         max_attempts=3, initial_delay=0.0
     )
@@ -227,6 +234,27 @@ def run_chaos(config: ChaosConfig) -> ChaosResult:
             result.reads_ok += 1
             recorder.read_ok(block, value)
 
+    def do_batch_write(writes: Dict[int, bytes]) -> None:
+        blocks = sorted(writes)
+        try:
+            device.write_blocks(writes)
+        except DeviceError as exc:
+            result.writes_failed += len(blocks)
+            recorder.batch_write_failed(blocks, type(exc).__name__)
+        else:
+            result.writes_ok += len(blocks)
+            recorder.batch_write_ok(writes, device.last_write_versions)
+
+    def do_batch_read(blocks: List[int]) -> None:
+        try:
+            values = device.read_blocks(blocks)
+        except DeviceError as exc:
+            result.reads_failed += len(blocks)
+            recorder.batch_read_failed(blocks, type(exc).__name__)
+        else:
+            result.reads_ok += len(values)
+            recorder.batch_read_ok(values)
+
     for step in range(config.operations):
         if rng.random() < config.fault_rate:
             _inject_one(rng, config, protocol, injector, device)
@@ -237,14 +265,34 @@ def run_chaos(config: ChaosConfig) -> ChaosResult:
             ]
             if down:
                 injector.repair_site(rng.choice(down))
-        block = rng.randrange(config.num_blocks)
-        if rng.random() < config.write_fraction:
-            value = bytes(
-                rng.getrandbits(8) for _ in range(config.block_size)
+        # The batch_rate > 0 guard keeps the rng draw sequence of the
+        # default (single-block) configuration byte-identical to the
+        # pre-batching harness, so seeded schedules replay unchanged.
+        if config.batch_rate > 0 and rng.random() < config.batch_rate:
+            size = rng.randrange(2, max(3, config.max_batch + 1))
+            blocks = rng.sample(
+                range(config.num_blocks),
+                min(size, config.num_blocks),
             )
-            do_write(block, value)
+            if rng.random() < config.write_fraction:
+                do_batch_write({
+                    b: bytes(
+                        rng.getrandbits(8)
+                        for _ in range(config.block_size)
+                    )
+                    for b in sorted(blocks)
+                })
+            else:
+                do_batch_read(blocks)
         else:
-            do_read(block)
+            block = rng.randrange(config.num_blocks)
+            if rng.random() < config.write_fraction:
+                value = bytes(
+                    rng.getrandbits(8) for _ in range(config.block_size)
+                )
+                do_write(block, value)
+            else:
+                do_read(block)
         if config.scrub_every and (step + 1) % config.scrub_every == 0:
             _scrub_quietly(protocol)
 

@@ -104,6 +104,40 @@ class HistoryRecorder:
     def read_failed(self, block: BlockIndex, reason: str = "") -> None:
         self._add(kind="read_failed", block=block, info=reason)
 
+    # -- batched device operations --------------------------------------------
+    #
+    # A batch is recorded as one per-block event per member (tagged
+    # ``info="batch"``): the consistency condition is per block, so the
+    # checker needs no batch-aware logic -- each block of a batch is
+    # judged exactly like a single-block operation.
+
+    def batch_read_ok(self, values: Dict[BlockIndex, bytes]) -> None:
+        for block in sorted(values):
+            self._add(kind="read_ok", block=block,
+                      value=bytes(values[block]), info="batch")
+
+    def batch_write_ok(
+        self,
+        values: Dict[BlockIndex, bytes],
+        versions: Dict[BlockIndex, int],
+    ) -> None:
+        for block in sorted(values):
+            self._add(kind="write_ok", block=block,
+                      value=bytes(values[block]),
+                      version=versions[block], info="batch")
+
+    def batch_read_failed(
+        self, blocks: List[BlockIndex], reason: str = ""
+    ) -> None:
+        for block in sorted(blocks):
+            self._add(kind="read_failed", block=block, info=reason)
+
+    def batch_write_failed(
+        self, blocks: List[BlockIndex], reason: str = ""
+    ) -> None:
+        for block in sorted(blocks):
+            self._add(kind="write_failed", block=block, info=reason)
+
     # -- faults (recorded by the injector) ------------------------------------
 
     def crash(self, site: SiteId, mid_write: bool = False) -> None:

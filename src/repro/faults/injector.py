@@ -32,7 +32,7 @@ from typing import Dict, Optional
 
 from ..core.protocol import ReplicationProtocol
 from ..errors import SiteDownError
-from ..net.message import Message, MessageCategory
+from ..net.message import Message
 from ..types import BlockIndex, SiteId, SiteState
 
 __all__ = ["FaultInjector", "InjectionCounts"]
@@ -192,7 +192,7 @@ class FaultInjector:
     def allow_delivery(self, message: Message, dst: SiteId) -> bool:
         # A source that crashed mid-fan-out sends nothing further: the
         # remaining deliveries of its torn write are suppressed.
-        if (message.category is MessageCategory.WRITE_UPDATE
+        if (message.category.is_write_fanout
                 and self._protocol.site(message.src).state
                 is SiteState.FAILED):
             self.torn_deliveries_suppressed += 1
@@ -212,7 +212,7 @@ class FaultInjector:
         if self._armed is None:
             return
         origin, remaining = self._armed
-        if (message.category is not MessageCategory.WRITE_UPDATE
+        if (not message.category.is_write_fanout
                 or message.src != origin):
             return
         remaining -= 1

@@ -96,10 +96,13 @@ class File:
         number of bytes actually read.
         """
         self._check_open()
-        if size < 0:
-            size = max(0, self.size() - self._position)
-        data = self._fs.read_file(self._path, offset=self._position,
-                                  size=size)
+        # size < 0 defers to read_file's own size=None handling, which
+        # clips to the file size without a separate stat round-trip.
+        data = self._fs.read_file(
+            self._path,
+            offset=self._position,
+            size=None if size < 0 else size,
+        )
         self._position += len(data)
         return data
 

@@ -172,59 +172,98 @@ class FileSystem:
 
     # -- file data ---------------------------------------------------------------
 
+    @staticmethod
+    def _spans(offset: int, size: int, bs: int) -> List[tuple]:
+        """Split a byte range into per-block ``(file_block, within,
+        chunk)`` spans.  Each file block appears at most once -- the
+        spans tile the range -- which is what lets the data paths turn
+        a multi-block transfer into one batched device call."""
+        spans: List[tuple] = []
+        position = offset
+        remaining = size
+        while remaining > 0:
+            within = position % bs
+            chunk = min(remaining, bs - within)
+            spans.append((position // bs, within, chunk))
+            position += chunk
+            remaining -= chunk
+        return spans
+
     def _read_file_data(self, inode: Inode, offset: int, size: int) -> bytes:
-        """Read ``size`` bytes at ``offset``, clipped to the file size."""
+        """Read ``size`` bytes at ``offset``, clipped to the file size.
+
+        Multi-block reads go through the device's batched
+        :meth:`~repro.device.interface.BlockDevice.read_blocks` --
+        one call for every mapped block of the transfer instead of one
+        per block, which on a replicated device means one quorum round.
+        """
         if offset >= inode.size or size <= 0:
             return b""
         size = min(size, inode.size - offset)
         bs = self._sb.block_size
+        spans = self._spans(offset, size, bs)
+        mapped = {
+            file_block: self._bmap(inode, file_block, allocate=False)
+            for file_block, _within, _chunk in spans
+        }
+        wanted = [b for b in mapped.values() if b is not None]
+        contents = self._device.read_blocks(wanted) if wanted else {}
         pieces: List[bytes] = []
-        position = offset
-        remaining = size
-        while remaining > 0:
-            file_block = position // bs
-            within = position % bs
-            chunk = min(remaining, bs - within)
-            block = self._bmap(inode, file_block, allocate=False)
+        for file_block, within, chunk in spans:
+            block = mapped[file_block]
             if block is None:
                 pieces.append(bytes(chunk))  # sparse hole
             else:
-                data = self._device.read_block(block)
+                data = contents[block]
                 pieces.append(data[within : within + chunk])
-            position += chunk
-            remaining -= chunk
         return b"".join(pieces)
 
     def _write_file_data(
         self, inode: Inode, offset: int, data: bytes
     ) -> None:
-        """Write ``data`` at ``offset``, growing the file as needed."""
+        """Write ``data`` at ``offset``, growing the file as needed.
+
+        The transfer is vectorized: partially-overwritten blocks are
+        fetched in one batched read, payloads are assembled, and the
+        whole set goes to the device in one batched write (one fan-out
+        on a replicated device).  Per-block contents are identical to
+        the sequential path.
+        """
         if offset + len(data) > self.max_file_size():
             raise FileTooLargeFSError(
                 f"write to offset {offset + len(data)} exceeds maximum "
                 f"file size {self.max_file_size()}"
             )
         bs = self._sb.block_size
-        position = offset
+        spans = self._spans(offset, len(data), bs)
+        mapped = {
+            file_block: self._bmap(inode, file_block, allocate=True)
+            for file_block, _within, _chunk in spans
+        }
+        partial = [
+            mapped[file_block]
+            for file_block, within, chunk in spans
+            if within != 0 or chunk != bs
+        ]
+        current = self._device.read_blocks(partial) if partial else {}
+        writes = {}
         cursor = 0
-        while cursor < len(data):
-            file_block = position // bs
-            within = position % bs
-            chunk = min(len(data) - cursor, bs - within)
-            block = self._bmap(inode, file_block, allocate=True)
+        for file_block, within, chunk in spans:
+            block = mapped[file_block]
             if within == 0 and chunk == bs:
-                payload = data[cursor : cursor + bs]
+                writes[block] = data[cursor : cursor + bs]
             else:
-                current = bytearray(self._device.read_block(block))
-                current[within : within + chunk] = data[
+                merged = bytearray(current[block])
+                merged[within : within + chunk] = data[
                     cursor : cursor + chunk
                 ]
-                payload = bytes(current)
-            self._device.write_block(block, payload)
-            position += chunk
+                writes[block] = bytes(merged)
             cursor += chunk
-        if position > inode.size:
-            inode.size = position
+        if writes:
+            self._device.write_blocks(writes)
+        end = offset + len(data)
+        if end > inode.size:
+            inode.size = end
             self._inodes.write(inode)
 
     def _truncate(self, inode: Inode) -> None:

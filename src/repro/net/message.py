@@ -49,6 +49,19 @@ class MessageCategory(enum.Enum):
     #: A site that detected a corrupt local copy asks a peer for a fresh
     #: one (self-healing reads; answered with a BLOCK_TRANSFER).
     BLOCK_REPAIR_REQUEST = "block-repair-request"
+    #: Scatter-gather vote collection: one request carrying a whole
+    #: batch of block indexes (the batched I/O pipeline's single
+    #: version-collection round).
+    BATCH_VOTE_REQUEST = "batch-vote-request"
+    #: A site's votes for every block in a batch (block -> version).
+    BATCH_VOTE_REPLY = "batch-vote-reply"
+    #: One fan-out carrying the new contents of a whole batch of blocks.
+    BATCH_WRITE_UPDATE = "batch-write-update"
+    #: Acknowledgement of a batched write update (available copy only).
+    BATCH_WRITE_ACK = "batch-write-ack"
+    #: Several data blocks pushed in one transmission to refresh
+    #: out-of-date or corrupt copies (batched lazy repair / scrub).
+    BATCH_BLOCK_TRANSFER = "batch-block-transfer"
 
     @property
     def is_reply(self) -> bool:
@@ -58,6 +71,21 @@ class MessageCategory(enum.Enum):
             MessageCategory.WRITE_ACK,
             MessageCategory.RECOVERY_PROBE_REPLY,
             MessageCategory.VERSION_VECTOR_REPLY,
+            MessageCategory.BATCH_VOTE_REPLY,
+            MessageCategory.BATCH_WRITE_ACK,
+        )
+
+    @property
+    def is_write_fanout(self) -> bool:
+        """Whether this category applies new block contents at replicas.
+
+        Fault injection keys on this: a mid-write crash tears whichever
+        fan-out -- single-block or batched -- is in flight, and a failed
+        origin sends no further updates of either kind.
+        """
+        return self in (
+            MessageCategory.WRITE_UPDATE,
+            MessageCategory.BATCH_WRITE_UPDATE,
         )
 
 

@@ -102,6 +102,38 @@ class SizeModel:
         if category is MessageCategory.BLOCK_REPAIR_REQUEST:
             # block index + the requester's version number
             return base + self.vv_entry_bytes
+        if category is MessageCategory.BATCH_VOTE_REQUEST:
+            # one vote entry (block index + reader's version) per block
+            return base + self._payload_len(payload) * self.vote_bytes
+        if category is MessageCategory.BATCH_VOTE_REPLY:
+            # one vote (version number + weight) per block in the batch
+            return base + self._payload_len(payload) * self.vote_bytes
+        if category is MessageCategory.BATCH_WRITE_UPDATE:
+            # one versioned block per batch entry; the available-copy
+            # variant additionally carries the recipient set
+            extra = 0
+            updates = payload
+            if isinstance(payload, tuple) and len(payload) == 2:
+                updates, recipients = payload
+                extra = self._payload_len(recipients) * self.vv_entry_bytes
+            return base + extra + self._payload_len(updates) * (
+                self.vv_entry_bytes + self.block_bytes
+            )
+        if category is MessageCategory.BATCH_WRITE_ACK:
+            return base
+        if category is MessageCategory.BATCH_BLOCK_TRANSFER:
+            # one versioned block per pushed entry
+            return base + self._payload_len(payload) * (
+                self.vv_entry_bytes + self.block_bytes
+            )
         raise ValueError(  # pragma: no cover - enum is closed
             f"unknown category {category!r}"
         )
+
+    @staticmethod
+    def _payload_len(payload) -> int:
+        """Entry count of a batch payload (0 when the shape is unknown)."""
+        try:
+            return len(payload)
+        except TypeError:
+            return 0

@@ -17,7 +17,7 @@ workloads are reproducible.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator, Optional
+from typing import Iterator, List, Optional
 
 import numpy as np
 
@@ -40,8 +40,17 @@ class WorkloadSpec:
     distribution: str = "uniform"
     #: Zipf exponent (only for ``distribution="zipf"``).
     zipf_exponent: float = 1.2
+    #: Operations issued per arrival.  1 (default) is the paper's
+    #: single-block model; > 1 makes the runner gather each arrival's
+    #: operations into batched protocol calls (reads together, writes
+    #: together), exercising the vectorized I/O pipeline.
+    batch_size: int = 1
 
     def __post_init__(self) -> None:
+        if self.batch_size < 1:
+            raise ReproError(
+                f"batch_size must be >= 1, got {self.batch_size}"
+            )
         if self.read_write_ratio < 0:
             raise ReproError(
                 f"read_write_ratio must be >= 0, got {self.read_write_ratio}"
@@ -109,6 +118,10 @@ class WorkloadGenerator:
             kind=OpKind.WRITE if is_write else OpKind.READ,
             block=self._next_block(),
         )
+
+    def next_operations(self, count: int) -> List[Operation]:
+        """Draw ``count`` operations at once (one arrival's batch)."""
+        return [self.next_operation() for _ in range(count)]
 
     def operations(self, count: int) -> Iterator[Operation]:
         """A finite stream of ``count`` operations."""

@@ -140,8 +140,63 @@ class WorkloadRunner:
                 )
             )
 
+    def _attempt_batch(self, ops: List[Operation]) -> None:
+        """Issue one arrival's operations as batched protocol calls.
+
+        Reads and writes are gathered into (at most) one ``read_batch``
+        and one ``write_batch``.  Accounting stays per *block*: each
+        member op counts as one attempt and carries an equal share of
+        its batch's transmissions, so ``mean_messages`` reads directly
+        as messages-per-block and stays comparable with the sequential
+        path.
+        """
+        protocol = self._cluster.protocol
+        meter = self._cluster.meter
+        origin = self._pick_origin()
+        groups = []
+        read_blocks = [op.block for op in ops if op.kind is OpKind.READ]
+        write_blocks = [op.block for op in ops if op.kind is OpKind.WRITE]
+        if read_blocks:
+            groups.append((OpKind.READ, read_blocks))
+        if write_blocks:
+            groups.append((OpKind.WRITE, write_blocks))
+        for kind, blocks in groups:
+            before = meter.total
+            try:
+                if kind is OpKind.READ:
+                    protocol.read_batch(origin, blocks)
+                else:
+                    protocol.write_batch(
+                        origin, {b: self._payload for b in blocks}
+                    )
+                ok = True
+            except (DeviceUnavailableError, SiteDownError):
+                ok = False
+            share = (meter.total - before) / len(blocks)
+            self.result.attempted[kind] += len(blocks)
+            stat = (self.result.messages_ok if ok
+                    else self.result.messages_failed)[kind]
+            for block in blocks:
+                if ok:
+                    self.result.succeeded[kind] += 1
+                stat.add(share)
+                if self._keep_outcomes:
+                    self.result.outcomes.append(
+                        OperationOutcome(
+                            op=Operation(kind=kind, block=block),
+                            time=self._cluster.sim.now,
+                            ok=ok,
+                            messages=share,
+                        )
+                    )
+
     def _tick(self) -> None:
-        self._attempt(self._generator.next_operation())
+        if self._spec.batch_size > 1:
+            self._attempt_batch(
+                self._generator.next_operations(self._spec.batch_size)
+            )
+        else:
+            self._attempt(self._generator.next_operation())
         self._schedule_next()
 
     def _schedule_next(self) -> None:

@@ -1,0 +1,230 @@
+"""Batched multi-block operations on the three consistency protocols.
+
+The batched pipeline's contract: observably equivalent to the
+sequential path per block, but with the consistency machinery amortized
+-- one vote-collection round and one scatter-gather fan-out per batch.
+"""
+
+import pytest
+
+from repro.errors import QuorumNotReachedError, SiteDownError
+from repro.faults import HistoryRecorder
+from repro.net.message import MessageCategory
+from repro.types import SchemeName
+
+from ..conftest import block_of, make_cluster
+
+
+def batch_of(cluster, tags):
+    """``{block: full-block payload}`` from ``{block: fill byte}``."""
+    return {b: block_of(cluster, bytes([t])) for b, t in tags.items()}
+
+
+class TestEquivalenceWithSequential:
+    """Batched results must be byte- and version-identical to loops."""
+
+    def test_write_batch_then_read_batch_roundtrips(self, scheme):
+        cluster = make_cluster(scheme)
+        protocol = cluster.protocol
+        updates = batch_of(cluster, {b: b + 1 for b in range(6)})
+        versions = protocol.write_batch(0, updates)
+        assert versions == {b: 1 for b in range(6)}
+        assert protocol.read_batch(0, list(range(6))) == updates
+
+    def test_batch_matches_sequential_final_state(self, scheme):
+        batched = make_cluster(scheme)
+        sequential = make_cluster(scheme)
+        updates = batch_of(batched, {0: 9, 3: 7, 5: 1})
+        batched.protocol.write_batch(0, updates)
+        for block in sorted(updates):
+            sequential.protocol.write(0, block, updates[block])
+        for a, b in zip(batched.protocol.sites, sequential.protocol.sites):
+            assert a.version_vector() == b.version_vector()
+            for block in updates:
+                assert a.store.read(block) == b.store.read(block)
+
+    def test_versions_advance_per_block(self, scheme):
+        cluster = make_cluster(scheme)
+        protocol = cluster.protocol
+        protocol.write(0, 2, block_of(cluster, b"x"))
+        protocol.write(0, 2, block_of(cluster, b"y"))
+        versions = protocol.write_batch(0, batch_of(cluster, {1: 3, 2: 4}))
+        assert versions == {1: 1, 2: 3}
+
+    def test_duplicate_and_empty_batches(self, scheme):
+        cluster = make_cluster(scheme)
+        protocol = cluster.protocol
+        data = block_of(cluster, b"d")
+        protocol.write_batch(0, {4: data})
+        assert protocol.read_batch(0, [4, 4, 4]) == {4: data}
+        assert protocol.read_batch(0, []) == {}
+        assert protocol.write_batch(0, {}) == {}
+
+
+class TestSingleRoundAmortization:
+    """One version-collection round / one fan-out per batch."""
+
+    def test_voting_batch_read_is_one_round(self):
+        cluster = make_cluster(SchemeName.VOTING)
+        protocol = cluster.protocol
+        protocol.write_batch(0, batch_of(cluster, {b: 1 for b in range(8)}))
+        before = protocol.meter.total
+        protocol.read_batch(0, list(range(8)))
+        batched = protocol.meter.total - before
+        before = protocol.meter.total
+        for b in range(8):
+            protocol.read(0, b)
+        sequential = protocol.meter.total - before
+        # one broadcast + (n_sites - 1) replies vs. that per block
+        assert batched == 3
+        assert sequential == 8 * batched
+
+    def test_voting_batch_write_is_one_round_plus_one_fanout(self):
+        cluster = make_cluster(SchemeName.VOTING)
+        protocol = cluster.protocol
+        updates = batch_of(cluster, {b: 2 for b in range(8)})
+        before = protocol.meter.total
+        protocol.write_batch(0, updates)
+        batched = protocol.meter.total - before
+        before = protocol.meter.total
+        for b in sorted(updates):
+            protocol.write(0, b, updates[b])
+        sequential = protocol.meter.total - before
+        assert batched == 4  # votes (1+2) + one batched update fan-out
+        assert sequential == 8 * batched
+
+    def test_naive_batch_write_is_one_message(self):
+        cluster = make_cluster(SchemeName.NAIVE_AVAILABLE_COPY)
+        protocol = cluster.protocol
+        before = protocol.meter.total
+        protocol.write_batch(0, batch_of(cluster, {b: 5 for b in range(8)}))
+        assert protocol.meter.total - before == 1
+
+    def test_available_copy_batch_reads_stay_free(self):
+        cluster = make_cluster(SchemeName.AVAILABLE_COPY)
+        protocol = cluster.protocol
+        protocol.write_batch(0, batch_of(cluster, {b: 6 for b in range(8)}))
+        before = protocol.meter.total
+        protocol.read_batch(0, list(range(8)))
+        assert protocol.meter.total == before
+
+    def test_batch_traffic_metered_under_batch_kinds(self, scheme):
+        cluster = make_cluster(scheme)
+        protocol = cluster.protocol
+        protocol.write_batch(0, batch_of(cluster, {0: 1, 1: 2}))
+        protocol.read_batch(0, [0, 1])
+        meter = protocol.meter
+        # batched traffic must not skew the paper's per-op read/write means
+        assert meter.messages_for("read").count == 0
+        assert meter.messages_for("write").count == 0
+        assert meter.messages_for("batch_write").count == 1
+        assert meter.messages_for("batch_read").count == 1
+
+
+class TestQuorumAndFencingSemantics:
+    """Per-block guarantees survive batching."""
+
+    def test_voting_batch_needs_quorum(self):
+        cluster = make_cluster(SchemeName.VOTING)
+        protocol = cluster.protocol
+        protocol.on_site_failed(1)
+        protocol.on_site_failed(2)
+        with pytest.raises(QuorumNotReachedError):
+            protocol.write_batch(0, batch_of(cluster, {0: 1, 1: 1}))
+        with pytest.raises(QuorumNotReachedError):
+            protocol.read_batch(0, [0, 1])
+
+    def test_voting_batch_write_repairs_stale_quorum_members(self):
+        cluster = make_cluster(SchemeName.VOTING)
+        protocol = cluster.protocol
+        protocol.write_batch(0, batch_of(cluster, {b: 1 for b in range(4)}))
+        protocol.on_site_failed(2)
+        protocol.write_batch(0, batch_of(cluster, {b: 2 for b in range(4)}))
+        protocol.on_site_repaired(2)
+        updates = batch_of(cluster, {b: 3 for b in range(4)})
+        protocol.write_batch(0, updates)
+        for b in range(4):
+            assert protocol.site(2).store.read(b) == updates[b]
+
+    def test_voting_batch_read_lazily_repairs_stale_origin(self):
+        cluster = make_cluster(SchemeName.VOTING)
+        protocol = cluster.protocol
+        protocol.write_batch(0, batch_of(cluster, {b: 1 for b in range(4)}))
+        protocol.on_site_failed(2)
+        updates = batch_of(cluster, {b: 2 for b in range(4)})
+        protocol.write_batch(0, updates)
+        protocol.on_site_repaired(2)
+        before = protocol.lazy_repairs
+        assert protocol.read_batch(2, [0, 1, 2, 3]) == updates
+        assert protocol.lazy_repairs == before + 4
+
+    def test_batch_refresh_uses_scatter_gather_transfers(self):
+        cluster = make_cluster(SchemeName.VOTING)
+        protocol = cluster.protocol
+        protocol.write_batch(0, batch_of(cluster, {b: 1 for b in range(4)}))
+        protocol.on_site_failed(2)
+        protocol.write_batch(0, batch_of(cluster, {b: 2 for b in range(4)}))
+        protocol.on_site_repaired(2)
+        seen = []
+        original = protocol.network.unicast_oneway
+
+        def spy(**kwargs):
+            seen.append(kwargs["category"])
+            return original(**kwargs)
+
+        protocol.network.unicast_oneway = spy
+        protocol.read_batch(2, [0, 1, 2, 3])
+        assert seen == [MessageCategory.BATCH_BLOCK_TRANSFER]
+
+    def test_available_copy_batch_fences_silent_members(self):
+        cluster = make_cluster(SchemeName.AVAILABLE_COPY)
+        protocol = cluster.protocol
+        from repro.faults import FaultInjector
+
+        injector = FaultInjector(protocol).attach()
+        injector.drop_deliveries(2, count=1)
+        protocol.write_batch(0, batch_of(cluster, {0: 1, 1: 1}))
+        assert protocol.sites_fenced == 1
+        # a batch drop fences once, not once per block
+        assert protocol.site(2).state.value == "failed"
+
+    def test_naive_batch_fences_by_delivery_receipt(self):
+        cluster = make_cluster(SchemeName.NAIVE_AVAILABLE_COPY)
+        protocol = cluster.protocol
+        from repro.faults import FaultInjector
+
+        injector = FaultInjector(protocol).attach()
+        injector.drop_deliveries(1, count=1)
+        protocol.write_batch(0, batch_of(cluster, {0: 1, 1: 1}))
+        assert protocol.sites_fenced == 1
+
+
+class TestTornBatches:
+    """A mid-fan-out origin crash tears every block individually."""
+
+    def test_mid_batch_crash_tears_each_block(self, scheme):
+        cluster = make_cluster(scheme)
+        protocol = cluster.protocol
+        recorder = HistoryRecorder()
+        protocol.recorder = recorder
+        from repro.faults import FaultInjector
+
+        injector = FaultInjector(protocol, recorder=recorder).attach()
+        injector.arm_mid_write_crash(0, survivors=1)
+        updates = batch_of(cluster, {b: 7 for b in range(3)})
+        with pytest.raises(SiteDownError):
+            protocol.write_batch(0, updates)
+        assert recorder.count("torn_write") == 3
+
+    def test_batch_corruption_heals_per_block(self, scheme):
+        cluster = make_cluster(scheme)
+        protocol = cluster.protocol
+        updates = batch_of(cluster, {b: 9 for b in range(3)})
+        protocol.write_batch(0, updates)
+        store = protocol.site(0).store
+        bad = bytearray(store.read(1))
+        bad[0] ^= 0xFF
+        store.inject_corruption(1, bytes(bad))
+        assert protocol.read_batch(0, [0, 1, 2]) == updates
+        assert protocol.corruptions_detected == 1
+        assert protocol.blocks_healed == 1

@@ -93,3 +93,100 @@ def test_geometry_passthrough():
     assert cache.num_blocks == backing.num_blocks
     assert cache.block_size == backing.block_size
     assert cache.backing is backing
+
+
+class TestBatchedAccess:
+    """Batched reads/writes through the cache."""
+
+    def test_partial_hit_fetches_only_misses_in_one_call(self):
+        cache, backing = make_cached(capacity=4)
+        for i in range(4):
+            backing.write_block(i, bytes([i]) * 8)
+        cache.read_block(0)
+        cache.read_block(2)
+        calls_before = backing.stats.batch_reads
+        reads_before = backing.stats.reads
+        result = cache.read_blocks([0, 1, 2, 3])
+        assert result == {i: bytes([i]) * 8 for i in range(4)}
+        assert cache.cache_stats.hits >= 2
+        # only the two misses hit the backing, in ONE batched call
+        assert backing.stats.reads == reads_before + 2
+        assert backing.stats.batch_reads == calls_before + 1
+
+    def test_full_hit_costs_no_backing_call(self):
+        cache, backing = make_cached(capacity=4)
+        for i in range(3):
+            cache.write_block(i, bytes([i]) * 8)
+        reads_before = backing.stats.reads
+        assert cache.read_blocks([0, 1, 2]) == {
+            i: bytes([i]) * 8 for i in range(3)
+        }
+        assert backing.stats.reads == reads_before
+
+    def test_batch_result_preserves_request_order_and_dedupes(self):
+        cache, backing = make_cached(capacity=4)
+        for i in range(3):
+            backing.write_block(i, bytes([i]) * 8)
+        result = cache.read_blocks([2, 0, 2, 1])
+        assert list(result) == [2, 0, 1]
+        assert cache.stats.reads == 3  # deduped accounting
+
+    def test_eviction_order_under_batched_access(self):
+        cache, backing = make_cached(capacity=2)
+        for i in range(3):
+            backing.write_block(i, bytes([i]) * 8)
+        cache.read_block(0)
+        cache.read_block(1)
+        # batch touching [0] refreshes 0's recency: 1 becomes LRU
+        cache.read_blocks([0])
+        cache.read_blocks([2])  # evicts 1
+        reads = backing.stats.reads
+        cache.read_block(0)  # still cached
+        assert backing.stats.reads == reads
+        cache.read_block(1)  # evicted -> miss
+        assert backing.stats.reads == reads + 1
+
+    def test_batched_write_through_and_caching(self):
+        cache, backing = make_cached(capacity=4)
+        writes = {i: bytes([0x40 + i]) * 8 for i in range(3)}
+        cache.write_blocks(writes)
+        for i, data in writes.items():
+            assert backing.read_block(i) == data
+        reads_before = backing.stats.reads
+        assert cache.read_blocks(list(writes)) == writes
+        assert backing.stats.reads == reads_before  # all hits
+
+    def test_failed_batch_write_does_not_pollute_cache(self):
+        from repro.errors import BlockSizeError
+
+        cache, backing = make_cached(capacity=4)
+        backing.write_block(0, b"AAAAAAAA")
+        cache.read_block(0)
+        with pytest.raises(BlockSizeError):
+            cache.write_blocks({0: b"CCCCCCCC", 1: b"bad"})
+        assert cache.read_block(0) == b"AAAAAAAA"
+
+    def test_invalidate_between_batches(self):
+        cache, backing = make_cached(capacity=4)
+        for i in range(3):
+            backing.write_block(i, bytes([i]) * 8)
+        cache.read_blocks([0, 1, 2])
+        backing.write_block(1, b"ZZZZZZZZ")  # out-of-band update
+        cache.invalidate(1)
+        result = cache.read_blocks([0, 1, 2])
+        assert result[1] == b"ZZZZZZZZ"  # refetched, not stale
+        assert result[0] == bytes([0]) * 8  # others still cached
+        misses = cache.cache_stats.misses
+        cache.invalidate()
+        cache.read_blocks([0, 2])
+        assert cache.cache_stats.misses == misses + 2
+
+    def test_batch_stats_counters(self):
+        cache, backing = make_cached(capacity=4)
+        cache.write_blocks({0: bytes(8), 1: bytes(8)})
+        cache.read_blocks([0, 1])
+        snap = cache.stats.snapshot()
+        assert snap.batch_writes == 1
+        assert snap.batch_write_blocks == 2
+        assert snap.batch_reads == 1
+        assert snap.batch_read_blocks == 2

@@ -3,6 +3,7 @@
 import pytest
 
 from repro.experiments import (
+    batching_study,
     byte_traffic_study,
     partition_demo,
     serial_repair_study,
@@ -29,6 +30,39 @@ class TestByteStudy:
         assert len(check.rows) == 3
         for _scheme, simulated, model in check.rows:
             assert simulated == pytest.approx(model, rel=0.05)
+
+
+class TestBatchingStudy:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return batching_study(num_sites=3, batch=4, batch_sizes=(1, 4))
+
+    def test_registered(self):
+        from repro.experiments import EXPERIMENTS
+
+        assert "batching-study" in EXPERIMENTS
+
+    def test_batches_amortize_to_one_round(self, report):
+        table = report.tables[0]
+        assert {row[0] for row in table.rows} == {
+            scheme.short for scheme in SchemeName
+        }
+        for _s, _op, seq, batched, _ratio, seq_r, batch_r in table.rows:
+            assert batch_r == 1
+            assert seq_r == 4
+            assert batched <= seq
+
+    def test_voting_read_hits_the_target_ratio(self, report):
+        table = report.tables[0]
+        for scheme, op, seq, batched, ratio, *_ in table.rows:
+            if scheme == SchemeName.VOTING.short and op == "read":
+                assert seq == 4 * batched
+                assert ratio >= 3.0
+
+    def test_sweep_per_block_cost_decreases(self, report):
+        sweep = report.tables[1]
+        reads = sweep.column("read msgs/blk")
+        assert reads[0] > reads[-1]
 
 
 class TestWitnessStudy:

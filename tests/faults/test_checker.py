@@ -120,3 +120,46 @@ def test_summary_and_count():
     assert rec.summary() == {
         "write_ok": 1, "read_ok": 2, "crash": 1, "repair": 1,
     }
+
+
+def test_batch_helpers_record_per_block_events():
+    rec = HistoryRecorder()
+    rec.batch_write_ok({1: VALUE_A, 0: VALUE_B}, {1: 1, 0: 1})
+    rec.batch_read_ok({0: VALUE_B, 1: VALUE_A})
+    rec.batch_write_failed([2, 3], "DeviceUnavailableError")
+    rec.batch_read_failed([4], "SiteDownError")
+    assert rec.count("write_ok") == 2
+    assert rec.count("read_ok") == 2
+    assert rec.count("write_failed") == 2
+    assert rec.count("read_failed") == 1
+    # per-block events in ascending order, tagged as batch members
+    writes = [e for e in rec.events if e.kind == "write_ok"]
+    assert [e.block for e in writes] == [0, 1]
+    assert all(e.info == "batch" for e in writes)
+    assert rec.check() == []
+
+
+def test_batch_events_feed_the_per_block_checker():
+    rec = HistoryRecorder()
+    rec.batch_write_ok({0: VALUE_A, 1: VALUE_B}, {0: 1, 1: 1})
+    rec.batch_read_ok({0: VALUE_B, 1: VALUE_B})  # block 0 is wrong
+    violations = rec.check()
+    assert len(violations) == 1
+    assert violations[0].block == 0
+
+
+def test_torn_batch_blocks_are_individually_admissible():
+    rec = HistoryRecorder()
+    rec.batch_write_ok({0: VALUE_A, 1: VALUE_A}, {0: 1, 1: 1})
+    # a torn batch: both blocks torn at version 2
+    rec.torn_write(0, VALUE_B, 2)
+    rec.torn_write(1, VALUE_B, 2)
+    # one block may serve the torn value while the other serves the
+    # committed one -- per-block admissibility, no cross-block atomicity
+    rec.batch_read_ok({0: VALUE_B, 1: VALUE_A})
+    assert rec.check() == []
+    # but a committed write at a higher version retires block 0's torn
+    # value; reading it afterwards is a violation
+    rec.write_ok(0, VALUE_C, 3)
+    rec.read_ok(0, VALUE_B)
+    assert len(rec.check()) == 1

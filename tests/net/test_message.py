@@ -17,6 +17,8 @@ def test_reply_categories():
         MessageCategory.WRITE_ACK,
         MessageCategory.RECOVERY_PROBE_REPLY,
         MessageCategory.VERSION_VECTOR_REPLY,
+        MessageCategory.BATCH_VOTE_REPLY,
+        MessageCategory.BATCH_WRITE_ACK,
     }
 
 

@@ -119,3 +119,48 @@ def test_unique_mode_multiplies_bytes_by_destinations():
         0, MessageCategory.WRITE_UPDATE, handler=lambda n, p: None
     )
     assert net.meter.total_bytes == 3 * 140
+
+
+def test_batch_vote_messages_scale_with_batch_size():
+    sizes = SizeModel()
+    request = sizes.bytes_for(
+        msg(MessageCategory.BATCH_VOTE_REQUEST, {0: 1, 1: 2, 2: 0})
+    )
+    reply = sizes.bytes_for(
+        msg(MessageCategory.BATCH_VOTE_REPLY, {0: (1, 1), 1: (2, 1)})
+    )
+    assert request == 32 + 3 * sizes.vote_bytes
+    assert reply == 32 + 2 * sizes.vote_bytes
+    # a batched vote round is far cheaper than per-block block traffic
+    assert request < sizes.bytes_for(msg(MessageCategory.BLOCK_TRANSFER))
+
+
+def test_batch_write_update_carries_one_block_per_entry():
+    sizes = SizeModel(block_bytes=256)
+    updates = {b: (bytes(256), 1) for b in range(4)}
+    plain = sizes.bytes_for(
+        msg(MessageCategory.BATCH_WRITE_UPDATE, updates)
+    )
+    assert plain == 32 + 4 * (sizes.vv_entry_bytes + 256)
+    # the available-copy variant adds the recipient set
+    with_recipients = sizes.bytes_for(
+        msg(MessageCategory.BATCH_WRITE_UPDATE, (updates, {0, 1, 2}))
+    )
+    assert with_recipients == plain + 3 * sizes.vv_entry_bytes
+
+
+def test_batch_ack_is_header_only_and_transfer_scales():
+    sizes = SizeModel()
+    assert sizes.bytes_for(msg(MessageCategory.BATCH_WRITE_ACK)) == 32
+    transfer = sizes.bytes_for(
+        msg(MessageCategory.BATCH_BLOCK_TRANSFER,
+            {0: (bytes(512), 1), 5: (bytes(512), 2)})
+    )
+    assert transfer == 32 + 2 * (sizes.vv_entry_bytes + 512)
+
+
+def test_batch_with_unknown_payload_counts_header_only():
+    sizes = SizeModel()
+    assert sizes.bytes_for(
+        msg(MessageCategory.BATCH_VOTE_REQUEST, None)
+    ) == 32 + 0

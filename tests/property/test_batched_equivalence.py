@@ -1,0 +1,207 @@
+"""Property: batched I/O is observably equivalent to sequential I/O.
+
+Two facets, both over random batches and interleavings on all three
+consistency schemes:
+
+* **Fault-free exact equivalence** -- a batched run and a sequential run
+  of the same operation stream return the same bytes, assign the same
+  versions, and leave every replica with identical version vectors and
+  contents.
+* **Consistency under faults** -- with crashes (including mid-fan-out),
+  delivery drops, corruption and repairs interleaved, batched
+  operations never let the history checker observe a read outside the
+  admissible set (latest committed write or a still-live torn write),
+  and every block is readable again after quiescence.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import QuorumSpec, VotingProtocol
+from repro.core.available_copy import AvailableCopyProtocol
+from repro.core.naive import NaiveAvailableCopyProtocol
+from repro.device import Site
+from repro.device.reliable import ReliableDevice, RetryPolicy
+from repro.errors import DeviceError
+from repro.faults import FaultInjector, HistoryRecorder
+from repro.net import Network
+from repro.types import SchemeName, SiteState
+
+N_SITES = 4
+N_BLOCKS = 6
+BLOCK_SIZE = 8
+
+sites = st.integers(min_value=0, max_value=N_SITES - 1)
+blocks = st.integers(min_value=0, max_value=N_BLOCKS - 1)
+values = st.integers(min_value=1, max_value=255)
+
+#: A batched write ({block: value}) or a batched read ([blocks]).
+fault_free_steps = st.one_of(
+    st.dictionaries(blocks, values, min_size=1, max_size=N_BLOCKS),
+    st.lists(blocks, min_size=1, max_size=N_BLOCKS),
+)
+
+faulty_events = st.one_of(
+    st.tuples(st.just("write_batch"),
+              st.dictionaries(blocks, values, min_size=1,
+                              max_size=N_BLOCKS)),
+    st.tuples(st.just("read_batch"),
+              st.lists(blocks, min_size=1, max_size=N_BLOCKS)),
+    st.tuples(st.just("crash"), sites),
+    st.tuples(st.just("mid_write_crash"),
+              st.integers(min_value=1, max_value=N_SITES - 2)),
+    st.tuples(st.just("drop"), sites,
+              st.integers(min_value=1, max_value=3)),
+    st.tuples(st.just("corrupt"), sites, blocks),
+    st.tuples(st.just("repair"), sites),
+)
+
+
+def fill(value: int) -> bytes:
+    return bytes([value]) * BLOCK_SIZE
+
+
+def make_protocol(scheme, recorder=None):
+    if scheme is SchemeName.VOTING:
+        spec = QuorumSpec.majority(N_SITES)
+        group = [
+            Site(i, N_BLOCKS, BLOCK_SIZE, weight=spec.weight_of(i))
+            for i in range(N_SITES)
+        ]
+        protocol = VotingProtocol(group, Network(), spec=spec)
+    else:
+        group = [Site(i, N_BLOCKS, BLOCK_SIZE) for i in range(N_SITES)]
+        if scheme is SchemeName.AVAILABLE_COPY:
+            protocol = AvailableCopyProtocol(group, Network())
+        else:
+            protocol = NaiveAvailableCopyProtocol(group, Network())
+    protocol.recorder = recorder
+    return protocol
+
+
+@pytest.mark.parametrize("scheme", list(SchemeName))
+@settings(max_examples=50, deadline=None)
+@given(steps=st.lists(fault_free_steps, min_size=1, max_size=12))
+def test_batched_exactly_equals_sequential(scheme, steps):
+    """Same bytes, same versions, same final replica state."""
+    batched = make_protocol(scheme)
+    sequential = make_protocol(scheme)
+    for step in steps:
+        if isinstance(step, dict):
+            updates = {b: fill(v) for b, v in step.items()}
+            versions = batched.write_batch(0, updates)
+            expected = {
+                b: sequential.write(0, b, updates[b])
+                for b in sorted(updates)
+            }
+            assert versions == expected
+        else:
+            got = batched.read_batch(0, step)
+            expected = {
+                b: sequential.read(0, b) for b in dict.fromkeys(step)
+            }
+            assert got == expected
+    for a, b in zip(batched.sites, sequential.sites):
+        assert a.version_vector() == b.version_vector()
+        for block in range(N_BLOCKS):
+            assert a.store.read(block) == b.store.read(block)
+
+
+def apply_batched_history(scheme, history):
+    recorder = HistoryRecorder()
+    protocol = make_protocol(scheme, recorder)
+    injector = FaultInjector(protocol, recorder=recorder).attach()
+    device = ReliableDevice(
+        protocol, failover=True,
+        retry=RetryPolicy(max_attempts=2, initial_delay=0.0),
+    )
+    for event in history:
+        kind = event[0]
+        if kind == "write_batch":
+            updates = {b: fill(v) for b, v in event[1].items()}
+            try:
+                device.write_blocks(updates)
+            except DeviceError as exc:
+                recorder.batch_write_failed(
+                    sorted(updates), type(exc).__name__
+                )
+            else:
+                recorder.batch_write_ok(
+                    updates, device.last_write_versions
+                )
+        elif kind == "read_batch":
+            try:
+                data = device.read_blocks(event[1])
+            except DeviceError as exc:
+                recorder.batch_read_failed(
+                    sorted(set(event[1])), type(exc).__name__
+                )
+            else:
+                recorder.batch_read_ok(data)
+        elif kind == "crash":
+            injector.crash_site(event[1])
+        elif kind == "mid_write_crash":
+            try:
+                origin = device.current_origin()
+            except DeviceError:
+                continue
+            injector.arm_mid_write_crash(origin, survivors=event[1])
+        elif kind == "drop":
+            injector.drop_deliveries(event[1], count=event[2])
+        elif kind == "corrupt":
+            injector.corrupt_block(event[1], event[2])
+        elif kind == "repair":
+            if protocol.site(event[1]).state is SiteState.FAILED:
+                injector.repair_site(event[1])
+    # quiescence: stop injecting, recover everything, read every block
+    injector.disarm_mid_write_crash()
+    injector.detach()
+    for site in protocol.sites:
+        if site.state is SiteState.FAILED:
+            injector.repair_site(site.site_id)
+    try:
+        data = device.read_blocks(list(range(N_BLOCKS)))
+    except DeviceError:
+        # a single unrecoverable block fails the whole batch; fall back
+        # to per-block reads so the rest still prove their availability
+        for block in range(N_BLOCKS):
+            try:
+                value = device.read_block(block)
+            except DeviceError as exc:
+                recorder.read_failed(block, type(exc).__name__)
+            else:
+                recorder.read_ok(block, value)
+    else:
+        recorder.batch_read_ok(data)
+    return recorder
+
+
+@pytest.mark.parametrize("scheme", list(SchemeName))
+@settings(max_examples=50, deadline=None)
+@given(history=st.lists(faulty_events, max_size=30))
+def test_batched_ops_never_violate_consistency_under_faults(
+    scheme, history
+):
+    recorder = apply_batched_history(scheme, history)
+    violations = recorder.check()
+    assert violations == [], "\n".join(str(v) for v in violations)
+
+
+@pytest.mark.parametrize("scheme", list(SchemeName))
+@settings(max_examples=20, deadline=None)
+@given(history=st.lists(faulty_events, max_size=20))
+def test_batched_quiescent_readback_succeeds(scheme, history):
+    """Every block is readable after quiescence -- except a block whose
+    current copies were *all* silently corrupted, which must fail with
+    ``CorruptBlockError`` instead of serving stale bytes."""
+    recorder = apply_batched_history(scheme, history)
+    corrupted = {event[2] for event in history if event[0] == "corrupt"}
+    tail = [e for e in recorder.events
+            if e.kind in ("read_ok", "read_failed")][-N_BLOCKS:]
+    for event in tail:
+        assert event.kind == "read_ok" or (
+            event.info == "CorruptBlockError"
+            and event.block in corrupted
+        ), event

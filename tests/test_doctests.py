@@ -8,6 +8,7 @@ import doctest
 
 import pytest
 
+import repro.device.cache
 import repro.device.cluster
 import repro.sim.engine
 import repro.sim.rng
@@ -17,6 +18,7 @@ MODULES_WITH_EXAMPLES = [
     repro.sim.engine,
     repro.sim.rng,
     repro.sim.stats,
+    repro.device.cache,
     repro.device.cluster,
 ]
 
