@@ -2,7 +2,7 @@
 
 PYTHON ?= python3
 
-.PHONY: install test coverage bench examples experiments lint clean
+.PHONY: install test coverage bench metrics examples experiments lint clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -19,6 +19,13 @@ coverage:
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s
+
+# Smoke test of the observability layer: a short traced workload whose
+# JSON-lines trace is schema-validated on re-read (the CLI exits
+# non-zero if any span fails validation).
+metrics:
+	$(PYTHON) -m repro metrics --horizon 500 --trace /tmp/repro-trace.jsonl
+	$(PYTHON) -m pytest tests/obs/ -q
 
 bench-output:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only 2>&1 | tee bench_output.txt

@@ -125,6 +125,8 @@ def build_parser() -> argparse.ArgumentParser:
         choices=[m.value for m in AddressingMode],
         default=AddressingMode.MULTICAST.value,
     )
+    simulate.add_argument("--trace", metavar="FILE", default=None,
+                          help="write span-level JSON lines to FILE")
 
     chaos = sub.add_parser(
         "chaos",
@@ -142,6 +144,27 @@ def build_parser() -> argparse.ArgumentParser:
                        help="device retry budget per operation")
     chaos.add_argument("--verbose", action="store_true",
                        help="also print the history event counts")
+    chaos.add_argument("--trace", metavar="FILE", default=None,
+                       help="write span-level JSON lines to FILE")
+
+    metrics = sub.add_parser(
+        "metrics",
+        help="traced workload run: spans from every layer plus one "
+             "unified metrics snapshot",
+    )
+    metrics.add_argument("--scheme", type=_scheme,
+                         default=SchemeName.VOTING,
+                         help="voting | available-copy | "
+                              "naive-available-copy (default voting)")
+    metrics.add_argument("-n", "--sites", type=int, default=5)
+    metrics.add_argument("--rho", type=float, default=0.05)
+    metrics.add_argument("--horizon", type=float, default=2_000.0)
+    metrics.add_argument("--seed", type=int, default=0)
+    metrics.add_argument("--trace", metavar="FILE", default=None,
+                         help="write span-level JSON lines to FILE "
+                              "(schema-validated after writing)")
+    metrics.add_argument("--json", action="store_true",
+                         help="emit the snapshot as JSON, not text")
     return parser
 
 
@@ -239,6 +262,26 @@ def _cmd_trace(args, out) -> int:
     return 0
 
 
+def _dump_trace(tracer, path, out) -> int:
+    """Write, re-read and schema-validate a span trace; 0 on success."""
+    from .obs import load_trace
+
+    written = tracer.dump(path)
+    with open(path, "r", encoding="utf-8") as handle:
+        try:
+            load_trace(handle)
+        except ValueError as exc:
+            print(f"error: invalid trace written to {path}: {exc}",
+                  file=sys.stderr)
+            return 2
+    layers = ", ".join(
+        f"{layer}={count}"
+        for layer, count in sorted(tracer.layers().items())
+    )
+    print(f"trace: {written} spans -> {path} ({layers})", file=out)
+    return 0
+
+
 def _cmd_simulate(args, out) -> int:
     mode = AddressingMode(args.addressing)
     cluster = ReplicatedCluster(
@@ -251,12 +294,22 @@ def _cmd_simulate(args, out) -> int:
             seed=args.seed,
         )
     )
+    obs = None
+    if args.trace:
+        from .obs import observe_cluster
+
+        obs = observe_cluster(cluster)
     runner = WorkloadRunner(
         cluster,
         WorkloadSpec(read_write_ratio=args.read_write_ratio,
                      op_rate=args.op_rate),
+        metrics=obs.registry if obs else None,
     )
     result = runner.run(args.horizon)
+    if obs is not None:
+        status = _dump_trace(obs.tracer, args.trace, out)
+        if status:
+            return status
     analytic = scheme_availability(args.scheme, args.sites, args.rho)
     model = traffic_model(args.scheme, args.sites, args.rho, mode=mode)
     print(f"scheme={args.scheme.value} n={args.sites} rho={args.rho:g} "
@@ -288,6 +341,11 @@ def _cmd_chaos(args, out) -> int:
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    tracer = None
+    if args.trace:
+        from .obs import Tracer
+
+        tracer = Tracer()
     schemes = [args.scheme] if args.scheme else list(SchemeName)
     all_ok = True
     for scheme in schemes:
@@ -299,7 +357,7 @@ def _cmd_chaos(args, out) -> int:
             operations=args.operations,
             fault_rate=args.fault_rate,
             retry=retry,
-        ))
+        ), tracer=tracer)
         print(result.summary(), file=out)
         if args.verbose:
             for kind, count in sorted(result.history.items()):
@@ -310,9 +368,35 @@ def _cmd_chaos(args, out) -> int:
             print(f"  UNACCOUNTED corruption at site {site_id}, "
                   f"block {block}", file=out)
         all_ok = all_ok and result.ok
+    if tracer is not None:
+        status = _dump_trace(tracer, args.trace, out)
+        if status:
+            return status
     print("chaos: all checks passed" if all_ok
           else "chaos: CONSISTENCY CHECK FAILED", file=out)
     return 0 if all_ok else 1
+
+
+def _cmd_metrics(args, out) -> int:
+    from .obs import traced_workload
+
+    run = traced_workload(
+        scheme=args.scheme,
+        num_sites=args.sites,
+        rho=args.rho,
+        horizon=args.horizon,
+        seed=args.seed,
+    )
+    if args.trace:
+        status = _dump_trace(run.obs.tracer, args.trace, out)
+        if status:
+            return status
+    snapshot = run.obs.registry.snapshot()
+    if args.json:
+        print(snapshot.to_json(), file=out)
+    else:
+        print(snapshot.render(), file=out)
+    return 0
 
 
 def main(argv: Optional[List[str]] = None, out=None) -> int:
@@ -333,4 +417,6 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
         return _cmd_trace(args, out)
     if args.command == "chaos":
         return _cmd_chaos(args, out)
+    if args.command == "metrics":
+        return _cmd_metrics(args, out)
     return _cmd_simulate(args, out)

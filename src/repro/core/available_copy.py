@@ -78,7 +78,8 @@ class AvailableCopyBase(ReplicationProtocol):
             raise SiteDownError(
                 origin, "comatose sites cannot serve reads"
             )
-        with self.meter.record("read"):
+        with self.meter.record("read"), \
+                self._span("read", origin=origin, block=block):
             try:
                 return site.read_block(block)
             except CorruptBlockError:
@@ -111,7 +112,8 @@ class AvailableCopyBase(ReplicationProtocol):
             raise SiteDownError(
                 origin, "comatose sites cannot serve reads"
             )
-        with self.meter.record("batch_read"):
+        with self.meter.record("batch_read"), \
+                self._span("read_batch", origin=origin, batch=len(ordered)):
             out: Dict[BlockIndex, bytes] = {}
             for block in ordered:
                 try:
@@ -329,7 +331,8 @@ class AvailableCopyProtocol(AvailableCopyBase):
 
     def write(self, origin: SiteId, block: BlockIndex, data: bytes) -> int:
         site = self._require_available_origin(origin)
-        with self.meter.record("write"):
+        with self.meter.record("write"), \
+                self._span("write", origin=origin, block=block):
             recipients = {s.site_id for s in self.available_sites()}
             new_version = site.block_version(block) + 1
 
@@ -390,7 +393,8 @@ class AvailableCopyProtocol(AvailableCopyBase):
         if not blocks:
             return {}
         site = self._require_available_origin(origin)
-        with self.meter.record("batch_write"):
+        with self.meter.record("batch_write"), \
+                self._span("write_batch", origin=origin, batch=len(blocks)):
             recipients = {s.site_id for s in self.available_sites()}
             new_versions = {b: site.block_version(b) + 1 for b in blocks}
             batch = {

@@ -62,7 +62,8 @@ class NaiveAvailableCopyProtocol(AvailableCopyBase):
         is fenced -- treated as failed until it runs the ordinary
         repair procedure."""
         site = self._require_available_origin(origin)
-        with self.meter.record("write"):
+        with self.meter.record("write"), \
+                self._span("write", origin=origin, block=block):
             new_version = site.block_version(block) + 1
 
             def apply(node, payload):
@@ -104,7 +105,8 @@ class NaiveAvailableCopyProtocol(AvailableCopyBase):
         if not blocks:
             return {}
         site = self._require_available_origin(origin)
-        with self.meter.record("batch_write"):
+        with self.meter.record("batch_write"), \
+                self._span("write_batch", origin=origin, batch=len(blocks)):
             new_versions = {b: site.block_version(b) + 1 for b in blocks}
             batch = {
                 b: (bytes(updates[b]), new_versions[b]) for b in blocks

@@ -92,6 +92,25 @@ class ReplicationProtocol(abc.ABC):
     def meter(self) -> TrafficMeter:
         return self._network.meter
 
+    @property
+    def tracer(self):
+        """The span tracer (the network's; a no-op unless wired)."""
+        return self._network.tracer
+
+    def _span(self, op: str, **attrs):
+        """Open a ``protocol.<op>`` span tagged with this scheme.
+
+        The concrete protocols bracket each read/write/batch operation
+        with it; outcomes (quorum misses, down origins, corruption) are
+        stamped automatically from the raised exception.
+        """
+        return self.tracer.span(
+            f"protocol.{op}",
+            layer="protocol",
+            scheme=self.scheme.value,
+            **attrs,
+        )
+
     def site(self, site_id: SiteId) -> "Site":
         """Look up a member site by id."""
         try:
@@ -253,6 +272,13 @@ class ReplicationProtocol(abc.ABC):
         """Attribute messages sent since ``start_total`` to recovery."""
         spent = self.meter.total - start_total
         self.meter.messages_for("recovery").add(spent)
+        if self.tracer.enabled:
+            self.tracer.event(
+                "protocol.recovery",
+                layer="protocol",
+                scheme=self.scheme.value,
+                messages=spent,
+            )
 
     # -- invariants (used by tests and debug assertions) --------------------------
 

@@ -202,7 +202,8 @@ class VotingProtocol(ReplicationProtocol):
         site = self.require_origin(origin)
         if site.is_witness:
             raise SiteDownError(origin, "witnesses cannot serve clients")
-        with self.meter.record("read"):
+        with self.meter.record("read"), \
+                self._span("read", origin=origin, block=block):
             gathered, versions = self._collect_votes(site, block)
             if not self._spec.meets_read(gathered):
                 raise QuorumNotReachedError(gathered, self._spec.read_quorum)
@@ -308,7 +309,8 @@ class VotingProtocol(ReplicationProtocol):
         site = self.require_origin(origin)
         if site.is_witness:
             raise SiteDownError(origin, "witnesses cannot serve clients")
-        with self.meter.record("write"):
+        with self.meter.record("write"), \
+                self._span("write", origin=origin, block=block):
             gathered, versions = self._collect_votes(site, block)
             if not self._spec.meets_write(gathered):
                 raise QuorumNotReachedError(gathered, self._spec.write_quorum)
@@ -381,7 +383,8 @@ class VotingProtocol(ReplicationProtocol):
         site = self.require_origin(origin)
         if site.is_witness:
             raise SiteDownError(origin, "witnesses cannot serve clients")
-        with self.meter.record("batch_read"):
+        with self.meter.record("batch_read"), \
+                self._span("read_batch", origin=origin, batch=len(ordered)):
             gathered, votes = self._collect_batch_votes(site, ordered)
             if not self._spec.meets_read(gathered):
                 raise QuorumNotReachedError(gathered, self._spec.read_quorum)
@@ -485,7 +488,8 @@ class VotingProtocol(ReplicationProtocol):
         site = self.require_origin(origin)
         if site.is_witness:
             raise SiteDownError(origin, "witnesses cannot serve clients")
-        with self.meter.record("batch_write"):
+        with self.meter.record("batch_write"), \
+                self._span("write_batch", origin=origin, batch=len(blocks)):
             gathered, votes = self._collect_batch_votes(site, blocks)
             if not self._spec.meets_write(gathered):
                 raise QuorumNotReachedError(gathered, self._spec.write_quorum)

@@ -105,11 +105,16 @@ class BufferCache(BlockDevice):
 
         A partial hit costs exactly one backing round for the missing
         blocks; a full hit costs none.  Hit/miss accounting and LRU
-        recency are per block, identical to the sequential path.
+        recency are per *access*, identical to the sequential path:
+        every requested index counts as one read, and a duplicate of an
+        index earlier in the batch is a cache hit (sequentially, the
+        first access would have loaded it).
         """
-        ordered = list(dict.fromkeys(indices))
-        self.stats.reads += len(ordered)
+        requested = list(indices)
+        ordered = list(dict.fromkeys(requested))
+        self.stats.reads += len(requested)
         self.stats.note_batch_read(len(ordered))
+        self.cache_stats.hits += len(requested) - len(ordered)
         result: Dict[BlockIndex, bytes] = {}
         misses: List[BlockIndex] = []
         for index in ordered:

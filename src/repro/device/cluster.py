@@ -169,7 +169,10 @@ class ReplicatedCluster:
         """Advance the simulation to ``time`` (starting failures first)."""
         self.start_failures()
         self.sim.run(until=time)
-        self._availability.finalize(self.sim.now)
+        # extend_to, not finalize: run_until is incremental (callers
+        # interleave it with reads of availability()) and must not seal
+        # the stat against further observation.
+        self._availability.extend_to(self.sim.now)
 
     def availability(self) -> float:
         """Time-weighted availability observed so far."""

@@ -39,6 +39,7 @@ from dataclasses import dataclass
 from typing import Dict, Iterator, Mapping, Optional, Sequence
 
 from ..core.protocol import ReplicationProtocol
+from ..obs.trace import NULL_TRACER
 from ..errors import (
     CorruptBlockError,
     DeviceUnavailableError,
@@ -122,6 +123,32 @@ class FaultStats:
         }
 
 
+class _DeviceSpan:
+    """Context manager stamping the retries an operation consumed.
+
+    Wraps a live span so the ``retries`` attribute reflects the *delta*
+    over this one operation, not the device's lifetime counter.
+    """
+
+    __slots__ = ("_device", "_span", "_before")
+
+    def __init__(self, device: "ReliableDevice", span) -> None:
+        self._device = device
+        self._span = span
+        self._before = 0
+
+    def __enter__(self):
+        self._before = self._device.fault_stats.retries
+        self._span.__enter__()
+        return self._span
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self._span.set(
+            retries=self._device.fault_stats.retries - self._before,
+        )
+        return self._span.__exit__(exc_type, exc, tb)
+
+
 class ReliableDevice(BlockDevice):
     """An ordinary-looking block device backed by a replica group.
 
@@ -191,6 +218,20 @@ class ReliableDevice(BlockDevice):
         return self._protocol
 
     @property
+    def tracer(self):
+        """The span tracer (the group network's; a no-op unless wired)."""
+        return self._protocol.tracer
+
+    def _span(self, op: str, **attrs):
+        """Open a ``device.<op>`` span; stamps the retries it consumed."""
+        tracer = self.tracer
+        if not tracer.enabled:
+            return NULL_TRACER.span(op, "device")
+        return _DeviceSpan(self, tracer.span(
+            f"device.{op}", layer="device", origin=self._origin, **attrs,
+        ))
+
+    @property
     def origin(self) -> SiteId:
         """The preferred origin site."""
         return self._origin
@@ -248,9 +289,12 @@ class ReliableDevice(BlockDevice):
                 delay = next(delays, None)
                 if delay is None:
                     raise
+                # Count the retry before advancing the clock: a backoff
+                # that raises (simulator horizon, injected clock fault)
+                # must not lose an attempt that was in fact decided.
+                self.fault_stats.retries += 1
                 if self._clock is not None and delay > 0:
                     self._clock.run(until=self._clock.now + delay)
-                self.fault_stats.retries += 1
 
     # -- BlockDevice implementation ---------------------------------------------------
 
@@ -259,15 +303,16 @@ class ReliableDevice(BlockDevice):
             self.fault_stats.read_rounds += 1
             return self._protocol.read(self._pick_origin(), index)
 
-        try:
-            data = self._with_retries(attempt)
-        except CorruptBlockError:
-            self.fault_stats.corrupt_reads += 1
-            self.stats.failed_reads += 1
-            raise
-        except (DeviceUnavailableError, SiteDownError):
-            self.stats.failed_reads += 1
-            raise
+        with self._span("read", block=index):
+            try:
+                data = self._with_retries(attempt)
+            except CorruptBlockError:
+                self.fault_stats.corrupt_reads += 1
+                self.stats.failed_reads += 1
+                raise
+            except (DeviceUnavailableError, SiteDownError):
+                self.stats.failed_reads += 1
+                raise
         self.stats.reads += 1
         return data
 
@@ -283,13 +328,14 @@ class ReliableDevice(BlockDevice):
             self.fault_stats.write_rounds += 1
             return self._protocol.write(self._pick_origin(), index, data)
 
-        try:
-            version = self._with_retries(attempt)
-        except (DeviceUnavailableError, SiteDownError):
-            self.stats.failed_writes += 1
-            if self._degrade_to_read_only:
-                self._degraded = True
-            raise
+        with self._span("write", block=index):
+            try:
+                version = self._with_retries(attempt)
+            except (DeviceUnavailableError, SiteDownError):
+                self.stats.failed_writes += 1
+                if self._degrade_to_read_only:
+                    self._degraded = True
+                raise
         self.stats.writes += 1
         self.last_write_version = version
         self.last_write_versions = {index: version}
@@ -314,15 +360,16 @@ class ReliableDevice(BlockDevice):
             self.fault_stats.read_rounds += 1
             return self._protocol.read_batch(self._pick_origin(), ordered)
 
-        try:
-            data = self._with_retries(attempt)
-        except CorruptBlockError:
-            self.fault_stats.corrupt_reads += 1
-            self.stats.failed_reads += 1
-            raise
-        except (DeviceUnavailableError, SiteDownError):
-            self.stats.failed_reads += 1
-            raise
+        with self._span("read_batch", batch=len(ordered)):
+            try:
+                data = self._with_retries(attempt)
+            except CorruptBlockError:
+                self.fault_stats.corrupt_reads += 1
+                self.stats.failed_reads += 1
+                raise
+            except (DeviceUnavailableError, SiteDownError):
+                self.stats.failed_reads += 1
+                raise
         self.stats.reads += len(data)
         self.stats.note_batch_read(len(data))
         return data
@@ -348,13 +395,14 @@ class ReliableDevice(BlockDevice):
             self.fault_stats.write_rounds += 1
             return self._protocol.write_batch(self._pick_origin(), writes)
 
-        try:
-            versions = self._with_retries(attempt)
-        except (DeviceUnavailableError, SiteDownError):
-            self.stats.failed_writes += 1
-            if self._degrade_to_read_only:
-                self._degraded = True
-            raise
+        with self._span("write_batch", batch=len(writes)):
+            try:
+                versions = self._with_retries(attempt)
+            except (DeviceUnavailableError, SiteDownError):
+                self.stats.failed_writes += 1
+                if self._degrade_to_read_only:
+                    self._degraded = True
+                raise
         self.stats.writes += len(versions)
         self.stats.note_batch_write(len(versions))
         self.last_write_version = max(versions.values())

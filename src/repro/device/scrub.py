@@ -118,6 +118,23 @@ def audit_replicas(protocol: ReplicationProtocol) -> ScrubReport:
     """Read-only staleness + integrity audit of all reachable copies."""
     coordinator = _pick_coordinator(protocol)
     before = protocol.meter.total
+    with protocol.tracer.span(
+        "scrub.audit", layer="scrub",
+        scheme=protocol.scheme.value, coordinator=coordinator,
+    ) as span:
+        report = _audit(protocol, coordinator, before)
+        span.set(
+            sites=report.sites_audited,
+            stale=sum(len(b) for b in report.stale.values()),
+            corrupt=sum(len(b) for b in report.corrupt.values()),
+            messages=report.messages,
+        )
+    return report
+
+
+def _audit(
+    protocol: ReplicationProtocol, coordinator: SiteId, before: int
+) -> ScrubReport:
     vectors, corrupt = _collect_vectors(protocol, coordinator)
     for site_id, blocks in sorted(corrupt.items()):
         for block in blocks:
@@ -219,6 +236,20 @@ def scrub_replicas(protocol: ReplicationProtocol) -> ScrubReport:
     """
     report = audit_replicas(protocol)
     before = protocol.meter.total
+    with protocol.tracer.span(
+        "scrub.repair", layer="scrub", scheme=protocol.scheme.value,
+    ) as span:
+        _repair(protocol, report)
+        span.set(
+            repaired=report.blocks_repaired,
+            healed=report.blocks_healed,
+            messages=protocol.meter.total - before,
+        )
+    report.messages += protocol.meter.total - before
+    return report
+
+
+def _repair(protocol: ReplicationProtocol, report: ScrubReport) -> None:
     sites_by_id = {s.site_id: s for s in protocol.sites}
     for site_id, blocks in sorted(report.stale.items()):
         # Group this target's lagging blocks by repair source so each
@@ -252,5 +283,3 @@ def scrub_replicas(protocol: ReplicationProtocol) -> ScrubReport:
             if _push_block(protocol, source, site_id, block):
                 report.blocks_healed += 1
                 protocol.note_heal(site_id, block)
-    report.messages += protocol.meter.total - before
-    return report

@@ -158,6 +158,7 @@ def _inject_one(rng, config, protocol, injector, device) -> None:
         [k for k, _ in weights], weights=[w for _, w in weights]
     )[0]
     site_ids = protocol.site_ids
+    tracer = protocol.tracer
     if kind == "corrupt":
         # Aim at a written, intact copy so the injection takes.
         candidates = [
@@ -171,10 +172,21 @@ def _inject_one(rng, config, protocol, injector, device) -> None:
             injector.corrupt_block(
                 site_id, block, flip=rng.randrange(config.block_size)
             )
+            if tracer.enabled:
+                tracer.event(
+                    "chaos.fault", layer="chaos", kind="corrupt",
+                    site=site_id, block=block,
+                )
     elif kind == "crash":
         up = [s.site_id for s in protocol.operational_sites()]
         if up:
-            injector.crash_site(rng.choice(up))
+            victim = rng.choice(up)
+            injector.crash_site(victim)
+            if tracer.enabled:
+                tracer.event(
+                    "chaos.fault", layer="chaos", kind="crash",
+                    site=victim,
+                )
     elif kind == "mid_write":
         try:
             origin = device.current_origin()
@@ -182,10 +194,20 @@ def _inject_one(rng, config, protocol, injector, device) -> None:
             return
         survivors = rng.randrange(1, max(2, config.num_sites - 1))
         injector.arm_mid_write_crash(origin, survivors=survivors)
+        if tracer.enabled:
+            tracer.event(
+                "chaos.fault", layer="chaos", kind="mid_write",
+                site=origin, survivors=survivors,
+            )
     elif kind == "drop":
-        injector.drop_deliveries(
-            rng.choice(site_ids), count=rng.randrange(1, 4)
-        )
+        victim = rng.choice(site_ids)
+        count = rng.randrange(1, 4)
+        injector.drop_deliveries(victim, count=count)
+        if tracer.enabled:
+            tracer.event(
+                "chaos.fault", layer="chaos", kind="drop",
+                site=victim, count=count,
+            )
 
 
 def _scrub_quietly(protocol) -> None:
@@ -195,10 +217,19 @@ def _scrub_quietly(protocol) -> None:
         pass
 
 
-def run_chaos(config: ChaosConfig) -> ChaosResult:
-    """Run one seeded chaos schedule and check its history."""
+def run_chaos(config: ChaosConfig, tracer=None) -> ChaosResult:
+    """Run one seeded chaos schedule and check its history.
+
+    ``tracer`` (a :class:`repro.obs.Tracer`) makes the whole run
+    observable: fault injections and repairs appear as ``chaos.*``
+    events alongside the device/protocol/net spans of the operations
+    they disrupt.  The schedule itself is tracer-independent -- the rng
+    draw sequence is identical with and without one.
+    """
     rng = random.Random(config.seed)
     protocol = _build_protocol(config)
+    if tracer is not None:
+        protocol.network.set_tracer(tracer)
     recorder = HistoryRecorder()
     protocol.recorder = recorder
     injector = FaultInjector(protocol, recorder=recorder).attach()
@@ -264,7 +295,12 @@ def run_chaos(config: ChaosConfig) -> ChaosResult:
                 if s.state is SiteState.FAILED
             ]
             if down:
-                injector.repair_site(rng.choice(down))
+                repaired = rng.choice(down)
+                injector.repair_site(repaired)
+                if protocol.tracer.enabled:
+                    protocol.tracer.event(
+                        "chaos.repair", layer="chaos", site=repaired,
+                    )
         # The batch_rate > 0 guard keeps the rng draw sequence of the
         # default (single-block) configuration byte-identical to the
         # pre-batching harness, so seeded schedules replay unchanged.
@@ -302,6 +338,11 @@ def run_chaos(config: ChaosConfig) -> ChaosResult:
     for site in protocol.sites:
         if site.state is SiteState.FAILED:
             injector.repair_site(site.site_id)
+            if protocol.tracer.enabled:
+                protocol.tracer.event(
+                    "chaos.repair", layer="chaos", site=site.site_id,
+                    quiescence=True,
+                )
     _scrub_quietly(protocol)
     for block in range(config.num_blocks):
         do_read(block)

@@ -30,6 +30,7 @@ from __future__ import annotations
 from typing import Any, Callable, Dict, List, Optional, Protocol, Tuple
 
 from ..errors import UnknownSiteError
+from ..obs.trace import NULL_TRACER
 from ..types import AddressingMode, SiteId
 from .message import BROADCAST, Message, MessageCategory
 from .sizes import SizeModel
@@ -93,6 +94,7 @@ class Network:
         mode: AddressingMode = AddressingMode.MULTICAST,
         meter: Optional[TrafficMeter] = None,
         size_model: Optional[SizeModel] = None,
+        tracer=None,
     ) -> None:
         self._mode = mode
         self._meter = meter if meter is not None else TrafficMeter()
@@ -103,6 +105,20 @@ class Network:
         self._partition: Dict[SiteId, int] = {}
         #: Optional fault-injection hook; None on the fault-free path.
         self._interceptor: Optional[DeliveryInterceptor] = None
+        #: Span tracer shared by the protocols and the scrub; the null
+        #: tracer (a no-op) unless observability is wired in.
+        self._tracer = tracer if tracer is not None else NULL_TRACER
+
+    # -- observability ------------------------------------------------------
+
+    @property
+    def tracer(self):
+        """The tracer every layer above the network inherits."""
+        return self._tracer
+
+    def set_tracer(self, tracer) -> None:
+        """Install (or with None, remove) the span tracer."""
+        self._tracer = tracer if tracer is not None else NULL_TRACER
 
     # -- fault injection ----------------------------------------------------
 
@@ -227,19 +243,36 @@ class Network:
             return
         size = self._size_model.bytes_for(message)
         if self._mode is AddressingMode.MULTICAST and message.is_broadcast:
-            self._meter.count(message, transmissions=1, bytes_each=size)
+            transmissions = 1
         else:
-            self._meter.count(
-                message, transmissions=len(destinations), bytes_each=size
+            transmissions = len(destinations)
+        self._meter.count(
+            message, transmissions=transmissions, bytes_each=size
+        )
+        if self._tracer.enabled:
+            self._tracer.event(
+                "net.request",
+                layer="net",
+                category=message.category.value,
+                src=message.src,
+                destinations=len(destinations),
+                transmissions=transmissions,
+                bytes_each=size,
             )
 
     def _count_reply(self, message: Message) -> None:
         """Meter a reply: replies are always individually addressed."""
-        self._meter.count(
-            message,
-            transmissions=1,
-            bytes_each=self._size_model.bytes_for(message),
-        )
+        size = self._size_model.bytes_for(message)
+        self._meter.count(message, transmissions=1, bytes_each=size)
+        if self._tracer.enabled:
+            self._tracer.event(
+                "net.reply",
+                layer="net",
+                category=message.category.value,
+                src=message.src,
+                dst=message.dst,
+                bytes_each=size,
+            )
 
     # -- communication primitives ---------------------------------------------
 

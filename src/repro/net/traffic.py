@@ -17,7 +17,9 @@ import contextlib
 from ..sim.stats import RunningStat
 from .message import Message, MessageCategory
 
-__all__ = ["TrafficMeter", "TrafficSnapshot", "OperationKind"]
+__all__ = [
+    "TrafficMeter", "TrafficSnapshot", "OperationKind", "ABORTED_SUFFIX",
+]
 
 #: Operation kinds used for attribution; free-form strings are accepted
 #: but these three are the ones the paper analyses.
@@ -26,6 +28,11 @@ OperationKind = str
 READ = "read"
 WRITE = "write"
 RECOVERY = "recovery"
+
+#: Appended to an operation kind when the bracketed operation raised;
+#: aborted operations get their own statistic so the per-operation
+#: means (Figures 11-12) only average *completed* operations.
+ABORTED_SUFFIX = ":aborted"
 
 
 @dataclass(frozen=True)
@@ -119,6 +126,12 @@ class TrafficMeter:
     def record(self, kind: OperationKind) -> Iterator[None]:
         """Attribute all messages sent inside the block to ``kind``.
 
+        An operation that raises is attributed under ``kind + ":aborted"``
+        instead: its messages were really sent (quorum probes before a
+        refused write, say) but folding them into the *successful*
+        per-operation means would skew the figures the paper plots --
+        Section 5 costs are per completed operation.
+
         Nested recording is not supported (protocol operations in this
         system never nest), and attempting it raises ``RuntimeError`` to
         surface accounting bugs early.
@@ -132,14 +145,26 @@ class TrafficMeter:
         self._op_start_bytes = self._total_bytes
         try:
             yield
+        except BaseException:
+            self._attribute(kind + ABORTED_SUFFIX)
+            raise
+        else:
+            self._attribute(kind)
         finally:
-            spent = self._total - self._op_start_total
-            self._per_operation.setdefault(kind, RunningStat()).add(spent)
-            spent_bytes = self._total_bytes - self._op_start_bytes
-            self._per_operation_bytes.setdefault(
-                kind, RunningStat()
-            ).add(spent_bytes)
             self._current_op = None
+
+    def _attribute(self, kind: OperationKind) -> None:
+        """Book the messages of the just-ended operation under ``kind``."""
+        spent = self._total - self._op_start_total
+        self._per_operation.setdefault(kind, RunningStat()).add(spent)
+        spent_bytes = self._total_bytes - self._op_start_bytes
+        self._per_operation_bytes.setdefault(
+            kind, RunningStat()
+        ).add(spent_bytes)
+
+    def operation_kinds(self) -> list:
+        """Every kind that has at least one recorded operation, sorted."""
+        return sorted(self._per_operation)
 
     def operations(self, kind: OperationKind) -> int:
         """Number of operations recorded under ``kind``."""

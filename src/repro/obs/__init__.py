@@ -1,0 +1,71 @@
+"""Unified observability: structured traces and a metrics registry.
+
+The paper's claims are quantitative (availability in Section 4, traffic
+in Section 5); this package is the measurement substrate that keeps the
+repository honest about them.  Two halves:
+
+* :mod:`repro.obs.trace` -- span-style tracing of one operation's path
+  through device -> protocol -> network (plus scrub and chaos events),
+  exportable as JSON lines; off by default via :data:`NULL_TRACER`.
+* :mod:`repro.obs.metrics` -- a :class:`MetricsRegistry` of counters,
+  gauges and sim-time histograms into which the existing stat families
+  (traffic meter, cache stats, fault stats) register, so one snapshot
+  shows the whole picture.
+
+:mod:`repro.obs.wiring` connects both to a simulated cluster in one
+call; ``python -m repro metrics`` is the CLI surface.
+"""
+
+from .metrics import (
+    Counter,
+    DEFAULT_BUCKETS,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    MetricsSnapshot,
+)
+from .trace import (
+    NULL_TRACER,
+    NullTracer,
+    Span,
+    SpanRecord,
+    TRACE_SCHEMA_VERSION,
+    Tracer,
+    load_trace,
+    validate_trace_record,
+)
+from .wiring import (
+    Observability,
+    TracedRun,
+    observe_cluster,
+    register_cache,
+    register_device,
+    register_protocol,
+    register_traffic_meter,
+    traced_workload,
+)
+
+__all__ = [
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "Span",
+    "SpanRecord",
+    "TRACE_SCHEMA_VERSION",
+    "load_trace",
+    "validate_trace_record",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "MetricsSnapshot",
+    "DEFAULT_BUCKETS",
+    "Observability",
+    "TracedRun",
+    "observe_cluster",
+    "register_cache",
+    "register_device",
+    "register_protocol",
+    "register_traffic_meter",
+    "traced_workload",
+]

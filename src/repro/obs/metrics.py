@@ -1,0 +1,272 @@
+"""A registry of counters, gauges and sim-time histograms.
+
+The repository grew several disjoint counter families --
+:class:`~repro.net.traffic.TrafficMeter`,
+:class:`~repro.device.cache.CacheStats`,
+:class:`~repro.device.reliable.FaultStats`,
+:class:`~repro.device.interface.DeviceStats` -- each with its own
+snapshot idiom.  :class:`MetricsRegistry` unifies them: native metrics
+(:class:`Counter` / :class:`Gauge` / :class:`Histogram`, labelled
+``per protocol x op kind x outcome``) live in the registry, and the
+legacy families register as *sources* -- callables collected lazily at
+:meth:`MetricsRegistry.snapshot` time -- so one call renders the whole
+instrumentation picture.
+
+Snapshots follow the :class:`~repro.net.traffic.TrafficSnapshot`
+conventions: immutable, and ``later.delta(earlier)`` yields what changed
+between two instants with zero-valued entries dropped.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import (
+    Callable,
+    Dict,
+    IO,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "MetricsSnapshot",
+    "DEFAULT_BUCKETS",
+]
+
+#: Default sim-time latency buckets (upper bounds; +inf is implicit).
+#: Protocol rounds are instantaneous in simulated time, so the low
+#: buckets separate "no backoff" from retried operations whose
+#: exponential backoff advanced the clock.
+DEFAULT_BUCKETS = (0.0, 0.5, 1.0, 2.0, 5.0, 10.0, 30.0, 60.0, 300.0)
+
+Labels = Tuple[Tuple[str, str], ...]
+
+
+def _labelkey(labels: Mapping[str, str]) -> Labels:
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+def _render_name(name: str, labels: Labels) -> str:
+    if not labels:
+        return name
+    inner = ",".join(f"{k}={v}" for k, v in labels)
+    return f"{name}{{{inner}}}"
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(f"counters only go up, got {amount!r}")
+        self.value += amount
+
+
+class Gauge:
+    """A value that can move both ways (e.g. sites currently up)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.value -= amount
+
+
+class Histogram:
+    """Fixed-bucket histogram with count/sum (sim-time latencies).
+
+    ``buckets`` are upper bounds; an implicit +inf bucket catches the
+    rest.  ``mean`` comes from the exact running sum, not the buckets.
+    """
+
+    __slots__ = ("buckets", "counts", "count", "sum")
+
+    def __init__(self, buckets: Sequence[float] = DEFAULT_BUCKETS) -> None:
+        bounds = tuple(float(b) for b in buckets)
+        if list(bounds) != sorted(set(bounds)):
+            raise ValueError(f"bucket bounds must increase: {buckets!r}")
+        self.buckets = bounds
+        self.counts = [0] * (len(bounds) + 1)
+        self.count = 0
+        self.sum = 0.0
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.sum += value
+        for i, bound in enumerate(self.buckets):
+            if value <= bound:
+                self.counts[i] += 1
+                return
+        self.counts[-1] += 1
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+
+class MetricsSnapshot:
+    """Immutable flat view ``rendered-name -> value`` of a registry."""
+
+    def __init__(self, values: Mapping[str, float]) -> None:
+        self._values = dict(values)
+
+    @property
+    def values(self) -> Dict[str, float]:
+        return dict(self._values)
+
+    def get(self, name: str, default: float = 0.0) -> float:
+        return self._values.get(name, default)
+
+    def __getitem__(self, name: str) -> float:
+        return self._values[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._values
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def delta(self, earlier: "MetricsSnapshot") -> "MetricsSnapshot":
+        """What changed between ``earlier`` and this snapshot.
+
+        Matches :meth:`repro.net.traffic.TrafficSnapshot.delta`: values
+        subtract pointwise (absent treated as 0) and unchanged entries
+        are dropped.
+        """
+        names = set(self._values) | set(earlier._values)
+        return MetricsSnapshot({
+            name: diff
+            for name in names
+            if (diff := self._values.get(name, 0.0)
+                - earlier._values.get(name, 0.0))
+        })
+
+    def to_json(self) -> str:
+        return json.dumps(self._values, sort_keys=True)
+
+    def render(self, out: Optional[IO[str]] = None) -> str:
+        """Aligned plain-text rendering, sorted by metric name."""
+        if not self._values:
+            return "(no metrics)"
+        width = max(len(name) for name in self._values)
+        lines = [
+            f"{name.ljust(width)}  {value:g}"
+            for name, value in sorted(self._values.items())
+        ]
+        text = "\n".join(lines)
+        if out is not None:
+            print(text, file=out)
+        return text
+
+
+class MetricsRegistry:
+    """Get-or-create metric store plus pluggable snapshot sources."""
+
+    def __init__(self) -> None:
+        self._counters: Dict[Tuple[str, Labels], Counter] = {}
+        self._gauges: Dict[Tuple[str, Labels], Gauge] = {}
+        self._histograms: Dict[Tuple[str, Labels], Histogram] = {}
+        self._sources: Dict[str, Callable[[], Mapping[str, float]]] = {}
+
+    # -- native metrics -----------------------------------------------------
+
+    def counter(self, name: str, **labels: str) -> Counter:
+        key = (name, _labelkey(labels))
+        if key not in self._counters:
+            self._check_free(name, labels, self._counters)
+            self._counters[key] = Counter()
+        return self._counters[key]
+
+    def gauge(self, name: str, **labels: str) -> Gauge:
+        key = (name, _labelkey(labels))
+        if key not in self._gauges:
+            self._check_free(name, labels, self._gauges)
+            self._gauges[key] = Gauge()
+        return self._gauges[key]
+
+    def histogram(
+        self,
+        name: str,
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+        **labels: str,
+    ) -> Histogram:
+        key = (name, _labelkey(labels))
+        if key not in self._histograms:
+            self._check_free(name, labels, self._histograms)
+            self._histograms[key] = Histogram(buckets)
+        return self._histograms[key]
+
+    def _check_free(self, name, labels, own_family) -> None:
+        """One name belongs to one metric type (labels vary freely)."""
+        for family in (self._counters, self._gauges, self._histograms):
+            if family is own_family:
+                continue
+            if any(n == name for n, _ in family):
+                raise ValueError(
+                    f"metric name {name!r} already used by another type"
+                )
+
+    # -- legacy stat families -------------------------------------------------
+
+    def register_source(
+        self, prefix: str, collect: Callable[[], Mapping[str, float]]
+    ) -> None:
+        """Register a lazy source collected at snapshot time.
+
+        ``collect()`` returns ``suffix -> value``; entries appear in
+        snapshots as ``"<prefix>.<suffix>"``.  Re-registering a prefix
+        replaces the source (the common case: a fresh run of the same
+        experiment).
+        """
+        self._sources[prefix] = collect
+
+    # -- snapshots ------------------------------------------------------------
+
+    def snapshot(self) -> MetricsSnapshot:
+        """One flat, immutable view over metrics and sources."""
+        values: Dict[str, float] = {}
+        for (name, labels), counter in self._counters.items():
+            values[_render_name(name, labels)] = counter.value
+        for (name, labels), gauge in self._gauges.items():
+            values[_render_name(name, labels)] = gauge.value
+        for (name, labels), hist in self._histograms.items():
+            base = _render_name(name, labels)
+            values[f"{base}.count"] = float(hist.count)
+            values[f"{base}.sum"] = hist.sum
+            values[f"{base}.mean"] = hist.mean
+        for prefix, collect in self._sources.items():
+            for suffix, value in collect().items():
+                values[f"{prefix}.{suffix}"] = float(value)
+        return MetricsSnapshot(values)
+
+    def render(self) -> str:
+        return self.snapshot().render()
+
+    # -- introspection --------------------------------------------------------
+
+    def histograms(self) -> List[Tuple[str, Histogram]]:
+        """Rendered-name/histogram pairs (tests and reports use this)."""
+        return [
+            (_render_name(name, labels), hist)
+            for (name, labels), hist in sorted(self._histograms.items())
+        ]

@@ -1,0 +1,387 @@
+"""Structured tracing: span-style events for one operation's whole path.
+
+The paper's evaluation is quantitative -- availability from Markov models
+(Section 4) and per-operation traffic (Section 5) -- but *debugging* a
+replicated device needs to see one operation travel device -> protocol ->
+network (and the background scrub and chaos machinery around it).  A
+:class:`Tracer` collects :class:`SpanRecord` objects from every layer:
+
+* ``device.*``   -- :class:`~repro.device.reliable.ReliableDevice` ops,
+  with retry counts and outcomes;
+* ``protocol.*`` -- each scheme's read/write/batch rounds and recovery;
+* ``net.*``      -- request/reply transmissions with category and bytes;
+* ``scrub.*``    -- audit and repair passes;
+* ``chaos.*``    -- injected faults and repairs.
+
+Timestamps are **simulated** time when the tracer is built with a clock
+(``Tracer(clock=lambda: sim.now)``); without one a logical tick counter
+keeps records totally ordered.  Spans export as JSON lines
+(:meth:`Tracer.export`) and are queryable in-process
+(:meth:`Tracer.spans`).
+
+Tracing defaults to *off* everywhere via the shared :data:`NULL_TRACER`,
+whose span handles are single pre-allocated no-ops -- the hot paths pay
+one attribute lookup and an empty context manager, nothing more (see
+``benchmarks/bench_obs.py`` for the measurement).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    IO,
+    Iterable,
+    List,
+    Optional,
+)
+
+__all__ = [
+    "SpanRecord",
+    "Span",
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "TRACE_SCHEMA_VERSION",
+    "validate_trace_record",
+    "load_trace",
+]
+
+#: Version stamped on every exported JSON line (schema evolution guard).
+TRACE_SCHEMA_VERSION = 1
+
+#: Layers a span may belong to; the schema validator enforces membership.
+LAYERS = ("device", "protocol", "net", "scrub", "chaos", "workload")
+
+OUTCOME_OK = "ok"
+
+
+class SpanRecord:
+    """One finished (or still open) span: who, when, what happened."""
+
+    __slots__ = (
+        "span_id", "name", "layer", "start", "end", "outcome", "attrs",
+    )
+
+    def __init__(
+        self,
+        span_id: int,
+        name: str,
+        layer: str,
+        start: float,
+        attrs: Dict[str, Any],
+    ) -> None:
+        self.span_id = span_id
+        self.name = name
+        self.layer = layer
+        self.start = start
+        self.end: Optional[float] = None
+        self.outcome: str = ""
+        self.attrs = attrs
+
+    @property
+    def duration(self) -> float:
+        """Sim-time the span covered (0.0 while still open)."""
+        if self.end is None:
+            return 0.0
+        return self.end - self.start
+
+    @property
+    def ok(self) -> bool:
+        return self.outcome == OUTCOME_OK
+
+    def to_dict(self) -> Dict[str, Any]:
+        """The JSON-lines representation (one trace line)."""
+        return {
+            "v": TRACE_SCHEMA_VERSION,
+            "span": self.span_id,
+            "name": self.name,
+            "layer": self.layer,
+            "start": self.start,
+            "end": self.end if self.end is not None else self.start,
+            "outcome": self.outcome or OUTCOME_OK,
+            "attrs": self.attrs,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"SpanRecord({self.name!r}, layer={self.layer!r}, "
+            f"start={self.start:g}, outcome={self.outcome!r})"
+        )
+
+
+class Span:
+    """Live handle to an open span; a context manager.
+
+    On exit the span's end time is stamped and its outcome becomes
+    ``"ok"`` or ``"error:<ExceptionType>"``; exceptions always
+    propagate.  :meth:`set` attaches attributes at any point while the
+    span is open.
+    """
+
+    __slots__ = ("_tracer", "_record")
+
+    def __init__(self, tracer: "Tracer", record: SpanRecord) -> None:
+        self._tracer = tracer
+        self._record = record
+
+    def set(self, **attrs: Any) -> "Span":
+        """Attach (or overwrite) span attributes."""
+        self._record.attrs.update(attrs)
+        return self
+
+    def __enter__(self) -> "Span":
+        return self
+
+    def __exit__(self, exc_type, exc, _tb) -> bool:
+        record = self._record
+        record.end = self._tracer.now()
+        record.outcome = (
+            OUTCOME_OK if exc_type is None
+            else f"error:{exc_type.__name__}"
+        )
+        return False
+
+
+class _NullSpan:
+    """Shared no-op span handle: the entire cost of tracing-off."""
+
+    __slots__ = ()
+
+    def set(self, **_attrs: Any) -> "_NullSpan":
+        return self
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *_exc) -> bool:
+        return False
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class NullTracer:
+    """A tracer that records nothing (the default everywhere).
+
+    It honours the full :class:`Tracer` interface so instrumented code
+    never branches on whether tracing is on; every call is a no-op
+    returning shared singletons.
+    """
+
+    enabled = False
+
+    def now(self) -> float:
+        return 0.0
+
+    def span(self, name: str, layer: str = "", **attrs: Any) -> _NullSpan:
+        return _NULL_SPAN
+
+    def event(self, name: str, layer: str = "", **attrs: Any) -> None:
+        return None
+
+    def spans(self, **_filters: Any) -> List[SpanRecord]:
+        return []
+
+    def clear(self) -> None:
+        return None
+
+    def export(self, stream: IO[str]) -> int:
+        return 0
+
+
+#: The process-wide disabled tracer; instrumented classes default to it.
+NULL_TRACER = NullTracer()
+
+
+class Tracer:
+    """Collects spans and point events from every instrumented layer.
+
+    Parameters
+    ----------
+    clock:
+        Zero-argument callable returning the current (simulated) time.
+        Omitted, a logical tick counter stands in: each :meth:`now` call
+        advances it by one, keeping records totally ordered.
+    """
+
+    enabled = True
+
+    def __init__(self, clock: Optional[Callable[[], float]] = None) -> None:
+        self._clock = clock
+        self._tick = 0
+        self._next_id = 0
+        self._records: List[SpanRecord] = []
+
+    # -- time ---------------------------------------------------------------
+
+    def now(self) -> float:
+        """Current trace time: the clock, or a logical tick counter."""
+        if self._clock is not None:
+            return float(self._clock())
+        self._tick += 1
+        return float(self._tick)
+
+    def set_clock(self, clock: Optional[Callable[[], float]]) -> None:
+        """Install (or with None, remove) the time source."""
+        self._clock = clock
+
+    # -- recording ----------------------------------------------------------
+
+    def _new_record(
+        self, name: str, layer: str, attrs: Dict[str, Any]
+    ) -> SpanRecord:
+        if layer not in LAYERS:
+            raise ValueError(
+                f"unknown trace layer {layer!r}; expected one of {LAYERS}"
+            )
+        record = SpanRecord(
+            span_id=self._next_id,
+            name=name,
+            layer=layer,
+            start=self.now(),
+            attrs=attrs,
+        )
+        self._next_id += 1
+        self._records.append(record)
+        return record
+
+    def span(self, name: str, layer: str, **attrs: Any) -> Span:
+        """Open a span; use as a context manager around the operation."""
+        return Span(self, self._new_record(name, layer, attrs))
+
+    def event(self, name: str, layer: str, **attrs: Any) -> SpanRecord:
+        """Record an instantaneous event (a zero-duration ok span)."""
+        record = self._new_record(name, layer, attrs)
+        record.end = record.start
+        record.outcome = OUTCOME_OK
+        return record
+
+    # -- in-process queries --------------------------------------------------
+
+    def spans(
+        self,
+        name: Optional[str] = None,
+        layer: Optional[str] = None,
+        outcome: Optional[str] = None,
+    ) -> List[SpanRecord]:
+        """Recorded spans, optionally filtered.
+
+        ``name`` matches exactly or as a ``"prefix."`` when it ends with
+        a dot; ``outcome="ok"`` selects successes, ``outcome="error"``
+        any failure.
+        """
+        out = []
+        for record in self._records:
+            if layer is not None and record.layer != layer:
+                continue
+            if name is not None:
+                if name.endswith("."):
+                    if not record.name.startswith(name):
+                        continue
+                elif record.name != name:
+                    continue
+            if outcome is not None:
+                if outcome == "error":
+                    if not record.outcome.startswith("error:"):
+                        continue
+                elif record.outcome != outcome:
+                    continue
+            out.append(record)
+        return out
+
+    def layers(self) -> Dict[str, int]:
+        """Span counts per layer (a quick shape check of a trace)."""
+        counts: Dict[str, int] = {}
+        for record in self._records:
+            counts[record.layer] = counts.get(record.layer, 0) + 1
+        return counts
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def clear(self) -> None:
+        """Drop every recorded span (ids keep increasing)."""
+        self._records.clear()
+
+    # -- JSON lines ---------------------------------------------------------
+
+    def export(self, stream: IO[str]) -> int:
+        """Write every record as one JSON line; returns the line count."""
+        count = 0
+        for record in self._records:
+            json.dump(record.to_dict(), stream, sort_keys=True)
+            stream.write("\n")
+            count += 1
+        return count
+
+    def dump(self, path: str) -> int:
+        """Export to ``path``; returns the number of lines written."""
+        with open(path, "w", encoding="utf-8") as handle:
+            return self.export(handle)
+
+
+# -- schema validation ---------------------------------------------------------
+
+#: Required top-level keys of a trace line and their types.
+_SCHEMA = {
+    "v": int,
+    "span": int,
+    "name": str,
+    "layer": str,
+    "start": (int, float),
+    "end": (int, float),
+    "outcome": str,
+    "attrs": dict,
+}
+
+
+def validate_trace_record(obj: Any) -> List[str]:
+    """Schema-check one parsed trace line; returns the violations."""
+    problems: List[str] = []
+    if not isinstance(obj, dict):
+        return [f"trace line is {type(obj).__name__}, expected object"]
+    for key, expected in _SCHEMA.items():
+        if key not in obj:
+            problems.append(f"missing key {key!r}")
+        elif not isinstance(obj[key], expected):
+            problems.append(
+                f"key {key!r} is {type(obj[key]).__name__}"
+            )
+    if not problems:
+        if obj["v"] != TRACE_SCHEMA_VERSION:
+            problems.append(f"unknown schema version {obj['v']}")
+        if obj["layer"] not in LAYERS:
+            problems.append(f"unknown layer {obj['layer']!r}")
+        if obj["end"] < obj["start"]:
+            problems.append("end precedes start")
+        if not (obj["outcome"] == OUTCOME_OK
+                or obj["outcome"].startswith("error:")):
+            problems.append(f"bad outcome {obj['outcome']!r}")
+    return problems
+
+
+def load_trace(lines: Iterable[str]) -> List[Dict[str, Any]]:
+    """Parse and validate JSON-lines trace content.
+
+    Raises ``ValueError`` naming the first offending line when the
+    content does not conform to the schema.
+    """
+    records = []
+    for lineno, line in enumerate(lines, start=1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            obj = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"trace line {lineno}: not JSON ({exc})")
+        problems = validate_trace_record(obj)
+        if problems:
+            raise ValueError(
+                f"trace line {lineno}: {'; '.join(problems)}"
+            )
+        records.append(obj)
+    return records

@@ -38,6 +38,13 @@ class TimeWeightedStat:
     >>> stat.finalize(at_time=20.0)
     >>> stat.mean()
     0.75
+
+    :meth:`finalize` seals the stat: further updates (and a second
+    finalize) raise rather than silently integrating past the declared
+    end of the run.  An *incremental* observer -- one that reads the
+    mean mid-run and keeps observing, like the cluster's availability
+    probe -- uses :meth:`extend_to` instead, which advances the
+    integral without sealing.
     """
 
     def __init__(self, initial_value: float = 0.0, start_time: float = 0.0):
@@ -57,8 +64,18 @@ class TimeWeightedStat:
         """Total observed time span."""
         return self._last_time - self._start_time
 
+    @property
+    def finalized(self) -> bool:
+        """Whether the stat has been sealed by :meth:`finalize`."""
+        return self._finalized
+
     def update(self, value: float, at_time: float) -> None:
         """Record that the signal changed to ``value`` at ``at_time``."""
+        if self._finalized:
+            raise RuntimeError(
+                "TimeWeightedStat is finalized; updates after the end "
+                "of the run would corrupt the integral"
+            )
         if at_time < self._last_time:
             raise ValueError(
                 f"time went backwards: {at_time} < {self._last_time}"
@@ -67,9 +84,20 @@ class TimeWeightedStat:
         self._last_time = at_time
         self._value = float(value)
 
-    def finalize(self, at_time: float) -> None:
-        """Extend the current value up to ``at_time`` (end of run)."""
+    def extend_to(self, at_time: float) -> None:
+        """Advance the integral to ``at_time`` without sealing the stat.
+
+        For incremental observers that read the mean mid-run and keep
+        updating afterwards; :meth:`finalize` is the end-of-run form.
+        """
         self.update(self._value, at_time)
+
+    def finalize(self, at_time: float) -> None:
+        """Extend the current value up to ``at_time`` and seal the stat."""
+        if self._finalized:
+            raise RuntimeError("TimeWeightedStat is already finalized")
+        self.update(self._value, at_time)
+        self._finalized = True
 
     def integral(self) -> float:
         """The accumulated integral of the signal."""

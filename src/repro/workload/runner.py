@@ -84,6 +84,7 @@ class WorkloadRunner:
         origin: SiteId = 0,
         origin_policy: str = "fixed",
         keep_outcomes: bool = False,
+        metrics=None,
     ) -> None:
         if origin_policy not in ("fixed", "random"):
             raise ValueError(
@@ -96,6 +97,11 @@ class WorkloadRunner:
         self._origin_policy = origin_policy
         self._origin_rng = cluster.streams.stream("workload-origins")
         self._keep_outcomes = keep_outcomes
+        #: Optional :class:`repro.obs.MetricsRegistry`; each attempted
+        #: operation lands in ``workload.ops`` / ``workload.messages``
+        #: labelled per scheme x op kind x outcome.
+        self._metrics = metrics
+        self._scheme_label = cluster.protocol.scheme.value
         self._generator = WorkloadGenerator(
             spec,
             num_blocks=cluster.protocol.num_blocks,
@@ -104,6 +110,20 @@ class WorkloadRunner:
         )
         self._payload = b"\xab" * cluster.protocol.block_size
         self.result = WorkloadResult()
+
+    def _note_metrics(self, kind: OpKind, ok: bool, spent: float) -> None:
+        """Record one operation in the registry (a no-op without one)."""
+        if self._metrics is None:
+            return
+        labels = {
+            "scheme": self._scheme_label,
+            "op": kind.value,
+            "outcome": "ok" if ok else "failed",
+        }
+        self._metrics.counter("workload.ops", **labels).inc()
+        self._metrics.histogram("workload.messages", **labels).observe(
+            spent
+        )
 
     def _pick_origin(self) -> SiteId:
         if self._origin_policy == "fixed":
@@ -133,6 +153,7 @@ class WorkloadRunner:
             self.result.messages_ok[op.kind].add(spent)
         else:
             self.result.messages_failed[op.kind].add(spent)
+        self._note_metrics(op.kind, ok, spent)
         if self._keep_outcomes:
             self.result.outcomes.append(
                 OperationOutcome(
@@ -180,6 +201,7 @@ class WorkloadRunner:
                 if ok:
                     self.result.succeeded[kind] += 1
                 stat.add(share)
+                self._note_metrics(kind, ok, share)
                 if self._keep_outcomes:
                     self.result.outcomes.append(
                         OperationOutcome(

@@ -129,7 +129,11 @@ class TestBatchedAccess:
             backing.write_block(i, bytes([i]) * 8)
         result = cache.read_blocks([2, 0, 2, 1])
         assert list(result) == [2, 0, 1]
-        assert cache.stats.reads == 3  # deduped accounting
+        # Every access counts, like the sequential path: 4 reads, and
+        # the duplicate of block 2 is a hit (its first access cached it).
+        assert cache.stats.reads == 4
+        assert cache.cache_stats.hits == 1
+        assert cache.cache_stats.misses == 3
 
     def test_eviction_order_under_batched_access(self):
         cache, backing = make_cached(capacity=2)

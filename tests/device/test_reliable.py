@@ -221,6 +221,34 @@ class TestRetryPolicy:
             device.read_block(0)
         assert device.fault_stats.retries == 2  # 3 attempts = 2 retries
 
+    def test_raising_backoff_clock_keeps_retry_count(self, scheme):
+        """A backoff that raises must not lose the retry it decided.
+
+        The retry is counted the moment the policy grants another
+        attempt; a clock that explodes mid-backoff (simulator horizon,
+        injected fault) surfaces its error without erasing that fact.
+        """
+        from repro.device import RetryPolicy
+        from repro.device.reliable import ReliableDevice
+
+        class ExplodingClock:
+            now = 0.0
+
+            def run(self, until):
+                raise RuntimeError("clock fault during backoff")
+
+        cluster = make_cluster(scheme)
+        for site_id in cluster.protocol.site_ids:
+            cluster.protocol.on_site_failed(site_id)
+        device = ReliableDevice(
+            cluster.protocol,
+            retry=RetryPolicy(max_attempts=3, initial_delay=1.0),
+            clock=ExplodingClock(),
+        )
+        with pytest.raises(RuntimeError, match="clock fault"):
+            device.read_block(0)
+        assert device.fault_stats.retries == 1
+
     def test_no_retry_by_default(self, scheme):
         cluster = make_cluster(scheme)
         device = cluster.device()

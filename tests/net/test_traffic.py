@@ -66,11 +66,42 @@ def test_record_releases_on_exception():
     with pytest.raises(ValueError):
         with meter.record("write"):
             raise ValueError("boom")
-    # the operation was still recorded and a new one can start
-    assert meter.operations("write") == 1
+    # the aborted operation lands under its own kind, not in the
+    # successful-write mean, and a new operation can start
+    assert meter.operations("write") == 0
+    assert meter.operations("write:aborted") == 1
     with meter.record("read"):
         pass
     assert meter.operations("read") == 1
+
+
+def test_aborted_operation_does_not_skew_success_means():
+    meter = TrafficMeter()
+    with meter.record("write"):
+        meter.count(msg(), transmissions=4)
+    with pytest.raises(RuntimeError):
+        with meter.record("write"):
+            # an expensive probe phase, then the quorum check fails
+            meter.count(msg(), transmissions=10)
+            raise RuntimeError("no quorum")
+    # the successful mean only averages completed writes ...
+    assert meter.operations("write") == 1
+    assert meter.mean_messages("write") == pytest.approx(4.0)
+    # ... and the aborted attempt's real cost is still visible
+    assert meter.operations("write:aborted") == 1
+    assert meter.mean_messages("write:aborted") == pytest.approx(10.0)
+    assert meter.total == 14
+
+
+def test_operation_kinds_lists_recorded_kinds():
+    meter = TrafficMeter()
+    assert meter.operation_kinds() == []
+    with meter.record("write"):
+        pass
+    with pytest.raises(ValueError):
+        with meter.record("read"):
+            raise ValueError("boom")
+    assert meter.operation_kinds() == ["read:aborted", "write"]
 
 
 def test_reset_clears_everything():

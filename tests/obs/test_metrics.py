@@ -1,0 +1,122 @@
+"""Unit tests for the metrics registry and its snapshot semantics."""
+
+import json
+
+import pytest
+
+from repro.obs import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+
+
+class TestPrimitives:
+    def test_counter_only_goes_up(self):
+        counter = Counter()
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.value == 3.5
+        with pytest.raises(ValueError):
+            counter.inc(-1)
+
+    def test_gauge_moves_both_ways(self):
+        gauge = Gauge()
+        gauge.set(5)
+        gauge.inc()
+        gauge.dec(2)
+        assert gauge.value == 4.0
+
+    def test_histogram_buckets_and_mean(self):
+        hist = Histogram(buckets=(1.0, 10.0))
+        for value in (0.5, 5.0, 100.0):
+            hist.observe(value)
+        assert hist.counts == [1, 1, 1]  # <=1, <=10, +inf
+        assert hist.count == 3
+        assert hist.mean == pytest.approx(105.5 / 3)
+
+    def test_histogram_rejects_unsorted_buckets(self):
+        with pytest.raises(ValueError):
+            Histogram(buckets=(5.0, 1.0))
+
+
+class TestRegistry:
+    def test_get_or_create_is_stable(self):
+        registry = MetricsRegistry()
+        a = registry.counter("ops", scheme="mcv", op="read")
+        b = registry.counter("ops", op="read", scheme="mcv")
+        assert a is b  # label order is irrelevant
+
+    def test_label_variants_are_distinct(self):
+        registry = MetricsRegistry()
+        read = registry.counter("ops", op="read")
+        write = registry.counter("ops", op="write")
+        assert read is not write
+
+    def test_name_cannot_span_metric_types(self):
+        registry = MetricsRegistry()
+        registry.counter("ops")
+        with pytest.raises(ValueError):
+            registry.gauge("ops")
+        with pytest.raises(ValueError):
+            registry.histogram("ops")
+
+    def test_snapshot_renders_labels_and_histograms(self):
+        registry = MetricsRegistry()
+        registry.counter("ops", op="read").inc(3)
+        registry.gauge("sites_up").set(4)
+        registry.histogram("latency", buckets=(1.0,)).observe(0.5)
+        snap = registry.snapshot()
+        assert snap["ops{op=read}"] == 3
+        assert snap["sites_up"] == 4
+        assert snap["latency.count"] == 1
+        assert snap["latency.mean"] == 0.5
+
+    def test_sources_collected_lazily_at_snapshot_time(self):
+        registry = MetricsRegistry()
+        state = {"value": 1}
+        registry.register_source("src", lambda: dict(state))
+        assert registry.snapshot()["src.value"] == 1
+        state["value"] = 7
+        assert registry.snapshot()["src.value"] == 7
+
+    def test_reregistering_a_source_replaces_it(self):
+        registry = MetricsRegistry()
+        registry.register_source("src", lambda: {"x": 1})
+        registry.register_source("src", lambda: {"x": 2})
+        assert registry.snapshot()["src.x"] == 2
+
+
+class TestSnapshot:
+    def test_delta_matches_traffic_snapshot_semantics(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("ops")
+        other = registry.counter("other")
+        counter.inc(2)
+        other.inc(1)
+        before = registry.snapshot()
+        counter.inc(3)
+        delta = registry.snapshot().delta(before)
+        # changed entries subtract pointwise; unchanged ones drop out
+        assert delta["ops"] == 3
+        assert "other" not in delta
+        assert len(delta) == 1
+
+    def test_to_json_roundtrips(self):
+        registry = MetricsRegistry()
+        registry.counter("ops", op="read").inc()
+        parsed = json.loads(registry.snapshot().to_json())
+        assert parsed == {"ops{op=read}": 1.0}
+
+    def test_render_is_aligned_and_sorted(self):
+        registry = MetricsRegistry()
+        registry.counter("bbb").inc(2)
+        registry.counter("a").inc(1)
+        text = registry.render()
+        lines = text.splitlines()
+        assert lines[0].startswith("a")
+        assert lines[1].startswith("bbb")
+
+    def test_empty_render(self):
+        assert MetricsRegistry().render() == "(no metrics)"

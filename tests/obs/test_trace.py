@@ -1,0 +1,167 @@
+"""Unit tests for the span tracer and the trace schema."""
+
+import io
+import json
+
+import pytest
+
+from repro.obs import (
+    NULL_TRACER,
+    TRACE_SCHEMA_VERSION,
+    Tracer,
+    load_trace,
+    validate_trace_record,
+)
+
+
+class TestSpans:
+    def test_span_records_times_and_ok_outcome(self):
+        clock = iter([10.0, 12.5])
+        tracer = Tracer(clock=lambda: next(clock))
+        with tracer.span("protocol.read", layer="protocol", block=3):
+            pass
+        (record,) = tracer.spans()
+        assert record.start == 10.0
+        assert record.end == 12.5
+        assert record.duration == pytest.approx(2.5)
+        assert record.ok
+        assert record.attrs == {"block": 3}
+
+    def test_span_stamps_error_outcome_and_reraises(self):
+        tracer = Tracer()
+        with pytest.raises(ValueError):
+            with tracer.span("protocol.write", layer="protocol"):
+                raise ValueError("no quorum")
+        (record,) = tracer.spans()
+        assert record.outcome == "error:ValueError"
+        assert not record.ok
+
+    def test_set_attaches_attributes_mid_span(self):
+        tracer = Tracer()
+        with tracer.span("device.read", layer="device") as span:
+            span.set(retries=2)
+        assert tracer.spans()[0].attrs["retries"] == 2
+
+    def test_event_is_instantaneous_and_ok(self):
+        tracer = Tracer(clock=lambda: 7.0)
+        tracer.event("chaos.fault", layer="chaos", kind="crash")
+        (record,) = tracer.spans()
+        assert record.start == record.end == 7.0
+        assert record.ok
+
+    def test_unknown_layer_rejected(self):
+        tracer = Tracer()
+        with pytest.raises(ValueError):
+            tracer.span("x", layer="nonsense")
+
+    def test_logical_clock_orders_records_without_a_clock(self):
+        tracer = Tracer()
+        tracer.event("a", layer="net")
+        tracer.event("b", layer="net")
+        first, second = tracer.spans()
+        assert second.start > first.start
+
+
+class TestQueries:
+    def make(self):
+        tracer = Tracer()
+        with tracer.span("protocol.read", layer="protocol"):
+            pass
+        with pytest.raises(RuntimeError):
+            with tracer.span("protocol.write", layer="protocol"):
+                raise RuntimeError("boom")
+        tracer.event("net.request", layer="net")
+        return tracer
+
+    def test_filter_by_layer(self):
+        tracer = self.make()
+        assert len(tracer.spans(layer="protocol")) == 2
+        assert len(tracer.spans(layer="net")) == 1
+
+    def test_filter_by_name_prefix(self):
+        tracer = self.make()
+        assert len(tracer.spans(name="protocol.")) == 2
+        assert len(tracer.spans(name="protocol.read")) == 1
+
+    def test_filter_by_outcome(self):
+        tracer = self.make()
+        assert len(tracer.spans(outcome="ok")) == 2
+        assert len(tracer.spans(outcome="error")) == 1
+
+    def test_layers_counts(self):
+        tracer = self.make()
+        assert tracer.layers() == {"protocol": 2, "net": 1}
+
+    def test_len_and_clear(self):
+        tracer = self.make()
+        assert len(tracer) == 3
+        tracer.clear()
+        assert len(tracer) == 0
+
+
+class TestExport:
+    def test_export_roundtrips_through_validation(self):
+        tracer = Tracer(clock=lambda: 1.0)
+        with tracer.span("device.write", layer="device", block=0):
+            pass
+        tracer.event("net.request", layer="net", bytes_each=64)
+        buf = io.StringIO()
+        assert tracer.export(buf) == 2
+        records = load_trace(buf.getvalue().splitlines())
+        assert [r["name"] for r in records] == [
+            "device.write", "net.request",
+        ]
+        assert all(r["v"] == TRACE_SCHEMA_VERSION for r in records)
+
+    def test_dump_writes_json_lines(self, tmp_path):
+        tracer = Tracer()
+        tracer.event("scrub.audit", layer="scrub")
+        path = tmp_path / "trace.jsonl"
+        assert tracer.dump(str(path)) == 1
+        with open(path, "r", encoding="utf-8") as handle:
+            (line,) = handle.read().splitlines()
+        assert json.loads(line)["layer"] == "scrub"
+
+    @pytest.mark.parametrize("mutation, problem", [
+        ({"v": 99}, "version"),
+        ({"layer": "bogus"}, "layer"),
+        ({"end": -1.0}, "precedes"),
+        ({"outcome": "weird"}, "outcome"),
+    ])
+    def test_validator_flags_bad_records(self, mutation, problem):
+        good = {
+            "v": TRACE_SCHEMA_VERSION, "span": 0, "name": "x",
+            "layer": "net", "start": 0.0, "end": 1.0,
+            "outcome": "ok", "attrs": {},
+        }
+        assert validate_trace_record(good) == []
+        bad = {**good, **mutation}
+        assert any(problem in p for p in validate_trace_record(bad))
+
+    def test_load_trace_raises_with_line_number(self):
+        with pytest.raises(ValueError, match="line 2"):
+            load_trace([
+                json.dumps({
+                    "v": TRACE_SCHEMA_VERSION, "span": 0, "name": "x",
+                    "layer": "net", "start": 0.0, "end": 1.0,
+                    "outcome": "ok", "attrs": {},
+                }),
+                "not json",
+            ])
+
+
+class TestNullTracer:
+    def test_is_disabled_and_inert(self):
+        assert not NULL_TRACER.enabled
+        with NULL_TRACER.span("anything", layer="whatever") as span:
+            span.set(x=1)
+        NULL_TRACER.event("anything", layer="whatever")
+        assert NULL_TRACER.spans() == []
+        buf = io.StringIO()
+        assert NULL_TRACER.export(buf) == 0
+        assert buf.getvalue() == ""
+
+    def test_shared_span_singleton(self):
+        a = NULL_TRACER.span("a", layer="x")
+        b = NULL_TRACER.span("b", layer="y")
+        assert a is b

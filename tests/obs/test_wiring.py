@@ -1,0 +1,136 @@
+"""Integration tests: observability wired onto a live cluster.
+
+These encode the layer's acceptance bar: one traced workload run must
+produce schema-valid spans from every layer with simulated-time
+timestamps, and the unified registry's per-operation figures must agree
+with the :class:`~repro.net.traffic.TrafficMeter` they mirror.
+"""
+
+import io
+
+import pytest
+
+from repro.device import ClusterConfig, ReplicatedCluster
+from repro.obs import (
+    MetricsRegistry,
+    Tracer,
+    load_trace,
+    observe_cluster,
+    traced_workload,
+)
+from repro.types import SchemeName
+from repro.workload import OpKind
+
+
+@pytest.fixture(scope="module")
+def run():
+    """One traced run shared by the checks below (it is deterministic)."""
+    return traced_workload(horizon=1_000.0, seed=3)
+
+
+class TestTracedWorkload:
+    def test_every_layer_emits_spans(self, run):
+        layers = run.obs.tracer.layers()
+        for layer in ("device", "protocol", "net", "scrub"):
+            assert layers.get(layer, 0) > 0, f"no {layer} spans"
+
+    def test_trace_exports_and_validates(self, run):
+        buf = io.StringIO()
+        count = run.obs.tracer.export(buf)
+        records = load_trace(buf.getvalue().splitlines())
+        assert len(records) == count > 0
+
+    def test_timestamps_are_simulated_time(self, run):
+        horizon = run.cluster.sim.now
+        starts = [record.start for record in run.obs.tracer.spans()]
+        assert all(0.0 <= start <= horizon for start in starts)
+        # the workload spreads over the horizon, so spans must too
+        assert max(starts) > horizon / 2
+
+    def test_device_spans_carry_retry_attrs(self, run):
+        spans = run.obs.tracer.spans(name="device.", layer="device")
+        assert spans
+        assert all("retries" in span.attrs for span in spans)
+
+    def test_registry_matches_workload_means(self, run):
+        """workload.messages histogram means == WorkloadResult means."""
+        result = run.workload
+        for name, hist in run.obs.registry.histograms():
+            if "outcome=ok" not in name or not hist.count:
+                continue
+            kind = OpKind.READ if "op=read" in name else OpKind.WRITE
+            assert hist.mean == pytest.approx(result.mean_messages(kind))
+            assert hist.count == result.succeeded[kind]
+
+    def test_registry_exposes_meter_figures(self, run):
+        """The traffic source mirrors the meter verbatim."""
+        snap = run.obs.registry.snapshot()
+        meter = run.cluster.meter
+        assert snap["traffic.total"] == meter.total
+        for kind in meter.operation_kinds():
+            assert snap[f"traffic.op.{kind}.count"] == \
+                meter.operations(kind)
+            assert snap[f"traffic.op.{kind}.mean_messages"] == \
+                pytest.approx(meter.mean_messages(kind))
+
+    def test_device_and_protocol_sources_present(self, run):
+        snap = run.obs.registry.snapshot()
+        assert snap["device.reads"] == run.device.stats.reads
+        assert snap["device.retries"] == run.device.fault_stats.retries
+        assert "protocol.corruptions_detected" in snap
+        assert "cluster.availability" in snap
+
+
+class TestObserveCluster:
+    def make(self):
+        return ReplicatedCluster(ClusterConfig(
+            scheme=SchemeName.AVAILABLE_COPY, num_sites=3,
+            failure_rate=0.0,
+        ))
+
+    def test_installs_clocked_tracer_on_network(self):
+        cluster = self.make()
+        obs = observe_cluster(cluster)
+        assert cluster.network.tracer is obs.tracer
+        cluster.sim.run(until=42.0)
+        assert obs.tracer.now() == 42.0
+
+    def test_respects_supplied_tracer_and_registry(self):
+        cluster = self.make()
+        tracer = Tracer()
+        registry = MetricsRegistry()
+        obs = observe_cluster(cluster, tracer=tracer, registry=registry)
+        assert obs.tracer is tracer
+        assert obs.registry is registry
+
+    def test_protocol_ops_emit_spans_after_wiring(self):
+        cluster = self.make()
+        obs = observe_cluster(cluster)
+        payload = b"\x11" * cluster.protocol.block_size
+        cluster.protocol.write(0, 5, payload)
+        cluster.protocol.read(0, 5)
+        names = [s.name for s in obs.tracer.spans(layer="protocol")]
+        assert "protocol.write" in names
+        assert "protocol.read" in names
+        scheme = cluster.protocol.scheme.value
+        assert all(
+            s.attrs["scheme"] == scheme
+            for s in obs.tracer.spans(layer="protocol")
+        )
+
+    def test_failed_op_span_carries_error_outcome(self):
+        cluster = ReplicatedCluster(ClusterConfig(
+            scheme=SchemeName.VOTING, num_sites=5, failure_rate=0.0,
+        ))
+        obs = observe_cluster(cluster)
+        # Fail every site but the origin: the read enters the protocol
+        # span and then fails to gather a majority quorum inside it.
+        for site_id in cluster.protocol.site_ids[1:]:
+            cluster.protocol.on_site_failed(site_id)
+        from repro.errors import DeviceError
+
+        with pytest.raises(DeviceError):
+            cluster.protocol.read(0, 0)
+        errors = obs.tracer.spans(layer="protocol", outcome="error")
+        assert errors
+        assert errors[0].outcome.startswith("error:")

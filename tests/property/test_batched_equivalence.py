@@ -205,3 +205,42 @@ def test_batched_quiescent_readback_succeeds(scheme, history):
             event.info == "CorruptBlockError"
             and event.block in corrupted
         ), event
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    batches=st.lists(
+        st.lists(blocks, min_size=1, max_size=2 * N_BLOCKS),
+        min_size=1,
+        max_size=6,
+    )
+)
+def test_cache_accounting_matches_sequential_with_duplicates(batches):
+    """Batched and sequential cache reads agree on every counter.
+
+    Request lists may repeat indices; with capacity covering every
+    block, the batched path must book the same reads/hits/misses the
+    sequential path would -- a duplicate access is a hit, not a no-op.
+    """
+    from repro.device import BufferCache, LocalBlockDevice
+
+    def fresh():
+        backing = LocalBlockDevice(
+            num_blocks=N_BLOCKS, block_size=BLOCK_SIZE
+        )
+        for i in range(N_BLOCKS):
+            backing.write_block(i, fill(i + 1))
+        return BufferCache(backing, capacity_blocks=N_BLOCKS)
+
+    batched = fresh()
+    sequential = fresh()
+    for batch in batches:
+        got = batched.read_blocks(batch)
+        expected = {}
+        for index in batch:
+            expected[index] = sequential.read_block(index)
+        assert got == expected
+    assert batched.stats.reads == sequential.stats.reads
+    assert batched.cache_stats.hits == sequential.cache_stats.hits
+    assert batched.cache_stats.misses == sequential.cache_stats.misses
+    assert batched.cache_stats.accesses == sequential.cache_stats.accesses

@@ -55,6 +55,34 @@ class TestTimeWeightedStat:
         assert stat.elapsed == pytest.approx(10.0)
         assert stat.mean() == 1.0
 
+    def test_update_after_finalize_rejected(self):
+        stat = TimeWeightedStat(initial_value=1.0)
+        stat.finalize(at_time=10.0)
+        assert stat.finalized
+        with pytest.raises(RuntimeError):
+            stat.update(0.0, at_time=20.0)
+        # the integral is untouched by the rejected update
+        assert stat.mean() == 1.0
+        assert stat.elapsed == pytest.approx(10.0)
+
+    def test_double_finalize_rejected(self):
+        stat = TimeWeightedStat(initial_value=1.0)
+        stat.finalize(at_time=10.0)
+        with pytest.raises(RuntimeError):
+            stat.finalize(at_time=20.0)
+
+    def test_extend_to_is_incremental(self):
+        stat = TimeWeightedStat(initial_value=1.0)
+        stat.extend_to(at_time=10.0)
+        assert stat.mean() == 1.0
+        assert not stat.finalized
+        stat.update(0.0, at_time=10.0)  # still observable
+        stat.extend_to(at_time=20.0)
+        assert stat.mean() == pytest.approx(0.5)
+        stat.finalize(at_time=20.0)
+        with pytest.raises(RuntimeError):
+            stat.extend_to(at_time=30.0)
+
 
 class TestRunningStat:
     def test_mean_and_variance(self):
