@@ -2,7 +2,8 @@
 
 PYTHON ?= python3
 
-.PHONY: install test coverage bench metrics examples experiments lint clean
+.PHONY: install test coverage bench bench-json bench-parallel metrics \
+	examples experiments lint clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -19,6 +20,18 @@ coverage:
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s
+
+# Machine-readable benchmark artefacts: the full pytest-benchmark dump
+# goes to BENCH_benchmarks.json (not committed), and bench_parallel
+# appends its serial-vs-parallel measurement to the committed
+# trajectory BENCH_parallel.json.
+bench-json:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only -q \
+		--benchmark-json=BENCH_benchmarks.json
+
+# Just the parallel-engine speedup benchmark (appends the trajectory).
+bench-parallel:
+	$(PYTHON) -m pytest benchmarks/bench_parallel.py --benchmark-only -s
 
 # Smoke test of the observability layer: a short traced workload whose
 # JSON-lines trace is schema-validated on re-read (the CLI exits

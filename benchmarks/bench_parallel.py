@@ -1,0 +1,110 @@
+"""Serial vs parallel Monte-Carlo sweep: the ``repro.exec`` engine.
+
+Runs the reliability-study episode sweep twice -- serially (``jobs=1``)
+and fanned over a process pool -- asserts the two report **identical**
+table values (the engine's determinism guarantee), and appends the
+wall-clock measurement to the persistent bench trajectory
+``BENCH_parallel.json`` at the repository root, so speedups are tracked
+across machines and commits (``make bench-json`` keeps appending).
+
+The >= 2x speedup assertion only applies on hosts with at least 4 CPUs;
+single-core machines still run the pool path and record the (honest,
+below-1x) ratio together with their ``cpu_count``.
+"""
+
+import datetime
+import json
+import os
+import platform
+import time
+from pathlib import Path
+
+from repro.experiments.reliability_study import simulated_mttf_estimate
+from repro.types import SchemeName
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+TRAJECTORY = REPO_ROOT / "BENCH_parallel.json"
+
+#: The benchmarked grid: every scheme at two group sizes.
+CELLS = tuple((scheme, n) for scheme in SchemeName for n in (2, 3))
+RHO = 0.2
+EPISODES = 200
+SEED = 7
+
+
+def _sweep(jobs):
+    """The reliability sweep: one MTTF estimate per grid cell."""
+    return [
+        simulated_mttf_estimate(
+            scheme, n, RHO, episodes=EPISODES, seed=SEED, jobs=jobs
+        )
+        for scheme, n in CELLS
+    ]
+
+
+def _append_record(record):
+    history = []
+    if TRAJECTORY.exists():
+        history = json.loads(TRAJECTORY.read_text(encoding="utf-8"))
+    history.append(record)
+    TRAJECTORY.write_text(
+        json.dumps(history, indent=2) + "\n", encoding="utf-8"
+    )
+
+
+def test_parallel_sweep_speedup(benchmark):
+    cpu_count = os.cpu_count() or 1
+    # Always exercise the pool path, even on one core.
+    jobs = min(4, cpu_count) if cpu_count > 1 else 2
+
+    start = time.perf_counter()
+    serial = _sweep(jobs=1)
+    serial_seconds = time.perf_counter() - start
+
+    timings = {}
+
+    def parallel_run():
+        start = time.perf_counter()
+        estimates = _sweep(jobs=jobs)
+        timings["parallel"] = time.perf_counter() - start
+        return estimates
+
+    parallel = benchmark.pedantic(parallel_run, rounds=1, iterations=1)
+    parallel_seconds = timings["parallel"]
+    speedup = serial_seconds / parallel_seconds
+
+    identical = all(
+        p.mean == s.mean and p.censored == s.censored
+        for p, s in zip(parallel, serial)
+    )
+    assert identical, "parallel sweep diverged from the serial sweep"
+
+    record = {
+        "bench": "parallel-sweep",
+        "utc": datetime.datetime.now(datetime.timezone.utc).isoformat(
+            timespec="seconds"
+        ),
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "cpu_count": cpu_count,
+        "jobs": jobs,
+        "cells": len(CELLS),
+        "episodes_per_cell": EPISODES,
+        "serial_seconds": round(serial_seconds, 4),
+        "parallel_seconds": round(parallel_seconds, 4),
+        "speedup": round(speedup, 3),
+        "identical_aggregates": identical,
+    }
+    _append_record(record)
+    print()
+    print(
+        f"parallel sweep: {len(CELLS)} cells x {EPISODES} episodes, "
+        f"jobs={jobs} on {cpu_count} CPUs: serial {serial_seconds:.2f}s, "
+        f"parallel {parallel_seconds:.2f}s ({speedup:.2f}x) -> "
+        f"{TRAJECTORY.name}"
+    )
+
+    if cpu_count >= 4:
+        assert speedup >= 2.0, (
+            f"expected >= 2x on {cpu_count} CPUs, got {speedup:.2f}x"
+        )

@@ -15,7 +15,16 @@ the test suite.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Hashable, Iterable, List, Mapping, Tuple
+from typing import (
+    Callable,
+    Dict,
+    Hashable,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Tuple,
+)
 
 import numpy as np
 
@@ -33,6 +42,11 @@ class MarkovChain:
         self._states: List[State] = []
         self._index: Dict[State, int] = {}
         self._rates: Dict[Tuple[State, State], float] = {}
+        # Solved results are memoized (survival/participation grids ask
+        # for the same chain's solution once per grid cell) and dropped
+        # whenever the structure mutates.
+        self._generator_cache: Optional[np.ndarray] = None
+        self._steady_cache: Optional[Dict[State, float]] = None
 
     # -- construction ---------------------------------------------------------
 
@@ -41,6 +55,7 @@ class MarkovChain:
         if state not in self._index:
             self._index[state] = len(self._states)
             self._states.append(state)
+            self._invalidate()
 
     def add_transition(self, src: State, dst: State, rate: float) -> None:
         """Add a transition; repeated additions accumulate their rates."""
@@ -56,6 +71,11 @@ class MarkovChain:
         self.add_state(dst)
         key = (src, dst)
         self._rates[key] = self._rates.get(key, 0.0) + float(rate)
+        self._invalidate()
+
+    def _invalidate(self) -> None:
+        self._generator_cache = None
+        self._steady_cache = None
 
     # -- structure -------------------------------------------------------------
 
@@ -78,14 +98,20 @@ class MarkovChain:
             yield src, dst, rate
 
     def generator_matrix(self) -> np.ndarray:
-        """The infinitesimal generator Q (rows sum to zero)."""
-        n = self.num_states
-        q = np.zeros((n, n))
-        for (src, dst), rate in self._rates.items():
-            i, j = self._index[src], self._index[dst]
-            q[i, j] += rate
-            q[i, i] -= rate
-        return q
+        """The infinitesimal generator Q (rows sum to zero).
+
+        The matrix is assembled once per chain structure and cached; a
+        fresh copy is returned each call so callers may mutate theirs.
+        """
+        if self._generator_cache is None:
+            n = self.num_states
+            q = np.zeros((n, n))
+            for (src, dst), rate in self._rates.items():
+                i, j = self._index[src], self._index[dst]
+                q[i, j] += rate
+                q[i, i] -= rate
+            self._generator_cache = q
+        return self._generator_cache.copy()
 
     # -- solution ----------------------------------------------------------------
 
@@ -98,6 +124,8 @@ class MarkovChain:
         """
         if not self._states:
             raise AnalysisError("chain has no states")
+        if self._steady_cache is not None:
+            return dict(self._steady_cache)
         n = self.num_states
         q = self.generator_matrix()
         a = q.T.copy()
@@ -117,7 +145,10 @@ class MarkovChain:
             )
         pi = np.clip(pi, 0.0, None)
         pi = pi / pi.sum()
-        return {state: float(pi[self._index[state]]) for state in self._states}
+        self._steady_cache = {
+            state: float(pi[self._index[state]]) for state in self._states
+        }
+        return dict(self._steady_cache)
 
     def probability_of(
         self, predicate: Callable[[State], bool]

@@ -23,6 +23,7 @@ first one happens.
 
 from __future__ import annotations
 
+from functools import lru_cache
 from typing import Callable, Hashable
 
 import numpy as np
@@ -143,10 +144,13 @@ def _chain_and_start(scheme: SchemeName, n: int, rho: float):
     raise AnalysisError(f"unknown scheme {scheme!r}")
 
 
+@lru_cache(maxsize=None)
 def scheme_mttf(scheme: SchemeName, n: int, rho: float) -> float:
     """Mean time to first unavailability, all copies up at t = 0.
 
     Time unit: mean site repair times (mu = 1), so lambda = rho.
+    Cached: survival/MTTF grids revisit the same (scheme, n, rho)
+    points once per mission time.
     """
     if rho <= 0:
         raise AnalysisError("rho must be positive for a finite MTTF")
@@ -154,18 +158,24 @@ def scheme_mttf(scheme: SchemeName, n: int, rho: float) -> float:
     return mean_time_to_failure(chain, is_up, start)
 
 
+@lru_cache(maxsize=None)
 def scheme_survival(
     scheme: SchemeName, n: int, rho: float, t: float
 ) -> float:
-    """``R(t)`` for a replica group starting with all copies up."""
+    """``R(t)`` for a replica group starting with all copies up.
+
+    Cached: each call costs a matrix exponential, and survival-curve
+    grids re-request the same (scheme, n, rho, t) cells.
+    """
     if rho <= 0:
         raise AnalysisError("rho must be positive")
     chain, is_up, start = _chain_and_start(scheme, n, rho)
     return survival_probability(chain, is_up, start, t)
 
 
+@lru_cache(maxsize=None)
 def scheme_mean_outage(scheme: SchemeName, n: int, rho: float) -> float:
-    """Expected duration of one unavailability episode."""
+    """Expected duration of one unavailability episode.  Cached."""
     chain, is_up, start = _chain_and_start(scheme, n, rho)
     availability = scheme_availability(scheme, n, rho)
     return mean_outage_duration(chain, is_up, start, availability)

@@ -10,12 +10,19 @@ Subcommands::
     python -m repro trace stats workload.trace
     python -m repro simulate --scheme naive-available-copy -n 3 \\
         --rho 0.05 --horizon 100000 --seed 7
+    python -m repro simulate --scheme voting -n 5 --replications 8 --jobs 4
+    python -m repro chaos --campaign 8 --jobs 4
+    python -m repro experiments --jobs 4    # every experiment, in parallel
 
 ``run`` prints the same rows/series the paper's figure reports;
 ``availability`` / ``mttf`` / ``size`` answer planning questions from
 the analytic models; ``trace`` generates and inspects workload traces;
 ``simulate`` runs the discrete-event simulator and compares the measured
 availability and traffic with the analytic models.
+
+``--jobs N`` fans independent seeded runs out over N worker processes
+via :mod:`repro.exec`; seeds derive from the run index, so any jobs
+value reports identical numbers.
 """
 
 from __future__ import annotations
@@ -70,6 +77,15 @@ def build_parser() -> argparse.ArgumentParser:
 
     run = sub.add_parser("run", help="run one experiment and print it")
     run.add_argument("experiment", help="experiment id (see `repro list`)")
+
+    experiments = sub.add_parser(
+        "experiments",
+        help="run every registered experiment (optionally in parallel)",
+    )
+    experiments.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker processes (0 = one per CPU; default 1, serial)",
+    )
 
     avail = sub.add_parser(
         "availability", help="analytic availability of the three schemes"
@@ -127,6 +143,15 @@ def build_parser() -> argparse.ArgumentParser:
     )
     simulate.add_argument("--trace", metavar="FILE", default=None,
                           help="write span-level JSON lines to FILE")
+    simulate.add_argument(
+        "--replications", type=int, default=1, metavar="R",
+        help="independent seeded runs to aggregate (default 1)",
+    )
+    simulate.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker processes for the replications "
+             "(0 = one per CPU; default 1, serial)",
+    )
 
     chaos = sub.add_parser(
         "chaos",
@@ -146,6 +171,16 @@ def build_parser() -> argparse.ArgumentParser:
                        help="also print the history event counts")
     chaos.add_argument("--trace", metavar="FILE", default=None,
                        help="write span-level JSON lines to FILE")
+    chaos.add_argument(
+        "--campaign", type=int, default=1, metavar="K",
+        help="independent seeded runs per scheme, seeds derived from "
+             "--seed (default 1: run --seed itself)",
+    )
+    chaos.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker processes for the campaign "
+             "(0 = one per CPU; default 1, serial)",
+    )
 
     metrics = sub.add_parser(
         "metrics",
@@ -282,7 +317,99 @@ def _dump_trace(tracer, path, out) -> int:
     return 0
 
 
+def _check_jobs(jobs) -> Optional[str]:
+    """None (serial) and >= 0 are fine; 0 means one worker per CPU."""
+    if jobs is not None and jobs < 0:
+        return f"--jobs must be >= 0, got {jobs}"
+    return None
+
+
+def _cmd_experiments(args, out) -> int:
+    from .experiments import run_all
+
+    error = _check_jobs(args.jobs)
+    if error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    reports = run_all(jobs=args.jobs)
+    for report in reports:
+        print(report.render(), file=out)
+        print(file=out)
+    print(f"ran {len(reports)} experiments", file=out)
+    return 0
+
+
+def _simulate_replication(task):
+    """Pool worker: one seeded workload run; summary numbers only."""
+    scheme, sites, rho, horizon, op_rate, ratio, mode = task.payload
+    cluster = ReplicatedCluster(
+        ClusterConfig(
+            scheme=scheme, num_sites=sites, failure_rate=rho,
+            repair_rate=1.0, addressing=mode, seed=task.seed,
+        )
+    )
+    runner = WorkloadRunner(
+        cluster,
+        WorkloadSpec(read_write_ratio=ratio, op_rate=op_rate),
+    )
+    result = runner.run(horizon)
+    return (
+        cluster.availability(),
+        result.mean_messages(OpKind.WRITE),
+        result.mean_messages(OpKind.READ),
+    )
+
+
+def _cmd_simulate_replicated(args, out) -> int:
+    """Fan --replications independent seeded runs out over --jobs."""
+    from .exec import ParallelRunner
+    from .sim.stats import RunningStat
+
+    if args.trace:
+        print("error: --trace needs a single run "
+              "(drop --replications)", file=sys.stderr)
+        return 2
+    mode = AddressingMode(args.addressing)
+    payload = (args.scheme, args.sites, args.rho, args.horizon,
+               args.op_rate, args.read_write_ratio, mode)
+    runner = ParallelRunner(jobs=args.jobs, name="simulate")
+    rows = runner.map(
+        _simulate_replication,
+        [payload] * args.replications,
+        base_seed=args.seed,
+        namespace=f"simulate:{args.scheme.value}",
+    )
+    availability = RunningStat()
+    writes, reads = RunningStat(), RunningStat()
+    for a, w, r in rows:
+        availability.add(a)
+        writes.add(w)
+        reads.add(r)
+    analytic = scheme_availability(args.scheme, args.sites, args.rho)
+    model = traffic_model(args.scheme, args.sites, args.rho, mode=mode)
+    print(f"scheme={args.scheme.value} n={args.sites} rho={args.rho:g} "
+          f"horizon={args.horizon:g} seed={args.seed} "
+          f"replications={args.replications} jobs={runner.jobs} "
+          f"backend={runner.stats.backend}", file=out)
+    print(f"availability: simulated {availability.mean:.6f} "
+          f"+/- {availability.stderr:.6f}  analytic {analytic:.6f}",
+          file=out)
+    print(f"write msgs:   simulated {writes.mean:.3f}  "
+          f"model {model.write:.3f}", file=out)
+    print(f"read msgs:    simulated {reads.mean:.3f}  "
+          f"model {model.read:.3f}", file=out)
+    return 0
+
+
 def _cmd_simulate(args, out) -> int:
+    error = _check_jobs(args.jobs)
+    if error is None and args.replications < 1:
+        error = f"--replications must be >= 1, got {args.replications}"
+    if error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    if args.replications > 1:
+        return _cmd_simulate_replicated(args, out)
     mode = AddressingMode(args.addressing)
     cluster = ReplicatedCluster(
         ClusterConfig(
@@ -333,13 +460,23 @@ def _cmd_simulate(args, out) -> int:
 
 def _cmd_chaos(args, out) -> int:
     from .device.reliable import RetryPolicy
-    from .faults import ChaosConfig, run_chaos
+    from .faults import ChaosConfig, run_chaos, run_chaos_campaign
 
     try:
         retry = RetryPolicy(max_attempts=args.max_attempts,
                             initial_delay=0.0)
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
+        return 2
+    error = _check_jobs(args.jobs)
+    if error is None and args.campaign < 1:
+        error = f"--campaign must be >= 1, got {args.campaign}"
+    if error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    if args.campaign > 1 and args.trace:
+        print("error: --trace needs a single run (drop --campaign)",
+              file=sys.stderr)
         return 2
     tracer = None
     if args.trace:
@@ -349,7 +486,7 @@ def _cmd_chaos(args, out) -> int:
     schemes = [args.scheme] if args.scheme else list(SchemeName)
     all_ok = True
     for scheme in schemes:
-        result = run_chaos(ChaosConfig(
+        config = ChaosConfig(
             scheme=scheme,
             seed=args.seed,
             num_sites=args.sites,
@@ -357,17 +494,24 @@ def _cmd_chaos(args, out) -> int:
             operations=args.operations,
             fault_rate=args.fault_rate,
             retry=retry,
-        ), tracer=tracer)
-        print(result.summary(), file=out)
-        if args.verbose:
-            for kind, count in sorted(result.history.items()):
-                print(f"    {kind:22s} {count}", file=out)
-        for violation in result.violations:
-            print(f"  VIOLATION {violation}", file=out)
-        for site_id, block in result.unaccounted_corruptions:
-            print(f"  UNACCOUNTED corruption at site {site_id}, "
-                  f"block {block}", file=out)
-        all_ok = all_ok and result.ok
+        )
+        if args.campaign > 1:
+            results = run_chaos_campaign(
+                config, runs=args.campaign, jobs=args.jobs
+            )
+        else:
+            results = [run_chaos(config, tracer=tracer)]
+        for result in results:
+            print(result.summary(), file=out)
+            if args.verbose:
+                for kind, count in sorted(result.history.items()):
+                    print(f"    {kind:22s} {count}", file=out)
+            for violation in result.violations:
+                print(f"  VIOLATION {violation}", file=out)
+            for site_id, block in result.unaccounted_corruptions:
+                print(f"  UNACCOUNTED corruption at site {site_id}, "
+                      f"block {block}", file=out)
+            all_ok = all_ok and result.ok
     if tracer is not None:
         status = _dump_trace(tracer, args.trace, out)
         if status:
@@ -407,6 +551,8 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
         return _cmd_list(out)
     if args.command == "run":
         return _cmd_run(args, out)
+    if args.command == "experiments":
+        return _cmd_experiments(args, out)
     if args.command == "availability":
         return _cmd_availability(args, out)
     if args.command == "size":

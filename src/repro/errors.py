@@ -219,3 +219,33 @@ class ScheduleInPastError(SimulationError):
 
 class AnalysisError(ReproError):
     """Base class for analytic-model errors (bad parameters, etc.)."""
+
+
+class CensoredEstimateError(AnalysisError):
+    """Too many Monte-Carlo episodes were censored to trust the estimate.
+
+    Raised when the fraction of episodes whose horizon expired before
+    the observed event exceeds the caller's threshold: averaging only
+    the uncensored episodes would bias the estimate (e.g. MTTF
+    downward, because exactly the longest-lived episodes are dropped).
+    """
+
+    def __init__(self, censored: int, episodes: int, threshold: float):
+        fraction = censored / episodes if episodes else 1.0
+        super().__init__(
+            f"{censored} of {episodes} episodes censored "
+            f"({fraction:.1%} > threshold {threshold:.1%}); raise the "
+            "horizon or the threshold"
+        )
+        self.censored = censored
+        self.episodes = episodes
+        self.threshold = threshold
+
+
+# ---------------------------------------------------------------------------
+# Parallel execution
+# ---------------------------------------------------------------------------
+
+
+class ExecutionError(ReproError):
+    """Misconfiguration of the parallel execution engine."""

@@ -1,0 +1,25 @@
+"""Parallel execution engine for sweeps (``repro.exec``).
+
+The paper's evaluation is a grid of per-(scheme, n, rho) points, each
+backed by Monte-Carlo episodes -- embarrassingly parallel work.  This
+package fans it out:
+
+* :class:`ParallelRunner` -- maps a pure worker over task specs, either
+  in-process (default) or across a ``ProcessPoolExecutor``, with
+  chunking, bounded in-flight submissions and per-task timing;
+* :func:`derive_seed` / :func:`namespace_seed` -- deterministic seed
+  derivation keyed on ``(namespace, base_seed, task_index)``, so
+  parallel and serial runs produce bit-identical aggregates.
+"""
+
+from .runner import ParallelRunner, RunnerStats, Task, resolve_jobs
+from .seeding import derive_seed, namespace_seed
+
+__all__ = [
+    "ParallelRunner",
+    "RunnerStats",
+    "Task",
+    "resolve_jobs",
+    "derive_seed",
+    "namespace_seed",
+]

@@ -1,0 +1,280 @@
+"""A parallel execution engine for Monte-Carlo sweeps and grid cells.
+
+:class:`ParallelRunner` maps a *worker* over a list of pure task specs.
+Two backends share one contract:
+
+* **serial** (the default) runs every task in the calling process, in
+  index order -- fully importable, debuggable, no pickling constraints;
+* **process** fans tasks out across a ``ProcessPoolExecutor`` in
+  index-contiguous chunks with a bounded number of in-flight
+  submissions, then reassembles the results *by task index*.
+
+Because every task's seed is a pure function of ``(namespace,
+base_seed, index)`` (:mod:`repro.exec.seeding`) and results are
+reassembled in index order, the two backends produce **bit-identical
+aggregates** for any worker count and any completion order.  The
+property suite in ``tests/exec`` pins this down.
+
+The process backend degrades gracefully: if the pool cannot be built or
+the worker cannot cross a process boundary (closures, lambdas,
+interactively defined functions), the runner falls back to the serial
+backend and records the fallback, rather than failing the sweep.
+
+Per-task wall-clock timings feed an optional
+:class:`~repro.obs.metrics.MetricsRegistry` (``exec.tasks``,
+``exec.chunks``, ``exec.fallbacks`` counters and an
+``exec.task_seconds`` histogram, labelled by runner name and backend).
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+from typing import Any, Callable, List, Optional, Sequence, Tuple
+
+from ..errors import ExecutionError
+from .seeding import derive_seed
+
+__all__ = ["Task", "RunnerStats", "ParallelRunner", "WALL_BUCKETS"]
+
+#: Wall-clock histogram buckets (seconds).  Episode workers run in the
+#: millisecond range; whole-experiment cells can take tens of seconds.
+WALL_BUCKETS = (0.001, 0.005, 0.02, 0.1, 0.5, 2.0, 10.0, 60.0)
+
+#: Failures of the *pool machinery* (not of the worker's own logic)
+#: that trigger the serial fallback.
+_POOL_FAILURES = (
+    BrokenProcessPool,
+    pickle.PicklingError,
+    AttributeError,  # pickling a non-module-level callable
+    PermissionError,  # sandboxes without process/semaphore support
+)
+
+
+@dataclass(frozen=True)
+class Task:
+    """One unit of a sweep: an index, a derived seed, and a payload.
+
+    Workers must be pure functions of the task: same task, same result,
+    no shared mutable state.  That is what makes the backends
+    interchangeable.
+    """
+
+    index: int
+    seed: int
+    payload: Any
+
+
+@dataclass
+class RunnerStats:
+    """Accounting of the most recent :meth:`ParallelRunner.run_tasks`."""
+
+    backend: str = "serial"
+    tasks: int = 0
+    chunks: int = 0
+    fallbacks: int = 0
+    wall_seconds: float = 0.0
+    task_seconds: List[float] = field(default_factory=list)
+
+
+# A finished task travels home as (index, result, elapsed_seconds).
+_Record = Tuple[int, Any, float]
+
+
+def _run_chunk(worker: Callable[[Task], Any],
+               tasks: Sequence[Task]) -> List[_Record]:
+    """Execute a chunk of tasks in-process, timing each one.
+
+    Module-level so the process backend can ship it to workers.
+    """
+    records: List[_Record] = []
+    for task in tasks:
+        start = time.perf_counter()
+        result = worker(task)
+        records.append((task.index, result, time.perf_counter() - start))
+    return records
+
+
+def resolve_jobs(jobs: Optional[int]) -> int:
+    """Normalise a ``jobs`` request: None/1 serial, 0 = all cores."""
+    if jobs is None:
+        return 1
+    jobs = int(jobs)
+    if jobs < 0:
+        raise ExecutionError(f"jobs must be >= 0, got {jobs}")
+    if jobs == 0:
+        return os.cpu_count() or 1
+    return jobs
+
+
+class ParallelRunner:
+    """Map pure workers over task lists, serially or across processes.
+
+    Parameters
+    ----------
+    jobs:
+        Worker processes.  ``None`` or ``1`` selects the serial
+        backend; ``0`` means one per CPU; ``N > 1`` uses a process
+        pool of ``N`` workers.
+    chunk_size:
+        Tasks per pool submission.  Defaults to roughly four chunks
+        per worker, so stragglers rebalance without drowning the pool
+        in per-task IPC.
+    max_inflight:
+        Bound on simultaneously submitted chunks (default ``2 *
+        jobs``), so a million-task sweep never materialises a million
+        futures.
+    metrics:
+        Optional :class:`~repro.obs.metrics.MetricsRegistry`; per-task
+        timings and counters are recorded under ``exec.*``.
+    name:
+        Label for metrics (``runner=<name>``).
+    """
+
+    def __init__(
+        self,
+        jobs: Optional[int] = None,
+        *,
+        chunk_size: Optional[int] = None,
+        max_inflight: Optional[int] = None,
+        metrics=None,
+        name: str = "exec",
+    ) -> None:
+        self.jobs = resolve_jobs(jobs)
+        if chunk_size is not None and chunk_size < 1:
+            raise ExecutionError(
+                f"chunk_size must be >= 1, got {chunk_size}"
+            )
+        if max_inflight is not None and max_inflight < 1:
+            raise ExecutionError(
+                f"max_inflight must be >= 1, got {max_inflight}"
+            )
+        self.chunk_size = chunk_size
+        self.max_inflight = max_inflight
+        self.metrics = metrics
+        self.name = name
+        self.stats = RunnerStats()
+
+    # -- task construction --------------------------------------------------
+
+    def make_tasks(
+        self,
+        payloads: Sequence[Any],
+        base_seed: int = 0,
+        namespace: str = "task",
+    ) -> List[Task]:
+        """Attach indices and derived seeds to a payload list."""
+        return [
+            Task(index=i, seed=derive_seed(base_seed, i, namespace),
+                 payload=payload)
+            for i, payload in enumerate(payloads)
+        ]
+
+    # -- execution ----------------------------------------------------------
+
+    def map(
+        self,
+        worker: Callable[[Task], Any],
+        payloads: Sequence[Any],
+        base_seed: int = 0,
+        namespace: str = "task",
+    ) -> List[Any]:
+        """Run ``worker`` over each payload; results in payload order."""
+        return self.run_tasks(
+            worker, self.make_tasks(payloads, base_seed, namespace)
+        )
+
+    def run_tasks(
+        self,
+        worker: Callable[[Task], Any],
+        tasks: Sequence[Task],
+    ) -> List[Any]:
+        """Execute prepared tasks; results ordered by task index.
+
+        The input order of ``tasks`` is irrelevant: each task carries
+        its own index and seed, and the output is sorted by index, so
+        shuffled submission produces bit-identical results.
+        """
+        started = time.perf_counter()
+        stats = RunnerStats(tasks=len(tasks))
+        if self.jobs <= 1 or len(tasks) <= 1:
+            stats.backend = "serial"
+            stats.chunks = 1 if tasks else 0
+            records = _run_chunk(worker, tasks)
+        else:
+            try:
+                records = self._run_pool(worker, list(tasks), stats)
+                stats.backend = "process"
+            except _POOL_FAILURES:
+                stats.backend = "serial"
+                stats.fallbacks = 1
+                stats.chunks = 1
+                records = _run_chunk(worker, tasks)
+        records.sort(key=lambda record: record[0])
+        stats.task_seconds = [elapsed for _, _, elapsed in records]
+        stats.wall_seconds = time.perf_counter() - started
+        self.stats = stats
+        self._record_metrics(stats)
+        return [result for _, result, _ in records]
+
+    def _run_pool(
+        self,
+        worker: Callable[[Task], Any],
+        tasks: List[Task],
+        stats: RunnerStats,
+    ) -> List[_Record]:
+        chunk_size = self.chunk_size or max(
+            1, -(-len(tasks) // (self.jobs * 4))
+        )
+        chunks = [
+            tasks[i:i + chunk_size]
+            for i in range(0, len(tasks), chunk_size)
+        ]
+        stats.chunks = len(chunks)
+        max_inflight = self.max_inflight or 2 * self.jobs
+        records: List[_Record] = []
+        workers = min(self.jobs, len(chunks))
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            pending = set()
+            queue = iter(chunks)
+            for chunk in queue:
+                pending.add(pool.submit(_run_chunk, worker, chunk))
+                if len(pending) >= max_inflight:
+                    break
+            while pending:
+                done, pending = wait(pending, return_when=FIRST_COMPLETED)
+                for future in done:
+                    records.extend(future.result())
+                for chunk in queue:
+                    pending.add(pool.submit(_run_chunk, worker, chunk))
+                    if len(pending) >= max_inflight:
+                        break
+        return records
+
+    # -- observability ------------------------------------------------------
+
+    def _record_metrics(self, stats: RunnerStats) -> None:
+        if self.metrics is None:
+            return
+        labels = dict(runner=self.name, backend=stats.backend)
+        self.metrics.counter("exec.tasks", **labels).inc(stats.tasks)
+        self.metrics.counter("exec.chunks", **labels).inc(stats.chunks)
+        if stats.fallbacks:
+            self.metrics.counter(
+                "exec.fallbacks", runner=self.name
+            ).inc(stats.fallbacks)
+        histogram = self.metrics.histogram(
+            "exec.task_seconds", buckets=WALL_BUCKETS, **labels
+        )
+        for elapsed in stats.task_seconds:
+            histogram.observe(elapsed)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ParallelRunner(jobs={self.jobs}, "
+            f"backend={'process' if self.jobs > 1 else 'serial'})"
+        )

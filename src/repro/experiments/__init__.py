@@ -25,7 +25,12 @@ from .witness_study import witness_study, build_witness_group, simulate_witness_
 from .heterogeneity_study import heterogeneity_study, simulate_heterogeneous
 from .partitions import partition_demo, run_partition_scenario
 from .registry import EXPERIMENTS, run_all, run_experiment
-from .reliability_study import reliability_study, simulated_mttf
+from .reliability_study import (
+    MttfEstimate,
+    reliability_study,
+    simulated_mttf,
+    simulated_mttf_estimate,
+)
 from .serial_repair_study import serial_repair_study
 from .report import ExperimentReport, Table
 from .state_diagrams import figure7_8_diagrams, transition_table
@@ -62,6 +67,8 @@ __all__ = [
     "build_witness_group",
     "simulate_witness_group",
     "simulated_mttf",
+    "simulated_mttf_estimate",
+    "MttfEstimate",
     "validate_availability",
     "validate_traffic",
     "ValidationSettings",

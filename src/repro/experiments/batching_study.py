@@ -21,9 +21,10 @@ experiment only quantifies the traffic and latency side.
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Optional, Sequence
 
 from ..device.cluster import ClusterConfig, ReplicatedCluster
+from ..exec import ParallelRunner, Task
 from ..types import AddressingMode, SchemeName
 from .report import ExperimentReport, Table
 
@@ -101,12 +102,27 @@ def _ratio(sequential: int, batched: int) -> float:
     return sequential / batched
 
 
+def _measure_cell(task: Task):
+    """Pool worker: build a fault-free group and measure one batch size.
+
+    Counts are exact (rho=0, no sampling), so the cell is a pure
+    function of its payload and any ``jobs`` value reproduces the
+    serial tables exactly.
+    """
+    scheme, num_sites, batch, block_bytes, mode = task.payload
+    cluster = _fresh_cluster(
+        scheme, num_sites, max(batch, 16), block_bytes, mode
+    )
+    return _measure(cluster, batch)
+
+
 def batching_study(
     num_sites: int = 5,
     batch: int = 8,
     batch_sizes: Sequence[int] = (1, 2, 4, 8, 16),
     block_bytes: int = 512,
     mode: AddressingMode = AddressingMode.MULTICAST,
+    jobs: Optional[int] = None,
 ) -> ExperimentReport:
     """Messages and round-trips: batched vs. sequential multi-block I/O."""
     report = ExperimentReport(
@@ -126,11 +142,22 @@ def batching_study(
         ),
         precision=1,
     )
+    runner = ParallelRunner(jobs=jobs, name="batching")
+    scheme_cells = [
+        (scheme, num_sites, batch, block_bytes, mode)
+        for scheme in SchemeName
+    ]
+    sweep_cells = [
+        (SchemeName.VOTING, num_sites, size, block_bytes, mode)
+        for size in batch_sizes
+    ]
+    measured = runner.map(
+        _measure_cell, scheme_cells + sweep_cells, namespace="cell"
+    )
+    scheme_counts = dict(zip(SchemeName, measured[:len(scheme_cells)]))
+    sweep_counts = dict(zip(batch_sizes, measured[len(scheme_cells):]))
     for scheme in SchemeName:
-        cluster = _fresh_cluster(
-            scheme, num_sites, max(batch, 16), block_bytes, mode
-        )
-        counts = _measure(cluster, batch)
+        counts = scheme_counts[scheme]
         for op in ("read", "write"):
             seq, batched, seq_rounds, batch_rounds = counts[op]
             table.add_row(
@@ -149,11 +176,7 @@ def batching_study(
         precision=3,
     )
     for size in batch_sizes:
-        cluster = _fresh_cluster(
-            SchemeName.VOTING, num_sites,
-            max(size, 16), block_bytes, mode,
-        )
-        counts = _measure(cluster, size)
+        counts = sweep_counts[size]
         _, read_batch, _, read_br = counts["read"]
         _, write_batch, _, write_br = counts["write"]
         sweep.add_row(

@@ -8,7 +8,9 @@ an experiment in one place exposes it everywhere.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List
+from typing import Callable, Dict, List, Optional
+
+from ..exec import ParallelRunner, Task
 
 from .ablations import (
     ablation_repair_regularity,
@@ -68,6 +70,22 @@ def run_experiment(experiment_id: str) -> ExperimentReport:
     return factory()
 
 
-def run_all() -> List[ExperimentReport]:
-    """Run every registered experiment, in registry order."""
-    return [factory() for factory in EXPERIMENTS.values()]
+def _run_by_id(task: Task) -> ExperimentReport:
+    """Pool worker: run the experiment named by the task payload."""
+    return run_experiment(task.payload)
+
+
+def run_all(
+    jobs: Optional[int] = None,
+    runner: Optional[ParallelRunner] = None,
+) -> List[ExperimentReport]:
+    """Run every registered experiment; reports in registry order.
+
+    ``jobs=N`` fans the experiments out over N worker processes (they
+    are independent, deterministic functions); the returned list is in
+    registry order either way.
+    """
+    runner = runner if runner is not None else ParallelRunner(
+        jobs=jobs, name="experiments"
+    )
+    return runner.map(_run_by_id, list(EXPERIMENTS), namespace="experiment")

@@ -22,6 +22,7 @@ from typing import Optional, Sequence
 from ..analysis.serial_repair import serial_availability
 from ..analysis.availability import scheme_availability
 from ..device.cluster import ClusterConfig, ReplicatedCluster
+from ..exec import ParallelRunner, Task
 from ..types import SchemeName
 from .report import ExperimentReport, Table
 
@@ -59,12 +60,23 @@ def _simulated(
     return cluster.availability()
 
 
+def _simulated_cell(task: Task) -> float:
+    """Pool worker: one simulated repair-discipline grid cell.
+
+    The seed rides in the payload (all cells share the study's fixed
+    seed, exactly as the serial loop always did), so any ``jobs``
+    reproduces the serial table bit for bit.
+    """
+    return _simulated(*task.payload)
+
+
 def serial_repair_study(
     n: int = 3,
     rho: float = 0.3,
     horizon: float = 200_000.0,
     seed: int = 46,
     schemes: Sequence[SchemeName] = tuple(SchemeName),
+    jobs: Optional[int] = None,
 ) -> ExperimentReport:
     """Parallel vs single-facility repair, per scheme."""
     report = ExperimentReport(
@@ -84,15 +96,30 @@ def serial_repair_study(
         ),
         precision=5,
     )
+    variants = (
+        (None, "fifo"),  # parallel repair (capacity unbounded)
+        (1, "random"),
+        (1, "fifo"),
+    )
+    cells = [
+        (scheme, n, rho, capacity, discipline, horizon, seed)
+        for scheme in schemes
+        for capacity, discipline in variants
+    ]
+    runner = ParallelRunner(jobs=jobs, name="serial-repair")
+    results = runner.map(_simulated_cell, cells, namespace="cell")
+    simulated = dict(zip(
+        ((c[0], c[3], c[4]) for c in cells), results
+    ))
     for scheme in schemes:
         tag = _TAGS[scheme]
         table.add_row(
             scheme.short,
             scheme_availability(scheme, n, rho),
-            _simulated(scheme, n, rho, None, "fifo", horizon, seed),
+            simulated[(scheme, None, "fifo")],
             serial_availability(tag, n, rho),
-            _simulated(scheme, n, rho, 1, "random", horizon, seed),
-            _simulated(scheme, n, rho, 1, "fifo", horizon, seed),
+            simulated[(scheme, 1, "random")],
+            simulated[(scheme, 1, "fifo")],
         )
     report.add_table(table)
     report.note(

@@ -16,7 +16,7 @@ restored by the integrity machinery:
 """
 
 from .checker import HistoryRecorder, Violation, check_history
-from .chaos import ChaosConfig, ChaosResult, run_chaos
+from .chaos import ChaosConfig, ChaosResult, run_chaos, run_chaos_campaign
 from .injector import FaultInjector, InjectionCounts
 
 __all__ = [
@@ -28,4 +28,5 @@ __all__ = [
     "ChaosConfig",
     "ChaosResult",
     "run_chaos",
+    "run_chaos_campaign",
 ]

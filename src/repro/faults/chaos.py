@@ -18,7 +18,7 @@ verdict.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Tuple
 
 from ..core.available_copy import AvailableCopyProtocol
@@ -39,7 +39,12 @@ from ..types import SchemeName, SiteState
 from .checker import HistoryRecorder, Violation
 from .injector import FaultInjector, InjectionCounts
 
-__all__ = ["ChaosConfig", "ChaosResult", "run_chaos"]
+__all__ = [
+    "ChaosConfig",
+    "ChaosResult",
+    "run_chaos",
+    "run_chaos_campaign",
+]
 
 
 @dataclass(frozen=True)
@@ -124,6 +129,44 @@ class ChaosResult:
             f"{self.blocks_healed} healed, {self.sites_fenced} fenced, "
             f"{self.retries} retries, {len(self.violations)} violations"
         )
+
+
+def _campaign_run(task) -> "ChaosResult":
+    """Pool worker: one independent run of a campaign.
+
+    The run's seed is the task's derived seed, a pure function of the
+    campaign's base seed and the run index, so campaigns produce the
+    same verdicts at any ``jobs`` value and in any completion order.
+    """
+    return run_chaos(replace(task.payload, seed=task.seed))
+
+
+def run_chaos_campaign(
+    config: ChaosConfig,
+    runs: int,
+    jobs: Optional[int] = None,
+    runner=None,
+) -> List["ChaosResult"]:
+    """Fan ``runs`` independently seeded chaos schedules out in parallel.
+
+    Run ``i`` replays ``config`` with a seed derived from
+    ``(config.seed, i)``; results come back in run order.  A campaign
+    is the chaos analogue of a Monte-Carlo sweep: many independent
+    seeded schedules, one verdict each.
+    """
+    from ..exec import ParallelRunner
+
+    if runs < 1:
+        raise ValueError(f"campaign needs at least one run, got {runs}")
+    runner = runner if runner is not None else ParallelRunner(
+        jobs=jobs, name="chaos"
+    )
+    return runner.map(
+        _campaign_run,
+        [config] * runs,
+        base_seed=config.seed,
+        namespace=f"chaos:{config.scheme.value}",
+    )
 
 
 def _build_protocol(config: ChaosConfig):

@@ -1,0 +1,125 @@
+"""Property suite: parallel and serial sweeps are bit-identical.
+
+The engine's central guarantee: because every task's seed derives from
+``(namespace, base_seed, index)`` and results are reassembled in index
+order, the worker count and the completion order are invisible in the
+aggregates.  This suite exercises the real consumers at ``jobs=1``,
+``jobs=4`` and with shuffled task order.
+"""
+
+import random
+
+import pytest
+
+from repro.exec import ParallelRunner
+from repro.experiments.reliability_study import (
+    _mttf_episode,
+    simulated_mttf_estimate,
+)
+from repro.faults import ChaosConfig, run_chaos_campaign
+from repro.types import SchemeName
+
+# Small but non-trivial: n=2 voting loses availability at the first
+# failure, so episodes terminate fast.
+SCHEME, N, RHO, EPISODES = SchemeName.VOTING, 2, 0.3, 24
+
+
+def _estimate(jobs):
+    return simulated_mttf_estimate(
+        SCHEME, N, RHO, episodes=EPISODES, seed=5, jobs=jobs
+    )
+
+
+class TestMttfEquivalence:
+    def test_jobs_1_and_4_bit_identical(self):
+        serial = _estimate(jobs=1)
+        pooled = _estimate(jobs=4)
+        assert pooled.mean == serial.mean  # bitwise, no approx
+        assert pooled.censored == serial.censored
+        assert pooled.episodes == serial.episodes
+
+    def test_shuffled_task_order_bit_identical(self):
+        runner = ParallelRunner()
+        from repro.exec import namespace_seed
+
+        base = namespace_seed(5, f"mttf:{SCHEME.value}:{N}:{RHO!r}")
+        tasks = runner.make_tasks(
+            [(SCHEME, N, RHO, 1e7)] * EPISODES,
+            base_seed=base, namespace="episode",
+        )
+        in_order = runner.run_tasks(_mttf_episode, tasks)
+        shuffled = list(tasks)
+        random.Random(99).shuffle(shuffled)
+        assert runner.run_tasks(_mttf_episode, shuffled) == in_order
+
+    def test_matches_direct_estimate(self):
+        # the wrapper aggregates exactly the episode stream above
+        assert _estimate(jobs=1).episodes == EPISODES
+
+
+class TestChaosCampaignEquivalence:
+    @pytest.fixture(scope="class")
+    def config(self):
+        return ChaosConfig(
+            scheme=SchemeName.VOTING, seed=11, num_sites=4,
+            num_blocks=8, operations=60,
+        )
+
+    def test_campaign_jobs_1_and_2_identical(self, config):
+        serial = run_chaos_campaign(config, runs=3, jobs=1)
+        pooled = run_chaos_campaign(config, runs=3, jobs=2)
+        assert [r.summary() for r in serial] == [
+            r.summary() for r in pooled
+        ]
+        assert [r.seed for r in serial] == [r.seed for r in pooled]
+
+    def test_campaign_seeds_are_distinct(self, config):
+        results = run_chaos_campaign(config, runs=3, jobs=1)
+        assert len({r.seed for r in results}) == 3
+
+    def test_empty_campaign_rejected(self, config):
+        with pytest.raises(ValueError):
+            run_chaos_campaign(config, runs=0)
+
+
+class TestExperimentGridEquivalence:
+    def test_registry_worker_crosses_process_boundary(self):
+        # cheap analytic experiments: the reports must pickle home
+        from repro.experiments.registry import _run_by_id
+
+        runner = ParallelRunner(jobs=2)
+        reports = runner.map(
+            _run_by_id, ["figure-9", "theorem-4.1"],
+            namespace="experiment",
+        )
+        assert [r.experiment_id for r in reports] == [
+            "figure-9", "theorem-4.1"
+        ]
+        serial = ParallelRunner().map(
+            _run_by_id, ["figure-9", "theorem-4.1"],
+            namespace="experiment",
+        )
+        assert [r.render() for r in reports] == [
+            r.render() for r in serial
+        ]
+
+    def test_heterogeneity_study_jobs_identical(self):
+        from repro.experiments import heterogeneity_study
+
+        mixes = ((0.2, 0.2), (0.05, 0.4))
+        serial = heterogeneity_study(
+            mixes=mixes, horizon=2_000.0, jobs=1
+        )
+        pooled = heterogeneity_study(
+            mixes=mixes, horizon=2_000.0, jobs=2
+        )
+        assert serial.render() == pooled.render()
+
+    def test_batching_study_jobs_identical(self):
+        from repro.experiments import batching_study
+
+        serial = batching_study(num_sites=3, batch=4, batch_sizes=(1, 4))
+        pooled = batching_study(
+            num_sites=3, batch=4, batch_sizes=(1, 4), jobs=2
+        )
+        assert serial.render() == pooled.render()

@@ -1,0 +1,149 @@
+"""ParallelRunner: backends, ordering, chunking, metrics, fallback."""
+
+import os
+import time
+
+import pytest
+
+from repro.errors import ExecutionError
+from repro.exec import ParallelRunner, Task, resolve_jobs
+from repro.obs.metrics import MetricsRegistry
+
+
+def _square(task: Task) -> int:
+    return task.payload * task.payload
+
+
+def _seed_echo(task: Task) -> int:
+    return task.seed
+
+
+def _boom(task: Task) -> None:
+    raise RuntimeError(f"task {task.index} exploded")
+
+
+def _reverse_sleeper(task: Task) -> int:
+    """Later indices finish first: adversarial completion order."""
+    time.sleep(0.01 * (4 - task.index % 5))
+    return task.index
+
+
+class TestResolveJobs:
+    def test_default_is_serial(self):
+        assert resolve_jobs(None) == 1
+        assert ParallelRunner().jobs == 1
+
+    def test_zero_means_all_cores(self):
+        assert resolve_jobs(0) == (os.cpu_count() or 1)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ExecutionError):
+            ParallelRunner(jobs=-1)
+
+
+class TestSerialBackend:
+    def test_map_preserves_order(self):
+        runner = ParallelRunner()
+        assert runner.map(_square, [1, 2, 3, 4]) == [1, 4, 9, 16]
+        assert runner.stats.backend == "serial"
+        assert runner.stats.tasks == 4
+
+    def test_serial_accepts_closures(self):
+        runner = ParallelRunner()
+        offset = 10
+        assert runner.map(lambda t: t.payload + offset, [1, 2]) == [11, 12]
+
+    def test_worker_error_propagates(self):
+        with pytest.raises(RuntimeError, match="exploded"):
+            ParallelRunner().map(_boom, [1, 2, 3])
+
+
+class TestProcessBackend:
+    def test_pool_equals_serial(self):
+        serial = ParallelRunner().map(_square, list(range(20)))
+        pooled = ParallelRunner(jobs=2, chunk_size=3).map(
+            _square, list(range(20))
+        )
+        assert pooled == serial
+
+    def test_results_in_index_order_despite_completion_order(self):
+        runner = ParallelRunner(jobs=4, chunk_size=1)
+        results = runner.map(_reverse_sleeper, list(range(10)))
+        assert results == list(range(10))
+
+    def test_chunking_accounted(self):
+        runner = ParallelRunner(jobs=2, chunk_size=4)
+        runner.map(_square, list(range(10)))
+        assert runner.stats.chunks == 3  # 4 + 4 + 2
+
+    def test_bounded_inflight_still_completes_everything(self):
+        runner = ParallelRunner(jobs=2, chunk_size=1, max_inflight=2)
+        assert runner.map(_square, list(range(25))) == [
+            i * i for i in range(25)
+        ]
+
+    def test_single_task_stays_serial(self):
+        runner = ParallelRunner(jobs=4)
+        assert runner.map(_square, [3]) == [9]
+        assert runner.stats.backend == "serial"
+
+    def test_worker_error_propagates_from_pool(self):
+        with pytest.raises(RuntimeError, match="exploded"):
+            ParallelRunner(jobs=2).map(_boom, [1, 2, 3])
+
+    def test_unpicklable_worker_falls_back_to_serial(self):
+        runner = ParallelRunner(jobs=2)
+        offset = 5
+        results = runner.map(lambda t: t.payload + offset, [1, 2, 3])
+        assert results == [6, 7, 8]
+        assert runner.stats.backend == "serial"
+        assert runner.stats.fallbacks == 1
+
+    def test_invalid_chunk_size_rejected(self):
+        with pytest.raises(ExecutionError):
+            ParallelRunner(jobs=2, chunk_size=0)
+        with pytest.raises(ExecutionError):
+            ParallelRunner(jobs=2, max_inflight=0)
+
+
+class TestSeedPlumbing:
+    def test_task_seeds_are_index_derived_not_schedule_derived(self):
+        serial = ParallelRunner().map(
+            _seed_echo, ["x"] * 8, base_seed=13, namespace="s"
+        )
+        pooled = ParallelRunner(jobs=3, chunk_size=1).map(
+            _seed_echo, ["x"] * 8, base_seed=13, namespace="s"
+        )
+        assert serial == pooled
+        assert len(set(serial)) == 8
+
+    def test_run_tasks_accepts_shuffled_input(self):
+        runner = ParallelRunner()
+        tasks = runner.make_tasks(list(range(10)), base_seed=3)
+        shuffled = list(reversed(tasks))
+        assert runner.run_tasks(_square, shuffled) == runner.run_tasks(
+            _square, tasks
+        )
+
+
+class TestMetrics:
+    def test_timings_feed_the_registry(self):
+        registry = MetricsRegistry()
+        runner = ParallelRunner(metrics=registry, name="unit")
+        runner.map(_square, list(range(6)))
+        snapshot = registry.snapshot()
+        rendered = snapshot.render()
+        assert "exec.tasks" in rendered
+        from repro.exec.runner import WALL_BUCKETS
+
+        histogram = registry.histogram(
+            "exec.task_seconds", buckets=WALL_BUCKETS,
+            runner="unit", backend="serial",
+        )
+        assert histogram.count == 6
+
+    def test_fallback_counter(self):
+        registry = MetricsRegistry()
+        runner = ParallelRunner(jobs=2, metrics=registry, name="fb")
+        runner.map(lambda t: t.payload, [1, 2])
+        assert registry.counter("exec.fallbacks", runner="fb").value == 1

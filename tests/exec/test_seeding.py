@@ -1,0 +1,46 @@
+"""Seed derivation: pure, stable, independent of scheduling."""
+
+import pytest
+
+from repro.exec import derive_seed, namespace_seed
+
+
+def test_deterministic_across_calls():
+    assert derive_seed(7, 3) == derive_seed(7, 3)
+    assert namespace_seed(7, "mttf") == namespace_seed(7, "mttf")
+
+
+def test_pinned_values():
+    # Regression pins: these must never change across platforms or
+    # Python versions, or every recorded sweep stops being replayable.
+    assert derive_seed(7, 0) == 11844259572618285651
+    assert derive_seed(7, 1) == 18199346566267845631
+    assert derive_seed(7, 0, "mttf") == 2671426003655298780
+
+
+def test_indices_and_namespaces_decorrelate():
+    seeds = {derive_seed(42, i) for i in range(1000)}
+    assert len(seeds) == 1000
+    assert derive_seed(42, 5, "a") != derive_seed(42, 5, "b")
+    assert namespace_seed(42, "cell-a") != namespace_seed(42, "cell-b")
+
+
+def test_base_seed_matters():
+    assert derive_seed(1, 0) != derive_seed(2, 0)
+
+
+def test_seeds_are_64_bit_non_negative():
+    for i in range(50):
+        seed = derive_seed(123, i)
+        assert 0 <= seed < 2 ** 64
+
+
+def test_negative_index_rejected():
+    with pytest.raises(ValueError):
+        derive_seed(0, -1)
+
+
+def test_appending_tasks_never_perturbs_earlier_ones():
+    short = [derive_seed(9, i) for i in range(10)]
+    long = [derive_seed(9, i) for i in range(20)]
+    assert long[:10] == short

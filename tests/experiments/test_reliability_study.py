@@ -1,8 +1,15 @@
 """Small-scale run of the reliability experiment."""
 
+import math
+
 import pytest
 
-from repro.experiments import reliability_study, simulated_mttf
+from repro.errors import CensoredEstimateError
+from repro.experiments import (
+    reliability_study,
+    simulated_mttf,
+    simulated_mttf_estimate,
+)
 from repro.types import SchemeName
 
 
@@ -46,3 +53,52 @@ def test_registered():
     from repro.experiments import EXPERIMENTS
 
     assert "reliability-study" in EXPERIMENTS
+
+
+class TestCensoredAccounting:
+    """Horizon-expired episodes are counted, not silently dropped."""
+
+    def test_all_censored_raises_by_default(self):
+        # MTTF of a single copy is 1/rho = 1e9, far past the horizon:
+        # every episode is censored and the estimate must refuse.
+        with pytest.raises(CensoredEstimateError) as excinfo:
+            simulated_mttf_estimate(
+                SchemeName.VOTING, n=1, rho=1e-9, episodes=4,
+                seed=1, horizon=100.0,
+            )
+        assert excinfo.value.censored == 4
+        assert excinfo.value.episodes == 4
+
+    def test_threshold_override_surfaces_the_count(self):
+        estimate = simulated_mttf_estimate(
+            SchemeName.VOTING, n=1, rho=1e-9, episodes=4,
+            seed=1, horizon=100.0, max_censored_fraction=1.0,
+        )
+        assert estimate.censored == 4
+        assert estimate.observed == 0
+        assert estimate.censored_fraction == 1.0
+        assert math.isnan(estimate.mean)  # no observed episodes
+
+    def test_fast_losses_are_never_censored(self):
+        estimate = simulated_mttf_estimate(
+            SchemeName.VOTING, n=1, rho=0.5, episodes=20, seed=2
+        )
+        assert estimate.censored == 0
+        assert estimate.observed == 20
+        assert estimate.mean == pytest.approx(2.0, rel=0.5)
+
+    def test_wrapper_returns_the_estimate_mean(self):
+        estimate = simulated_mttf_estimate(
+            SchemeName.VOTING, n=1, rho=0.5, episodes=10, seed=3
+        )
+        assert simulated_mttf(
+            SchemeName.VOTING, n=1, rho=0.5, episodes=10, seed=3
+        ) == estimate.mean
+
+    def test_report_surfaces_censored_column(self):
+        report = reliability_study(
+            site_counts=(1,), rho=0.5, simulate=True, episodes=10
+        )
+        mttf = report.tables[0]
+        assert "censored" in mttf.columns
+        assert all(row[5] == 0 for row in mttf.rows)

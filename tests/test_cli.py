@@ -118,3 +118,52 @@ def test_size_command():
 def test_size_command_rejects_bad_target():
     code, output = run_cli("size", "--rho", "0.1", "--target", "1.5")
     assert code != 0 or "error" in output.lower()
+
+
+def test_simulate_replications_pooled_matches_serial():
+    base = ("simulate", "--scheme", "nac", "-n", "2", "--rho", "0.2",
+            "--horizon", "2000", "--replications", "3")
+    code1, serial = run_cli(*base, "--jobs", "1")
+    code2, pooled = run_cli(*base, "--jobs", "2")
+    assert code1 == 0 and code2 == 0
+    # Same derived seeds, same aggregation order: identical numbers,
+    # only the reported backend differs.
+    strip = lambda text: [line for line in text.splitlines()
+                          if not line.startswith("scheme=")]
+    assert strip(serial) == strip(pooled)
+
+
+def test_chaos_campaign_runs_k_seeded_runs():
+    code, output = run_cli("chaos", "--seed", "9", "--scheme", "voting",
+                           "--operations", "60", "--campaign", "2",
+                           "--jobs", "2")
+    assert code == 0
+    assert output.count("chaos[majority-consensus-voting") == 2
+    assert "all checks passed" in output
+
+
+def test_chaos_rejects_campaign_below_one():
+    code, _output = run_cli("chaos", "--campaign", "0")
+    assert code == 2
+
+
+def test_chaos_campaign_rejects_trace():
+    code, _output = run_cli("chaos", "--campaign", "2",
+                            "--trace", "/tmp/never-written.jsonl")
+    assert code == 2
+
+
+def test_simulate_rejects_negative_jobs():
+    code, _output = run_cli("simulate", "--scheme", "nac", "--jobs", "-3")
+    assert code == 2
+
+
+def test_simulate_rejects_zero_replications():
+    code, _output = run_cli("simulate", "--scheme", "nac",
+                            "--replications", "0")
+    assert code == 2
+
+
+def test_experiments_rejects_negative_jobs():
+    code, _output = run_cli("experiments", "--jobs", "-1")
+    assert code == 2
