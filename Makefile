@@ -43,6 +43,22 @@ metrics:
 bench-output:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only 2>&1 | tee bench_output.txt
 
+# Static checks. ruff and mypy are optional (install the `lint` extra);
+# the repro.lint determinism/invariant linter is stdlib-only and always
+# runs. Each tool must exit zero for the target to pass.
+lint:
+	@if command -v ruff >/dev/null 2>&1; then \
+		ruff check src tests; \
+	else \
+		echo "ruff not installed; skipping (pip install -e '.[lint]')"; \
+	fi
+	@if command -v mypy >/dev/null 2>&1; then \
+		mypy src/repro; \
+	else \
+		echo "mypy not installed; skipping (pip install -e '.[lint]')"; \
+	fi
+	PYTHONPATH=src $(PYTHON) -m repro lint src
+
 examples:
 	@for script in examples/*.py; do \
 		echo "=== $$script ==="; \

@@ -13,7 +13,7 @@ from repro.experiments import figure11
 from repro.types import AddressingMode, SchemeName
 from repro.workload import OpKind, WorkloadRunner, WorkloadSpec
 
-from .conftest import emit, run_once
+from .conftest import run_once
 
 RHO = 0.05
 

@@ -23,7 +23,6 @@ depends only on the ratio (Section 4's parameterisation).
 from __future__ import annotations
 
 from functools import lru_cache
-from typing import Tuple
 
 from ..core.quorum import QuorumSpec
 from ..errors import AnalysisError

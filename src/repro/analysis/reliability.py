@@ -120,7 +120,10 @@ def mean_outage_duration(
             f"availability must be in (0, 1], got {availability}"
         )
     mttf = mean_time_to_failure(chain, is_up, start)
-    if availability == 1.0:
+    if availability >= 1.0:
+        # Validated to (0, 1] above; at the boundary there are no
+        # outages at all (>= rather than == keeps the branch robust to
+        # values that round to 1 from below).
         return 0.0
     return mttf * (1.0 - availability) / availability
 

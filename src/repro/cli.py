@@ -200,6 +200,14 @@ def build_parser() -> argparse.ArgumentParser:
                               "(schema-validated after writing)")
     metrics.add_argument("--json", action="store_true",
                          help="emit the snapshot as JSON, not text")
+
+    lint = sub.add_parser(
+        "lint",
+        help="determinism & protocol-invariant linter (RL001-RL007)",
+    )
+    from .lint.cli import add_lint_arguments
+
+    add_lint_arguments(lint)
     return parser
 
 
@@ -565,4 +573,8 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
         return _cmd_chaos(args, out)
     if args.command == "metrics":
         return _cmd_metrics(args, out)
+    if args.command == "lint":
+        from .lint.cli import run_lint
+
+        return run_lint(args, out)
     return _cmd_simulate(args, out)

@@ -159,6 +159,16 @@ class UnknownSiteError(NetworkError):
         self.site_id = site_id
 
 
+class AccountingError(NetworkError, RuntimeError):
+    """Per-operation traffic attribution was used incorrectly.
+
+    Raised by :meth:`repro.net.traffic.TrafficMeter.record` on nested
+    recording, which would double-book transmissions and skew the
+    per-operation means of Figures 11-12.  Also a ``RuntimeError`` for
+    backward compatibility with callers that predate the hierarchy.
+    """
+
+
 # ---------------------------------------------------------------------------
 # File system
 # ---------------------------------------------------------------------------
@@ -217,6 +227,16 @@ class ScheduleInPastError(SimulationError):
     """An event was scheduled before the current simulation time."""
 
 
+class StatSealedError(SimulationError, RuntimeError):
+    """A finalized time-weighted statistic was updated or re-finalized.
+
+    Integrating past the declared end of a run would corrupt the
+    availability integral; the stat raises instead of silently
+    extending.  Also a ``RuntimeError`` for backward compatibility with
+    callers that predate the hierarchy.
+    """
+
+
 class AnalysisError(ReproError):
     """Base class for analytic-model errors (bad parameters, etc.)."""
 
@@ -230,7 +250,9 @@ class CensoredEstimateError(AnalysisError):
     downward, because exactly the longest-lived episodes are dropped).
     """
 
-    def __init__(self, censored: int, episodes: int, threshold: float):
+    def __init__(
+        self, censored: int, episodes: int, threshold: float
+    ) -> None:
         fraction = censored / episodes if episodes else 1.0
         super().__init__(
             f"{censored} of {episodes} episodes censored "

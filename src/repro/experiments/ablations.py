@@ -22,7 +22,6 @@ Three studies, each isolating one mechanism the paper argues for:
 
 from __future__ import annotations
 
-from dataclasses import replace
 from typing import Sequence
 
 from ..device.cluster import ClusterConfig, ReplicatedCluster

@@ -13,6 +13,7 @@ from typing import Optional, Sequence, Tuple
 
 from ..analysis.witnesses import witness_voting_availability
 from ..core.quorum import QuorumSpec
+from ..errors import DeviceError
 from ..core.voting import VotingProtocol
 from ..device.site import Site
 from ..net.network import Network
@@ -105,7 +106,7 @@ def simulate_witness_group(
                     generator.next_operation().block,
                     payload,
                 )
-            except Exception:  # quorum loss between check and write
+            except DeviceError:  # quorum loss between check and write
                 pass
         sim.schedule(generator.next_interarrival(), tick)
 

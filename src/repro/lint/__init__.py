@@ -1,0 +1,30 @@
+"""Project-specific static analysis (``python -m repro lint``).
+
+The paper's claims survive in this repository only while two families of
+invariants hold: the simulator stays *deterministic* (Theorem 4.1's
+availability figures are Monte-Carlo estimates that must replay
+bit-for-bit) and the traffic model stays *complete* (Section 5's message
+counts are only honest while every message category is priced).  Generic
+linters cannot express either, so this package checks them mechanically:
+
+* an AST-based rule engine (stdlib :mod:`ast`, no runtime dependencies)
+  with a pluggable registry, per-rule codes and ``file:line`` diagnostics;
+* ``# repro: noqa[CODE]`` line suppressions, with unknown codes rejected;
+* project rules (``RL001``-``RL007``) that encode the determinism and
+  protocol invariants -- see :mod:`repro.lint.rules` for the catalogue.
+
+``python -m repro lint`` runs the engine over ``src`` and exits non-zero
+on findings; ``make lint`` chains it with ruff and mypy.
+"""
+
+from .diagnostics import Diagnostic
+from .engine import LintEngine, lint_paths
+from .rules import RULES, all_codes
+
+__all__ = [
+    "Diagnostic",
+    "LintEngine",
+    "lint_paths",
+    "RULES",
+    "all_codes",
+]

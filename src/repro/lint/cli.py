@@ -1,0 +1,82 @@
+"""CLI glue for ``python -m repro lint``.
+
+Exit codes: 0 clean, 1 findings, 2 usage error (e.g. a path that does
+not exist) -- the same contract as the test and chaos commands, so CI
+can chain them.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import IO, List, Optional
+
+from .engine import lint_paths
+from .rules import RULES
+
+__all__ = ["add_lint_arguments", "run_lint", "main"]
+
+
+def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
+    """Install the lint options on an (sub)parser."""
+    parser.add_argument(
+        "paths", nargs="*", default=None, metavar="PATH",
+        help="files or directories to lint (default: src)",
+    )
+    parser.add_argument(
+        "--format", choices=["text", "json"], default="text",
+        help="diagnostic output format (default text)",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule catalogue and exit",
+    )
+
+
+def _list_rules(out: IO[str]) -> int:
+    for code in sorted(RULES):
+        rule = RULES[code]
+        print(f"{code}  {rule.name:24s} {rule.description}", file=out)
+    return 0
+
+
+def run_lint(args: argparse.Namespace, out: Optional[IO[str]] = None) -> int:
+    """Execute a parsed lint command; returns the exit code."""
+    out = out if out is not None else sys.stdout
+    if args.list_rules:
+        return _list_rules(out)
+    paths: List[str] = list(args.paths) if args.paths else ["src"]
+    missing = [p for p in paths if not Path(p).exists()]
+    if missing:
+        for path in missing:
+            print(f"error: no such path: {path}", file=sys.stderr)
+        return 2
+    diagnostics = lint_paths(paths)
+    if args.format == "json":
+        print(
+            json.dumps([d.to_json() for d in diagnostics], indent=2),
+            file=out,
+        )
+        return 1 if diagnostics else 0
+    for diag in diagnostics:
+        print(diag.render(), file=out)
+    if diagnostics:
+        print(f"found {len(diagnostics)} problem(s)", file=out)
+        return 1
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Standalone entry point (``python -m repro.lint.cli``)."""
+    parser = argparse.ArgumentParser(
+        prog="repro lint",
+        description="determinism & protocol-invariant linter",
+    )
+    add_lint_arguments(parser)
+    return run_lint(parser.parse_args(argv))
+
+
+if __name__ == "__main__":  # pragma: no cover - module execution
+    sys.exit(main())

@@ -1,0 +1,98 @@
+"""Parsed-file and project contexts handed to lint rules."""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+__all__ = ["FileContext", "ProjectContext", "attribute_chain"]
+
+
+def attribute_chain(node: ast.AST) -> Optional[Tuple[str, ...]]:
+    """Resolve ``a.b.c`` into ``("a", "b", "c")``; None for non-names.
+
+    Rules match on these chains (e.g. ``("time", "monotonic")`` or
+    ``("np", "random", "rand")``) instead of regexes, so aliased local
+    variables that merely *look* like module calls do not match.
+    """
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        parts.reverse()
+        return tuple(parts)
+    return None
+
+
+@dataclass
+class FileContext:
+    """One parsed source file, as the rules see it.
+
+    ``rel`` is the path relative to the lint root in POSIX form --
+    scoped rules match on its segments (``"sim" in ctx.segments``), so
+    the same rules apply to the real tree under ``src/repro`` and to
+    the synthetic fixture trees the test suite feeds the engine.
+    """
+
+    path: str
+    rel: str
+    tree: ast.Module
+    source_lines: Sequence[str]
+
+    @property
+    def segments(self) -> Tuple[str, ...]:
+        return tuple(self.rel.split("/"))
+
+    def imports_module(self, module: str) -> bool:
+        """Whether the file imports ``module`` at any level."""
+        for node in ast.walk(self.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    root = alias.name.split(".")[0]
+                    if root == module:
+                        return True
+            elif isinstance(node, ast.ImportFrom):
+                if node.module and node.module.split(".")[0] == module:
+                    return True
+        return False
+
+
+@dataclass
+class ProjectContext:
+    """Every parsed file of one lint run, for cross-file rules."""
+
+    files: List[FileContext] = field(default_factory=list)
+
+    def find(self, suffix: str) -> Optional[FileContext]:
+        """The unique file whose relative path ends with ``suffix``.
+
+        A file whose *basename* terminates the suffix also matches
+        (``message.py`` for ``net/message.py``), so cross-file rules
+        keep working when the lint root sits inside the package.
+        """
+        matches = [
+            f
+            for f in self.files
+            if f.rel.endswith(suffix) or suffix.endswith("/" + f.rel)
+        ]
+        if len(matches) == 1:
+            return matches[0]
+        if not matches:
+            return None
+        # Prefer the shortest path (the canonical tree location) when a
+        # fixture tree nests another copy.
+        return min(matches, key=lambda f: len(f.rel))
+
+    def class_names_in(self, suffix: str) -> Dict[str, ast.ClassDef]:
+        """Module-level class definitions of the file ending ``suffix``."""
+        ctx = self.find(suffix)
+        if ctx is None:
+            return {}
+        return {
+            node.name: node
+            for node in ctx.tree.body
+            if isinstance(node, ast.ClassDef)
+        }

@@ -1,0 +1,45 @@
+"""Diagnostics emitted by the lint engine.
+
+A :class:`Diagnostic` pins one finding to a file, line and column, named
+by its rule code, so the CLI can print clickable ``file:line:col: CODE
+message`` lines and tests can assert on exact locations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Tuple
+
+__all__ = ["Diagnostic"]
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One lint finding.
+
+    ``path`` is the path the engine was handed (kept relative when the
+    input was relative, so output is stable across machines); ``line``
+    and ``col`` are 1-based, matching editors and compiler convention.
+    """
+
+    path: str
+    line: int
+    col: int
+    code: str
+    message: str
+
+    def sort_key(self) -> Tuple[str, int, int, str]:
+        return (self.path, self.line, self.col, self.code)
+
+    def render(self) -> str:
+        """The canonical ``file:line:col: CODE message`` form."""
+        return f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}"
+
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "code": self.code,
+            "message": self.message,
+        }

@@ -1,0 +1,147 @@
+"""The lint engine: walk, parse, run rules, apply suppressions.
+
+The engine is filesystem-in, diagnostics-out: it never imports the code
+it checks (a file with an import-time side effect or a missing optional
+dependency lints fine), and a syntactically invalid file is itself a
+finding (``parse-error``) rather than a crash.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from .context import FileContext, ProjectContext
+from .diagnostics import Diagnostic
+from .rules import RULES, Rule
+from .suppressions import SuppressionIndex
+
+__all__ = ["LintEngine", "lint_paths", "PARSE_ERROR_CODE"]
+
+#: Pseudo-code for files the parser rejects (always reported; a file
+#: that cannot be parsed cannot be checked, so it must not pass).
+PARSE_ERROR_CODE = "RL999"
+
+#: Directory names never descended into.
+_SKIP_DIRS = frozenset(
+    {
+        "__pycache__", ".git", ".hypothesis", ".pytest_cache",
+        "build", "dist", ".venv", "node_modules",
+    }
+)
+
+
+def _iter_python_files(path: Path) -> Iterable[Path]:
+    if path.is_file():
+        if path.suffix == ".py":
+            yield path
+        return
+    for candidate in sorted(path.rglob("*.py")):
+        if not any(part in _SKIP_DIRS for part in candidate.parts):
+            yield candidate
+
+
+class LintEngine:
+    """Run a set of rules over a tree of Python files.
+
+    Parameters
+    ----------
+    rules:
+        Rule instances to run; defaults to the full registry.
+    """
+
+    def __init__(self, rules: Optional[Dict[str, Rule]] = None) -> None:
+        self.rules = dict(RULES) if rules is None else dict(rules)
+
+    # -- collection ---------------------------------------------------------
+
+    def _load(
+        self, root: Optional[Path], file_path: Path
+    ) -> FileContext:
+        source = file_path.read_text(encoding="utf-8")
+        tree = ast.parse(source, filename=str(file_path))
+        if root is None:
+            # Single-file input: keep the absolute path as the relative
+            # form so scoped rules still see the directory segments
+            # (`sim/`, `device/`, ...) the file lives under.
+            rel = file_path.resolve().as_posix().lstrip("/")
+        else:
+            try:
+                rel = file_path.relative_to(root).as_posix()
+            except ValueError:
+                rel = file_path.resolve().as_posix().lstrip("/")
+        return FileContext(
+            path=str(file_path),
+            rel=rel,
+            tree=tree,
+            source_lines=source.splitlines(),
+        )
+
+    def collect(
+        self, paths: Sequence[str]
+    ) -> "tuple[ProjectContext, List[Diagnostic]]":
+        """Parse every Python file under ``paths``.
+
+        Returns the parsed project plus one :data:`PARSE_ERROR_CODE`
+        diagnostic per unparseable file.
+        """
+        project = ProjectContext()
+        errors: List[Diagnostic] = []
+        for raw in paths:
+            root = Path(raw)
+            base = root if root.is_dir() else None
+            for file_path in _iter_python_files(root):
+                try:
+                    project.files.append(self._load(base, file_path))
+                except SyntaxError as exc:
+                    errors.append(
+                        Diagnostic(
+                            path=str(file_path),
+                            line=exc.lineno or 1,
+                            col=(exc.offset or 1),
+                            code=PARSE_ERROR_CODE,
+                            message=f"syntax error: {exc.msg}",
+                        )
+                    )
+        return project, errors
+
+    # -- checking -----------------------------------------------------------
+
+    def run(self, paths: Sequence[str]) -> List[Diagnostic]:
+        """Lint ``paths``; returns suppression-filtered diagnostics."""
+        project, diagnostics = self.collect(paths)
+        for ctx in project.files:
+            for rule in self.rules.values():
+                diagnostics.extend(rule.check_file(ctx))
+        for rule in self.rules.values():
+            diagnostics.extend(rule.check_project(project))
+        return self._apply_suppressions(project, diagnostics)
+
+    def _apply_suppressions(
+        self,
+        project: ProjectContext,
+        diagnostics: List[Diagnostic],
+    ) -> List[Diagnostic]:
+        known = set(self.rules)
+        indexes: Dict[str, SuppressionIndex] = {}
+        for ctx in project.files:
+            index = SuppressionIndex(ctx.path, ctx.source_lines, known)
+            indexes[ctx.path] = index
+            diagnostics.extend(index.unknown_code_diagnostics())
+        kept = [
+            diag
+            for diag in diagnostics
+            if diag.path not in indexes
+            or not indexes[diag.path].suppresses(diag.line, diag.code)
+        ]
+        kept.sort(key=Diagnostic.sort_key)
+        return kept
+
+
+def lint_paths(
+    paths: Sequence[str],
+    rules: Optional[Dict[str, Rule]] = None,
+) -> List[Diagnostic]:
+    """Convenience wrapper: lint ``paths`` with ``rules`` (default all)."""
+    return LintEngine(rules).run(paths)

@@ -1,0 +1,106 @@
+"""``# repro: noqa[CODE]`` line suppressions.
+
+A diagnostic is suppressed when the physical line it points at carries a
+suppression comment naming its rule code::
+
+    started = time.perf_counter()  # repro: noqa[RL002]  wall-clock is the point
+
+Several codes may be listed, comma-separated: ``# repro: noqa[RL002,
+RL005]``.  There is deliberately no blanket ``noqa`` (a suppression must
+name what it hides and ideally say why -- anything after the closing
+bracket is free-form justification), and naming a code the registry does
+not know is itself reported (:data:`UNKNOWN_CODE`), so typo'd
+suppressions cannot silently disable nothing.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from typing import Dict, FrozenSet, Iterable, List, Sequence, Tuple
+
+from .diagnostics import Diagnostic
+
+__all__ = ["UNKNOWN_CODE", "SuppressionIndex"]
+
+#: Pseudo-code reported for a suppression naming an unregistered rule.
+UNKNOWN_CODE = "RL000"
+
+_NOQA_RE = re.compile(r"#\s*repro:\s*noqa\[([^\]]*)\]")
+
+
+def _comment_tokens(
+    source_lines: Sequence[str],
+) -> List[Tuple[int, int, str]]:
+    """``(line, col, text)`` of every comment token in the file.
+
+    Tokenizing (rather than regex-scanning raw lines) keeps the marker
+    text inert inside docstrings and string literals -- a suppression
+    must be a real comment.
+    """
+    text = "\n".join(source_lines) + "\n"
+    comments: List[Tuple[int, int, str]] = []
+    try:
+        for token in tokenize.generate_tokens(io.StringIO(text).readline):
+            if token.type == tokenize.COMMENT:
+                comments.append(
+                    (token.start[0], token.start[1], token.string)
+                )
+    except (tokenize.TokenError, IndentationError):  # pragma: no cover
+        # The engine only builds an index for files ast.parse accepted,
+        # so this is unreachable in practice; fail open (no comments).
+        return []
+    return comments
+
+
+class SuppressionIndex:
+    """Per-file map of line number -> suppressed rule codes."""
+
+    def __init__(
+        self,
+        path: str,
+        source_lines: Sequence[str],
+        known_codes: Iterable[str],
+    ) -> None:
+        self._path = path
+        self._known = frozenset(known_codes)
+        self._by_line: Dict[int, FrozenSet[str]] = {}
+        self._bad: List[Tuple[int, int, str]] = []
+        for lineno, comment_col, comment in _comment_tokens(source_lines):
+            match = _NOQA_RE.search(comment)
+            if match is None:
+                continue
+            codes = frozenset(
+                code.strip()
+                for code in match.group(1).split(",")
+                if code.strip()
+            )
+            col = comment_col + match.start() + 1
+            if not codes:
+                self._bad.append((lineno, col, "<empty>"))
+                continue
+            unknown = sorted(codes - self._known)
+            for code in unknown:
+                self._bad.append((lineno, col, code))
+            self._by_line[lineno] = codes & self._known
+
+    def suppresses(self, line: int, code: str) -> bool:
+        """Whether a diagnostic of ``code`` at ``line`` is suppressed."""
+        return code in self._by_line.get(line, frozenset())
+
+    def unknown_code_diagnostics(self) -> List[Diagnostic]:
+        """One :data:`UNKNOWN_CODE` finding per unrecognised code."""
+        return [
+            Diagnostic(
+                path=self._path,
+                line=line,
+                col=col,
+                code=UNKNOWN_CODE,
+                message=(
+                    f"suppression names unknown rule code {code!r}; "
+                    "known codes: see `repro lint --list-rules`"
+                ),
+            )
+            for line, col, code in self._bad
+        ]

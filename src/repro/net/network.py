@@ -27,7 +27,9 @@ voting's immunity to it -- in the partition experiment.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, List, Optional, Protocol, Tuple
+from typing import (
+    Any, Callable, Dict, List, Optional, Protocol, Sequence, Tuple,
+)
 
 from ..errors import UnknownSiteError
 from ..obs.trace import NULL_TRACER
@@ -94,7 +96,7 @@ class Network:
         mode: AddressingMode = AddressingMode.MULTICAST,
         meter: Optional[TrafficMeter] = None,
         size_model: Optional[SizeModel] = None,
-        tracer=None,
+        tracer: Optional[Any] = None,
     ) -> None:
         self._mode = mode
         self._meter = meter if meter is not None else TrafficMeter()
@@ -112,11 +114,11 @@ class Network:
     # -- observability ------------------------------------------------------
 
     @property
-    def tracer(self):
+    def tracer(self) -> Any:
         """The tracer every layer above the network inherits."""
         return self._tracer
 
-    def set_tracer(self, tracer) -> None:
+    def set_tracer(self, tracer: Optional[Any]) -> None:
         """Install (or with None, remove) the span tracer."""
         self._tracer = tracer if tracer is not None else NULL_TRACER
 
@@ -133,8 +135,12 @@ class Network:
         return self._interceptor
 
     def _deliver(
-        self, message: Message, node: NetworkNode, handler, payload
-    ):
+        self,
+        message: Message,
+        node: NetworkNode,
+        handler: Callable[[NetworkNode, Any], Any],
+        payload: Any,
+    ) -> Tuple[bool, Any]:
         """Run ``handler`` at ``node`` unless the interceptor drops the
         message; returns ``(delivered, result)``."""
         hook = self._interceptor
@@ -179,7 +185,7 @@ class Network:
 
     # -- partitions (Section 6's caveat, made executable) -----------------
 
-    def partition(self, *groups) -> None:
+    def partition(self, *groups: Sequence[SiteId]) -> None:
         """Split the network into disjoint ``groups`` of site ids.
 
         Sites not listed in any group become isolated (their own

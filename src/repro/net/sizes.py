@@ -17,6 +17,7 @@ tests verify by sweeping the header and block sizes.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Any
 
 from ..core.version import VersionVector
 from .message import Message, MessageCategory
@@ -131,7 +132,7 @@ class SizeModel:
         )
 
     @staticmethod
-    def _payload_len(payload) -> int:
+    def _payload_len(payload: Any) -> int:
         """Entry count of a batch payload (0 when the shape is unknown)."""
         try:
             return len(payload)

@@ -14,6 +14,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterator, Optional
 import contextlib
 
+from ..errors import AccountingError
 from ..sim.stats import RunningStat
 from .message import Message, MessageCategory
 
@@ -133,11 +134,12 @@ class TrafficMeter:
         Section 5 costs are per completed operation.
 
         Nested recording is not supported (protocol operations in this
-        system never nest), and attempting it raises ``RuntimeError`` to
-        surface accounting bugs early.
+        system never nest), and attempting it raises
+        :class:`~repro.errors.AccountingError` to surface accounting
+        bugs early.
         """
         if self._current_op is not None:
-            raise RuntimeError(
+            raise AccountingError(
                 f"cannot record {kind!r} inside {self._current_op!r}"
             )
         self._current_op = kind

@@ -112,7 +112,11 @@ class FailureRepairProcess:
     ) -> None:
         site_list = list(site_ids)
 
-        def expand(value, name, minimum_exclusive):
+        def expand(
+            value: Union[float, Mapping[SiteId, float]],
+            name: str,
+            minimum_exclusive: bool,
+        ) -> Dict[SiteId, float]:
             if isinstance(value, Mapping):
                 rates = {s: float(value[s]) for s in site_list}
             else:

@@ -17,6 +17,8 @@ from typing import List, Optional, Sequence
 
 from scipy import stats as _scipy_stats
 
+from ..errors import StatSealedError
+
 __all__ = [
     "TimeWeightedStat",
     "RunningStat",
@@ -47,7 +49,9 @@ class TimeWeightedStat:
     integral without sealing.
     """
 
-    def __init__(self, initial_value: float = 0.0, start_time: float = 0.0):
+    def __init__(
+        self, initial_value: float = 0.0, start_time: float = 0.0
+    ) -> None:
         self._value = float(initial_value)
         self._last_time = float(start_time)
         self._start_time = float(start_time)
@@ -72,7 +76,7 @@ class TimeWeightedStat:
     def update(self, value: float, at_time: float) -> None:
         """Record that the signal changed to ``value`` at ``at_time``."""
         if self._finalized:
-            raise RuntimeError(
+            raise StatSealedError(
                 "TimeWeightedStat is finalized; updates after the end "
                 "of the run would corrupt the integral"
             )
@@ -95,7 +99,7 @@ class TimeWeightedStat:
     def finalize(self, at_time: float) -> None:
         """Extend the current value up to ``at_time`` and seal the stat."""
         if self._finalized:
-            raise RuntimeError("TimeWeightedStat is already finalized")
+            raise StatSealedError("TimeWeightedStat is already finalized")
         self.update(self._value, at_time)
         self._finalized = True
 

@@ -8,7 +8,7 @@ from repro.device import Site
 from repro.errors import CorruptBlockError, SiteDownError
 from repro.faults import FaultInjector, HistoryRecorder
 from repro.net import Network
-from repro.types import SchemeName, SiteState
+from repro.types import SiteState
 
 BLOCK_SIZE = 16
 NUM_BLOCKS = 8

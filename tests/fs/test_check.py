@@ -5,7 +5,6 @@ import pytest
 from repro.device import LocalBlockDevice
 from repro.fs import FileSystem, FileType
 from repro.fs.check import check_filesystem
-from repro.fs.directory import DirEntry
 from repro.fs.filesystem import ROOT_INODE
 
 

@@ -1,0 +1,5 @@
+"""RL005 fixture: exact float equality on an availability value."""
+
+
+def is_perfect(availability: float) -> bool:
+    return availability == 1.0

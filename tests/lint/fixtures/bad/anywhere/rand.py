@@ -1,0 +1,14 @@
+"""RL001 fixture: draws from the process-global RNG state."""
+
+import random
+
+import numpy as np
+
+
+def jitter() -> float:
+    base = random.random()
+    return base + float(np.random.rand())
+
+
+def unseeded_instance() -> "random.Random":
+    return random.Random()

@@ -1,0 +1,15 @@
+"""RL006 fixture: swallows everything in a retry path."""
+
+
+def swallow(op):
+    try:
+        return op()
+    except:
+        return None
+
+
+def mask(op):
+    try:
+        return op()
+    except Exception:
+        pass

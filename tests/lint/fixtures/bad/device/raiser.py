@@ -1,0 +1,5 @@
+"""RL004 fixture: raises outside the repro.errors hierarchy."""
+
+
+def explode() -> None:
+    raise RuntimeError("not a repro error")

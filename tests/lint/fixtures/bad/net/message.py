@@ -1,0 +1,8 @@
+"""RL003 fixture: a message category the size model never prices."""
+
+import enum
+
+
+class MessageCategory(enum.Enum):
+    VOTE_REQUEST = "vote-request"
+    UNPRICED_EXTRA = "unpriced-extra"

@@ -1,0 +1,9 @@
+"""RL003 fixture companion: prices only one of the two categories."""
+
+from .message import MessageCategory
+
+
+def bytes_for(category: MessageCategory) -> int:
+    if category is MessageCategory.VOTE_REQUEST:
+        return 40
+    raise ValueError(f"unknown category {category!r}")

@@ -1,0 +1,7 @@
+"""RL002 fixture: reads the wall clock inside simulated code."""
+
+import time
+
+
+def stamp() -> float:
+    return time.time()

@@ -1,0 +1,6 @@
+"""RL007 fixture: a mutable default argument."""
+
+
+def collect(item, bucket=[]):
+    bucket.append(item)
+    return bucket

@@ -1,0 +1,13 @@
+"""Clean fixture: seeded randomness and a justified suppression."""
+
+import random
+import time
+
+
+def draws(seed: int) -> list:
+    rng = random.Random(seed)
+    return [rng.random() for _ in range(3)]
+
+
+def bench() -> float:
+    return time.perf_counter()  # repro: noqa[RL002]  host-side benchmark helper

@@ -1,0 +1,97 @@
+"""Suppression semantics: matching, scoping, and unknown-code rejection."""
+
+from __future__ import annotations
+
+import textwrap
+from pathlib import Path
+from typing import Dict, List
+
+from repro.lint import lint_paths
+from repro.lint.diagnostics import Diagnostic
+from repro.lint.suppressions import UNKNOWN_CODE, SuppressionIndex
+
+
+def lint_tree(tmp_path: Path, files: Dict[str, str]) -> List[Diagnostic]:
+    for rel, source in files.items():
+        target = tmp_path / rel
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(textwrap.dedent(source), encoding="utf-8")
+    return lint_paths([str(tmp_path)])
+
+
+def test_noqa_suppresses_matching_code(tmp_path):
+    diags = lint_tree(tmp_path, {
+        "sim/clock.py": """\
+            import time
+            t = time.time()  # repro: noqa[RL002]  intentional host stamp
+        """,
+    })
+    assert diags == []
+
+
+def test_noqa_only_suppresses_named_code(tmp_path):
+    # RL002 is suppressed; the RL001 finding on the same line is not.
+    diags = lint_tree(tmp_path, {
+        "sim/clock.py": """\
+            import time
+            import random
+            t = time.time() + random.random()  # repro: noqa[RL002]
+        """,
+    })
+    assert [d.code for d in diags] == ["RL001"]
+
+
+def test_noqa_accepts_multiple_codes(tmp_path):
+    diags = lint_tree(tmp_path, {
+        "sim/clock.py": """\
+            import time
+            import random
+            t = time.time() + random.random()  # repro: noqa[RL001, RL002]
+        """,
+    })
+    assert diags == []
+
+
+def test_noqa_is_line_scoped(tmp_path):
+    diags = lint_tree(tmp_path, {
+        "sim/clock.py": """\
+            import time
+            a = time.time()  # repro: noqa[RL002]
+            b = time.time()
+        """,
+    })
+    assert [(d.code, d.line) for d in diags] == [("RL002", 3)]
+
+
+def test_unknown_code_is_rejected(tmp_path):
+    diags = lint_tree(tmp_path, {
+        "mod.py": """\
+            x = 1  # repro: noqa[RL9ZZ]
+        """,
+    })
+    assert [d.code for d in diags] == [UNKNOWN_CODE]
+    assert "RL9ZZ" in diags[0].message
+
+
+def test_marker_in_docstring_is_inert(tmp_path):
+    # The suppression syntax documented *inside a string* neither
+    # suppresses anything nor trips the unknown-code check.
+    diags = lint_tree(tmp_path, {
+        "mod.py": '''\
+            """Docs: write `# repro: noqa[CODE]` to suppress a finding."""
+            x = 1
+        ''',
+    })
+    assert diags == []
+
+
+def test_index_reports_position_of_unknown_code():
+    index = SuppressionIndex(
+        "mod.py",
+        ["x = 1  # repro: noqa[BOGUS]"],
+        known_codes={"RL001"},
+    )
+    (diag,) = index.unknown_code_diagnostics()
+    assert diag.line == 1
+    assert diag.code == UNKNOWN_CODE
+    assert not index.suppresses(1, "RL001")
