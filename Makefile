@@ -2,8 +2,8 @@
 
 PYTHON ?= python3
 
-.PHONY: install test coverage bench bench-json bench-parallel metrics \
-	examples experiments lint clean
+.PHONY: install test coverage bench bench-json bench-parallel \
+	bench-membership metrics examples experiments lint clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -32,6 +32,10 @@ bench-json:
 # Just the parallel-engine speedup benchmark (appends the trajectory).
 bench-parallel:
 	$(PYTHON) -m pytest benchmarks/bench_parallel.py --benchmark-only -s
+
+# Dynamic-membership overhead benchmark (appends BENCH_membership.json).
+bench-membership:
+	$(PYTHON) -m pytest benchmarks/bench_membership.py --benchmark-only -s
 
 # Smoke test of the observability layer: a short traced workload whose
 # JSON-lines trace is schema-validated on re-read (the CLI exits

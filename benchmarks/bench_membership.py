@@ -1,0 +1,118 @@
+"""Cost of dynamic membership: chaos with and without view changes.
+
+Runs the same seeded chaos campaign twice per scheme -- once with
+reconfiguration disabled (the legacy fixed-membership harness) and once
+with planned view changes plus crash-triggered replacements -- and
+measures what the epoch machinery costs: wall-clock overhead and the
+state-transfer traffic the byte model prices for joiners.  The
+measurement is appended to the persistent trajectory
+``BENCH_membership.json`` at the repository root (``make
+bench-membership`` appends a record per run).
+
+The run asserts what the acceptance campaign demands: every scheme
+commits view changes mid-workload and every checker passes.
+"""
+
+import datetime
+import json
+import platform
+import time
+from pathlib import Path
+
+from repro.faults import ChaosConfig, run_chaos
+from repro.types import SchemeName
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+TRAJECTORY = REPO_ROOT / "BENCH_membership.json"
+
+OPERATIONS = 400
+SEED = 1
+RECONFIGURE_RATE = 0.08
+SPARE_SITES = 4
+
+
+def _campaign(reconfigure):
+    results = {}
+    for scheme in SchemeName:
+        config = ChaosConfig(
+            scheme=scheme,
+            seed=SEED,
+            operations=OPERATIONS,
+            reconfigure_rate=RECONFIGURE_RATE if reconfigure else 0.0,
+            spare_sites=SPARE_SITES if reconfigure else 0,
+        )
+        results[scheme.value] = run_chaos(config)
+    return results
+
+
+def _append_record(record):
+    history = []
+    if TRAJECTORY.exists():
+        history = json.loads(TRAJECTORY.read_text(encoding="utf-8"))
+    history.append(record)
+    TRAJECTORY.write_text(
+        json.dumps(history, indent=2) + "\n", encoding="utf-8"
+    )
+
+
+def test_membership_chaos_overhead(benchmark):
+    start = time.perf_counter()
+    baseline = _campaign(reconfigure=False)
+    baseline_seconds = time.perf_counter() - start
+
+    timings = {}
+
+    def reconfig_run():
+        start = time.perf_counter()
+        results = _campaign(reconfigure=True)
+        timings["reconfig"] = time.perf_counter() - start
+        return results
+
+    reconfig = benchmark.pedantic(reconfig_run, rounds=1, iterations=1)
+    reconfig_seconds = timings["reconfig"]
+    overhead = reconfig_seconds / baseline_seconds
+
+    per_scheme = {}
+    for name, result in reconfig.items():
+        assert result.ok, (name, result.violations)
+        assert result.view_changes > 0, name
+        assert baseline[name].ok, name
+        per_scheme[name] = {
+            "view_changes": result.view_changes,
+            "final_epoch": result.final_epoch,
+            "reconfigurations": result.reconfigurations,
+            "epoch_fences": result.epoch_fences,
+            "catchup_messages": result.catchup_messages,
+            "catchup_bytes": result.catchup_bytes,
+            "messages_over_baseline": (
+                result.messages - baseline[name].messages
+            ),
+        }
+
+    record = {
+        "bench": "membership-chaos",
+        "utc": datetime.datetime.now(datetime.timezone.utc).isoformat(
+            timespec="seconds"
+        ),
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "operations": OPERATIONS,
+        "seed": SEED,
+        "reconfigure_rate": RECONFIGURE_RATE,
+        "spare_sites": SPARE_SITES,
+        "baseline_seconds": round(baseline_seconds, 4),
+        "reconfig_seconds": round(reconfig_seconds, 4),
+        "overhead": round(overhead, 3),
+        "per_scheme": per_scheme,
+    }
+    _append_record(record)
+
+    total_changes = sum(s["view_changes"] for s in per_scheme.values())
+    total_catchup = sum(s["catchup_bytes"] for s in per_scheme.values())
+    print()
+    print(
+        f"membership chaos: {OPERATIONS} ops/scheme, seed={SEED}: "
+        f"{total_changes} view changes, {total_catchup} catch-up bytes, "
+        f"baseline {baseline_seconds:.2f}s, reconfig "
+        f"{reconfig_seconds:.2f}s ({overhead:.2f}x) -> {TRAJECTORY.name}"
+    )

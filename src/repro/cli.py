@@ -12,6 +12,7 @@ Subcommands::
         --rho 0.05 --horizon 100000 --seed 7
     python -m repro simulate --scheme voting -n 5 --replications 8 --jobs 4
     python -m repro chaos --campaign 8 --jobs 4
+    python -m repro chaos --reconfigure    # view changes under fire
     python -m repro experiments --jobs 4    # every experiment, in parallel
 
 ``run`` prints the same rows/series the paper's figure reports;
@@ -172,6 +173,26 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--trace", metavar="FILE", default=None,
                        help="write span-level JSON lines to FILE")
     chaos.add_argument(
+        "--reconfigure", action="store_true",
+        help="exercise dynamic membership: planned view changes "
+             "(add/remove/replace) and crash-triggered replacements "
+             "while the workload runs",
+    )
+    chaos.add_argument(
+        "--reconfigure-rate", type=float, default=None, metavar="P",
+        help="per-step probability of opening a planned view change "
+             "(implies --reconfigure; default 0.08)",
+    )
+    chaos.add_argument(
+        "--spare-sites", type=int, default=2, metavar="S",
+        help="fresh sites available to join the group (default 2)",
+    )
+    chaos.add_argument(
+        "--no-fencing", action="store_true",
+        help="disable epoch fencing of in-flight writes (ablation: "
+             "exposes the quorum-drift hazard)",
+    )
+    chaos.add_argument(
         "--campaign", type=int, default=1, metavar="K",
         help="independent seeded runs per scheme, seeds derived from "
              "--seed (default 1: run --seed itself)",
@@ -203,7 +224,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     lint = sub.add_parser(
         "lint",
-        help="determinism & protocol-invariant linter (RL001-RL007)",
+        help="determinism & protocol-invariant linter (RL001-RL008)",
     )
     from .lint.cli import add_lint_arguments
 
@@ -468,6 +489,7 @@ def _cmd_simulate(args, out) -> int:
 
 def _cmd_chaos(args, out) -> int:
     from .device.reliable import RetryPolicy
+    from .errors import ReproError
     from .faults import ChaosConfig, run_chaos, run_chaos_campaign
 
     try:
@@ -479,9 +501,18 @@ def _cmd_chaos(args, out) -> int:
     error = _check_jobs(args.jobs)
     if error is None and args.campaign < 1:
         error = f"--campaign must be >= 1, got {args.campaign}"
+    if error is None and args.reconfigure_rate is not None:
+        if not 0.0 < args.reconfigure_rate <= 1.0:
+            error = ("--reconfigure-rate must be in (0, 1], got "
+                     f"{args.reconfigure_rate}")
+    if error is None and args.spare_sites < 0:
+        error = f"--spare-sites must be >= 0, got {args.spare_sites}"
     if error:
         print(f"error: {error}", file=sys.stderr)
         return 2
+    reconfigure_rate = args.reconfigure_rate
+    if reconfigure_rate is None:
+        reconfigure_rate = 0.08 if args.reconfigure else 0.0
     if args.campaign > 1 and args.trace:
         print("error: --trace needs a single run (drop --campaign)",
               file=sys.stderr)
@@ -501,14 +532,26 @@ def _cmd_chaos(args, out) -> int:
             num_blocks=args.blocks,
             operations=args.operations,
             fault_rate=args.fault_rate,
+            reconfigure_rate=reconfigure_rate,
+            spare_sites=args.spare_sites,
+            fencing=not args.no_fencing,
             retry=retry,
         )
-        if args.campaign > 1:
-            results = run_chaos_campaign(
-                config, runs=args.campaign, jobs=args.jobs
-            )
-        else:
-            results = [run_chaos(config, tracer=tracer)]
+        try:
+            if args.campaign > 1:
+                results = run_chaos_campaign(
+                    config, runs=args.campaign, jobs=args.jobs
+                )
+            else:
+                results = [run_chaos(config, tracer=tracer)]
+        except ReproError as exc:
+            # A run that dies (instead of recording a violation) is
+            # still a failed check: report it and exit nonzero rather
+            # than crash with a traceback -- CI keys off the exit code.
+            print(f"  RUN FAILED [{scheme.value}] "
+                  f"{type(exc).__name__}: {exc}", file=out)
+            all_ok = False
+            continue
         for result in results:
             print(result.summary(), file=out)
             if args.verbose:

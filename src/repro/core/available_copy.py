@@ -38,7 +38,13 @@ from typing import TYPE_CHECKING
 
 if TYPE_CHECKING:
     from ..device.site import Site
-from ..errors import CorruptBlockError, NoAvailableCopyError, SiteDownError
+    from ..membership.view import View
+from ..errors import (
+    CorruptBlockError,
+    NoAvailableCopyError,
+    SiteDownError,
+    StaleEpochError,
+)
 from ..net.message import MessageCategory
 from ..net.network import NO_REPLY, Network
 from ..types import BlockIndex, SchemeName, SiteId, SiteState
@@ -276,18 +282,36 @@ class AvailableCopyBase(ReplicationProtocol):
                 target.store.quarantine(block, needed)
         target.set_state(SiteState.AVAILABLE)
 
+    # -- dynamic membership ---------------------------------------------------
+
+    def finish_join(self, source: 'Site', joiner: 'Site') -> None:
+        """Flip a caught-up joiner AVAILABLE.
+
+        The membership manager calls this once the joiner's state
+        transfer has drained; a final version-vector exchange from
+        ``source`` closes any window between the last transfer chunk and
+        now, after which the joiner is an available copy like any other.
+        """
+        self._repair_from(source, joiner)
+        self.joining.discard(joiner.site_id)
+
     # -- invariant (exercised by tests) ------------------------------------------
 
     def check_invariants(self) -> None:
         """Assert the structural invariants of available-copy schemes.
 
         * Comatose sites exist only while no copy is available (they are
-          created exclusively by recovery from a total failure).
+          created exclusively by recovery from a total failure) -- with
+          one exception: a *joining* site is deliberately held COMATOSE
+          while its state transfer runs, alongside available members.
         * All available copies hold identical version vectors (every
           available copy received every write).
         """
         available = self.available_sites()
-        comatose = self.comatose_sites()
+        comatose = [
+            s for s in self.comatose_sites()
+            if s.site_id not in self.joining
+        ]
         if comatose and available:
             raise AssertionError(
                 f"comatose sites {[s.site_id for s in comatose]} coexist "
@@ -335,10 +359,18 @@ class AvailableCopyProtocol(AvailableCopyBase):
                 self._span("write", origin=origin, block=block):
             recipients = {s.site_id for s in self.available_sites()}
             new_version = site.block_version(block) + 1
+            epoch_tag = self.current_epoch()
+            fenced: List[SiteId] = []
 
             def apply(node, payload):
                 index, blob, version, was_available = payload
                 if node.state is not SiteState.AVAILABLE:
+                    return NO_REPLY
+                if self._epoch_rejects(node, epoch_tag):
+                    # The member has adopted a newer epoch than this
+                    # fan-out carries; applying would let a write commit
+                    # against a membership that no longer holds.
+                    fenced.append(node.site_id)
                     return NO_REPLY
                 node.write_block(index, blob, version)
                 node.set_was_available(was_available)
@@ -370,9 +402,23 @@ class AvailableCopyProtocol(AvailableCopyBase):
             # about them, which is exactly why available-copy schemes
             # are unsafe under partitions (Section 6).
             for silent in sorted(recipients - {origin} - set(replies)):
+                if silent in fenced:
+                    continue
                 if (self.site(silent).state is SiteState.AVAILABLE
                         and self.network.can_communicate(origin, silent)):
                     self.fence(silent)
+            if fenced:
+                # An epoch-fenced recipient is healthy but refused the
+                # stale-tagged update; "write to all available copies"
+                # did not hold, so the write is torn and must be retried
+                # under the new epoch.
+                self.epoch_fences += len(fenced)
+                if self.recorder is not None:
+                    self.recorder.torn_write(block, bytes(data), new_version)
+                raise StaleEpochError(
+                    f"write of block {block} tagged epoch {epoch_tag} "
+                    f"was fenced by {sorted(set(fenced))}"
+                )
             site.write_block(block, bytes(data), new_version)
             site.set_was_available(recipients)
             return new_version
@@ -400,10 +446,15 @@ class AvailableCopyProtocol(AvailableCopyBase):
             batch = {
                 b: (bytes(updates[b]), new_versions[b]) for b in blocks
             }
+            epoch_tag = self.current_epoch()
+            fenced: List[SiteId] = []
 
             def apply(node, payload):
                 shipped, was_available = payload
                 if node.state is not SiteState.AVAILABLE:
+                    return NO_REPLY
+                if self._epoch_rejects(node, epoch_tag):
+                    fenced.append(node.site_id)
                     return NO_REPLY
                 for index in sorted(shipped):
                     blob, version = shipped[index]
@@ -430,13 +481,55 @@ class AvailableCopyProtocol(AvailableCopyBase):
                     origin, "failed during the batched write fan-out"
                 )
             for silent in sorted(recipients - {origin} - set(replies)):
+                if silent in fenced:
+                    continue
                 if (self.site(silent).state is SiteState.AVAILABLE
                         and self.network.can_communicate(origin, silent)):
                     self.fence(silent)
+            if fenced:
+                self.epoch_fences += len(fenced)
+                if self.recorder is not None:
+                    for b in blocks:
+                        self.recorder.torn_write(
+                            b, bytes(updates[b]), new_versions[b]
+                        )
+                raise StaleEpochError(
+                    f"batched write of {len(blocks)} blocks tagged "
+                    f"epoch {epoch_tag} was fenced by "
+                    f"{sorted(set(fenced))}"
+                )
             for b in blocks:
                 site.write_block(b, bytes(updates[b]), new_versions[b])
             site.set_was_available(recipients)
             return new_versions
+
+    # -- dynamic membership ---------------------------------------------------
+
+    def finish_join(self, source: 'Site', joiner: 'Site') -> None:
+        super().finish_join(source, joiner)
+        if self._track_failures:
+            self._refresh_was_available()
+        else:
+            self._exchange_was_available(source, joiner)
+
+    def commit_view_change(self, view: 'View') -> None:
+        """Close the window and re-anchor was-available bookkeeping.
+
+        Expelled members must vanish from every ``W`` set (or a later
+        total-failure recovery would wait for a site that can never
+        rejoin) and the joiner must appear in them (or the closure could
+        miss the site that actually failed last).
+        """
+        super().commit_view_change(view)
+        if self._track_failures:
+            self._refresh_was_available()
+        else:
+            members = set(self._order)
+            live = {s.site_id for s in self.available_sites()}
+            for site in self.available_sites():
+                site.set_was_available(
+                    (site.get_was_available() & members) | live
+                )
 
     # -- failure handling ---------------------------------------------------------
 
@@ -461,6 +554,7 @@ class AvailableCopyProtocol(AvailableCopyBase):
     def on_site_repaired(self, site_id: SiteId) -> None:
         site = self.site(site_id)
         start = self.meter.total
+        self._sync_epoch(site)
         site.set_state(SiteState.COMATOSE)
         replies = self._probe(site)
         available = [
@@ -498,18 +592,28 @@ class AvailableCopyProtocol(AvailableCopyBase):
         If some comatose site's closure has fully recovered, its
         highest-versioned member is provably current: mark that member
         available and let every other comatose site repair from it.
+
+        Was-available sets are intersected with the *current* membership
+        before the closure runs: a site that was down across a view
+        change may durably remember an expelled member, and waiting for
+        an expelled site to recover would deadlock the group forever.
+        Dropping it is safe -- a view change only commits after a write
+        reaches the surviving intersection (so the survivors' refreshed
+        ``W`` sets, which the closure chases transitively, name every
+        site that could have failed last).
         """
+        members_now = set(self._order)
         recovered = {s.site_id for s in self.operational_sites()}
         known = {
-            s.site_id: s.get_was_available()
+            s.site_id: s.get_was_available() & members_now
             for s in self.operational_sites()
         }
         anchor: Optional['Site'] = None
         for site in self.comatose_sites():
             members = closure_ready(
-                site.get_was_available(), known, recovered
+                site.get_was_available() & members_now, known, recovered
             )
-            if members is None:
+            if not members:
                 continue
             anchor = max(
                 (self.site(m) for m in members),

@@ -18,13 +18,14 @@ available copy "the algorithm of choice" for the reliable device.
 
 from __future__ import annotations
 
-from typing import Dict, Mapping, Sequence
+from typing import Dict, List, Mapping, Sequence
 
 from typing import TYPE_CHECKING
 
 if TYPE_CHECKING:
     from ..device.site import Site
-from ..errors import SiteDownError
+    from ..membership.view import View
+from ..errors import SiteDownError, StaleEpochError
 from ..net.message import MessageCategory
 from ..net.network import Network
 from ..types import BlockIndex, SchemeName, SiteId, SiteState
@@ -65,11 +66,17 @@ class NaiveAvailableCopyProtocol(AvailableCopyBase):
         with self.meter.record("write"), \
                 self._span("write", origin=origin, block=block):
             new_version = site.block_version(block) + 1
+            epoch_tag = self.current_epoch()
+            fenced: List[SiteId] = []
 
             def apply(node, payload):
                 index, blob, version = payload
-                if node.state is SiteState.AVAILABLE:
-                    node.write_block(index, blob, version)
+                if node.state is not SiteState.AVAILABLE:
+                    return
+                if self._epoch_rejects(node, epoch_tag):
+                    fenced.append(node.site_id)
+                    return
+                node.write_block(index, blob, version)
 
             delivered = self.network.broadcast_oneway(
                 src=origin,
@@ -85,9 +92,21 @@ class NaiveAvailableCopyProtocol(AvailableCopyBase):
             for peer in self.available_sites():
                 if (peer.site_id != origin
                         and peer.site_id not in delivered
+                        and peer.site_id not in fenced
                         and self.network.can_communicate(
                             origin, peer.site_id)):
                     self.fence(peer.site_id)
+            if fenced:
+                # Epoch-fenced recipients refused the stale-tagged
+                # update; the write is torn and must retry under the
+                # new epoch rather than leave an available copy stale.
+                self.epoch_fences += len(fenced)
+                if self.recorder is not None:
+                    self.recorder.torn_write(block, bytes(data), new_version)
+                raise StaleEpochError(
+                    f"write of block {block} tagged epoch {epoch_tag} "
+                    f"was fenced by {sorted(set(fenced))}"
+                )
             site.write_block(block, bytes(data), new_version)
             return new_version
 
@@ -111,9 +130,14 @@ class NaiveAvailableCopyProtocol(AvailableCopyBase):
             batch = {
                 b: (bytes(updates[b]), new_versions[b]) for b in blocks
             }
+            epoch_tag = self.current_epoch()
+            fenced: List[SiteId] = []
 
             def apply(node, payload):
                 if node.state is not SiteState.AVAILABLE:
+                    return
+                if self._epoch_rejects(node, epoch_tag):
+                    fenced.append(node.site_id)
                     return
                 for index in sorted(payload):
                     blob, version = payload[index]
@@ -138,12 +162,42 @@ class NaiveAvailableCopyProtocol(AvailableCopyBase):
             for peer in self.available_sites():
                 if (peer.site_id != origin
                         and peer.site_id not in delivered
+                        and peer.site_id not in fenced
                         and self.network.can_communicate(
                             origin, peer.site_id)):
                     self.fence(peer.site_id)
+            if fenced:
+                self.epoch_fences += len(fenced)
+                if self.recorder is not None:
+                    for b in blocks:
+                        self.recorder.torn_write(
+                            b, bytes(updates[b]), new_versions[b]
+                        )
+                raise StaleEpochError(
+                    f"batched write of {len(blocks)} blocks tagged "
+                    f"epoch {epoch_tag} was fenced by "
+                    f"{sorted(set(fenced))}"
+                )
             for b in blocks:
                 site.write_block(b, bytes(updates[b]), new_versions[b])
             return new_versions
+
+    # -- dynamic membership ---------------------------------------------------
+
+    def commit_view_change(self, view: 'View') -> None:
+        """Close the window and re-freeze ``W_s = S`` at the new ``S``.
+
+        The naive scheme never maintains failure information, so the
+        only bookkeeping a view change needs is resetting every
+        operational site's frozen was-available set to the new
+        membership -- total-failure recovery then waits for exactly the
+        *current* members, neither for expelled sites (deadlock) nor
+        without the joiner (unsafe).
+        """
+        super().commit_view_change(view)
+        everyone = set(self._order)
+        for site in self.operational_sites():
+            site.set_was_available(everyone)
 
     # -- failure handling -------------------------------------------------------
 
@@ -155,6 +209,7 @@ class NaiveAvailableCopyProtocol(AvailableCopyBase):
     def on_site_repaired(self, site_id: SiteId) -> None:
         site = self.site(site_id)
         start = self.meter.total
+        self._sync_epoch(site)
         site.set_state(SiteState.COMATOSE)
         replies = self._probe(site)
         available = [

@@ -23,13 +23,14 @@ number of repair events reproduces the paper's per-recovery costs.
 from __future__ import annotations
 
 import abc
-from typing import Dict, List, Mapping, Optional, Sequence
+from typing import Dict, List, Mapping, Optional, Sequence, Set
 
 from typing import TYPE_CHECKING
 
 if TYPE_CHECKING:
     from ..device.site import Site
-from ..errors import SiteDownError
+    from ..membership.view import View
+from ..errors import MembershipError, SiteDownError
 from ..net.network import Network
 from ..net.traffic import TrafficMeter
 from ..sim.failures import FailureRepairProcess
@@ -68,6 +69,22 @@ class ReplicationProtocol(abc.ABC):
         #: Sites evicted from the group after failing to take a write
         #: fan-out (available-copy schemes enforcing fail-stop).
         self.sites_fenced = 0
+        #: The committed membership view (None until a
+        #: :class:`~repro.membership.manager.MembershipManager` installs
+        #: one; the static-group paths never consult it).
+        self._view: Optional['View'] = None
+        #: The successor view while a view change is in flight.
+        self._pending_view: Optional['View'] = None
+        #: Whether handlers reject in-flight writes tagged with an older
+        #: epoch than the one they have adopted (the safe default; the
+        #: quorum-drift tutorial disables it to demonstrate the hazard).
+        self.epoch_fencing = True
+        #: Sites adopted mid-view-change that are not yet caught up
+        #: (available-copy schemes park them COMATOSE while the state
+        #: transfer runs; invariants exempt them).
+        self.joining: Set[SiteId] = set()
+        #: Writes fenced at an epoch boundary (observability).
+        self.epoch_fences = 0
 
     # -- structure ----------------------------------------------------------
 
@@ -231,6 +248,152 @@ class ReplicationProtocol(abc.ABC):
     @abc.abstractmethod
     def on_site_repaired(self, site_id: SiteId) -> None:
         """A site's hardware just came back; run the recovery procedure."""
+
+    # -- dynamic membership (epochs and view changes) --------------------------
+
+    @property
+    def view(self) -> Optional['View']:
+        """The committed membership view (None for static groups)."""
+        return self._view
+
+    @property
+    def pending_view(self) -> Optional['View']:
+        """The successor view while a change is in flight, else None."""
+        return self._pending_view
+
+    @property
+    def in_view_change(self) -> bool:
+        return self._pending_view is not None
+
+    def current_epoch(self) -> int:
+        """The epoch new operations are tagged with.
+
+        During a transition window this is already the *successor*
+        epoch: every operational member adopted it when the window
+        opened, so in-window writes pass the fence while writes that
+        started before the window (older tag) are rejected.
+        """
+        if self._pending_view is not None:
+            return self._pending_view.epoch
+        return self._view.epoch if self._view is not None else 0
+
+    def install_view(self, view: 'View') -> None:
+        """Adopt ``view`` as the group's initial committed view.
+
+        Called once by the membership manager; members must match the
+        group exactly (installation never changes membership -- view
+        *changes* do, via begin/commit).
+        """
+        if set(view.sites) != set(self._order):
+            raise MembershipError(
+                f"view members {sorted(view.sites)} do not match the "
+                f"group {sorted(self._order)}"
+            )
+        self._view = view
+        self._pending_view = None
+        for site in self.operational_sites():
+            site.set_epoch(view.epoch)
+
+    def begin_view_change(self, new_view: 'View') -> None:
+        """Open the transition window toward ``new_view``.
+
+        Bumps every operational member to the successor epoch (fencing
+        in-flight writes tagged with the old one).  Subclasses extend
+        this with scheme-specific window state -- voting arms the
+        joint-quorum checks here.
+        """
+        if self._view is None:
+            raise MembershipError(
+                "no view installed; call install_view first"
+            )
+        if self._pending_view is not None:
+            raise MembershipError(
+                f"a view change toward epoch "
+                f"{self._pending_view.epoch} is already in flight"
+            )
+        if new_view.epoch != self._view.epoch + 1:
+            raise MembershipError(
+                f"expected successor epoch {self._view.epoch + 1}, "
+                f"got {new_view.epoch}"
+            )
+        self._pending_view = new_view
+        for site in self.operational_sites():
+            site.set_epoch(new_view.epoch)
+
+    def commit_view_change(self, view: 'View') -> None:
+        """Make ``view`` the committed view and close the window.
+
+        The manager has already expelled removed members; subclasses
+        rebuild scheme state (vote reassignment, was-available sets)
+        before delegating here.
+        """
+        if set(view.sites) != set(self._order):
+            raise MembershipError(
+                f"cannot commit view {sorted(view.sites)}: group "
+                f"membership is {sorted(self._order)}"
+            )
+        self._view = view
+        self._pending_view = None
+        for site in self.operational_sites():
+            site.set_epoch(view.epoch)
+        self.joining.clear()
+
+    def adopt_site(self, site: 'Site') -> None:
+        """Attach a joining site to the group and its network.
+
+        The joiner participates in message fan-outs immediately; the
+        membership manager is responsible for bringing its data current
+        and (for available-copy schemes) keeping it COMATOSE until then.
+        """
+        if site.site_id in self._sites:
+            raise MembershipError(
+                f"site {site.site_id} is already a member"
+            )
+        geometry = (site.store.num_blocks, site.store.block_size)
+        if geometry != (self.num_blocks, self.block_size):
+            raise MembershipError(
+                f"joining site {site.site_id} disagrees on device "
+                f"geometry: {geometry} vs "
+                f"{(self.num_blocks, self.block_size)}"
+            )
+        self._sites[site.site_id] = site
+        self._order.append(site.site_id)
+        self._network.attach(site)
+        site.set_epoch(self.current_epoch())
+
+    def expel_site(self, site_id: SiteId) -> None:
+        """Remove a member from the group and detach it from the network."""
+        if site_id not in self._sites:
+            raise MembershipError(f"site {site_id} is not a member")
+        if len(self._order) == 1:
+            raise MembershipError("cannot expel the last member")
+        del self._sites[site_id]
+        self._order.remove(site_id)
+        self._network.detach(site_id)
+        self.joining.discard(site_id)
+
+    def _sync_epoch(self, site: 'Site') -> None:
+        """Bring a repairing site's durable epoch current.
+
+        A member that was down across one or more view changes must not
+        keep fencing (or failing to fence) against its stale epoch;
+        every repair path calls this before the site rejoins service.
+        """
+        if self._view is not None:
+            site.set_epoch(self.current_epoch())
+
+    def _epoch_rejects(self, node, epoch_tag: int) -> bool:
+        """Whether ``node`` fences a message tagged ``epoch_tag``.
+
+        True when fencing is enabled and the node has durably adopted a
+        newer epoch than the message carries -- i.e. a view change
+        opened between the operation's start and this delivery.
+        """
+        return (
+            self.epoch_fencing
+            and self._view is not None
+            and node.get_epoch() > epoch_tag
+        )
 
     # -- simulator wiring -----------------------------------------------------
 

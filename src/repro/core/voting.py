@@ -43,12 +43,15 @@ from typing import TYPE_CHECKING
 
 if TYPE_CHECKING:
     from ..device.site import Site
+    from ..membership.view import View
 from ..errors import (
     CorruptBlockError,
     DeviceUnavailableError,
+    MembershipError,
     NoCurrentDataCopyError,
     QuorumNotReachedError,
     SiteDownError,
+    StaleEpochError,
 )
 from ..net.message import MessageCategory
 from ..net.network import Network
@@ -130,15 +133,110 @@ class VotingProtocol(ReplicationProtocol):
         """Vote-only sites."""
         return [s for s in self.site_ids if s not in set(self._data_ids)]
 
+    # -- dynamic membership (joint quorums during the window) -----------------
+
+    def install_view(self, view: 'View') -> None:
+        """Adopt the initial view; reject unsupported configurations.
+
+        Dynamic membership re-votes members with the majority rule at
+        every epoch, so it requires the group to already be a plain
+        majority configuration: no witnesses, thresholds at half the
+        total weight, and site weights matching the view's votes.
+        """
+        if any(s.is_witness for s in self.sites):
+            raise MembershipError(
+                "dynamic membership does not support witness sites"
+            )
+        half = self._spec.total_weight / 2.0
+        if (self._spec.read_quorum != half
+                or self._spec.write_quorum != half):
+            raise MembershipError(
+                "dynamic membership requires majority quorums "
+                f"(spec has r={self._spec.read_quorum:g}, "
+                f"w={self._spec.write_quorum:g}, total/2={half:g})"
+            )
+        for site in self.sites:
+            if site.weight != view.vote_of(site.site_id):
+                raise MembershipError(
+                    f"site {site.site_id} weight {site.weight:g} does "
+                    f"not match its view vote "
+                    f"{view.vote_of(site.site_id):g}"
+                )
+        super().install_view(view)
+
+    def commit_view_change(self, view: 'View') -> None:
+        """Vote reassignment: the committed view defines the new quorums."""
+        self._order = list(view.sites)
+        for site_id, vote in zip(view.sites, view.votes):
+            self._sites[site_id].set_weight(vote)
+        self._spec = view.quorum_spec()
+        self._index_of = {s: i for i, s in enumerate(view.sites)}
+        self._data_ids = [
+            s.site_id for s in self.sites if not s.is_witness
+        ]
+        super().commit_view_change(view)
+
+    def _joint_views(self) -> Optional[Tuple['View', 'View']]:
+        """(old, new) while a transition window is open, else None."""
+        if self._pending_view is not None:
+            return self._view, self._pending_view
+        return None
+
+    def _read_shortfall(
+        self, voters: set
+    ) -> Optional[Tuple[float, float]]:
+        """None if ``voters`` form every active read quorum, else the
+        (gathered, required) pair of the first view they miss.
+
+        During a transition window the *joint* rule applies: the voters
+        must exceed the read threshold of the old AND the new view, so
+        a read is guaranteed to intersect the write quorum of the
+        latest write no matter which side of the epoch boundary that
+        write landed on.
+        """
+        views = self._joint_views()
+        if views is not None:
+            for view in views:
+                gathered = view.gathered_weight(voters)
+                if not gathered > view.read_quorum:
+                    return gathered, view.read_quorum
+            return None
+        gathered = self._spec.gathered_weight(
+            self._index_of[s] for s in voters if s in self._index_of
+        )
+        if not self._spec.meets_read(gathered):
+            return gathered, self._spec.read_quorum
+        return None
+
+    def _write_shortfall(
+        self, voters: set
+    ) -> Optional[Tuple[float, float]]:
+        """Joint-quorum analogue of :meth:`_read_shortfall` for writes."""
+        views = self._joint_views()
+        if views is not None:
+            for view in views:
+                gathered = view.gathered_weight(voters)
+                if not gathered > view.write_quorum:
+                    return gathered, view.write_quorum
+            return None
+        gathered = self._spec.gathered_weight(
+            self._index_of[s] for s in voters if s in self._index_of
+        )
+        if not self._spec.meets_write(gathered):
+            return gathered, self._spec.write_quorum
+        return None
+
     # -- vote collection -----------------------------------------------------
 
     def _collect_votes(
         self, origin: 'Site', block: BlockIndex
-    ) -> Tuple[float, Dict[SiteId, int]]:
+    ) -> Dict[SiteId, int]:
         """Gather votes for ``block`` from every reachable site.
 
-        Returns the gathered weight (origin included) and a map
-        ``site_id -> version`` over the voters (origin included).
+        Returns a map ``site_id -> version`` over the voters (origin
+        included).  During a transition window the broadcast reaches
+        the union of both views' members, so the joint quorum checks
+        see every reachable voice.
         """
 
         def vote(node, payload):
@@ -153,10 +251,7 @@ class VotingProtocol(ReplicationProtocol):
         )
         versions: Dict[SiteId, int] = dict(replies)
         versions[origin.site_id] = origin.block_version(block)
-        gathered = self._spec.gathered_weight(
-            self._index_of[s] for s in versions
-        )
-        return gathered, versions
+        return versions
 
     @staticmethod
     def _best_voter(versions: Dict[SiteId, int]) -> SiteId:
@@ -166,12 +261,12 @@ class VotingProtocol(ReplicationProtocol):
 
     def _collect_batch_votes(
         self, origin: 'Site', blocks: Sequence[BlockIndex]
-    ) -> Tuple[float, Dict[SiteId, Dict[BlockIndex, int]]]:
+    ) -> Dict[SiteId, Dict[BlockIndex, int]]:
         """ONE vote-collection round covering every block in the batch.
 
         A single BATCH_VOTE_REQUEST carries all the indexes; each
         reachable voter answers with one BATCH_VOTE_REPLY mapping every
-        requested block to its version number.  The gathered weight is
+        requested block to its version number.  The voter set is
         necessarily uniform across the batch -- the same voters answered
         for every block -- which is what lets one quorum check cover
         them all.
@@ -191,10 +286,7 @@ class VotingProtocol(ReplicationProtocol):
         versions[origin.site_id] = {
             b: origin.block_version(b) for b in blocks
         }
-        gathered = self._spec.gathered_weight(
-            self._index_of[s] for s in versions
-        )
-        return gathered, versions
+        return versions
 
     # -- Figure 3: READ -------------------------------------------------------
 
@@ -204,9 +296,10 @@ class VotingProtocol(ReplicationProtocol):
             raise SiteDownError(origin, "witnesses cannot serve clients")
         with self.meter.record("read"), \
                 self._span("read", origin=origin, block=block):
-            gathered, versions = self._collect_votes(site, block)
-            if not self._spec.meets_read(gathered):
-                raise QuorumNotReachedError(gathered, self._spec.read_quorum)
+            versions = self._collect_votes(site, block)
+            shortfall = self._read_shortfall(set(versions))
+            if shortfall is not None:
+                raise QuorumNotReachedError(*shortfall)
             top = max(versions.values())
             if versions[origin] < top:
                 self._refresh_from_voters(site, block, versions, top)
@@ -311,13 +404,24 @@ class VotingProtocol(ReplicationProtocol):
             raise SiteDownError(origin, "witnesses cannot serve clients")
         with self.meter.record("write"), \
                 self._span("write", origin=origin, block=block):
-            gathered, versions = self._collect_votes(site, block)
-            if not self._spec.meets_write(gathered):
-                raise QuorumNotReachedError(gathered, self._spec.write_quorum)
+            versions = self._collect_votes(site, block)
+            shortfall = self._write_shortfall(set(versions))
+            if shortfall is not None:
+                raise QuorumNotReachedError(*shortfall)
             new_version = max(versions.values()) + 1
             quorum_members = [s for s in versions if s != origin]
+            epoch_tag = self.current_epoch()
+            fenced: List[SiteId] = []
 
             def apply(node, payload):
+                if self._epoch_rejects(node, epoch_tag):
+                    # The epoch advanced under this fan-out (a view
+                    # change committed between vote collection and
+                    # delivery); the member refuses the stale-tagged
+                    # update rather than apply it under quorums that no
+                    # longer hold.
+                    fenced.append(node.site_id)
+                    return
                 index, blob, v = payload
                 if node.is_witness:
                     node.store.set_version(index, v)
@@ -331,27 +435,31 @@ class VotingProtocol(ReplicationProtocol):
                 payload=(block, bytes(data), new_version),
                 destinations=quorum_members,
             )
-            missed = [m for m in quorum_members if m not in delivered]
-            if missed and site.state is not SiteState.FAILED:
-                # Transient delivery loss inside the fan-out: members
-                # that missed the update cannot be counted toward the
+            if fenced:
+                self.epoch_fences += len(fenced)
+            applied_ids = {origin} | (set(delivered) - set(fenced))
+            if (applied_ids != set(versions)
+                    and site.state is not SiteState.FAILED):
+                # Members that missed the update -- transient delivery
+                # loss or an epoch fence -- cannot be counted toward the
                 # write quorum (quorum intersection would otherwise
                 # admit a stale read).  If what actually applied -- the
-                # origin plus the delivered members -- still carries a
-                # write quorum, the write stands; otherwise it is torn.
-                applied = site.weight + sum(
-                    self.site(m).weight
-                    for m in quorum_members
-                    if m in delivered
-                )
-                if not self._spec.meets_write(applied):
+                # origin plus the unfenced delivered members -- still
+                # carries a write quorum, the write stands; otherwise it
+                # is torn.
+                shortfall = self._write_shortfall(applied_ids)
+                if shortfall is not None:
                     if self.recorder is not None:
                         self.recorder.torn_write(
                             block, bytes(data), new_version
                         )
-                    raise QuorumNotReachedError(
-                        applied, self._spec.write_quorum
-                    )
+                    if fenced:
+                        raise StaleEpochError(
+                            f"write of block {block} tagged epoch "
+                            f"{epoch_tag} was fenced by "
+                            f"{sorted(set(fenced))}"
+                        )
+                    raise QuorumNotReachedError(*shortfall)
             if site.state is SiteState.FAILED:
                 # The origin crashed mid-fan-out (fault injection): some
                 # quorum members applied the update, some did not, and
@@ -385,9 +493,10 @@ class VotingProtocol(ReplicationProtocol):
             raise SiteDownError(origin, "witnesses cannot serve clients")
         with self.meter.record("batch_read"), \
                 self._span("read_batch", origin=origin, batch=len(ordered)):
-            gathered, votes = self._collect_batch_votes(site, ordered)
-            if not self._spec.meets_read(gathered):
-                raise QuorumNotReachedError(gathered, self._spec.read_quorum)
+            votes = self._collect_batch_votes(site, ordered)
+            shortfall = self._read_shortfall(set(votes))
+            if shortfall is not None:
+                raise QuorumNotReachedError(*shortfall)
             per_block: Dict[BlockIndex, Dict[SiteId, int]] = {
                 b: {s: votes[s][b] for s in votes} for b in ordered
             }
@@ -490,9 +599,10 @@ class VotingProtocol(ReplicationProtocol):
             raise SiteDownError(origin, "witnesses cannot serve clients")
         with self.meter.record("batch_write"), \
                 self._span("write_batch", origin=origin, batch=len(blocks)):
-            gathered, votes = self._collect_batch_votes(site, blocks)
-            if not self._spec.meets_write(gathered):
-                raise QuorumNotReachedError(gathered, self._spec.write_quorum)
+            votes = self._collect_batch_votes(site, blocks)
+            shortfall = self._write_shortfall(set(votes))
+            if shortfall is not None:
+                raise QuorumNotReachedError(*shortfall)
             new_versions = {
                 b: max(votes[s][b] for s in votes) + 1 for b in blocks
             }
@@ -500,8 +610,13 @@ class VotingProtocol(ReplicationProtocol):
                 b: (bytes(updates[b]), new_versions[b]) for b in blocks
             }
             quorum_members = [s for s in votes if s != origin]
+            epoch_tag = self.current_epoch()
+            fenced: List[SiteId] = []
 
             def apply(node, payload):
+                if self._epoch_rejects(node, epoch_tag):
+                    fenced.append(node.site_id)
+                    return
                 for index in sorted(payload):
                     blob, v = payload[index]
                     if node.is_witness:
@@ -516,22 +631,25 @@ class VotingProtocol(ReplicationProtocol):
                 payload=payload,
                 destinations=quorum_members,
             )
-            missed = [m for m in quorum_members if m not in delivered]
-            if missed and site.state is not SiteState.FAILED:
-                applied = site.weight + sum(
-                    self.site(m).weight
-                    for m in quorum_members
-                    if m in delivered
-                )
-                if not self._spec.meets_write(applied):
+            if fenced:
+                self.epoch_fences += len(fenced)
+            applied_ids = {origin} | (set(delivered) - set(fenced))
+            if (applied_ids != set(votes)
+                    and site.state is not SiteState.FAILED):
+                shortfall = self._write_shortfall(applied_ids)
+                if shortfall is not None:
                     if self.recorder is not None:
                         for b in blocks:
                             self.recorder.torn_write(
                                 b, bytes(updates[b]), new_versions[b]
                             )
-                    raise QuorumNotReachedError(
-                        applied, self._spec.write_quorum
-                    )
+                    if fenced:
+                        raise StaleEpochError(
+                            f"batched write of {len(blocks)} blocks "
+                            f"tagged epoch {epoch_tag} was fenced by "
+                            f"{sorted(set(fenced))}"
+                        )
+                    raise QuorumNotReachedError(*shortfall)
             if site.state is SiteState.FAILED:
                 # Mid-fan-out origin crash: every block of the batch is
                 # torn the same way a single-block write would be.
@@ -560,9 +678,18 @@ class VotingProtocol(ReplicationProtocol):
         operational = [
             s for s in self.sites if s.state is not SiteState.FAILED
         ]
-        up = [self._index_of[s.site_id] for s in operational]
-        if not self._spec.read_available(up):
-            return False
+        views = self._joint_views()
+        if views is not None:
+            ids = {s.site_id for s in operational}
+            if not all(v.meets_read(ids) for v in views):
+                return False
+        else:
+            up = [
+                self._index_of[s.site_id] for s in operational
+                if s.site_id in self._index_of
+            ]
+            if not self._spec.read_available(up):
+                return False
         return any(not s.is_witness for s in operational)
 
     def on_site_failed(self, site_id: SiteId) -> None:
@@ -576,6 +703,7 @@ class VotingProtocol(ReplicationProtocol):
         """
         site = self.site(site_id)
         site.set_state(SiteState.AVAILABLE)
+        self._sync_epoch(site)
         if self._eager_repair:
             self._eager_refresh(site)
 

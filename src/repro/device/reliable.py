@@ -249,7 +249,19 @@ class ReliableDevice(BlockDevice):
 
     def _pick_origin(self, count: bool = True) -> SiteId:
         """The site operations will be issued from right now."""
-        preferred = self._protocol.site(self._origin)
+        try:
+            preferred = self._protocol.site(self._origin)
+        except SiteDownError:
+            # A view change expelled the preferred origin: the stub's
+            # site is gone for good, not merely down.  Re-pin to a
+            # current member (permanently -- unlike a transient
+            # failover) or surface the expulsion when failover is off.
+            if not self._failover:
+                raise
+            if count:
+                self.fault_stats.failovers += 1
+            self._origin = self._protocol.site_ids[0]
+            preferred = self._protocol.site(self._origin)
         if preferred.state is SiteState.AVAILABLE:
             return self._origin
         if not self._failover:
@@ -300,8 +312,12 @@ class ReliableDevice(BlockDevice):
 
     def read_block(self, index: BlockIndex) -> bytes:
         def attempt() -> bytes:
+            # Pick the origin before counting the round: an attempt
+            # that cannot even find an origin never talks to the group,
+            # so it must not inflate the round counters.
+            origin = self._pick_origin()
             self.fault_stats.read_rounds += 1
-            return self._protocol.read(self._pick_origin(), index)
+            return self._protocol.read(origin, index)
 
         with self._span("read", block=index):
             try:
@@ -325,8 +341,9 @@ class ReliableDevice(BlockDevice):
             )
 
         def attempt() -> int:
+            origin = self._pick_origin()
             self.fault_stats.write_rounds += 1
-            return self._protocol.write(self._pick_origin(), index, data)
+            return self._protocol.write(origin, index, data)
 
         with self._span("write", block=index):
             try:
@@ -357,8 +374,9 @@ class ReliableDevice(BlockDevice):
             return {}
 
         def attempt() -> Dict[BlockIndex, bytes]:
+            origin = self._pick_origin()
             self.fault_stats.read_rounds += 1
-            return self._protocol.read_batch(self._pick_origin(), ordered)
+            return self._protocol.read_batch(origin, ordered)
 
         with self._span("read_batch", batch=len(ordered)):
             try:
@@ -392,8 +410,9 @@ class ReliableDevice(BlockDevice):
             )
 
         def attempt() -> Dict[BlockIndex, int]:
+            origin = self._pick_origin()
             self.fault_stats.write_rounds += 1
-            return self._protocol.write_batch(self._pick_origin(), writes)
+            return self._protocol.write_batch(origin, writes)
 
         with self._span("write_batch", batch=len(writes)):
             try:

@@ -63,6 +63,17 @@ class Site:
         """This site's voting weight."""
         return self._weight
 
+    def set_weight(self, weight: float) -> None:
+        """Reassign this site's voting weight (view-change commit).
+
+        Vote reassignment is how dynamic membership re-balances a
+        majority group after a site joins or leaves; only
+        :mod:`repro.membership` should call this, at epoch boundaries.
+        """
+        if weight <= 0:
+            raise ValueError(f"site weight must be positive, got {weight}")
+        self._weight = float(weight)
+
     @property
     def is_witness(self) -> bool:
         """Whether this site votes without storing data.
@@ -127,6 +138,20 @@ class Site:
     def version_total(self) -> int:
         """Scalar recency proxy used to pick the most current copy."""
         return self._store.version_vector().total()
+
+    # -- membership epoch (durable, like the was-available set) ------------------
+
+    def get_epoch(self) -> int:
+        """The membership epoch this site has adopted (0 = initial view)."""
+        return int(self.meta.get("epoch", 0))
+
+    def set_epoch(self, epoch: int) -> None:
+        """Durably adopt a membership epoch.
+
+        Handlers compare a message's epoch tag against this to fence
+        in-flight writes that straddle a view change.
+        """
+        self.meta["epoch"] = int(epoch)
 
     # -- was-available metadata (available-copy schemes) -------------------------
 

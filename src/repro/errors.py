@@ -142,6 +142,29 @@ class QuorumSpecError(ProtocolError):
     """
 
 
+class MembershipError(ProtocolError):
+    """An invalid reconfiguration of the replica group was requested.
+
+    Raised by :mod:`repro.membership` for structurally impossible view
+    changes: adopting a site that is already a member, expelling a
+    non-member, opening a view change while another is in flight, or
+    reconfiguring a group whose scheme cannot support it (e.g. a voting
+    group with witnesses or non-majority quorums).
+    """
+
+
+class StaleEpochError(DeviceUnavailableError, ProtocolError):
+    """A write fan-out straddled an epoch boundary and was fenced.
+
+    Sites that have adopted a newer membership epoch reject in-flight
+    updates tagged with an older one; when the rejections leave the
+    fan-out short of its (joint) quorum the write is torn and this is
+    raised.  It derives from :class:`DeviceUnavailableError` so the
+    reliable device's retry policy re-issues the operation under the
+    new epoch instead of failing it.
+    """
+
+
 # ---------------------------------------------------------------------------
 # Network layer
 # ---------------------------------------------------------------------------

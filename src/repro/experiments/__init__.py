@@ -23,6 +23,7 @@ from .batching_study import batching_study
 from .byte_study import byte_traffic_study
 from .witness_study import witness_study, build_witness_group, simulate_witness_group
 from .heterogeneity_study import heterogeneity_study, simulate_heterogeneous
+from .membership_study import membership_study
 from .partitions import partition_demo, run_partition_scenario
 from .registry import EXPERIMENTS, run_all, run_experiment
 from .reliability_study import (
@@ -62,6 +63,7 @@ __all__ = [
     "partition_demo",
     "serial_repair_study",
     "heterogeneity_study",
+    "membership_study",
     "simulate_heterogeneous",
     "run_partition_scenario",
     "build_witness_group",

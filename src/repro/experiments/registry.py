@@ -21,6 +21,7 @@ from .batching_study import batching_study
 from .byte_study import byte_traffic_study
 from .figures import figure9, figure10, figure11, figure12
 from .heterogeneity_study import heterogeneity_study
+from .membership_study import membership_study
 from .observability_demo import observability_demo
 from .partitions import partition_demo
 from .reliability_study import reliability_study
@@ -50,6 +51,7 @@ EXPERIMENTS: Dict[str, Callable[[], ExperimentReport]] = {
     "partition-demo": partition_demo,
     "serial-repair-study": serial_repair_study,
     "heterogeneity-study": heterogeneity_study,
+    "membership-study": membership_study,
     "observability-demo": observability_demo,
     "conclusions-summary": conclusions_summary,
     "ablation-voting-repair": ablation_voting_repair,

@@ -31,9 +31,12 @@ from ..device.site import Site
 from ..errors import (
     CorruptBlockError,
     DeviceError,
+    MembershipError,
     NoAvailableCopyError,
     SiteDownError,
 )
+from ..membership import MembershipManager
+from ..net.message import MessageCategory
 from ..net.network import Network
 from ..types import SchemeName, SiteState
 from .checker import HistoryRecorder, Violation
@@ -78,6 +81,21 @@ class ChaosConfig:
     batch_rate: float = 0.0
     #: Largest batch a batched step may issue (>= 2 when batch_rate > 0).
     max_batch: int = 8
+    #: Probability per step that a planned reconfiguration (add / remove
+    #: / replace, rotating) is opened.  0 (default) disables dynamic
+    #: membership entirely AND preserves the historical rng draw
+    #: sequence, so existing seeded schedules replay unchanged.
+    reconfigure_rate: float = 0.0
+    #: Fresh sites available to join the group (ids continue upward
+    #: from ``num_sites``); each add/replace consumes one.
+    spare_sites: int = 2
+    #: Never shrink the group below this many members.
+    min_sites: int = 3
+    #: Blocks per membership catch-up chunk (state-transfer pacing).
+    catchup_blocks: int = 4
+    #: Whether members fence in-flight writes at epoch boundaries.
+    #: Disabling reproduces the quorum-drift hazard (ablation only).
+    fencing: bool = True
     retry: Optional[RetryPolicy] = RetryPolicy(
         max_attempts=3, initial_delay=0.0
     )
@@ -106,6 +124,20 @@ class ChaosResult:
     failovers: int = 0
     messages: int = 0
     history: Dict[str, int] = field(default_factory=dict)
+    #: Committed view changes (0 when dynamic membership is off).
+    view_changes: int = 0
+    #: The group's final membership epoch.
+    final_epoch: int = 0
+    #: Committed view changes by kind (add / remove / replace).
+    reconfigurations: Dict[str, int] = field(default_factory=dict)
+    #: Write fan-outs rejected at an epoch boundary.
+    epoch_fences: int = 0
+    #: A transition window was still open at the end of the run.
+    reconfig_pending: bool = False
+    #: State-transfer exchanges spent on joiner catch-up (messages and
+    #: bytes, priced by the same size model as foreground traffic).
+    catchup_messages: int = 0
+    catchup_bytes: int = 0
 
     @property
     def ok(self) -> bool:
@@ -114,7 +146,7 @@ class ChaosResult:
 
     def summary(self) -> str:
         status = "OK" if self.ok else "FAILED"
-        return (
+        text = (
             f"chaos[{self.scheme.value}, seed={self.seed}]: {status} -- "
             f"{self.injected.total_faults} faults "
             f"({self.injected.corruptions} corruptions, "
@@ -129,6 +161,20 @@ class ChaosResult:
             f"{self.blocks_healed} healed, {self.sites_fenced} fenced, "
             f"{self.retries} retries, {len(self.violations)} violations"
         )
+        if self.view_changes or self.reconfig_pending:
+            kinds = ", ".join(
+                f"{k}={v}" for k, v in sorted(
+                    self.reconfigurations.items()
+                ) if v
+            )
+            text += (
+                f"; {self.view_changes} view changes ({kinds or 'none'}) "
+                f"to epoch {self.final_epoch}, "
+                f"{self.epoch_fences} epoch fences"
+            )
+            if self.reconfig_pending:
+                text += ", 1 window still open"
+        return text
 
 
 def _campaign_run(task) -> "ChaosResult":
@@ -260,6 +306,54 @@ def _scrub_quietly(protocol) -> None:
         pass
 
 
+#: Planned reconfigurations rotate through the kinds in this order, so a
+#: campaign that commits three changes has exercised all of them.
+_RECONFIG_KINDS = ("add", "remove", "replace")
+
+
+def _reconfigure_one(rng, config, manager, spares) -> None:
+    """Open one planned view change, if any kind is feasible.
+
+    Kind selection prefers the rotation slot (``view_changes % 3``) and
+    falls back to any feasible kind; victims are drawn from the rng so
+    schedules stay seed-replayable.  A no-op when the window is already
+    open or nothing is feasible (no spares, group at minimum size).
+    """
+    if manager.in_transition:
+        return
+    protocol = manager.protocol
+    members = sorted(protocol.site_ids)
+    can_grow = bool(spares) and len(members) < config.num_sites + 2
+    feasible = []
+    if can_grow:
+        feasible.append("add")
+    if len(members) > config.min_sites:
+        feasible.append("remove")
+    if spares:
+        feasible.append("replace")
+    if not feasible:
+        return
+    preferred = _RECONFIG_KINDS[manager.view_changes % 3]
+    kind = preferred if preferred in feasible else rng.choice(feasible)
+    tracer = protocol.tracer
+    try:
+        if kind == "add":
+            manager.open_add(spares[0])
+            spares.pop(0)
+        elif kind == "remove":
+            manager.open_remove(rng.choice(members))
+        else:
+            manager.open_replace(rng.choice(members), spares[0])
+            spares.pop(0)
+    except MembershipError:
+        return
+    if tracer.enabled:
+        tracer.event(
+            "chaos.reconfigure", layer="chaos", kind=kind,
+            epoch=protocol.current_epoch(),
+        )
+
+
 def run_chaos(config: ChaosConfig, tracer=None) -> ChaosResult:
     """Run one seeded chaos schedule and check its history.
 
@@ -279,6 +373,41 @@ def run_chaos(config: ChaosConfig, tracer=None) -> ChaosResult:
     device = ReliableDevice(
         protocol, failover=True, retry=config.retry
     )
+    manager: Optional[MembershipManager] = None
+    spares: List[Site] = []
+    if config.reconfigure_rate > 0:
+        manager = MembershipManager(
+            protocol,
+            fencing=config.fencing,
+            catchup_blocks=config.catchup_blocks,
+            recorder=recorder,
+        )
+        spares = [
+            Site(config.num_sites + i, config.num_blocks,
+                 config.block_size)
+            for i in range(config.spare_sites)
+        ]
+
+        def crash_replace(origin: int) -> None:
+            # A mid-write crash triggers an unplanned replacement: swap
+            # the victim for a spare, exactly as an operator would pull
+            # a dead machine.  Skipped when a window is already open or
+            # no spare remains.
+            if manager.in_transition or not spares:
+                return
+            try:
+                manager.open_replace(origin, spares[0])
+            except MembershipError:
+                return
+            spares.pop(0)
+            if protocol.tracer.enabled:
+                protocol.tracer.event(
+                    "chaos.reconfigure", layer="chaos",
+                    kind="crash-replace", site=origin,
+                    epoch=protocol.current_epoch(),
+                )
+
+        injector.on_mid_write_crash = crash_replace
     result = ChaosResult(
         scheme=config.scheme,
         seed=config.seed,
@@ -344,6 +473,14 @@ def run_chaos(config: ChaosConfig, tracer=None) -> ChaosResult:
                     protocol.tracer.event(
                         "chaos.repair", layer="chaos", site=repaired,
                     )
+        # Like batch_rate, the reconfigure_rate > 0 guard keeps legacy
+        # schedules' rng draw sequences byte-identical: dynamic
+        # membership adds its draw (and its deterministic catch-up
+        # step) only when explicitly enabled.
+        if manager is not None:
+            if rng.random() < config.reconfigure_rate:
+                _reconfigure_one(rng, config, manager, spares)
+            manager.step()
         # The batch_rate > 0 guard keeps the rng draw sequence of the
         # default (single-block) configuration byte-identical to the
         # pre-batching harness, so seeded schedules replay unchanged.
@@ -386,6 +523,12 @@ def run_chaos(config: ChaosConfig, tracer=None) -> ChaosResult:
                     "chaos.repair", layer="chaos", site=site.site_id,
                     quiescence=True,
                 )
+    if manager is not None and manager.in_transition:
+        # Drain any open transition window now that every member is
+        # back up; a window that still cannot commit (e.g. the joiner's
+        # catch-up source keeps failing verification) is reported, not
+        # hidden -- the final reads below still run under joint quorums.
+        result.reconfig_pending = not manager.finalize()
     _scrub_quietly(protocol)
     for block in range(config.num_blocks):
         do_read(block)
@@ -397,7 +540,12 @@ def run_chaos(config: ChaosConfig, tracer=None) -> ChaosResult:
         # Undetected is fine only if the copy is now verifiably intact
         # (a later write or repair overwrote the damage) or the store
         # quarantined it without a protocol-level detection event.
-        store = protocol.site(site_id).store
+        try:
+            store = protocol.site(site_id).store
+        except SiteDownError:
+            # The corrupt copy left with its site when a view change
+            # expelled it; no current replica carries the damage.
+            continue
         if not store.verify(block):
             result.unaccounted_corruptions.append((site_id, block))
     result.corruptions_detected = protocol.corruptions_detected
@@ -407,4 +555,14 @@ def run_chaos(config: ChaosConfig, tracer=None) -> ChaosResult:
     result.failovers = device.fault_stats.failovers
     result.messages = protocol.meter.total
     result.history = recorder.summary()
+    if manager is not None:
+        result.view_changes = manager.view_changes
+        result.final_epoch = protocol.current_epoch()
+        result.reconfigurations = dict(manager.reconfigurations)
+        result.epoch_fences = protocol.epoch_fences
+        meter = protocol.meter
+        for category in (MessageCategory.STATE_TRANSFER_REQUEST,
+                         MessageCategory.STATE_TRANSFER_REPLY):
+            result.catchup_messages += meter.category_count(category)
+            result.catchup_bytes += meter.category_bytes(category)
     return result

@@ -166,6 +166,22 @@ class HistoryRecorder:
     def site_fenced(self, site: SiteId) -> None:
         self._add(kind="site_fenced", site=site)
 
+    # -- membership (recorded by the membership manager) -------------------------
+
+    def view_change(self, epoch: int, sites, phase: str = "commit") -> None:
+        """A view change began or committed.
+
+        The epoch rides in ``version`` and the membership in ``info``,
+        so a checked history shows exactly which reads and writes ran
+        under which membership -- the consistency condition itself is
+        epoch-agnostic (admissible values carry across view changes;
+        that is the whole point of the joint-quorum window).
+        """
+        self._add(
+            kind="view_change", version=epoch,
+            info=f"{phase}:{','.join(str(s) for s in sorted(sites))}",
+        )
+
     # -- summaries ------------------------------------------------------------
 
     def count(self, kind: str) -> int:

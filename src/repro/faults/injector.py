@@ -88,6 +88,10 @@ class FaultInjector:
         #: Deliveries suppressed because their source crashed mid-write
         #: (a consequence of an injected crash, not a separate fault).
         self.torn_deliveries_suppressed = 0
+        #: Optional hook invoked (with the origin's id) right after a
+        #: mid-write crash fires.  The chaos harness uses it to trigger
+        #: crash-driven membership replacements; it must not raise.
+        self.on_mid_write_crash = None
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -225,3 +229,5 @@ class FaultInjector:
             self.counts.mid_write_crashes += 1
             if self._recorder is not None:
                 self._recorder.crash(origin, mid_write=True)
+            if self.on_mid_write_crash is not None:
+                self.on_mid_write_crash(origin)

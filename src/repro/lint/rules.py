@@ -13,6 +13,8 @@ RL004     raised exceptions derive from the ``repro.errors`` hierarchy
 RL005     no float ``==``/``!=`` on sim-time or availability values
 RL006     no bare/blanket-swallowed ``except`` in protocol paths
 RL007     no mutable default arguments
+RL008     no mutation of ``View`` membership fields outside
+          ``repro.membership``
 ========  ==============================================================
 
 Rules are registered in :data:`RULES`; adding one is defining a
@@ -33,7 +35,8 @@ __all__ = ["Rule", "RULES", "register", "all_codes"]
 #: replay contract.  ``analysis`` and ``experiments`` are pure functions
 #: of their inputs; ``obs`` is observer-only; ``cli`` is the edge.
 _DETERMINISTIC_SEGMENTS = frozenset(
-    {"sim", "core", "net", "fs", "device", "exec", "faults"}
+    {"sim", "core", "net", "fs", "device", "exec", "faults",
+     "membership"}
 )
 
 
@@ -538,3 +541,71 @@ class MutableDefault(Rule):
                         f"mutable default argument in {node.name}(); "
                         "use None and create the value in the body",
                     )
+
+
+# ---------------------------------------------------------------------------
+# RL008 -- view membership fields are immutable outside repro.membership
+# ---------------------------------------------------------------------------
+
+#: The fields of :class:`repro.membership.View` that define an epoch.
+_VIEW_FIELDS = frozenset({"epoch", "sites", "votes"})
+
+
+@register
+class ViewMutation(Rule):
+    """Assignment to ``epoch``/``sites``/``votes`` attributes outside
+    :mod:`repro.membership`.
+
+    The joint-quorum safety argument treats each epoch's membership as
+    a frozen fact: protocols *compare* views and thread them through
+    begin/commit, and epoch fencing is keyed to exactly that sequence.
+    ``View`` is a frozen dataclass, so naive mutation raises at
+    runtime -- but an attribute of the same name grafted onto another
+    object (or an ``object.__setattr__`` workaround rewritten as plain
+    assignment) would silently bypass the view-change discipline.  All
+    membership arithmetic therefore lives in ``repro.membership``;
+    everywhere else these names are read-only.  Constructors may still
+    initialise their *own* ``self`` fields of the same names.
+    """
+
+    code = "RL008"
+    name = "view-mutation"
+    description = (
+        "assignment to an epoch/sites/votes attribute outside "
+        "repro.membership (views are immutable value objects)"
+    )
+
+    def check_file(self, ctx: FileContext) -> Iterator[Diagnostic]:
+        if "membership" in ctx.segments:
+            return
+        ctor_nodes: Set[int] = set()
+        for fn in ast.walk(ctx.tree):
+            if isinstance(fn, ast.FunctionDef) and fn.name == "__init__":
+                for sub in ast.walk(fn):
+                    ctor_nodes.add(id(sub))
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Assign):
+                targets = node.targets
+            elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+                targets = [node.target]
+            else:
+                continue
+            for target in targets:
+                if not (
+                    isinstance(target, ast.Attribute)
+                    and target.attr in _VIEW_FIELDS
+                ):
+                    continue
+                if (
+                    id(node) in ctor_nodes
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id == "self"
+                ):
+                    continue
+                yield self._diag(
+                    ctx, node,
+                    f"assignment to .{target.attr} outside "
+                    "repro.membership; views are immutable -- build a "
+                    "successor via with_added/with_removed/with_replaced "
+                    "and commit it through the MembershipManager",
+                )

@@ -1,0 +1,14 @@
+"""Epoch-based dynamic membership: views, joint quorums, state transfer.
+
+The paper analyses a *fixed* replica group; this package lets the group
+change -- sites added, removed or replaced while traffic flows -- without
+ever exposing the quorum-drift hazard (two disjoint write quorums across
+adjacent memberships).  See :mod:`repro.membership.view` for the value
+objects and the hazard's formal statement, and
+:mod:`repro.membership.manager` for the online transition machinery.
+"""
+
+from .manager import MembershipManager
+from .view import View, disjoint_write_quorums
+
+__all__ = ["MembershipManager", "View", "disjoint_write_quorums"]

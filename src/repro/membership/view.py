@@ -1,0 +1,227 @@
+"""Epoch-numbered membership views for dynamic replica groups.
+
+The paper proves the availability of MCV/AC/NAC over a *fixed* replica
+set; real deployments lose and replace sites.  A :class:`View` is one
+epoch of a group's life: the member sites and the votes they carry.
+Reconfiguration is a transition from ``View(e)`` to ``View(e + 1)``
+performed *while traffic flows* (see
+:class:`~repro.membership.manager.MembershipManager`); during the
+transition window voting operations must assemble quorums under **both**
+views -- the joint-quorum rule -- which is what makes the classic
+"quorum drift" failure (R+W > RF proven against a membership that
+silently changed) structurally impossible.
+
+Views are value objects: immutable, hashable, and only ever *replaced*,
+never mutated.  Lint rule RL008 enforces the last point -- nothing
+outside :mod:`repro.membership` may assign to a view's fields.
+
+Why adjacent epochs need a joint window at all: two *majority* quorums
+of two *different* views need not intersect.  Remove one site from a
+five-site group -- the old view admits write quorum ``{2, 3, 4}``,
+while the re-weighted four-site view admits ``{0, 1}`` (site 0 carries
+the tie-breaker).  :func:`disjoint_write_quorums` finds such pairs by
+brute force; the property tests use it both to show the hazard is real
+and to verify the joint-window discipline closes it.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import AbstractSet, Iterable, List, Optional, Tuple
+
+from ..core.quorum import TIE_BREAKER_WEIGHT, QuorumSpec
+from ..errors import MembershipError
+from ..types import SiteId
+
+__all__ = ["View", "disjoint_write_quorums"]
+
+
+@dataclass(frozen=True)
+class View:
+    """One epoch of a replica group's membership.
+
+    ``sites`` and ``votes`` are positionally aligned: member
+    ``sites[i]`` carries ``votes[i]`` voting weight.  Quorum thresholds
+    are the majority rule of Section 3.1 -- an operation needs strictly
+    more than half the total vote -- with the paper's tie-breaking
+    weight adjustment applied to even groups by :meth:`majority`.
+    """
+
+    epoch: int
+    sites: Tuple[SiteId, ...]
+    votes: Tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if self.epoch < 0:
+            raise MembershipError(f"epoch must be >= 0, got {self.epoch}")
+        if not self.sites:
+            raise MembershipError("a view needs at least one site")
+        if len(set(self.sites)) != len(self.sites):
+            raise MembershipError(
+                f"duplicate sites in view: {list(self.sites)}"
+            )
+        if len(self.votes) != len(self.sites):
+            raise MembershipError(
+                f"view has {len(self.sites)} sites but "
+                f"{len(self.votes)} votes"
+            )
+        if any(v <= 0 for v in self.votes):
+            raise MembershipError(
+                f"votes must be positive: {list(self.votes)}"
+            )
+
+    # -- constructors -----------------------------------------------------
+
+    @classmethod
+    def majority(cls, epoch: int, sites: Iterable[SiteId]) -> "View":
+        """Equal-vote majority view, tie-broken for even groups.
+
+        Members are kept in sorted id order; every member gets one
+        vote, and for an even group the lowest-id member receives
+        :data:`~repro.core.quorum.TIE_BREAKER_WEIGHT` extra -- the same
+        draw-breaking adjustment :meth:`QuorumSpec.majority` applies,
+        so a view change degenerates to the paper's static quorums
+        whenever the membership happens not to change.
+        """
+        ordered = tuple(sorted(set(sites)))
+        votes = [1.0] * len(ordered)
+        if ordered and len(ordered) % 2 == 0:
+            votes[0] += TIE_BREAKER_WEIGHT
+        return cls(epoch=epoch, sites=ordered, votes=tuple(votes))
+
+    @classmethod
+    def from_protocol(cls, protocol) -> "View":
+        """Epoch-0 view mirroring a protocol's current sites and weights."""
+        return cls(
+            epoch=0,
+            sites=tuple(protocol.site_ids),
+            votes=tuple(s.weight for s in protocol.sites),
+        )
+
+    # -- successor views ---------------------------------------------------
+
+    def with_added(self, site_id: SiteId) -> "View":
+        """The next epoch's view with ``site_id`` joined (re-voted)."""
+        if site_id in self.sites:
+            raise MembershipError(
+                f"site {site_id} is already a member of epoch {self.epoch}"
+            )
+        return View.majority(self.epoch + 1, self.sites + (site_id,))
+
+    def with_removed(self, site_id: SiteId) -> "View":
+        """The next epoch's view with ``site_id`` expelled (re-voted)."""
+        if site_id not in self.sites:
+            raise MembershipError(
+                f"site {site_id} is not a member of epoch {self.epoch}"
+            )
+        remaining = tuple(s for s in self.sites if s != site_id)
+        if not remaining:
+            raise MembershipError("cannot remove the last member")
+        return View.majority(self.epoch + 1, remaining)
+
+    def with_replaced(
+        self, old_id: SiteId, new_id: SiteId
+    ) -> "View":
+        """The next epoch's view with ``old_id`` swapped for ``new_id``."""
+        if old_id not in self.sites:
+            raise MembershipError(
+                f"site {old_id} is not a member of epoch {self.epoch}"
+            )
+        if new_id in self.sites:
+            raise MembershipError(
+                f"site {new_id} is already a member of epoch {self.epoch}"
+            )
+        swapped = tuple(
+            new_id if s == old_id else s for s in self.sites
+        )
+        return View.majority(self.epoch + 1, swapped)
+
+    # -- queries -------------------------------------------------------------
+
+    @property
+    def members(self) -> frozenset:
+        return frozenset(self.sites)
+
+    @property
+    def total_votes(self) -> float:
+        return sum(self.votes)
+
+    @property
+    def read_quorum(self) -> float:
+        """Strict-greater majority threshold for reads."""
+        return self.total_votes / 2.0
+
+    @property
+    def write_quorum(self) -> float:
+        """Strict-greater majority threshold for writes."""
+        return self.total_votes / 2.0
+
+    def vote_of(self, site_id: SiteId) -> float:
+        try:
+            return self.votes[self.sites.index(site_id)]
+        except ValueError:
+            raise MembershipError(
+                f"site {site_id} is not a member of epoch {self.epoch}"
+            ) from None
+
+    def gathered_weight(self, site_ids: AbstractSet[SiteId]) -> float:
+        """Total vote of the members among ``site_ids`` (non-members
+        contribute nothing -- a joiner's voice does not count in the
+        old view, nor a leaver's in the new one)."""
+        ids = set(site_ids)
+        return sum(
+            v for s, v in zip(self.sites, self.votes) if s in ids
+        )
+
+    def meets_read(self, site_ids: AbstractSet[SiteId]) -> bool:
+        return self.gathered_weight(site_ids) > self.read_quorum
+
+    def meets_write(self, site_ids: AbstractSet[SiteId]) -> bool:
+        return self.gathered_weight(site_ids) > self.write_quorum
+
+    def quorum_spec(self) -> QuorumSpec:
+        """This view's thresholds as a static :class:`QuorumSpec`."""
+        return QuorumSpec.weighted(
+            self.votes, self.read_quorum, self.write_quorum
+        )
+
+    def describe(self) -> str:
+        members = ",".join(str(s) for s in self.sites)
+        return f"epoch {self.epoch} [{members}]"
+
+
+def _minimal_write_quorums(view: View) -> List[frozenset]:
+    """Every minimal member set forming a write quorum (brute force).
+
+    Exponential in group size -- intended for the property tests'
+    small groups, not production paths.
+    """
+    quorums: List[frozenset] = []
+    for size in range(1, len(view.sites) + 1):
+        for combo in itertools.combinations(view.sites, size):
+            candidate = frozenset(combo)
+            if not view.meets_write(candidate):
+                continue
+            if any(q < candidate for q in quorums):
+                continue
+            quorums.append(candidate)
+    return quorums
+
+
+def disjoint_write_quorums(
+    old: View, new: View
+) -> Optional[Tuple[frozenset, frozenset]]:
+    """A pair of non-intersecting write quorums across two views, if any.
+
+    Within ONE view, majority write quorums always intersect; across
+    *adjacent* views they may not -- the quorum-drift hazard that
+    motivates the joint-quorum transition window.  Returns a witnessing
+    pair ``(old_quorum, new_quorum)`` or None when every pair
+    intersects.
+    """
+    for q_old in _minimal_write_quorums(old):
+        for q_new in _minimal_write_quorums(new):
+            if not (q_old & q_new):
+                return q_old, q_new
+    return None

@@ -62,6 +62,13 @@ class MessageCategory(enum.Enum):
     #: Several data blocks pushed in one transmission to refresh
     #: out-of-date or corrupt copies (batched lazy repair / scrub).
     BATCH_BLOCK_TRANSFER = "batch-block-transfer"
+    #: A joining (or catching-up) site asks a current member for a
+    #: bounded chunk of the blocks it is missing: its version vector
+    #: plus a chunk limit (membership state transfer).
+    STATE_TRANSFER_REQUEST = "state-transfer-request"
+    #: The member's reply: its version vector plus up to the requested
+    #: number of stale blocks (membership state transfer).
+    STATE_TRANSFER_REPLY = "state-transfer-reply"
 
     @property
     def is_reply(self) -> bool:
@@ -73,6 +80,7 @@ class MessageCategory(enum.Enum):
             MessageCategory.VERSION_VECTOR_REPLY,
             MessageCategory.BATCH_VOTE_REPLY,
             MessageCategory.BATCH_WRITE_ACK,
+            MessageCategory.STATE_TRANSFER_REPLY,
         )
 
     @property

@@ -159,6 +159,18 @@ class Network:
         """Register a site with the network."""
         self._nodes[node.site_id] = node
 
+    def detach(self, site_id: SiteId) -> None:
+        """Unregister a site (it was expelled from the replica group).
+
+        A detached site receives no further traffic and no longer counts
+        as a default broadcast destination.  Detaching an unknown site
+        raises :class:`~repro.errors.UnknownSiteError`.
+        """
+        if site_id not in self._nodes:
+            raise UnknownSiteError(site_id)
+        del self._nodes[site_id]
+        self._partition.pop(site_id, None)
+
     def node(self, site_id: SiteId) -> NetworkNode:
         """Look up an attached site."""
         try:

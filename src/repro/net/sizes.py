@@ -127,6 +127,25 @@ class SizeModel:
             return base + self._payload_len(payload) * (
                 self.vv_entry_bytes + self.block_bytes
             )
+        if category is MessageCategory.STATE_TRANSFER_REQUEST:
+            # the requester's version vector + a chunk limit
+            size = base + self.vote_bytes
+            if isinstance(payload, tuple) and len(payload) == 2 \
+                    and isinstance(payload[0], VersionVector):
+                size += len(payload[0]) * self.vv_entry_bytes
+            return size
+        if category is MessageCategory.STATE_TRANSFER_REPLY:
+            # the member's vector + one versioned block per chunk entry
+            size = base
+            if isinstance(payload, tuple) and len(payload) == 2:
+                vector, blocks = payload
+                if isinstance(vector, VersionVector):
+                    size += len(vector) * self.vv_entry_bytes
+                if isinstance(blocks, dict):
+                    size += len(blocks) * (
+                        self.vv_entry_bytes + self.block_bytes
+                    )
+            return size
         raise ValueError(  # pragma: no cover - enum is closed
             f"unknown category {category!r}"
         )

@@ -53,7 +53,10 @@ __all__ = [
 TRACE_SCHEMA_VERSION = 1
 
 #: Layers a span may belong to; the schema validator enforces membership.
-LAYERS = ("device", "protocol", "net", "scrub", "chaos", "workload")
+LAYERS = (
+    "device", "protocol", "net", "scrub", "chaos", "workload",
+    "membership",
+)
 
 OUTCOME_OK = "ok"
 

@@ -1,0 +1,165 @@
+"""Reliable device under dynamic membership, plus counter regressions.
+
+Covers the device-side consequences of view changes -- the preferred
+origin being *expelled* (gone for good, unlike a crash) -- and two
+accounting regressions: degraded-mode re-entry and the round counters
+charging protocol rounds for attempts that never reached the group.
+"""
+
+import pytest
+
+from repro.device.reliable import ReliableDevice, RetryPolicy
+from repro.errors import (
+    DeviceUnavailableError,
+    ReadOnlyDeviceError,
+    SiteDownError,
+)
+from repro.membership import MembershipManager
+
+from ..conftest import block_of, make_cluster
+
+
+def expel(protocol, site_id):
+    """Commit a view change removing ``site_id`` from the group."""
+    manager = MembershipManager(protocol)
+    manager.open_remove(site_id)
+    assert manager.finalize()
+    return manager
+
+
+class TestExpelledOrigin:
+    def test_device_repins_to_a_current_member(self, scheme):
+        cluster = make_cluster(scheme, num_sites=5)
+        device = cluster.device(origin=0)
+        data = block_of(cluster, b"m")
+        device.write_block(3, data)
+        expel(cluster.protocol, 0)
+        # The next operation fails over permanently to a member.
+        assert device.read_block(3) == data
+        assert device.origin != 0
+        assert device.origin in cluster.protocol.site_ids
+        assert device.fault_stats.failovers == 1
+        # Subsequent operations run from the re-pinned origin for free.
+        assert device.read_block(3) == data
+        assert device.fault_stats.failovers == 1
+
+    def test_writes_also_repin(self, scheme):
+        cluster = make_cluster(scheme, num_sites=5)
+        device = cluster.device(origin=0)
+        expel(cluster.protocol, 0)
+        device.write_block(1, block_of(cluster, b"w"))
+        assert device.origin != 0
+        assert device.read_block(1) == block_of(cluster, b"w")
+
+    def test_no_failover_surfaces_the_expulsion(self, scheme):
+        cluster = make_cluster(scheme, num_sites=5)
+        device = cluster.device(origin=0, failover=False)
+        expel(cluster.protocol, 0)
+        with pytest.raises(SiteDownError):
+            device.read_block(0)
+
+
+class TestDegradedReEntry:
+    """Degraded mode must be re-enterable: reset, fail again, degrade
+    again -- with the counters accumulating across the cycle."""
+
+    def _fail_all(self, cluster):
+        for site_id in list(cluster.protocol.site_ids):
+            cluster.protocol.on_site_failed(site_id)
+
+    def _repair_all(self, cluster):
+        for site_id in list(cluster.protocol.site_ids):
+            cluster.protocol.on_site_repaired(site_id)
+
+    def test_degrade_reset_degrade_again(self, scheme):
+        cluster = make_cluster(scheme, num_sites=3)
+        device = cluster.device(degrade_to_read_only=True)
+        data = block_of(cluster, b"r")
+
+        for cycle in range(1, 3):
+            self._fail_all(cluster)
+            with pytest.raises(DeviceUnavailableError):
+                device.write_block(0, data)
+            assert device.degraded
+            self._repair_all(cluster)
+            with pytest.raises(ReadOnlyDeviceError):
+                device.write_block(0, data)
+            assert device.fault_stats.degraded_writes_rejected == cycle
+            device.reset_degraded()
+            assert not device.degraded
+            # After reset the device genuinely writes again.
+            device.write_block(0, data)
+            assert device.read_block(0) == data
+
+    def test_degraded_batch_writes_also_rejected_after_reentry(
+        self, scheme
+    ):
+        cluster = make_cluster(scheme, num_sites=3)
+        device = cluster.device(degrade_to_read_only=True)
+        data = block_of(cluster, b"b")
+        self._fail_all(cluster)
+        with pytest.raises(DeviceUnavailableError):
+            device.write_blocks({0: data, 1: data})
+        assert device.degraded
+        device.reset_degraded()
+        self._repair_all(cluster)
+        device.write_blocks({0: data, 1: data})
+        self._fail_all(cluster)
+        with pytest.raises(DeviceUnavailableError):
+            device.write_blocks({2: data})
+        assert device.degraded
+
+
+class TestRoundCounters:
+    """A round is one protocol round-trip.  An attempt that cannot even
+    pick an origin never talks to the group, so it must not count."""
+
+    def test_successful_ops_count_one_round_each(self, scheme):
+        cluster = make_cluster(scheme)
+        device = cluster.device()
+        data = block_of(cluster, b"c")
+        device.write_block(0, data)
+        device.read_block(0)
+        assert device.fault_stats.write_rounds == 1
+        assert device.fault_stats.read_rounds == 1
+
+    def test_unreachable_group_counts_no_rounds(self, scheme):
+        cluster = make_cluster(scheme, num_sites=3)
+        device = cluster.device(
+            retry=RetryPolicy(max_attempts=3, initial_delay=0.0)
+        )
+        for site_id in list(cluster.protocol.site_ids):
+            cluster.protocol.on_site_failed(site_id)
+        with pytest.raises(DeviceUnavailableError):
+            device.read_block(0)
+        with pytest.raises(DeviceUnavailableError):
+            device.write_block(0, block_of(cluster, b"x"))
+        # Every attempt died in origin selection: retries were spent
+        # (2 per operation) but zero protocol rounds happened.
+        assert device.fault_stats.retries == 4
+        assert device.fault_stats.read_rounds == 0
+        assert device.fault_stats.write_rounds == 0
+
+    def test_retried_rounds_count_once_per_group_attempt(self, scheme):
+        cluster = make_cluster(scheme, num_sites=3)
+        protocol = cluster.protocol
+        device = cluster.device(
+            origin=0, failover=False,
+            retry=RetryPolicy(max_attempts=2, initial_delay=0.0),
+        )
+        protocol.on_site_failed(0)
+        with pytest.raises(SiteDownError):
+            device.read_block(0)
+        # The origin was known-down before either attempt reached the
+        # network: still no protocol rounds (failover disabled hands
+        # the down origin to the protocol, which rejects it up front).
+        assert device.fault_stats.retries == 1
+
+    def test_batch_rounds_follow_the_same_rule(self, scheme):
+        cluster = make_cluster(scheme)
+        device = cluster.device()
+        data = block_of(cluster, b"q")
+        device.write_blocks({0: data, 1: data, 2: data})
+        device.read_blocks([0, 1, 2])
+        assert device.fault_stats.write_rounds == 1
+        assert device.fault_stats.read_rounds == 1

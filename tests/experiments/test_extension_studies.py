@@ -134,3 +134,30 @@ class TestHeterogeneityStudy:
         from repro.experiments import EXPERIMENTS
 
         assert "heterogeneity-study" in EXPERIMENTS
+
+
+class TestMembershipStudy:
+    @pytest.fixture(scope="class")
+    def report(self):
+        from repro.experiments import membership_study
+
+        return membership_study(seed=1, operations=120)
+
+    def test_registered(self):
+        from repro.experiments import EXPERIMENTS
+
+        assert "membership-study" in EXPERIMENTS
+
+    def test_hazard_table_has_disjoint_witnesses(self, report):
+        hazard = report.tables[0]
+        assert len(hazard.rows) == 3
+        # Every odd-majority view admits a disjoint-quorum witness
+        # against its remove-one successor.
+        assert all(row[-1] == "NO" for row in hazard.rows)
+
+    def test_campaign_covers_all_schemes_and_passes(self, report):
+        campaign = report.tables[1]
+        assert len(campaign.rows) == len(SchemeName)
+        for row in campaign.rows:
+            assert row[-1] == "OK"
+            assert row[1] > 0  # view changes happened mid-workload

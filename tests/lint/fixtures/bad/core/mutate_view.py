@@ -1,0 +1,6 @@
+"""RL008: mutates a view's membership fields outside repro.membership."""
+
+
+def force_epoch(view, epoch):
+    view.epoch = epoch
+    return view

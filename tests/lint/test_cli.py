@@ -43,7 +43,7 @@ def test_exit_zero_on_clean_tree(capsys):
 def test_exit_one_on_bad_tree(capsys):
     assert main([str(FIXTURES / "bad")]) == 1
     out = capsys.readouterr().out
-    assert "found 10 problem(s)" in out
+    assert "found 11 problem(s)" in out
 
 
 def test_exit_two_on_missing_path(capsys):
@@ -51,20 +51,21 @@ def test_exit_two_on_missing_path(capsys):
     assert capsys.readouterr().out == ""
 
 
-def test_list_rules_names_all_seven(capsys):
+def test_list_rules_names_all_eight(capsys):
     assert main(["--list-rules"]) == 0
     out = capsys.readouterr().out
-    for code in ("RL001", "RL002", "RL003", "RL004", "RL005", "RL006", "RL007"):
+    for code in ("RL001", "RL002", "RL003", "RL004", "RL005", "RL006", "RL007", "RL008"):
         assert code in out
-    assert len(RULES) == 7
+    assert len(RULES) == 8
 
 
 def test_json_format_is_machine_readable(capsys):
     assert main(["--format", "json", str(FIXTURES / "bad")]) == 1
     payload = json.loads(capsys.readouterr().out)
-    assert len(payload) == 10
+    assert len(payload) == 11
     assert {d["code"] for d in payload} == {
         "RL001", "RL002", "RL003", "RL004", "RL005", "RL006", "RL007",
+        "RL008",
     }
     sample = payload[0]
     assert set(sample) == {"path", "line", "col", "code", "message"}

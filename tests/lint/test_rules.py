@@ -349,3 +349,64 @@ def test_rl007_allows_none_and_immutable_defaults(tmp_path):
         """,
     })
     assert codes == []
+
+
+# -- RL008 ------------------------------------------------------------------
+
+
+def test_rl008_flags_view_field_mutation_outside_membership(tmp_path):
+    codes = lint_tree(tmp_path, {
+        "core/proto.py": """\
+            def bump(view):
+                view.epoch = view.epoch + 1
+        """,
+    })
+    assert codes == ["RL008"]
+
+
+def test_rl008_flags_augmented_and_annotated_assignment(tmp_path):
+    codes = lint_tree(tmp_path, {
+        "faults/mod.py": """\
+            def grow(view, extra):
+                view.sites += extra
+                view.votes: tuple = ()
+        """,
+    })
+    assert codes == ["RL008", "RL008"]
+
+
+def test_rl008_allows_membership_package_itself(tmp_path):
+    codes = lint_tree(tmp_path, {
+        "membership/manager.py": """\
+            def splice(view, sites):
+                view.sites = tuple(sites)
+        """,
+    })
+    assert codes == []
+
+
+def test_rl008_allows_own_fields_in_constructors(tmp_path):
+    # A cluster legitimately *owns* a `sites` attribute; initialising
+    # it in __init__ is not a view mutation.
+    codes = lint_tree(tmp_path, {
+        "device/cluster.py": """\
+            class Cluster:
+                def __init__(self, sites):
+                    self.sites = list(sites)
+        """,
+    })
+    assert codes == []
+
+
+def test_rl008_still_flags_mutation_after_construction(tmp_path):
+    codes = lint_tree(tmp_path, {
+        "device/cluster.py": """\
+            class Cluster:
+                def __init__(self, view):
+                    self.view = view
+
+                def shrink(self):
+                    self.view.sites = ()
+        """,
+    })
+    assert codes == ["RL008"]

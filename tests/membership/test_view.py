@@ -1,0 +1,127 @@
+"""Unit tests for epoch-numbered membership views."""
+
+import pytest
+
+from repro.core.quorum import TIE_BREAKER_WEIGHT
+from repro.errors import MembershipError
+from repro.membership import View, disjoint_write_quorums
+
+
+class TestValidation:
+    def test_rejects_negative_epoch(self):
+        with pytest.raises(MembershipError):
+            View(epoch=-1, sites=(0,), votes=(1.0,))
+
+    def test_rejects_empty_membership(self):
+        with pytest.raises(MembershipError):
+            View(epoch=0, sites=(), votes=())
+
+    def test_rejects_duplicate_sites(self):
+        with pytest.raises(MembershipError):
+            View(epoch=0, sites=(0, 0), votes=(1.0, 1.0))
+
+    def test_rejects_misaligned_votes(self):
+        with pytest.raises(MembershipError):
+            View(epoch=0, sites=(0, 1), votes=(1.0,))
+
+    def test_rejects_non_positive_votes(self):
+        with pytest.raises(MembershipError):
+            View(epoch=0, sites=(0, 1), votes=(1.0, 0.0))
+
+    def test_views_are_immutable(self):
+        view = View.majority(0, range(3))
+        with pytest.raises(AttributeError):
+            view.epoch = 1
+
+
+class TestMajority:
+    def test_odd_group_gets_equal_votes(self):
+        view = View.majority(3, [2, 0, 1])
+        assert view.sites == (0, 1, 2)
+        assert view.votes == (1.0, 1.0, 1.0)
+        assert view.epoch == 3
+
+    def test_even_group_tie_breaks_on_lowest_id(self):
+        view = View.majority(0, range(4))
+        assert view.vote_of(0) == 1.0 + TIE_BREAKER_WEIGHT
+        assert view.vote_of(3) == 1.0
+
+    def test_quorum_thresholds_are_strict_majorities(self):
+        view = View.majority(0, range(5))
+        # Two of five do not reach a majority; three do.
+        assert not view.meets_write({0, 1})
+        assert view.meets_write({0, 1, 2})
+        assert view.meets_read({2, 3, 4})
+
+    def test_even_group_tie_break_decides(self):
+        view = View.majority(0, range(4))
+        # Two plain members lose the draw; two including the
+        # tie-breaker win it.
+        assert not view.meets_write({2, 3})
+        assert view.meets_write({0, 3})
+
+    def test_non_members_contribute_no_weight(self):
+        view = View.majority(0, range(3))
+        assert view.gathered_weight({0, 99}) == 1.0
+        with pytest.raises(MembershipError):
+            view.vote_of(99)
+
+
+class TestSuccessors:
+    def test_add_bumps_epoch_and_revotes(self):
+        old = View.majority(0, range(3))
+        new = old.with_added(7)
+        assert new.epoch == 1
+        assert new.members == frozenset({0, 1, 2, 7})
+        assert new.vote_of(0) == 1.0 + TIE_BREAKER_WEIGHT
+
+    def test_add_rejects_existing_member(self):
+        with pytest.raises(MembershipError):
+            View.majority(0, range(3)).with_added(1)
+
+    def test_remove_bumps_epoch(self):
+        new = View.majority(0, range(3)).with_removed(1)
+        assert new.epoch == 1
+        assert new.members == frozenset({0, 2})
+
+    def test_remove_rejects_non_member_and_last_member(self):
+        with pytest.raises(MembershipError):
+            View.majority(0, range(3)).with_removed(9)
+        with pytest.raises(MembershipError):
+            View.majority(0, [5]).with_removed(5)
+
+    def test_replace_swaps_in_one_epoch(self):
+        new = View.majority(0, range(3)).with_replaced(1, 9)
+        assert new.epoch == 1
+        assert new.members == frozenset({0, 2, 9})
+
+    def test_replace_rejects_bad_ids(self):
+        view = View.majority(0, range(3))
+        with pytest.raises(MembershipError):
+            view.with_replaced(9, 10)
+        with pytest.raises(MembershipError):
+            view.with_replaced(0, 2)
+
+
+class TestQuorumDriftHazard:
+    def test_adjacent_views_admit_disjoint_write_quorums(self):
+        old = View.majority(0, range(5))
+        witness = disjoint_write_quorums(old, old.with_removed(0))
+        assert witness is not None
+        old_q, new_q = witness
+        assert not old_q & new_q
+        assert old.meets_write(old_q)
+        assert old.with_removed(0).meets_write(new_q)
+
+    def test_same_view_never_admits_disjoint_quorums(self):
+        view = View.majority(0, range(5))
+        assert disjoint_write_quorums(view, view) is None
+
+    def test_quorum_spec_mirrors_view_thresholds(self):
+        view = View.majority(0, range(4))
+        spec = view.quorum_spec()
+        assert spec.total_weight == pytest.approx(view.total_votes)
+        assert spec.read_quorum == pytest.approx(view.read_quorum)
+
+    def test_describe_names_epoch_and_members(self):
+        assert View.majority(2, [3, 1]).describe() == "epoch 2 [1,3]"

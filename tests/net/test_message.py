@@ -19,6 +19,7 @@ def test_reply_categories():
         MessageCategory.VERSION_VECTOR_REPLY,
         MessageCategory.BATCH_VOTE_REPLY,
         MessageCategory.BATCH_WRITE_ACK,
+        MessageCategory.STATE_TRANSFER_REPLY,
     }
 
 
