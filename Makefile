@@ -3,7 +3,7 @@
 PYTHON ?= python3
 
 .PHONY: install test coverage bench bench-json bench-parallel \
-	bench-membership metrics examples experiments lint clean
+	bench-membership bench-kernel metrics examples experiments lint clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -36,6 +36,14 @@ bench-parallel:
 # Dynamic-membership overhead benchmark (appends BENCH_membership.json).
 bench-membership:
 	$(PYTHON) -m pytest benchmarks/bench_membership.py --benchmark-only -s
+
+# Serial kernel throughput (events/sec through the simulator hot path).
+# Appends a labelled record to the committed BENCH_kernel.json
+# trajectory and runs the golden-trace equivalence suite first, so a
+# faster-but-wrong kernel never gets a trajectory entry.
+bench-kernel:
+	PYTHONPATH=src $(PYTHON) -m pytest -q tests/sim/test_kernel_equivalence.py
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_kernel.py
 
 # Smoke test of the observability layer: a short traced workload whose
 # JSON-lines trace is schema-validated on re-read (the CLI exits

@@ -10,7 +10,6 @@ from __future__ import annotations
 
 import enum
 import itertools
-from dataclasses import dataclass, field
 from typing import Any, Optional, Tuple
 
 from ..types import SiteId
@@ -70,18 +69,16 @@ class MessageCategory(enum.Enum):
     #: number of stale blocks (membership state transfer).
     STATE_TRANSFER_REPLY = "state-transfer-reply"
 
+    # Members are singletons compared by identity, so the identity hash
+    # is consistent with equality -- and C-speed, where the enum default
+    # (hash of the member name) is a Python-level call on every traffic
+    # counter update.
+    __hash__ = object.__hash__
+
     @property
     def is_reply(self) -> bool:
         """Whether this category is a response to another message."""
-        return self in (
-            MessageCategory.VOTE_REPLY,
-            MessageCategory.WRITE_ACK,
-            MessageCategory.RECOVERY_PROBE_REPLY,
-            MessageCategory.VERSION_VECTOR_REPLY,
-            MessageCategory.BATCH_VOTE_REPLY,
-            MessageCategory.BATCH_WRITE_ACK,
-            MessageCategory.STATE_TRANSFER_REPLY,
-        )
+        return self in _REPLY_CATEGORIES
 
     @property
     def is_write_fanout(self) -> bool:
@@ -91,26 +88,70 @@ class MessageCategory(enum.Enum):
         fan-out -- single-block or batched -- is in flight, and a failed
         origin sends no further updates of either kind.
         """
-        return self in (
-            MessageCategory.WRITE_UPDATE,
-            MessageCategory.BATCH_WRITE_UPDATE,
-        )
+        return self in _WRITE_FANOUT_CATEGORIES
 
 
-@dataclass(frozen=True)
+_REPLY_CATEGORIES = frozenset({
+    MessageCategory.VOTE_REPLY,
+    MessageCategory.WRITE_ACK,
+    MessageCategory.RECOVERY_PROBE_REPLY,
+    MessageCategory.VERSION_VECTOR_REPLY,
+    MessageCategory.BATCH_VOTE_REPLY,
+    MessageCategory.BATCH_WRITE_ACK,
+    MessageCategory.STATE_TRANSFER_REPLY,
+})
+
+_WRITE_FANOUT_CATEGORIES = frozenset({
+    MessageCategory.WRITE_UPDATE,
+    MessageCategory.BATCH_WRITE_UPDATE,
+})
+
+
 class Message:
     """One high-level transmission.
 
     ``dst is None`` (:data:`BROADCAST`) denotes a multicast to the whole
     replica group; on a multicast network it costs one transmission, on a
     unique-addressing network one per addressed destination.
+
+    Instances are plain mutable ``__slots__`` objects (not frozen
+    dataclasses) so the network can pool them on the request fast path:
+    :meth:`reuse_as` re-initialises a pooled instance as a fresh logical
+    message with a new ``msg_id``.  Holders outside the network (the
+    delivery interceptor) must treat a message as valid only for the
+    duration of the call that passed it in.
     """
 
-    src: SiteId
-    dst: Optional[SiteId]
-    category: MessageCategory
-    payload: Any = None
-    msg_id: int = field(default_factory=lambda: next(_message_ids))
+    __slots__ = ("src", "dst", "category", "payload", "msg_id")
+
+    def __init__(
+        self,
+        src: SiteId,
+        dst: Optional[SiteId],
+        category: MessageCategory,
+        payload: Any = None,
+        msg_id: Optional[int] = None,
+    ) -> None:
+        self.src = src
+        self.dst = dst
+        self.category = category
+        self.payload = payload
+        self.msg_id = next(_message_ids) if msg_id is None else msg_id
+
+    def reuse_as(
+        self,
+        src: SiteId,
+        dst: Optional[SiteId],
+        category: MessageCategory,
+        payload: Any,
+    ) -> "Message":
+        """Re-initialise this instance as a new logical message (pooling)."""
+        self.src = src
+        self.dst = dst
+        self.category = category
+        self.payload = payload
+        self.msg_id = next(_message_ids)
+        return self
 
     @property
     def is_broadcast(self) -> bool:
@@ -119,3 +160,10 @@ class Message:
     def describe(self) -> Tuple[str, SiteId, Optional[SiteId]]:
         """Compact (category, src, dst) triple for logs and tests."""
         return (self.category.value, self.src, self.dst)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Message(src={self.src!r}, dst={self.dst!r}, "
+            f"category={self.category!r}, payload={self.payload!r}, "
+            f"msg_id={self.msg_id!r})"
+        )

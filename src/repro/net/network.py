@@ -103,13 +103,24 @@ class Network:
         self._size_model = size_model if size_model is not None \
             else SizeModel()
         self._nodes: Dict[SiteId, NetworkNode] = {}
+        #: Sorted node ids, maintained by attach/detach so the request
+        #: fast path never re-sorts.
+        self._sorted_ids: List[SiteId] = []
         #: site -> partition group id; empty when the network is whole.
         self._partition: Dict[SiteId, int] = {}
         #: Optional fault-injection hook; None on the fault-free path.
         self._interceptor: Optional[DeliveryInterceptor] = None
+        #: Freelist of :class:`Message` instances reused on the request
+        #: path (only exercised when an interceptor needs real objects).
+        self._message_pool: List[Message] = []
         #: Span tracer shared by the protocols and the scrub; the null
         #: tracer (a no-op) unless observability is wired in.
-        self._tracer = tracer if tracer is not None else NULL_TRACER
+        self._tracer = NULL_TRACER
+        #: ``tracer.event`` when tracing is on, else None -- one cached
+        #: bound method replaces two attribute lookups per metered
+        #: message (``self._tracer.enabled`` + ``self._tracer.event``).
+        self._trace_event: Optional[Any] = None
+        self.set_tracer(tracer)
 
     # -- observability ------------------------------------------------------
 
@@ -121,6 +132,9 @@ class Network:
     def set_tracer(self, tracer: Optional[Any]) -> None:
         """Install (or with None, remove) the span tracer."""
         self._tracer = tracer if tracer is not None else NULL_TRACER
+        self._trace_event = (
+            self._tracer.event if self._tracer.enabled else None
+        )
 
     # -- fault injection ----------------------------------------------------
 
@@ -158,6 +172,7 @@ class Network:
     def attach(self, node: NetworkNode) -> None:
         """Register a site with the network."""
         self._nodes[node.site_id] = node
+        self._sorted_ids = sorted(self._nodes)
 
     def detach(self, site_id: SiteId) -> None:
         """Unregister a site (it was expelled from the replica group).
@@ -169,6 +184,7 @@ class Network:
         if site_id not in self._nodes:
             raise UnknownSiteError(site_id)
         del self._nodes[site_id]
+        self._sorted_ids = sorted(self._nodes)
         self._partition.pop(site_id, None)
 
     def node(self, site_id: SiteId) -> NetworkNode:
@@ -180,8 +196,8 @@ class Network:
 
     @property
     def site_ids(self) -> List[SiteId]:
-        """All attached sites, in id order."""
-        return sorted(self._nodes)
+        """All attached sites, in id order (a fresh list each call)."""
+        return list(self._sorted_ids)
 
     @property
     def mode(self) -> AddressingMode:
@@ -245,52 +261,90 @@ class Network:
 
     def reachable_sites(self, exclude: Optional[SiteId] = None) -> List[SiteId]:
         """Ids of reachable sites (optionally excluding one), in id order."""
+        nodes = self._nodes
         return [
             s
-            for s in self.site_ids
-            if s != exclude and self._nodes[s].is_reachable
+            for s in self._sorted_ids
+            if s != exclude and nodes[s].is_reachable
         ]
 
     # -- transmission cost accounting -----------------------------------------
+    #
+    # Metering works from (category, payload) directly: no Message object
+    # exists on the fast path (one is built -- from the pool -- only when
+    # a delivery interceptor needs it, and replies are never intercepted).
 
     def _count_request(
-        self, message: Message, destinations: List[SiteId]
+        self,
+        category: MessageCategory,
+        src: SiteId,
+        payload: Any,
+        destinations: List[SiteId],
+        broadcast: bool,
     ) -> None:
         """Meter an outgoing request under the current addressing mode."""
         if not destinations:
             return
-        size = self._size_model.bytes_for(message)
-        if self._mode is AddressingMode.MULTICAST and message.is_broadcast:
+        size = self._size_model.bytes_of(category, payload)
+        if broadcast and self._mode is AddressingMode.MULTICAST:
             transmissions = 1
         else:
             transmissions = len(destinations)
-        self._meter.count(
-            message, transmissions=transmissions, bytes_each=size
+        self._meter.count_for(
+            category, transmissions=transmissions, bytes_each=size
         )
-        if self._tracer.enabled:
-            self._tracer.event(
+        trace_event = self._trace_event
+        if trace_event is not None:
+            trace_event(
                 "net.request",
                 layer="net",
-                category=message.category.value,
-                src=message.src,
+                category=category.value,
+                src=src,
                 destinations=len(destinations),
                 transmissions=transmissions,
                 bytes_each=size,
             )
 
-    def _count_reply(self, message: Message) -> None:
+    def _count_reply(
+        self,
+        category: MessageCategory,
+        src: SiteId,
+        dst: SiteId,
+        payload: Any,
+    ) -> None:
         """Meter a reply: replies are always individually addressed."""
-        size = self._size_model.bytes_for(message)
-        self._meter.count(message, transmissions=1, bytes_each=size)
-        if self._tracer.enabled:
-            self._tracer.event(
+        size = self._size_model.bytes_of(category, payload)
+        self._meter.count_for(category, transmissions=1, bytes_each=size)
+        trace_event = self._trace_event
+        if trace_event is not None:
+            trace_event(
                 "net.reply",
                 layer="net",
-                category=message.category.value,
-                src=message.src,
-                dst=message.dst,
+                category=category.value,
+                src=src,
+                dst=dst,
                 bytes_each=size,
             )
+
+    # -- message pooling (interceptor path only) --------------------------------
+
+    def _borrow_message(
+        self,
+        src: SiteId,
+        dst: Optional[SiteId],
+        category: MessageCategory,
+        payload: Any,
+    ) -> Message:
+        """A fresh logical message, reusing a pooled instance if any."""
+        pool = self._message_pool
+        if pool:
+            return pool.pop().reuse_as(src, dst, category, payload)
+        return Message(src, dst, category, payload)
+
+    def _release_message(self, message: Message) -> None:
+        """Return ``message`` to the pool once no holder remains."""
+        message.payload = None
+        self._message_pool.append(message)
 
     # -- communication primitives ---------------------------------------------
 
@@ -315,23 +369,39 @@ class Network:
         that replied.
         """
         if destinations is None:
-            destinations = [s for s in self.site_ids if s != src]
-        message = Message(
-            src=src, dst=BROADCAST, category=request, payload=payload
+            destinations = [s for s in self._sorted_ids if s != src]
+        self._count_request(request, src, payload, destinations, True)
+        hook = self._interceptor
+        message = (
+            self._borrow_message(src, BROADCAST, request, payload)
+            if hook is not None else None
         )
-        self._count_request(message, destinations)
+        nodes = self._nodes
+        partition = self._partition
         replies: Dict[SiteId, Any] = {}
-        for dst in destinations:
-            node = self.node(dst)
-            if not self._delivers(src, node):
-                continue
-            delivered, result = self._deliver(message, node, handler, payload)
-            if not delivered or result is NO_REPLY:
-                continue
-            self._count_reply(
-                Message(src=dst, dst=src, category=reply, payload=result)
-            )
-            replies[dst] = result
+        try:
+            for dst in destinations:
+                node = nodes.get(dst)
+                if node is None:
+                    raise UnknownSiteError(dst)
+                if not node.is_reachable:
+                    continue
+                if partition and partition.get(src) != partition.get(dst):
+                    continue
+                if hook is not None:
+                    if not hook.allow_delivery(message, dst):
+                        continue
+                    result = handler(node, payload)
+                    hook.after_delivery(message, dst)
+                else:
+                    result = handler(node, payload)
+                if result is NO_REPLY:
+                    continue
+                self._count_reply(reply, dst, src, result)
+                replies[dst] = result
+        finally:
+            if message is not None:
+                self._release_message(message)
         return replies
 
     def broadcast_oneway(
@@ -349,19 +419,36 @@ class Network:
         *naive* scheme's whole point -- but useful to tests).
         """
         if destinations is None:
-            destinations = [s for s in self.site_ids if s != src]
-        message = Message(
-            src=src, dst=BROADCAST, category=category, payload=payload
+            destinations = [s for s in self._sorted_ids if s != src]
+        self._count_request(category, src, payload, destinations, True)
+        hook = self._interceptor
+        message = (
+            self._borrow_message(src, BROADCAST, category, payload)
+            if hook is not None else None
         )
-        self._count_request(message, destinations)
+        nodes = self._nodes
+        partition = self._partition
         delivered: List[SiteId] = []
-        for dst in destinations:
-            node = self.node(dst)
-            if not self._delivers(src, node):
-                continue
-            ok, _ = self._deliver(message, node, handler, payload)
-            if ok:
+        try:
+            for dst in destinations:
+                node = nodes.get(dst)
+                if node is None:
+                    raise UnknownSiteError(dst)
+                if not node.is_reachable:
+                    continue
+                if partition and partition.get(src) != partition.get(dst):
+                    continue
+                if hook is not None:
+                    if not hook.allow_delivery(message, dst):
+                        continue
+                    handler(node, payload)
+                    hook.after_delivery(message, dst)
+                else:
+                    handler(node, payload)
                 delivered.append(dst)
+        finally:
+            if message is not None:
+                self._release_message(message)
         return delivered
 
     def unicast_query(
@@ -378,17 +465,25 @@ class Network:
         Returns ``(True, reply)`` if the destination was reachable, else
         ``(False, None)`` (the request is still metered -- it was sent).
         """
-        message = Message(src=src, dst=dst, category=request, payload=payload)
-        self._count_request(message, [dst])
+        self._count_request(request, src, payload, [dst], False)
         node = self.node(dst)
         if not self._delivers(src, node):
             return False, None
-        delivered, result = self._deliver(message, node, handler, payload)
-        if not delivered or result is NO_REPLY:
+        hook = self._interceptor
+        if hook is not None:
+            message = self._borrow_message(src, dst, request, payload)
+            try:
+                if not hook.allow_delivery(message, dst):
+                    return False, None
+                result = handler(node, payload)
+                hook.after_delivery(message, dst)
+            finally:
+                self._release_message(message)
+        else:
+            result = handler(node, payload)
+        if result is NO_REPLY:
             return False, None
-        self._count_reply(
-            Message(src=dst, dst=src, category=reply, payload=result)
-        )
+        self._count_reply(reply, dst, src, result)
         return True, result
 
     def unicast_oneway(
@@ -400,10 +495,20 @@ class Network:
         payload: Any = None,
     ) -> bool:
         """Send one request to one site without expecting a reply."""
-        message = Message(src=src, dst=dst, category=category, payload=payload)
-        self._count_request(message, [dst])
+        self._count_request(category, src, payload, [dst], False)
         node = self.node(dst)
         if not self._delivers(src, node):
             return False
-        delivered, _ = self._deliver(message, node, handler, payload)
-        return delivered
+        hook = self._interceptor
+        if hook is None:
+            handler(node, payload)
+            return True
+        message = self._borrow_message(src, dst, category, payload)
+        try:
+            if not hook.allow_delivery(message, dst):
+                return False
+            handler(node, payload)
+            hook.after_delivery(message, dst)
+        finally:
+            self._release_message(message)
+        return True

@@ -52,26 +52,39 @@ class SizeModel:
                      "block_bytes"):
             if getattr(self, name) < 0:
                 raise ValueError(f"{name} must be non-negative")
+        # Payload-independent categories resolve through one dict probe
+        # on the metering fast path instead of the if-chain below.  Not
+        # a dataclass field (derived, excluded from eq/hash/repr).
+        object.__setattr__(self, "_fixed", {
+            MessageCategory.VOTE_REQUEST:
+                self.header_bytes + self.vote_bytes,
+            MessageCategory.VOTE_REPLY:
+                self.header_bytes + self.vote_bytes,
+            MessageCategory.BLOCK_TRANSFER:
+                self.header_bytes + self.vv_entry_bytes + self.block_bytes,
+            MessageCategory.WRITE_UPDATE:
+                self.header_bytes + self.vv_entry_bytes + self.block_bytes,
+            MessageCategory.WRITE_ACK: self.header_bytes,
+            MessageCategory.RECOVERY_PROBE: self.header_bytes,
+            MessageCategory.BLOCK_REPAIR_REQUEST:
+                self.header_bytes + self.vv_entry_bytes,
+            MessageCategory.BATCH_WRITE_ACK: self.header_bytes,
+        })
 
     def bytes_for(self, message: Message) -> int:
         """Size of one transmission of ``message``."""
-        category = message.category
-        payload = message.payload
+        return self.bytes_of(message.category, message.payload)
+
+    def bytes_of(self, category: MessageCategory, payload: Any) -> int:
+        """Size of one transmission of ``category`` carrying ``payload``.
+
+        The network meters through this form directly, skipping
+        :class:`Message` construction on the fast path.
+        """
+        fixed = self._fixed.get(category)
+        if fixed is not None:
+            return fixed
         base = self.header_bytes
-        if category is MessageCategory.VOTE_REQUEST:
-            # block index + the reader's version (enables the push-based
-            # lazy repair counted as a single extra transmission)
-            return base + self.vote_bytes
-        if category is MessageCategory.VOTE_REPLY:
-            return base + self.vote_bytes
-        if category is MessageCategory.BLOCK_TRANSFER:
-            return base + self.vv_entry_bytes + self.block_bytes
-        if category is MessageCategory.WRITE_UPDATE:
-            return base + self.vv_entry_bytes + self.block_bytes
-        if category is MessageCategory.WRITE_ACK:
-            return base
-        if category is MessageCategory.RECOVERY_PROBE:
-            return base
         if category is MessageCategory.RECOVERY_PROBE_REPLY:
             # state tag + was-available set + scalar version total
             size = base + 2 * self.vv_entry_bytes
@@ -100,9 +113,6 @@ class SizeModel:
             elif isinstance(payload, VersionVector):
                 size += len(payload) * self.vv_entry_bytes
             return size
-        if category is MessageCategory.BLOCK_REPAIR_REQUEST:
-            # block index + the requester's version number
-            return base + self.vv_entry_bytes
         if category is MessageCategory.BATCH_VOTE_REQUEST:
             # one vote entry (block index + reader's version) per block
             return base + self._payload_len(payload) * self.vote_bytes
@@ -120,8 +130,6 @@ class SizeModel:
             return base + extra + self._payload_len(updates) * (
                 self.vv_entry_bytes + self.block_bytes
             )
-        if category is MessageCategory.BATCH_WRITE_ACK:
-            return base
         if category is MessageCategory.BATCH_BLOCK_TRANSFER:
             # one versioned block per pushed entry
             return base + self._payload_len(payload) * (

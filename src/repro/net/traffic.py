@@ -11,8 +11,7 @@ from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, Optional
-import contextlib
+from typing import Dict, Optional
 
 from ..errors import AccountingError
 from ..sim.stats import RunningStat
@@ -86,11 +85,24 @@ class TrafficMeter:
         right number, plus (optionally) the byte size of each
         transmission from its :class:`~repro.net.sizes.SizeModel`.
         """
-        self._by_category[message.category] += transmissions
+        self.count_for(message.category, transmissions, bytes_each)
+
+    def count_for(
+        self,
+        category: MessageCategory,
+        transmissions: int = 1,
+        bytes_each: int = 0,
+    ) -> None:
+        """Like :meth:`count`, but keyed by category directly.
+
+        The network meters through this form on the request/reply fast
+        path, where no :class:`~repro.net.message.Message` object exists.
+        """
+        self._by_category[category] += transmissions
         self._total += transmissions
         if bytes_each:
             total = transmissions * bytes_each
-            self._bytes_by_category[message.category] += total
+            self._bytes_by_category[category] += total
             self._total_bytes += total
 
     # -- queries ------------------------------------------------------------
@@ -123,8 +135,7 @@ class TrafficMeter:
 
     # -- per-operation attribution ------------------------------------------
 
-    @contextlib.contextmanager
-    def record(self, kind: OperationKind) -> Iterator[None]:
+    def record(self, kind: OperationKind) -> "_OperationRecord":
         """Attribute all messages sent inside the block to ``kind``.
 
         An operation that raises is attributed under ``kind + ":aborted"``
@@ -137,23 +148,13 @@ class TrafficMeter:
         system never nest), and attempting it raises
         :class:`~repro.errors.AccountingError` to surface accounting
         bugs early.
+
+        Returns a plain slotted context manager (not a generator-based
+        one): ``record`` brackets every device operation, so the
+        ``contextlib`` generator machinery was measurable kernel
+        overhead.
         """
-        if self._current_op is not None:
-            raise AccountingError(
-                f"cannot record {kind!r} inside {self._current_op!r}"
-            )
-        self._current_op = kind
-        self._op_start_total = self._total
-        self._op_start_bytes = self._total_bytes
-        try:
-            yield
-        except BaseException:
-            self._attribute(kind + ABORTED_SUFFIX)
-            raise
-        else:
-            self._attribute(kind)
-        finally:
-            self._current_op = None
+        return _OperationRecord(self, kind)
 
     def _attribute(self, kind: OperationKind) -> None:
         """Book the messages of the just-ended operation under ``kind``."""
@@ -202,3 +203,36 @@ class TrafficMeter:
         self._current_op = None
         self._op_start_total = 0
         self._op_start_bytes = 0
+
+
+class _OperationRecord:
+    """Context manager backing :meth:`TrafficMeter.record`."""
+
+    __slots__ = ("_meter", "_kind")
+
+    def __init__(self, meter: TrafficMeter, kind: OperationKind) -> None:
+        self._meter = meter
+        self._kind = kind
+
+    def __enter__(self) -> None:
+        meter = self._meter
+        if meter._current_op is not None:
+            raise AccountingError(
+                f"cannot record {self._kind!r} inside "
+                f"{meter._current_op!r}"
+            )
+        meter._current_op = self._kind
+        meter._op_start_total = meter._total
+        meter._op_start_bytes = meter._total_bytes
+        return None
+
+    def __exit__(self, exc_type, _exc, _tb) -> bool:
+        meter = self._meter
+        try:
+            if exc_type is None:
+                meter._attribute(self._kind)
+            else:
+                meter._attribute(self._kind + ABORTED_SUFFIX)
+        finally:
+            meter._current_op = None
+        return False

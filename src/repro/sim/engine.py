@@ -7,6 +7,22 @@ synchronous request/reply exchanges over a partition-free network, so the
 only things that genuinely need simulated time are site failures, site
 repairs, and workload arrivals.
 
+This is the innermost loop of every experiment, so the implementation is
+tuned for throughput (see ``benchmarks/bench_kernel.py`` and the kernel
+fast-path section of DESIGN.md):
+
+* heap entries are plain ``(tick, seq, handle, fn, args)`` tuples, so
+  heap sifting compares machine integers in C instead of calling a
+  generated dataclass ``__lt__``;
+* *ticks* are an order-isomorphic integer encoding of the IEEE-754
+  float timestamp (exact -- no quantisation), so the scheduler never
+  compares floats internally while the float API is preserved
+  unchanged at the boundary;
+* cancellation stays O(1) (the entry is skipped when popped), and a
+  compaction pass rebuilds the heap when cancelled entries pile up, so
+  schedule/cancel churn (retry timers, heartbeats) cannot grow the
+  queue without bound.
+
 Example
 -------
 >>> sim = Simulator()
@@ -21,55 +37,88 @@ Example
 from __future__ import annotations
 
 import heapq
-import itertools
-from dataclasses import dataclass, field
+import struct
 from typing import Any, Callable, List, Optional, Tuple
 
 from ..errors import ScheduleInPastError
 
 __all__ = ["Simulator", "EventHandle"]
 
+_PACK_DOUBLE = struct.Struct("<d").pack
+_int_from_bytes = int.from_bytes
+_new_handle = object.__new__
+_heappush = heapq.heappush
+_heappop = heapq.heappop
 
-@dataclass(order=True)
-class _Event:
-    time: float
-    seq: int
-    handle: "EventHandle" = field(compare=False)
-    fn: Callable[..., Any] = field(compare=False)
-    args: Tuple[Any, ...] = field(compare=False)
+#: Cancelled entries tolerated in the heap before a compaction pass.
+_COMPACT_MIN = 64
+
+
+def _to_ticks(time: float) -> int:
+    """Exact, order-preserving integer encoding of a float timestamp.
+
+    For non-negative floats the IEEE-754 bit pattern read as an integer
+    is already monotonic; negative floats (a negative ``start_time``)
+    map to the negated magnitude bits.  Distinct floats get distinct
+    ticks and vice versa, so ordering -- and therefore event firing
+    order -- is *identical* to comparing the floats themselves.
+    """
+    bits = _int_from_bytes(_PACK_DOUBLE(time), "little", signed=True)
+    if bits >= 0:
+        return bits
+    return -(bits & 0x7FFFFFFFFFFFFFFF)
+
+
+#: One queued event: (tick, seq, handle, fn, args).  Ordering lives in
+#: the two leading integers; the trailing fields never get compared
+#: because (tick, seq) is unique per entry.
+_Event = Tuple[int, int, "EventHandle", Callable[..., Any], Tuple[Any, ...]]
 
 
 class EventHandle:
     """Handle to a scheduled event, usable to cancel it.
 
-    Cancellation is O(1): the event stays in the heap but is skipped when
-    popped.
+    Cancellation is O(1): the event stays in the heap but is skipped
+    when popped (and reclaimed by the next compaction pass).
     """
 
-    __slots__ = ("time", "_cancelled", "_fired")
+    #: ``_state`` packs both lifecycle flags into one slot (one store
+    #: per creation on the hot path): 0 pending, 1 cancelled, 2 fired.
+    __slots__ = ("time", "_state", "_sim")
 
-    def __init__(self, time: float) -> None:
+    def __init__(
+        self, time: float, sim: Optional["Simulator"] = None
+    ) -> None:
         self.time = time
-        self._cancelled = False
-        self._fired = False
+        self._state = 0
+        self._sim = sim
 
     def cancel(self) -> None:
         """Prevent the event from firing.  Cancelling twice is harmless."""
-        self._cancelled = True
+        if self._state:
+            return
+        self._state = 1
+        sim = self._sim
+        if sim is not None:
+            # Inlined Simulator._note_cancelled (hot on timer churn).
+            stale = sim._stale + 1
+            sim._stale = stale
+            if stale >= _COMPACT_MIN and stale * 2 >= len(sim._queue):
+                sim._compact()
 
     @property
     def cancelled(self) -> bool:
-        return self._cancelled
+        return self._state == 1
 
     @property
     def fired(self) -> bool:
         """Whether the event's callback has already run."""
-        return self._fired
+        return self._state == 2
 
     @property
     def pending(self) -> bool:
         """Whether the event is still waiting to fire."""
-        return not (self._cancelled or self._fired)
+        return self._state == 0
 
 
 class Simulator:
@@ -79,12 +128,25 @@ class Simulator:
     same instant fire in scheduling order, which keeps runs deterministic.
     """
 
+    __slots__ = (
+        "_now", "_queue", "_sequence", "_running", "_stopped", "_stale",
+        "_tick_as_float", "_tick_as_int",
+    )
+
     def __init__(self, start_time: float = 0.0) -> None:
         self._now = float(start_time)
         self._queue: List[_Event] = []
-        self._sequence = itertools.count()
+        self._sequence = 0
         self._running = False
         self._stopped = False
+        #: Cancelled entries still sitting in the heap.
+        self._stale = 0
+        #: Two typed views over one 8-byte buffer turn the float->tick
+        #: conversion into two C index operations with no per-event
+        #: allocation (vs pack+from_bytes); single-threaded by design.
+        buffer = bytearray(8)
+        self._tick_as_float = memoryview(buffer).cast("d")
+        self._tick_as_int = memoryview(buffer).cast("q")
 
     # -- clock ------------------------------------------------------------
 
@@ -95,8 +157,8 @@ class Simulator:
 
     @property
     def pending_events(self) -> int:
-        """Number of events waiting in the queue (including cancelled)."""
-        return sum(1 for event in self._queue if event.handle.pending)
+        """Number of events waiting in the queue (excluding cancelled)."""
+        return len(self._queue) - self._stale
 
     # -- scheduling -------------------------------------------------------
 
@@ -106,7 +168,24 @@ class Simulator:
         """Schedule ``fn(*args)`` to run ``delay`` time units from now."""
         if delay < 0:
             raise ScheduleInPastError(f"negative delay {delay!r}")
-        return self.schedule_at(self._now + delay, fn, *args)
+        # Inlined schedule_at: a non-negative delay can never land in
+        # the past, so the guard there is redundant on this path (the
+        # hottest call in the repository).  The handle is built without
+        # the __init__ frame -- this one call site accounts for most
+        # handle constructions in any run.
+        time = self._now + delay
+        handle = _new_handle(EventHandle)
+        handle.time = time
+        handle._state = 0
+        handle._sim = self
+        seq = self._sequence
+        self._sequence = seq + 1
+        self._tick_as_float[0] = time
+        tick = self._tick_as_int[0]
+        if tick < 0:
+            tick = -(tick & 0x7FFFFFFFFFFFFFFF)
+        _heappush(self._queue, (tick, seq, handle, fn, args))
+        return handle
 
     def schedule_at(
         self, time: float, fn: Callable[..., Any], *args: Any
@@ -116,28 +195,54 @@ class Simulator:
             raise ScheduleInPastError(
                 f"cannot schedule at {time!r}, current time is {self._now!r}"
             )
-        handle = EventHandle(time)
-        event = _Event(
-            time=float(time),
-            seq=next(self._sequence),
-            handle=handle,
-            fn=fn,
-            args=args,
+        time = float(time)
+        handle = EventHandle(time, self)
+        seq = self._sequence
+        self._sequence = seq + 1
+        _heappush(
+            self._queue, (_to_ticks(time), seq, handle, fn, args)
         )
-        heapq.heappush(self._queue, event)
         return handle
+
+    # -- cancellation bookkeeping -----------------------------------------
+
+    def _note_cancelled(self) -> None:
+        """A queued handle was cancelled; compact when stale entries
+        dominate the heap (bounds memory under schedule/cancel churn)."""
+        self._stale += 1
+        if self._stale >= _COMPACT_MIN and self._stale * 2 >= len(
+            self._queue
+        ):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Drop cancelled entries and re-heapify, *in place*.
+
+        Safe at any point: entry ordering is total via (tick, seq), so
+        rebuilding the heap cannot change firing order.  The list object
+        must keep its identity (slice assignment, not rebinding) because
+        :meth:`run` and :meth:`step` hold a local alias to it while
+        callbacks -- which may cancel and trigger compaction -- run.
+        """
+        queue = self._queue
+        queue[:] = [entry for entry in queue if not entry[2]._state]
+        heapq.heapify(queue)
+        self._stale = 0
 
     # -- execution --------------------------------------------------------
 
     def step(self) -> bool:
         """Run the next pending event.  Returns False if none remain."""
-        while self._queue:
-            event = heapq.heappop(self._queue)
-            if event.handle.cancelled:
+        queue = self._queue
+        pop = _heappop
+        while queue:
+            _, _, handle, fn, args = pop(queue)
+            if handle._state:
+                self._stale -= 1
                 continue
-            self._now = event.time
-            event.handle._fired = True
-            event.fn(*event.args)
+            self._now = handle.time
+            handle._state = 2
+            fn(*args)
             return True
         return False
 
@@ -146,19 +251,54 @@ class Simulator:
 
         When ``until`` is given, the clock is advanced to exactly ``until``
         even if the last event fires earlier, so time-weighted statistics
-        can be finalised at a known horizon.
+        can be finalised at a known horizon.  Cancelled entries beyond
+        the horizon (or beyond the last live event) never fire and never
+        advance the clock.
         """
         self._stopped = False
         self._running = True
+        queue = self._queue
+        pop = _heappop
+        # The stop flag can only change inside a callback (the engine is
+        # single-threaded), so it is checked after firing one -- not on
+        # the cancelled-skip path.
         try:
-            while self._queue and not self._stopped:
-                head = self._queue[0]
-                if head.handle.cancelled:
-                    heapq.heappop(self._queue)
-                    continue
-                if until is not None and head.time > until:
-                    break
-                self.step()
+            if until is None:
+                # Exception-terminated loop: heappop raises IndexError on
+                # an empty heap, which replaces the per-event emptiness
+                # test in the hottest loop of the repository (the guard
+                # covers only the pop, so callback exceptions propagate).
+                while True:
+                    try:
+                        _, _, handle, fn, args = pop(queue)
+                    except IndexError:
+                        break
+                    if handle._state:
+                        self._stale -= 1
+                        continue
+                    self._now = handle.time
+                    handle._state = 2
+                    fn(*args)
+                    if self._stopped:
+                        break
+            else:
+                limit = _to_ticks(until)
+                while queue:
+                    entry = pop(queue)
+                    handle = entry[2]
+                    if handle._state:
+                        self._stale -= 1
+                        continue
+                    if entry[0] > limit:
+                        # Past the horizon: put the event back (at most
+                        # one push-back per run call) and stop.
+                        _heappush(queue, entry)
+                        break
+                    self._now = handle.time
+                    handle._state = 2
+                    entry[3](*entry[4])
+                    if self._stopped:
+                        break
         finally:
             self._running = False
         if until is not None and self._now < until and not self._stopped:

@@ -102,6 +102,11 @@ class WorkloadRunner:
         #: labelled per scheme x op kind x outcome.
         self._metrics = metrics
         self._scheme_label = cluster.protocol.scheme.value
+        #: (kind, ok) -> (counter.inc, histogram.observe).  The registry
+        #: get-or-create returns the same instrument for the same
+        #: name+labels, so caching the bound methods here only skips the
+        #: label-dict build and registry probe on every operation.
+        self._instruments: Dict = {}
         self._generator = WorkloadGenerator(
             spec,
             num_blocks=cluster.protocol.num_blocks,
@@ -115,15 +120,23 @@ class WorkloadRunner:
         """Record one operation in the registry (a no-op without one)."""
         if self._metrics is None:
             return
-        labels = {
-            "scheme": self._scheme_label,
-            "op": kind.value,
-            "outcome": "ok" if ok else "failed",
-        }
-        self._metrics.counter("workload.ops", **labels).inc()
-        self._metrics.histogram("workload.messages", **labels).observe(
-            spent
-        )
+        cached = self._instruments.get((kind, ok))
+        if cached is None:
+            labels = {
+                "scheme": self._scheme_label,
+                "op": kind.value,
+                "outcome": "ok" if ok else "failed",
+            }
+            cached = (
+                self._metrics.counter("workload.ops", **labels).inc,
+                self._metrics.histogram(
+                    "workload.messages", **labels
+                ).observe,
+            )
+            self._instruments[(kind, ok)] = cached
+        inc, observe = cached
+        inc()
+        observe(spent)
 
     def _pick_origin(self) -> SiteId:
         if self._origin_policy == "fixed":

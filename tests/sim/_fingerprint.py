@@ -1,0 +1,256 @@
+"""Behavior fingerprints of the simulator kernel.
+
+The kernel-equivalence suite (``test_kernel_equivalence.py``) pins the
+*observable behavior* of the engine->network->protocol->device message
+loop: event firing order, simulated timestamps, per-category message
+counts, span streams, and chaos-checker verdicts on fixed seeds.  Each
+scenario below renders its run into a canonical JSON-lines stream and
+hashes it with BLAKE2b; the digests (plus a human-readable summary for
+debugging mismatches) are committed as fixtures, so any rewrite of the
+hot path must reproduce them bit-identically.
+
+Fingerprints deliberately exclude internals that may change without
+changing behavior: object identities, message ids, heap layout, and
+wall-clock durations.  Everything they do include -- times, orders,
+counts, verdicts -- is part of the kernel's determinism contract.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import random
+from dataclasses import replace
+from typing import Any, Dict, List
+
+from repro.faults.chaos import ChaosConfig, run_chaos, run_chaos_campaign
+from repro.obs.wiring import traced_workload
+from repro.sim.engine import Simulator
+from repro.types import SchemeName
+
+__all__ = ["SCENARIOS", "fingerprint"]
+
+
+def _digest(records: List[Any]) -> str:
+    """BLAKE2b over the canonical JSON-lines rendering of ``records``."""
+    h = hashlib.blake2b(digest_size=16)
+    for record in records:
+        h.update(
+            json.dumps(record, sort_keys=True, separators=(",", ":"))
+            .encode("utf-8")
+        )
+        h.update(b"\n")
+    return h.hexdigest()
+
+
+# -- scenario 1: the bare engine ----------------------------------------------
+
+def scheduler_script(seed: int = 2026) -> Dict[str, Any]:
+    """A scripted storm of schedules, cancellations and horizon runs.
+
+    Pure engine behavior: ties (FIFO), cancellations (including events
+    cancelled behind the horizon), nested scheduling from callbacks, and
+    incremental ``run(until=...)`` calls.  The record stream is the
+    exact firing order with timestamps.
+    """
+    rng = random.Random(seed)
+    sim = Simulator()
+    records: List[Any] = []
+    handles = []
+
+    def fire(tag: int) -> None:
+        records.append(["fire", tag, sim.now])
+        # A third of callbacks schedule follow-ups, some at zero delay
+        # (same-instant FIFO), some far beyond the current horizon.
+        draw = rng.random()
+        if draw < 0.20:
+            handles.append(sim.schedule(0.0, fire, tag + 10_000))
+        elif draw < 0.35:
+            handles.append(
+                sim.schedule(rng.choice([0.5, 1.0, 25.0]), fire, tag + 20_000)
+            )
+
+    for tag in range(300):
+        # Coarse delays force plenty of exact ties.
+        delay = rng.choice([0.0, 0.25, 0.5, 1.0, 2.0, 5.0, 40.0])
+        handles.append(sim.schedule(delay, fire, tag))
+    # Cancel a deterministic third of them, some already far in the future.
+    for index, handle in enumerate(list(handles)):
+        if index % 3 == 0:
+            handle.cancel()
+    for horizon in (1.0, 3.0, 10.0, 10.0, 60.0):
+        sim.run(until=horizon)
+        records.append(["horizon", sim.now, sim.pending_events])
+    sim.run()
+    records.append(["drained", sim.now, sim.pending_events])
+    fired = sum(1 for r in records if r[0] == "fire")
+    return {
+        "digest": _digest(records),
+        "summary": {
+            "events_fired": fired,
+            "final_now": sim.now,
+            "pending": sim.pending_events,
+        },
+    }
+
+
+# -- scenario 2: the traced simulate loop -------------------------------------
+
+def traced_simulate(seed: int = 11) -> Dict[str, Any]:
+    """The canonical traced workload: spans from every layer.
+
+    Captures the full engine->network->protocol->device path with
+    tracing ON (the expensive path the rewrite must not perturb): every
+    span's name, layer, sim timestamps, outcome and attributes, plus
+    the traffic meter's per-category counts and the run's availability.
+    """
+    run = traced_workload(
+        scheme=SchemeName.VOTING,
+        num_sites=5,
+        rho=0.05,
+        horizon=400.0,
+        seed=seed,
+        device_ops=24,
+    )
+    records: List[Any] = [
+        [r.name, r.layer, r.start, r.end, r.outcome, r.attrs]
+        for r in run.obs.tracer.spans()
+    ]
+    meter = run.cluster.meter
+    snapshot = meter.snapshot()
+    categories = {
+        category.value: count
+        for category, count in snapshot.by_category.items()
+    }
+    records.append(["traffic", categories, snapshot.total,
+                    snapshot.total_bytes])
+    per_op = {
+        kind: [meter.messages_for(kind).count,
+               meter.messages_for(kind).mean]
+        for kind in meter.operation_kinds()
+    }
+    records.append(["per-op", per_op])
+    records.append(["clock", run.cluster.sim.now,
+                    run.cluster.availability()])
+    workload = run.workload
+    counts = {
+        kind.value: [workload.attempted[kind], workload.succeeded[kind]]
+        for kind in workload.attempted
+    }
+    records.append(["workload", counts])
+    return {
+        "digest": _digest(records),
+        "summary": {
+            "spans": len(run.obs.tracer.spans()),
+            "messages": snapshot.total,
+            "final_now": run.cluster.sim.now,
+            "availability": run.cluster.availability(),
+        },
+    }
+
+
+# -- scenario 3: a chaos run (checker verdicts) -------------------------------
+
+_CHAOS_CONFIG = ChaosConfig(
+    scheme=SchemeName.VOTING,
+    seed=0,  # per-scenario seed substituted below
+    num_sites=5,
+    num_blocks=16,
+    block_size=32,
+    operations=250,
+    batch_rate=0.2,
+)
+
+
+def _chaos_records(result) -> List[Any]:
+    return [[
+        result.scheme.value,
+        result.seed,
+        result.operations,
+        [result.injected.corruptions, result.injected.crashes,
+         result.injected.mid_write_crashes, result.injected.drops],
+        [str(v) for v in result.violations],
+        sorted(result.unaccounted_corruptions),
+        result.corruptions_detected,
+        result.blocks_healed,
+        result.sites_fenced,
+        [result.reads_ok, result.reads_failed,
+         result.writes_ok, result.writes_failed],
+        result.torn_writes,
+        result.retries,
+        result.failovers,
+        result.messages,
+        dict(sorted(result.history.items())),
+        result.view_changes,
+        result.final_epoch,
+        dict(sorted(result.reconfigurations.items())),
+        result.epoch_fences,
+        result.reconfig_pending,
+        [result.catchup_messages, result.catchup_bytes],
+        result.ok,
+    ]]
+
+
+def chaos_run(seed: int = 42) -> Dict[str, Any]:
+    """One seeded chaos schedule: faults, repairs, checker verdict."""
+    result = run_chaos(replace(_CHAOS_CONFIG, seed=seed))
+    return {
+        "digest": _digest(_chaos_records(result)),
+        "summary": {
+            "ok": result.ok,
+            "messages": result.messages,
+            "reads_ok": result.reads_ok,
+            "writes_ok": result.writes_ok,
+            "torn_writes": result.torn_writes,
+        },
+    }
+
+
+# -- scenario 4: a membership campaign (jobs=1 vs jobs=N) ---------------------
+
+_MEMBERSHIP_CONFIG = ChaosConfig(
+    scheme=SchemeName.VOTING,
+    seed=7,
+    num_sites=5,
+    num_blocks=12,
+    block_size=32,
+    operations=150,
+    reconfigure_rate=0.04,
+    spare_sites=3,
+)
+
+
+def membership_campaign(jobs: int = 1) -> Dict[str, Any]:
+    """Three reconfiguring chaos runs, fanned at ``jobs`` workers.
+
+    The derived-seed contract makes the campaign bit-identical at any
+    ``jobs`` value; the suite checks both jobs=1 and jobs=2 against one
+    committed digest.
+    """
+    results = run_chaos_campaign(_MEMBERSHIP_CONFIG, runs=3, jobs=jobs)
+    records: List[Any] = []
+    for result in results:
+        records.extend(_chaos_records(result))
+    return {
+        "digest": _digest(records),
+        "summary": {
+            "runs": len(results),
+            "all_ok": all(r.ok for r in results),
+            "view_changes": sum(r.view_changes for r in results),
+            "messages": sum(r.messages for r in results),
+        },
+    }
+
+
+#: scenario name -> zero-argument callable producing {digest, summary}.
+SCENARIOS = {
+    "scheduler-script": scheduler_script,
+    "traced-simulate": traced_simulate,
+    "chaos-voting": chaos_run,
+    "membership-campaign": membership_campaign,
+}
+
+
+def fingerprint(name: str) -> Dict[str, Any]:
+    """Compute one scenario's {digest, summary} fingerprint."""
+    return SCENARIOS[name]()

@@ -149,3 +149,72 @@ def test_zero_delay_event_fires_at_current_time():
     sim.schedule(0.0, lambda: seen.append(sim.now))
     sim.run()
     assert seen == [5.0]
+
+
+# -- stale-entry handling (the heap-starvation edge) ---------------------------
+
+def test_cancelling_last_event_leaves_clock_at_last_live_event():
+    """A cancelled trailing entry must not fire -- and must not drag
+    the clock past the last *live* event when the queue drains."""
+    sim = Simulator()
+    fired = []
+    sim.schedule(1.0, fired.append, "live")
+    sim.schedule(100.0, fired.append, "never").cancel()
+    sim.run()  # must terminate
+    assert fired == ["live"]
+    assert sim.now == 1.0
+    assert sim.pending_events == 0
+
+
+def test_cancelled_entry_beyond_horizon_does_not_advance_clock():
+    sim = Simulator()
+    fired = []
+    sim.schedule(2.0, fired.append, "live")
+    sim.schedule(200.0, fired.append, "never").cancel()
+    sim.run(until=50.0)
+    assert fired == ["live"]
+    assert sim.now == 50.0  # the horizon, not the cancelled entry's time
+    sim.run()
+    assert fired == ["live"]
+    assert sim.now == 50.0
+
+
+def test_schedule_cancel_churn_keeps_heap_bounded():
+    """Far-future entries cancelled before firing must be reclaimed:
+    without compaction this loop grows the heap to ``rounds`` entries."""
+    sim = Simulator()
+    rounds = 5_000
+    live = 0
+
+    def beat(n):
+        nonlocal live
+        live += 1
+        # A decoy far beyond anything that will fire, cancelled at once
+        # (a retry timer disarmed by the reply arriving first).
+        sim.schedule(1e6, lambda: None).cancel()
+        if n > 0:
+            sim.schedule(1.0, beat, n - 1)
+
+    sim.schedule(1.0, beat, rounds)
+    sim.run()
+    assert live == rounds + 1
+    # The queue is fully drained of live events; stale entries left
+    # behind are at most one compaction threshold's worth.
+    assert sim.pending_events == 0
+    assert len(sim._queue) < 200
+
+
+def test_compaction_preserves_firing_order():
+    sim = Simulator()
+    fired = []
+    handles = [
+        sim.schedule(float(i % 13), fired.append, i) for i in range(400)
+    ]
+    for index, handle in enumerate(handles):
+        if index % 2 == 0:
+            handle.cancel()  # drives _stale past the compaction bound
+    sim.run()
+    expected = [
+        i for i in sorted(range(400), key=lambda i: i % 13) if i % 2
+    ]
+    assert fired == expected

@@ -1,0 +1,170 @@
+"""Property tests for the scheduler's ordering and lifecycle contracts.
+
+The kernel rewrite replaced the event-list internals (integer ticks,
+tuple heap entries, merged lifecycle state); these properties pin the
+contracts any future rewrite must keep:
+
+* FIFO among equal times -- same-instant events fire in scheduling order;
+* cancelling an already-fired event is a harmless no-op;
+* negative delays raise :class:`~repro.errors.ScheduleInPastError`;
+* the integer-tick encoding of the float API is exactly
+  order-isomorphic, so no pair of timestamps can ever fire in a
+  different order than their float comparison dictates.
+"""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import pytest
+
+from repro.errors import ScheduleInPastError
+from repro.sim.engine import Simulator, _to_ticks
+
+#: Finite, non-NaN timestamps, including negatives (a negative
+#: ``start_time`` is legal), zeros of both signs, and subnormals.
+_times = st.floats(allow_nan=False, allow_infinity=False)
+
+_delays = st.floats(
+    min_value=0.0, max_value=1e9, allow_nan=False, allow_infinity=False
+)
+
+
+# -- FIFO among equal times ----------------------------------------------------
+
+@settings(max_examples=200)
+@given(
+    delays=st.lists(
+        st.sampled_from([0.0, 0.5, 1.0, 2.0]), min_size=1, max_size=40
+    )
+)
+def test_fifo_among_equal_times(delays):
+    """Events at one instant fire in the order they were scheduled."""
+    sim = Simulator()
+    fired = []
+    for index, delay in enumerate(delays):
+        sim.schedule(delay, fired.append, (delay, index))
+    sim.run()
+    # Global firing order must equal the stable sort by time alone --
+    # i.e. ties broken by scheduling order.
+    expected = sorted(
+        ((delay, index) for index, delay in enumerate(delays)),
+        key=lambda pair: pair[0],
+    )
+    assert fired == expected
+
+
+@settings(max_examples=100)
+@given(n=st.integers(min_value=1, max_value=30))
+def test_fifo_for_zero_delay_chains(n):
+    """Zero-delay events scheduled from a callback fire after the
+    already-queued same-instant events (they were scheduled later)."""
+    sim = Simulator()
+    fired = []
+
+    def first():
+        fired.append("first")
+        sim.schedule(0.0, fired.append, "nested")
+
+    sim.schedule(1.0, first)
+    for i in range(n):
+        sim.schedule(1.0, fired.append, i)
+    sim.run()
+    assert fired == ["first", *range(n), "nested"]
+
+
+# -- cancellation lifecycle ----------------------------------------------------
+
+@settings(max_examples=100)
+@given(delays=st.lists(_delays, min_size=1, max_size=20))
+def test_cancel_after_firing_is_noop(delays):
+    sim = Simulator()
+    handles = [sim.schedule(d, lambda: None) for d in delays]
+    sim.run()
+    for handle in handles:
+        assert handle.fired and not handle.cancelled
+        handle.cancel()  # must not raise, must not un-fire
+        assert handle.fired and not handle.cancelled and not handle.pending
+    assert sim.pending_events == 0
+
+
+def test_cancel_twice_counts_stale_once():
+    sim = Simulator()
+    handle = sim.schedule(5.0, lambda: None)
+    handle.cancel()
+    handle.cancel()
+    assert sim.pending_events == 0
+    assert len(sim._queue) - sim._stale == 0
+
+
+# -- negative delays -----------------------------------------------------------
+
+@settings(max_examples=100)
+@given(
+    delay=st.floats(
+        max_value=0.0, exclude_max=True,
+        allow_nan=False, allow_infinity=False,
+    )
+)
+def test_negative_delay_raises(delay):
+    sim = Simulator()
+    with pytest.raises(ScheduleInPastError):
+        sim.schedule(delay, lambda: None)
+    assert sim.pending_events == 0
+
+
+def test_negative_zero_delay_is_zero():
+    """-0.0 is not a negative delay; it schedules at the current time."""
+    sim = Simulator(start_time=3.0)
+    fired = []
+    sim.schedule(-0.0, fired.append, "now")
+    sim.run()
+    assert fired == ["now"]
+    assert sim.now == 3.0
+
+
+# -- integer-tick encoding is order-isomorphic ---------------------------------
+
+@settings(max_examples=500)
+@given(a=_times, b=_times)
+def test_tick_encoding_preserves_ordering(a, b):
+    """For every float pair, tick order equals float order, exactly."""
+    ta, tb = _to_ticks(a), _to_ticks(b)
+    if a < b:
+        assert ta < tb
+    elif a > b:
+        assert ta > tb
+    else:
+        assert ta == tb
+
+
+@settings(max_examples=200)
+@given(times=st.lists(_times, min_size=2, max_size=50))
+def test_tick_sort_equals_float_sort(times):
+    by_float = sorted(times)
+    by_tick = sorted(times, key=_to_ticks)
+    # Identical ordering, including the placement of exact duplicates
+    # (both sorts are stable) -- bit-for-bit equal sequences.
+    assert len(by_float) == len(by_tick)
+    assert all(
+        x == y and math.copysign(1.0, x) == math.copysign(1.0, y)
+        for x, y in zip(by_float, by_tick)
+    )
+
+
+@settings(max_examples=200)
+@given(start=_times, delays=st.lists(_delays, min_size=1, max_size=20))
+def test_float_api_round_trip_never_loses_ordering(start, delays):
+    """Events fire in exactly float timestamp order via the tick heap."""
+    sim = Simulator(start_time=start)
+    fired = []
+    expected = []
+    for index, delay in enumerate(delays):
+        time = sim.now + delay
+        if math.isinf(time):  # float overflow: not a schedulable time
+            continue
+        sim.schedule(delay, lambda t=time, i=index: fired.append((t, i)))
+        expected.append((time, index))
+    sim.run()
+    assert fired == sorted(expected, key=lambda pair: pair[0])
