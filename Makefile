@@ -3,7 +3,8 @@
 PYTHON ?= python3
 
 .PHONY: install test coverage bench bench-json bench-parallel \
-	bench-membership bench-kernel metrics examples experiments lint clean
+	bench-membership bench-kernel bench-policies metrics examples \
+	experiments lint clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -36,6 +37,13 @@ bench-parallel:
 # Dynamic-membership overhead benchmark (appends BENCH_membership.json).
 bench-membership:
 	$(PYTHON) -m pytest benchmarks/bench_membership.py --benchmark-only -s
+
+# Quorum policy spectrum + mitigation ablations (appends
+# BENCH_policies.json; asserts hinted handoff and read repair each
+# reduce witnessed staleness).
+bench-policies:
+	$(PYTHON) -m pytest benchmarks/bench_quorum_policies.py \
+		--benchmark-only -s
 
 # Serial kernel throughput (events/sec through the simulator hot path).
 # Appends a labelled record to the committed BENCH_kernel.json

@@ -1,0 +1,172 @@
+"""Quorum policy spectrum benchmark: staleness vs mitigation cost.
+
+Runs the voting scheme across the (RF, R, W) spectrum under seeded
+chaos and records, per policy, the staleness the checker witnessed and
+what the two mitigations (hinted handoff, read repair) cost and saved.
+Two ablation campaigns quantify each mitigation in isolation:
+
+* hinted handoff on/off under policy 5:1:1 -- parked HINT messages
+  replayed at repair time must cut the witnessed stale reads;
+* read repair on/off under policy 5:2:1 (handoff disabled) over a
+  crash-heavy multi-seed campaign -- READ_REPAIR pushes must cut the
+  total witnessed stale reads.
+
+The measurement is appended to the persistent trajectory
+``BENCH_policies.json`` at the repository root (``make bench-policies``
+appends a record per run).  The run asserts the acceptance criteria:
+strict policies witness zero staleness, sloppy histories stay
+violation-free, and both mitigations demonstrably reduce staleness.
+"""
+
+import datetime
+import json
+import platform
+import time
+from pathlib import Path
+
+from repro.core.policy import QuorumPolicy
+from repro.faults import ChaosConfig, run_chaos
+from repro.types import SchemeName
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+TRAJECTORY = REPO_ROOT / "BENCH_policies.json"
+
+OPERATIONS = 300
+SEED = 7
+ABLATION_SEEDS = 10
+
+SPECTRUM = (
+    QuorumPolicy(5, 1, 5),
+    QuorumPolicy(5, 2, 4),
+    QuorumPolicy(5, 3, 3),
+    QuorumPolicy(5, 2, 1, allow_sloppy=True),
+    QuorumPolicy(5, 1, 1, allow_sloppy=True),
+)
+
+#: Crash-heavy fault mix for the read-repair ablation: long failures
+#: and frequent crashes so divergent read quorums actually occur.
+READ_REPAIR_MIX = dict(
+    fault_rate=0.5,
+    crash_weight=0.45,
+    corrupt_weight=0.1,
+    mid_write_weight=0.1,
+    drop_weight=0.1,
+    repair_rate=0.25,
+    write_fraction=0.3,
+)
+
+
+def _run(policy, seed, operations=OPERATIONS, **overrides):
+    config = ChaosConfig(
+        scheme=SchemeName.VOTING,
+        seed=seed,
+        num_sites=policy.rf,
+        operations=operations,
+        scrub_every=0,
+        policy=policy,
+        **overrides,
+    )
+    return run_chaos(config)
+
+
+def _append_record(record):
+    history = []
+    if TRAJECTORY.exists():
+        history = json.loads(TRAJECTORY.read_text(encoding="utf-8"))
+    history.append(record)
+    TRAJECTORY.write_text(
+        json.dumps(history, indent=2) + "\n", encoding="utf-8"
+    )
+
+
+def test_policy_spectrum(benchmark):
+    timings = {}
+
+    def sweep():
+        start = time.perf_counter()
+        results = {p.describe(): _run(p, SEED) for p in SPECTRUM}
+        timings["sweep"] = time.perf_counter() - start
+        return results
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    spectrum = {}
+    for name, result in results.items():
+        assert result.ok, (name, result.violations)
+        strict = "strict" in name
+        if strict:
+            assert not result.staleness_witnesses, name
+        spectrum[name] = {
+            "writes_ok": result.writes_ok,
+            "writes_failed": result.writes_failed,
+            "reads_ok": result.reads_ok,
+            "stale_reads": len(result.staleness_witnesses),
+            "hints_parked": result.hints_parked,
+            "hints_replayed": result.hints_replayed,
+            "read_repairs": result.read_repairs,
+            "messages": result.messages,
+            "bytes": result.bytes_total,
+        }
+
+    # -- hinted handoff ablation (policy 5:1:1) ---------------------------
+    handoff = {}
+    for on in (True, False):
+        policy = QuorumPolicy(5, 1, 1, allow_sloppy=True,
+                              hinted_handoff=on)
+        result = _run(policy, SEED)
+        assert result.ok, result.violations
+        handoff["on" if on else "off"] = {
+            "stale_reads": len(result.staleness_witnesses),
+            "hints_parked": result.hints_parked,
+            "hints_replayed": result.hints_replayed,
+        }
+    assert handoff["on"]["stale_reads"] < handoff["off"]["stale_reads"], (
+        "hinted handoff must reduce witnessed staleness", handoff
+    )
+
+    # -- read repair ablation (policy 5:2:1, handoff off) -----------------
+    read_repair = {}
+    for on in (True, False):
+        policy = QuorumPolicy(5, 2, 1, allow_sloppy=True,
+                              hinted_handoff=False, read_repair=on)
+        stale = repairs = 0
+        for seed in range(ABLATION_SEEDS):
+            result = _run(policy, seed, operations=400, **READ_REPAIR_MIX)
+            assert result.ok, (seed, result.violations)
+            stale += len(result.staleness_witnesses)
+            repairs += result.read_repairs
+        read_repair["on" if on else "off"] = {
+            "stale_reads": stale,
+            "read_repairs": repairs,
+            "seeds": ABLATION_SEEDS,
+        }
+    assert (read_repair["on"]["stale_reads"]
+            < read_repair["off"]["stale_reads"]), (
+        "read repair must reduce witnessed staleness", read_repair
+    )
+
+    record = {
+        "bench": "quorum-policies",
+        "utc": datetime.datetime.now(datetime.timezone.utc).isoformat(
+            timespec="seconds"
+        ),
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "operations": OPERATIONS,
+        "seed": SEED,
+        "sweep_seconds": round(timings["sweep"], 4),
+        "spectrum": spectrum,
+        "hinted_handoff_ablation": handoff,
+        "read_repair_ablation": read_repair,
+    }
+    _append_record(record)
+
+    print()
+    print(
+        f"policy spectrum: {len(SPECTRUM)} policies, seed={SEED}: "
+        f"handoff {handoff['off']['stale_reads']}->"
+        f"{handoff['on']['stale_reads']} stale, read repair "
+        f"{read_repair['off']['stale_reads']}->"
+        f"{read_repair['on']['stale_reads']} stale "
+        f"-> {TRAJECTORY.name}"
+    )

@@ -193,6 +193,21 @@ def build_parser() -> argparse.ArgumentParser:
              "exposes the quorum-drift hazard)",
     )
     chaos.add_argument(
+        "--policy", metavar="RF:R:W", default=None,
+        help="run under an (RF, R, W) quorum policy (e.g. 5:3:3); "
+             "sloppy combinations (R+W<=RF or 2W<=RF) are accepted and "
+             "checked with the staleness-witnessing checker; RF "
+             "overrides --sites",
+    )
+    chaos.add_argument(
+        "--no-hinted-handoff", action="store_true",
+        help="with --policy: disable hinted handoff (ablation)",
+    )
+    chaos.add_argument(
+        "--no-read-repair", action="store_true",
+        help="with --policy: disable read repair (ablation)",
+    )
+    chaos.add_argument(
         "--campaign", type=int, default=1, metavar="K",
         help="independent seeded runs per scheme, seeds derived from "
              "--seed (default 1: run --seed itself)",
@@ -488,8 +503,9 @@ def _cmd_simulate(args, out) -> int:
 
 
 def _cmd_chaos(args, out) -> int:
+    from .core import QuorumPolicy
     from .device.reliable import RetryPolicy
-    from .errors import ReproError
+    from .errors import QuorumPolicyError, ReproError
     from .faults import ChaosConfig, run_chaos, run_chaos_campaign
 
     try:
@@ -497,6 +513,22 @@ def _cmd_chaos(args, out) -> int:
                             initial_delay=0.0)
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
+        return 2
+    policy = None
+    if args.policy is not None:
+        try:
+            policy = QuorumPolicy.parse(
+                args.policy,
+                allow_sloppy=True,
+                hinted_handoff=not args.no_hinted_handoff,
+                read_repair=not args.no_read_repair,
+            )
+        except QuorumPolicyError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+    elif args.no_hinted_handoff or args.no_read_repair:
+        print("error: --no-hinted-handoff/--no-read-repair need --policy",
+              file=sys.stderr)
         return 2
     error = _check_jobs(args.jobs)
     if error is None and args.campaign < 1:
@@ -528,7 +560,7 @@ def _cmd_chaos(args, out) -> int:
         config = ChaosConfig(
             scheme=scheme,
             seed=args.seed,
-            num_sites=args.sites,
+            num_sites=policy.rf if policy is not None else args.sites,
             num_blocks=args.blocks,
             operations=args.operations,
             fault_rate=args.fault_rate,
@@ -536,6 +568,7 @@ def _cmd_chaos(args, out) -> int:
             spare_sites=args.spare_sites,
             fencing=not args.no_fencing,
             retry=retry,
+            policy=policy,
         )
         try:
             if args.campaign > 1:
@@ -559,6 +592,9 @@ def _cmd_chaos(args, out) -> int:
                     print(f"    {kind:22s} {count}", file=out)
             for violation in result.violations:
                 print(f"  VIOLATION {violation}", file=out)
+            if args.verbose:
+                for witness in result.staleness_witnesses:
+                    print(f"  STALE {witness}", file=out)
             for site_id, block in result.unaccounted_corruptions:
                 print(f"  UNACCOUNTED corruption at site {site_id}, "
                       f"block {block}", file=out)

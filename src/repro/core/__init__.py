@@ -17,6 +17,7 @@ and :mod:`~repro.core.was_available` (Definitions 3.1-3.2).
 
 from .available_copy import AvailableCopyBase, AvailableCopyProtocol
 from .naive import NaiveAvailableCopyProtocol
+from .policy import QuorumPolicy
 from .protocol import ReplicationProtocol
 from .quorum import QuorumSpec, TIE_BREAKER_WEIGHT
 from .version import VersionVector
@@ -29,6 +30,7 @@ __all__ = [
     "AvailableCopyProtocol",
     "AvailableCopyBase",
     "NaiveAvailableCopyProtocol",
+    "QuorumPolicy",
     "QuorumSpec",
     "TIE_BREAKER_WEIGHT",
     "VersionVector",

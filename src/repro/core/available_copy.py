@@ -42,12 +42,14 @@ if TYPE_CHECKING:
 from ..errors import (
     CorruptBlockError,
     NoAvailableCopyError,
+    QuorumNotReachedError,
     SiteDownError,
     StaleEpochError,
 )
 from ..net.message import MessageCategory
 from ..net.network import NO_REPLY, Network
 from ..types import BlockIndex, SchemeName, SiteId, SiteState
+from .policy import QuorumPolicy
 from .protocol import ReplicationProtocol
 from .version import VersionVector
 from .was_available import closure_ready
@@ -61,12 +63,38 @@ class AvailableCopyBase(ReplicationProtocol):
     Subclasses provide the write fan-out and the total-failure recovery
     rule; reads, ordinary repair and the version-vector exchange are
     identical in both schemes.
+
+    An (RF, R, W) policy degenerates here to pure *availability
+    thresholds*: the scheme already writes to all available copies (so
+    consistency is independent of W) and reads locally (so R buys no
+    freshness), but a policy-configured group refuses to serve a read
+    with fewer than R available copies or a write with fewer than W --
+    making the three protocols comparable along the same policy axis.
+    Hinted handoff and read repair do not apply (full repair on rejoin
+    subsumes both).
     """
 
-    def __init__(self, sites: Sequence['Site'], network: Network) -> None:
+    def __init__(
+        self,
+        sites: Sequence['Site'],
+        network: Network,
+        policy: Optional[QuorumPolicy] = None,
+    ) -> None:
         super().__init__(sites, network)
+        if policy is not None and policy.rf != len(sites):
+            raise ValueError(
+                f"policy replication factor {policy.rf} does not "
+                f"match the group size {len(sites)}"
+            )
+        self.policy = policy
         #: Number of total-failure episodes resolved (observability).
         self.total_failure_recoveries = 0
+
+    def _policy_gate(self, need: int) -> None:
+        """Refuse service when fewer than ``need`` copies are available."""
+        avail = len(self.available_sites())
+        if avail < need:
+            raise QuorumNotReachedError(float(avail), float(need))
 
     # -- read: Section 3.2, "data can then be read from any available copy" --
 
@@ -84,6 +112,8 @@ class AvailableCopyBase(ReplicationProtocol):
             raise SiteDownError(
                 origin, "comatose sites cannot serve reads"
             )
+        if self.policy is not None:
+            self._policy_gate(self.policy.r)
         with self.meter.record("read"), \
                 self._span("read", origin=origin, block=block):
             try:
@@ -118,6 +148,8 @@ class AvailableCopyBase(ReplicationProtocol):
             raise SiteDownError(
                 origin, "comatose sites cannot serve reads"
             )
+        if self.policy is not None:
+            self._policy_gate(self.policy.r)
         with self.meter.record("batch_read"), \
                 self._span("read_batch", origin=origin, batch=len(ordered)):
             out: Dict[BlockIndex, bytes] = {}
@@ -336,8 +368,9 @@ class AvailableCopyProtocol(AvailableCopyBase):
         sites: Sequence['Site'],
         network: Network,
         track_failures: bool = True,
+        policy: Optional[QuorumPolicy] = None,
     ) -> None:
-        super().__init__(sites, network)
+        super().__init__(sites, network, policy=policy)
         self._track_failures = track_failures
         everyone = set(self.site_ids)
         for site in self.sites:
@@ -355,6 +388,8 @@ class AvailableCopyProtocol(AvailableCopyBase):
 
     def write(self, origin: SiteId, block: BlockIndex, data: bytes) -> int:
         site = self._require_available_origin(origin)
+        if self.policy is not None:
+            self._policy_gate(self.policy.w)
         with self.meter.record("write"), \
                 self._span("write", origin=origin, block=block):
             recipients = {s.site_id for s in self.available_sites()}
@@ -439,6 +474,8 @@ class AvailableCopyProtocol(AvailableCopyBase):
         if not blocks:
             return {}
         site = self._require_available_origin(origin)
+        if self.policy is not None:
+            self._policy_gate(self.policy.w)
         with self.meter.record("batch_write"), \
                 self._span("write_batch", origin=origin, batch=len(blocks)):
             recipients = {s.site_id for s in self.available_sites()}

@@ -18,7 +18,7 @@ available copy "the algorithm of choice" for the reliable device.
 
 from __future__ import annotations
 
-from typing import Dict, List, Mapping, Sequence
+from typing import Dict, List, Mapping, Optional, Sequence
 
 from typing import TYPE_CHECKING
 
@@ -30,6 +30,7 @@ from ..net.message import MessageCategory
 from ..net.network import Network
 from ..types import BlockIndex, SchemeName, SiteId, SiteState
 from .available_copy import AvailableCopyBase
+from .policy import QuorumPolicy
 
 __all__ = ["NaiveAvailableCopyProtocol"]
 
@@ -37,8 +38,13 @@ __all__ = ["NaiveAvailableCopyProtocol"]
 class NaiveAvailableCopyProtocol(AvailableCopyBase):
     """Available copy without failure bookkeeping (Figure 6)."""
 
-    def __init__(self, sites: Sequence['Site'], network: Network) -> None:
-        super().__init__(sites, network)
+    def __init__(
+        self,
+        sites: Sequence['Site'],
+        network: Network,
+        policy: Optional[QuorumPolicy] = None,
+    ) -> None:
+        super().__init__(sites, network, policy=policy)
         everyone = set(self.site_ids)
         for site in self.sites:
             # W_s is fixed at S; stored once so recovery probes and the
@@ -63,6 +69,8 @@ class NaiveAvailableCopyProtocol(AvailableCopyBase):
         is fenced -- treated as failed until it runs the ordinary
         repair procedure."""
         site = self._require_available_origin(origin)
+        if self.policy is not None:
+            self._policy_gate(self.policy.w)
         with self.meter.record("write"), \
                 self._span("write", origin=origin, block=block):
             new_version = site.block_version(block) + 1
@@ -124,6 +132,8 @@ class NaiveAvailableCopyProtocol(AvailableCopyBase):
         if not blocks:
             return {}
         site = self._require_available_origin(origin)
+        if self.policy is not None:
+            self._policy_gate(self.policy.w)
         with self.meter.record("batch_write"), \
                 self._span("write_batch", origin=origin, batch=len(blocks)):
             new_versions = {b: site.block_version(b) + 1 for b in blocks}

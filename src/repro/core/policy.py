@@ -1,0 +1,155 @@
+"""Tunable (RF, R, W) quorum policies -- from majority voting to W=1.
+
+The paper fixes quorum composition at majority; modern replicated
+stores expose it as a *policy axis*: a replication factor RF, a read
+threshold R (how many distinct replicas must answer a read) and a write
+threshold W (how many distinct replicas must durably apply a write).
+Two arithmetic conditions decide what the resulting system promises:
+
+* ``R + W > RF`` -- every read set intersects every write set, so some
+  read voter always holds the latest committed version;
+* ``2W > RF``   -- any two write sets intersect, so version numbers
+  grow monotonically along committed writes.
+
+Policies satisfying both are **strict**: they keep the paper's
+read-latest-write guarantee and merely move along the
+availability/latency/traffic trade-off curve (R=1/W=RF is read-one
+write-all; majority/majority sits in the middle).  Note the mirror
+R=RF/W=1 is *not* strict -- it satisfies the intersection condition
+but not ``2W > RF``, so two write sets can miss each other and
+version numbers fork.  Policies violating either are **sloppy**
+(Dynamo-style): a
+read may legally return *stale* data -- an older committed value --
+which the history checker then reports as a
+:class:`~repro.faults.checker.StalenessWitness` rather than a
+violation.  Constructing a sloppy policy requires the explicit
+``allow_sloppy=True`` escape hatch.
+
+Sloppy policies come with the two classic mitigation mechanisms, both
+on by default and individually ablatable:
+
+* **hinted handoff** (``hinted_handoff``): a write fanned out while a
+  replica is down parks the missed update as a HINT on a fallback
+  replica, replayed to the owner when it repairs;
+* **read repair** (``read_repair``): a read that gathers R >= 2
+  divergent versions pushes the newest copy to the stale voters it
+  observed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import QuorumPolicyError
+from .quorum import QuorumSpec
+
+__all__ = ["QuorumPolicy"]
+
+
+@dataclass(frozen=True)
+class QuorumPolicy:
+    """One point on the (RF, R, W) quorum spectrum.
+
+    Parameters
+    ----------
+    rf:
+        Replication factor: the number of replicas in the group.
+    r:
+        Distinct replicas that must answer for a read to proceed.
+    w:
+        Distinct replicas that must durably apply a write for it to
+        commit.
+    allow_sloppy:
+        Required (and only meaningful) when the policy is not strict;
+        without it a sloppy (RF, R, W) combination raises
+        :class:`~repro.errors.QuorumPolicyError`.
+    hinted_handoff:
+        Park writes aimed at down replicas as HINT messages on a
+        fallback replica, replayed on repair.
+    read_repair:
+        Push the newest observed version to stale voters when a read
+        quorum sees divergent versions.
+    """
+
+    rf: int
+    r: int
+    w: int
+    allow_sloppy: bool = False
+    hinted_handoff: bool = True
+    read_repair: bool = True
+
+    def __post_init__(self) -> None:
+        if self.rf < 1:
+            raise QuorumPolicyError(
+                f"replication factor must be >= 1, got {self.rf}"
+            )
+        for name, value in (("r", self.r), ("w", self.w)):
+            if not 1 <= value <= self.rf:
+                raise QuorumPolicyError(
+                    f"{name}={value} outside [1, rf={self.rf}]"
+                )
+        if not self.is_strict and not self.allow_sloppy:
+            raise QuorumPolicyError(
+                f"policy {self.rf}:{self.r}:{self.w} is sloppy "
+                f"(needs r + w > rf and 2w > rf); pass "
+                "allow_sloppy=True to accept stale reads"
+            )
+
+    # -- classification ----------------------------------------------------
+
+    @property
+    def is_strict(self) -> bool:
+        """Whether the policy preserves read-latest-write."""
+        return self.r + self.w > self.rf and 2 * self.w > self.rf
+
+    @property
+    def is_sloppy(self) -> bool:
+        return not self.is_strict
+
+    # -- construction ------------------------------------------------------
+
+    @classmethod
+    def parse(cls, text: str, **kwargs: bool) -> "QuorumPolicy":
+        """Parse the CLI form ``"RF:R:W"`` (e.g. ``"5:2:2"``).
+
+        Keyword arguments pass through to the constructor
+        (``allow_sloppy``, ``hinted_handoff``, ``read_repair``).
+        """
+        parts = text.split(":")
+        if len(parts) != 3:
+            raise QuorumPolicyError(
+                f"policy must be RF:R:W, got {text!r}"
+            )
+        try:
+            rf, r, w = (int(p) for p in parts)
+        except ValueError:
+            raise QuorumPolicyError(
+                f"policy components must be integers, got {text!r}"
+            ) from None
+        return cls(rf=rf, r=r, w=w, **kwargs)
+
+    # -- interop -----------------------------------------------------------
+
+    def to_spec(self) -> QuorumSpec:
+        """The weighted-voting spec equivalent of a *strict* policy.
+
+        Counting R of RF equal-weight votes is weighted voting with
+        unit weights and a threshold of ``R - 0.5`` (strict-greater
+        gathering): the spec's safety checks ``r + w >= total`` and
+        ``2w >= total`` then hold exactly when the policy is strict.
+        """
+        if not self.is_strict:
+            raise QuorumPolicyError(
+                f"sloppy policy {self.describe()} has no safe "
+                "QuorumSpec equivalent"
+            )
+        return QuorumSpec(
+            weights=(1.0,) * self.rf,
+            read_quorum=self.r - 0.5,
+            write_quorum=self.w - 0.5,
+        )
+
+    def describe(self) -> str:
+        """Compact human-readable form, e.g. ``"5:2:1 (sloppy)"``."""
+        kind = "strict" if self.is_strict else "sloppy"
+        return f"{self.rf}:{self.r}:{self.w} ({kind})"

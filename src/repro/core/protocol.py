@@ -30,6 +30,7 @@ from typing import TYPE_CHECKING
 if TYPE_CHECKING:
     from ..device.site import Site
     from ..membership.view import View
+    from .policy import QuorumPolicy
 from ..errors import MembershipError, SiteDownError
 from ..net.network import Network
 from ..net.traffic import TrafficMeter
@@ -85,6 +86,16 @@ class ReplicationProtocol(abc.ABC):
         self.joining: Set[SiteId] = set()
         #: Writes fenced at an epoch boundary (observability).
         self.epoch_fences = 0
+        #: The (RF, R, W) quorum policy in force, or None for the
+        #: paper's fixed quorum composition.  Set by subclasses that
+        #: accept one (see :mod:`repro.core.policy`).
+        self.policy: Optional['QuorumPolicy'] = None
+        #: Hinted handoff: missed updates parked on fallback sites.
+        self.hints_parked = 0
+        #: Hinted handoff: parked updates replayed to repaired owners.
+        self.hints_replayed = 0
+        #: Read repair: newest-version pushes to stale read voters.
+        self.read_repairs = 0
 
     # -- structure ----------------------------------------------------------
 

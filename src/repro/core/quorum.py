@@ -116,8 +116,13 @@ class QuorumSpec:
         return self.weights[site_index]
 
     def gathered_weight(self, site_indices: Iterable[int]) -> float:
-        """Total weight of a set of sites (by group index)."""
-        return sum(self.weights[i] for i in site_indices)
+        """Total weight of a set of sites (by group index).
+
+        Duplicate indices are counted once: a caller that (through a
+        bug or a replayed reply) lists the same site twice must not be
+        able to fake a quorum by double-counting its weight.
+        """
+        return sum(self.weights[i] for i in set(site_indices))
 
     def meets_read(self, gathered: float) -> bool:
         """Whether ``gathered`` weight forms a read quorum."""

@@ -33,6 +33,19 @@ ones, so no current copy is needed -- another block-level benefit);
 reads additionally require a reachable *data* site holding the quorum's
 highest version and raise
 :class:`~repro.errors.NoCurrentDataCopyError` otherwise.
+
+**Quorum policies.**  Passing an (RF, R, W)
+:class:`~repro.core.policy.QuorumPolicy` replaces the weighted
+thresholds with *count-based* ones: a read needs R distinct voters, a
+write needs W distinct appliers.  Strict policies (``R + W > RF`` and
+``2W > RF``) keep read-latest-write by the same intersection argument
+as weighted voting; ``R = 1`` additionally enables a zero-message local
+read (strictness then forces ``W = RF``, so a down site observes no
+committed writes and its copy is provably current on repair).  Sloppy
+policies admit stale reads; the protocol then runs the two classic
+mitigations -- hinted handoff (missed updates parked as HINT messages
+on fallback sites, replayed on repair) and read repair (a read
+observing divergent versions pushes the newest copy to stale voters).
 """
 
 from __future__ import annotations
@@ -56,10 +69,44 @@ from ..errors import (
 from ..net.message import MessageCategory
 from ..net.network import Network
 from ..types import BlockIndex, SchemeName, SiteId, SiteState
+from .policy import QuorumPolicy
 from .quorum import QuorumSpec
 from .protocol import ReplicationProtocol
 
 __all__ = ["VotingProtocol"]
+
+
+# Module-level message handlers.  Hoisted out of the per-operation
+# methods so the hot path does not rebuild a closure object per call;
+# everything they need rides in the payload.
+
+def _vote_handler(node, payload):
+    """VOTE_REQUEST: answer with the voter's version of the block."""
+    return node.block_version(payload)
+
+
+def _batch_vote_handler(node, payload):
+    """BATCH_VOTE_REQUEST: one reply mapping every block to a version."""
+    return {b: node.block_version(b) for b in payload}
+
+
+def _park_hint_handler(node, payload):
+    """HINT (parking): stash a missed update durably on a fallback site."""
+    node.meta.setdefault("hints", []).append(payload)
+
+
+def _apply_hint_handler(node, payload):
+    """HINT (replay): apply a parked update unless already superseded."""
+    _, index, blob, version = payload
+    if node.block_version(index) < version:
+        node.write_block(index, blob, version)
+
+
+def _read_repair_handler(node, payload):
+    """READ_REPAIR: apply the pushed newest copy unless superseded."""
+    index, blob, version = payload
+    if node.block_version(index) < version:
+        node.write_block(index, blob, version)
 
 
 class VotingProtocol(ReplicationProtocol):
@@ -79,6 +126,13 @@ class VotingProtocol(ReplicationProtocol):
         When True, a repairing site immediately refreshes all its stale
         blocks from a current site (ablation baseline; the paper's
         algorithm leaves repair to later reads and writes).
+    policy:
+        Optional (RF, R, W) quorum policy.  When set, quorum checks
+        become count-based (R distinct voters / W distinct appliers)
+        instead of weighted; RF must equal the group size and the group
+        may not contain witnesses.  Sloppy policies additionally enable
+        hinted handoff and read repair (see
+        :class:`~repro.core.policy.QuorumPolicy`).
     """
 
     def __init__(
@@ -87,6 +141,7 @@ class VotingProtocol(ReplicationProtocol):
         network: Network,
         spec: Optional[QuorumSpec] = None,
         eager_repair: bool = False,
+        policy: Optional[QuorumPolicy] = None,
     ) -> None:
         super().__init__(sites, network)
         if spec is None:
@@ -102,6 +157,18 @@ class VotingProtocol(ReplicationProtocol):
                     f"site {site.site_id} weight {site.weight} does not "
                     f"match spec weight {spec.weight_of(index)}"
                 )
+        if policy is not None:
+            if policy.rf != len(sites):
+                raise ValueError(
+                    f"policy replication factor {policy.rf} does not "
+                    f"match the group size {len(sites)}"
+                )
+            if any(s.is_witness for s in sites):
+                raise ValueError(
+                    "count-based quorum policies do not support "
+                    "witness sites (every replica must store data)"
+                )
+        self.policy = policy
         self._spec = spec
         self._index_of: Dict[SiteId, int] = {
             site.site_id: i for i, site in enumerate(self.sites)
@@ -142,7 +209,16 @@ class VotingProtocol(ReplicationProtocol):
         every epoch, so it requires the group to already be a plain
         majority configuration: no witnesses, thresholds at half the
         total weight, and site weights matching the view's votes.
+        Count-based (RF, R, W) policies are likewise unsupported: the
+        policy pins RF to the group size, which a view change would
+        silently invalidate.
         """
+        if self.policy is not None:
+            raise MembershipError(
+                "dynamic membership is not supported with an "
+                "(RF, R, W) quorum policy (the policy pins the "
+                "replication factor)"
+            )
         if any(s.is_witness for s in self.sites):
             raise MembershipError(
                 "dynamic membership does not support witness sites"
@@ -193,7 +269,15 @@ class VotingProtocol(ReplicationProtocol):
         a read is guaranteed to intersect the write quorum of the
         latest write no matter which side of the epoch boundary that
         write landed on.
+
+        Under an (RF, R, W) policy the check is count-based: R distinct
+        member voters must have answered.
         """
+        if self.policy is not None:
+            gathered = sum(1 for s in voters if s in self._index_of)
+            if gathered < self.policy.r:
+                return float(gathered), float(self.policy.r)
+            return None
         views = self._joint_views()
         if views is not None:
             for view in views:
@@ -212,6 +296,11 @@ class VotingProtocol(ReplicationProtocol):
         self, voters: set
     ) -> Optional[Tuple[float, float]]:
         """Joint-quorum analogue of :meth:`_read_shortfall` for writes."""
+        if self.policy is not None:
+            gathered = sum(1 for s in voters if s in self._index_of)
+            if gathered < self.policy.w:
+                return float(gathered), float(self.policy.w)
+            return None
         views = self._joint_views()
         if views is not None:
             for view in views:
@@ -238,20 +327,17 @@ class VotingProtocol(ReplicationProtocol):
         the union of both views' members, so the joint quorum checks
         see every reachable voice.
         """
-
-        def vote(node, payload):
-            return node.block_version(payload)
-
-        replies = self.network.broadcast_query(
+        replies: Dict[SiteId, int] = self.network.broadcast_query(
             origin.site_id,
             request=MessageCategory.VOTE_REQUEST,
             reply=MessageCategory.VOTE_REPLY,
-            handler=vote,
+            handler=_vote_handler,
             payload=block,
         )
-        versions: Dict[SiteId, int] = dict(replies)
-        versions[origin.site_id] = origin.block_version(block)
-        return versions
+        # broadcast_query returns a fresh dict per call, so the origin's
+        # vote is appended in place rather than after a defensive copy.
+        replies[origin.site_id] = origin.block_version(block)
+        return replies
 
     @staticmethod
     def _best_voter(versions: Dict[SiteId, int]) -> SiteId:
@@ -271,22 +357,19 @@ class VotingProtocol(ReplicationProtocol):
         for every block -- which is what lets one quorum check cover
         them all.
         """
-
-        def vote(node, payload):
-            return {b: node.block_version(b) for b in payload}
-
-        replies = self.network.broadcast_query(
-            origin.site_id,
-            request=MessageCategory.BATCH_VOTE_REQUEST,
-            reply=MessageCategory.BATCH_VOTE_REPLY,
-            handler=vote,
-            payload=tuple(blocks),
+        replies: Dict[SiteId, Dict[BlockIndex, int]] = (
+            self.network.broadcast_query(
+                origin.site_id,
+                request=MessageCategory.BATCH_VOTE_REQUEST,
+                reply=MessageCategory.BATCH_VOTE_REPLY,
+                handler=_batch_vote_handler,
+                payload=tuple(blocks),
+            )
         )
-        versions: Dict[SiteId, Dict[BlockIndex, int]] = dict(replies)
-        versions[origin.site_id] = {
+        replies[origin.site_id] = {
             b: origin.block_version(b) for b in blocks
         }
-        return versions
+        return replies
 
     # -- Figure 3: READ -------------------------------------------------------
 
@@ -294,6 +377,9 @@ class VotingProtocol(ReplicationProtocol):
         site = self.require_origin(origin)
         if site.is_witness:
             raise SiteDownError(origin, "witnesses cannot serve clients")
+        policy = self.policy
+        if policy is not None and policy.r == 1:
+            return self._read_local(site, block)
         with self.meter.record("read"), \
                 self._span("read", origin=origin, block=block):
             versions = self._collect_votes(site, block)
@@ -305,7 +391,7 @@ class VotingProtocol(ReplicationProtocol):
                 self._refresh_from_voters(site, block, versions, top)
                 self.lazy_repairs += 1
             try:
-                return site.read_block(block)
+                data = site.read_block(block)
             except CorruptBlockError:
                 # Quorum composition guarantees a current copy exists in
                 # the quorum; self-heal the local one from it and retry.
@@ -313,7 +399,60 @@ class VotingProtocol(ReplicationProtocol):
                 site.store.quarantine(block, top)
                 self._refresh_from_voters(site, block, versions, top)
                 self.note_heal(origin, block)
+                data = site.read_block(block)
+            if policy is not None and policy.read_repair:
+                self._send_read_repairs(site, block, versions, top, data)
+            return data
+
+    def _read_local(self, site: 'Site', block: BlockIndex) -> bytes:
+        """R = 1: serve the read from the local copy, zero messages.
+
+        For a *strict* policy R = 1 forces W = RF, so every committed
+        write reached this site while it was up and a freshly repaired
+        site's copy is provably current.  For a *sloppy* policy the
+        local copy may be stale -- the history checker witnesses that.
+        A corrupt local copy falls back to vote collection to locate
+        and pull an intact peer copy (self-healing, as in Figure 3).
+        """
+        origin = site.site_id
+        with self.meter.record("read"), \
+                self._span("read", origin=origin, block=block, local=True):
+            try:
                 return site.read_block(block)
+            except CorruptBlockError:
+                self.note_corruption(origin, block)
+                versions = self._collect_votes(site, block)
+                top = max(versions.values())
+                site.store.quarantine(block, top)
+                self._refresh_from_voters(site, block, versions, top)
+                self.note_heal(origin, block)
+                return site.read_block(block)
+
+    def _send_read_repairs(
+        self,
+        site: 'Site',
+        block: BlockIndex,
+        versions: Dict[SiteId, int],
+        top: int,
+        data: bytes,
+    ) -> None:
+        """Push the newest copy to the stale voters this read observed.
+
+        Each push is a priced READ_REPAIR unicast applied only if still
+        newer on arrival (a concurrent write may have superseded it).
+        Costs ride on the read that triggered them.
+        """
+        for target_id in sorted(versions):
+            if target_id == site.site_id or versions[target_id] >= top:
+                continue
+            if self.network.unicast_oneway(
+                src=site.site_id,
+                dst=target_id,
+                category=MessageCategory.READ_REPAIR,
+                handler=_read_repair_handler,
+                payload=(block, data, top),
+            ):
+                self.read_repairs += 1
 
     def _refresh_from_voters(
         self,
@@ -470,7 +609,51 @@ class VotingProtocol(ReplicationProtocol):
                     self.recorder.torn_write(block, bytes(data), new_version)
                 raise SiteDownError(origin, "failed during the write fan-out")
             site.write_block(block, bytes(data), new_version)
+            if self.policy is not None and self.policy.hinted_handoff:
+                self._park_hints(
+                    site, applied_ids, block, bytes(data), new_version
+                )
             return new_version
+
+    def _park_hints(
+        self,
+        origin_site: 'Site',
+        applied_ids: set,
+        block: BlockIndex,
+        data: bytes,
+        version: int,
+    ) -> None:
+        """Park a committed write's missed updates for down members.
+
+        Each FAILED member's update is stashed as a hint
+        ``(owner, block, data, version)`` on a deterministic fallback
+        chosen among the sites that applied the write (owner id modulo
+        the fallback count), to be replayed when the owner repairs.
+        Parking on the origin itself is a local durable append (no
+        message); any other fallback is reached with a priced HINT
+        unicast whose cost rides on the write.
+        """
+        fallbacks = sorted(applied_ids)
+        for member_id in self._order:
+            if member_id in applied_ids:
+                continue
+            if self.site(member_id).state is not SiteState.FAILED:
+                # An up member that merely missed the delivery is
+                # reachable; ordinary lazy repair covers it.
+                continue
+            holder_id = fallbacks[member_id % len(fallbacks)]
+            hint = (member_id, block, data, version)
+            if holder_id == origin_site.site_id:
+                origin_site.meta.setdefault("hints", []).append(hint)
+                self.hints_parked += 1
+            elif self.network.unicast_oneway(
+                src=origin_site.site_id,
+                dst=holder_id,
+                category=MessageCategory.HINT,
+                handler=_park_hint_handler,
+                payload=hint,
+            ):
+                self.hints_parked += 1
 
     # -- batched operations ---------------------------------------------------
 
@@ -497,15 +680,28 @@ class VotingProtocol(ReplicationProtocol):
             shortfall = self._read_shortfall(set(votes))
             if shortfall is not None:
                 raise QuorumNotReachedError(*shortfall)
-            per_block: Dict[BlockIndex, Dict[SiteId, int]] = {
-                b: {s: votes[s][b] for s in votes} for b in ordered
+            # Per-block voter maps are materialized lazily: most blocks
+            # of a batch are typically current everywhere, and only the
+            # stale/corrupt ones need the site -> version breakdown.
+            tops = {
+                b: max(v[b] for v in votes.values()) for b in ordered
             }
-            tops = {b: max(per_block[b].values()) for b in ordered}
+            per_block: Dict[BlockIndex, Dict[SiteId, int]] = {}
+
+            def versions_of(b: BlockIndex) -> Dict[SiteId, int]:
+                found = per_block.get(b)
+                if found is None:
+                    found = {s: votes[s][b] for s in votes}
+                    per_block[b] = found
+                return found
+
             stale = [
                 b for b in ordered if votes[origin][b] < tops[b]
             ]
             if stale:
-                self._batch_refresh(site, stale, per_block, tops)
+                self._batch_refresh(
+                    site, stale, {b: versions_of(b) for b in stale}, tops
+                )
                 self.lazy_repairs += len(stale)
             out: Dict[BlockIndex, bytes] = {}
             for b in ordered:
@@ -514,7 +710,7 @@ class VotingProtocol(ReplicationProtocol):
                 except CorruptBlockError:
                     self.note_corruption(origin, b)
                     site.store.quarantine(b, tops[b])
-                    self._refresh_from_voters(site, b, per_block[b], tops[b])
+                    self._refresh_from_voters(site, b, versions_of(b), tops[b])
                     self.note_heal(origin, b)
                     out[b] = site.read_block(b)
             return out
@@ -678,6 +874,10 @@ class VotingProtocol(ReplicationProtocol):
         operational = [
             s for s in self.sites if s.state is not SiteState.FAILED
         ]
+        if self.policy is not None:
+            # Count-based: R operational replicas can serve reads (the
+            # group has no witnesses, so any of them is a data site).
+            return len(operational) >= self.policy.r
         views = self._joint_views()
         if views is not None:
             ids = {s.site_id for s in operational}
@@ -704,8 +904,45 @@ class VotingProtocol(ReplicationProtocol):
         site = self.site(site_id)
         site.set_state(SiteState.AVAILABLE)
         self._sync_epoch(site)
+        if self.policy is not None and self.policy.hinted_handoff:
+            self._replay_hints(site)
         if self._eager_repair:
             self._eager_refresh(site)
+
+    def _replay_hints(self, target: 'Site') -> None:
+        """Deliver the hints parked for a freshly repaired site.
+
+        Every operational fallback replays its hints owned by
+        ``target`` as priced HINT unicasts, applied only if still newer
+        than the owner's copy.  Delivered hints are dropped; a hint
+        whose replay is lost in transit stays parked for the owner's
+        next repair.  Replay traffic is attributed to recovery.
+        """
+        start = self.meter.total
+        for holder in self.operational_sites():
+            if holder.site_id == target.site_id:
+                continue
+            hints = holder.meta.get("hints")
+            if not hints:
+                continue
+            keep = []
+            for hint in hints:
+                if hint[0] != target.site_id:
+                    keep.append(hint)
+                    continue
+                if self.network.unicast_oneway(
+                    src=holder.site_id,
+                    dst=target.site_id,
+                    category=MessageCategory.HINT,
+                    handler=_apply_hint_handler,
+                    payload=hint,
+                ):
+                    self.hints_replayed += 1
+                else:
+                    keep.append(hint)
+            holder.meta["hints"] = keep
+        if self.meter.total != start:
+            self._record_recovery(start)
 
     def _eager_refresh(self, site: 'Site') -> None:
         """Ablation baseline: refresh every stale block upon repair."""

@@ -227,6 +227,11 @@ class ReliableDevice(BlockDevice):
         tracer = self.tracer
         if not tracer.enabled:
             return NULL_TRACER.span(op, "device")
+        policy = self._protocol.policy
+        if policy is not None:
+            # Tag policy-configured runs so traces from a sweep are
+            # attributable to their (RF, R, W) point without a join.
+            attrs["policy"] = policy.describe()
         return _DeviceSpan(self, tracer.span(
             f"device.{op}", layer="device", origin=self._origin, **attrs,
         ))

@@ -142,6 +142,18 @@ class QuorumSpecError(ProtocolError):
     """
 
 
+class QuorumPolicyError(QuorumSpecError):
+    """An (RF, R, W) quorum policy violated its constraints.
+
+    Raised for structurally impossible policies (R or W outside
+    ``[1, RF]``) and for *sloppy* policies -- ``R + W <= RF`` or
+    ``2W <= RF`` -- requested without the explicit ``allow_sloppy``
+    escape hatch.  Sloppy policies trade read-latest-write for
+    availability; demanding the flag keeps that trade a deliberate
+    decision rather than an arithmetic accident.
+    """
+
+
 class MembershipError(ProtocolError):
     """An invalid reconfiguration of the replica group was requested.
 

@@ -1,0 +1,171 @@
+"""Quorum policy study: sweeping (RF, R, W) from strict to sloppy.
+
+The paper's voting scheme fixes quorums at majority; this study walks
+the whole (RF, R, W) spectrum under one seeded chaos schedule and
+answers three questions:
+
+1. **What does strictness cost?**  Strict policies (``R + W > RF`` and
+   ``2W > RF``) all keep the read-latest-write guarantee but trade
+   read traffic against write traffic -- read-one/write-all (5:1:5)
+   answers reads locally with zero messages while majority/majority
+   (5:3:3) balances both sides.
+2. **What does sloppiness buy -- and leak?**  Sloppy policies (5:2:1,
+   5:1:1) stay available through deeper failures but legally serve
+   stale reads, which the sloppy checker reports as
+   :class:`~repro.faults.checker.StalenessWitness` records instead of
+   violations.
+3. **Do the classic mitigations work?**  Hinted handoff and read
+   repair are each ablated on the sloppy policies where they bite:
+   both demonstrably cut the witnessed staleness.
+
+Every row is a full chaos run (crashes, corruptions, torn writes,
+message drops) whose history passes the checker -- strict rows with
+zero witnesses, sloppy rows with witnesses but zero violations.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..core.policy import QuorumPolicy
+from ..faults.chaos import ChaosConfig, ChaosResult, run_chaos
+from ..types import SchemeName
+from .report import ExperimentReport, Table
+
+__all__ = ["policy_study"]
+
+#: The policy spectrum swept by the headline table (RF fixed at 5).
+SPECTRUM = (
+    QuorumPolicy(5, 1, 5),
+    QuorumPolicy(5, 2, 4),
+    QuorumPolicy(5, 3, 3),
+    QuorumPolicy(5, 2, 1, allow_sloppy=True),
+    QuorumPolicy(5, 1, 1, allow_sloppy=True),
+)
+
+
+def _run(
+    policy: QuorumPolicy,
+    seed: int,
+    operations: int,
+    scrub_every: int = 0,
+    **overrides: float,
+) -> ChaosResult:
+    config = ChaosConfig(
+        scheme=SchemeName.VOTING,
+        seed=seed,
+        num_sites=policy.rf,
+        operations=operations,
+        scrub_every=scrub_every,
+        policy=policy,
+        **overrides,  # type: ignore[arg-type]
+    )
+    return run_chaos(config)
+
+
+def _sum_witnesses(results: List[ChaosResult]) -> int:
+    return sum(len(r.staleness_witnesses) for r in results)
+
+
+#: Crash-heavy mix where read repair is the only mitigation left
+#: (hinted handoff off): long failures, frequent crashes, few drops.
+_READ_REPAIR_MIX = dict(
+    fault_rate=0.5,
+    crash_weight=0.45,
+    corrupt_weight=0.1,
+    mid_write_weight=0.1,
+    drop_weight=0.1,
+    repair_rate=0.25,
+    write_fraction=0.3,
+)
+
+
+def policy_study(
+    seed: int = 7,
+    operations: int = 300,
+    ablation_seeds: int = 10,
+) -> ExperimentReport:
+    """Sweep the (RF, R, W) spectrum and ablate the mitigations."""
+    report = ExperimentReport(
+        experiment_id="policy-study",
+        title="Tunable (RF, R, W) quorum policies under chaos",
+    )
+
+    table = Table(
+        title=(
+            f"policy spectrum, voting scheme (seed={seed}, "
+            f"{operations} ops, scrub off)"
+        ),
+        columns=("policy", "writes ok", "reads ok", "stale reads",
+                 "hints parked/replayed", "read repairs", "messages",
+                 "bytes", "verdict"),
+    )
+    for policy in SPECTRUM:
+        result = _run(policy, seed, operations)
+        table.add_row(
+            policy.describe(),
+            f"{result.writes_ok}/{result.writes_ok + result.writes_failed}",
+            f"{result.reads_ok}/{result.reads_ok + result.reads_failed}",
+            len(result.staleness_witnesses),
+            f"{result.hints_parked}/{result.hints_replayed}",
+            result.read_repairs,
+            result.messages,
+            result.bytes_total,
+            "OK" if result.ok else "VIOLATION",
+        )
+    report.add_table(table)
+
+    hh_table = Table(
+        title=(
+            f"hinted handoff ablation, policy 5:1:1 (seed={seed}, "
+            f"{operations} ops)"
+        ),
+        columns=("hinted handoff", "stale reads",
+                 "hints parked/replayed", "verdict"),
+    )
+    for handoff in (True, False):
+        policy = QuorumPolicy(
+            5, 1, 1, allow_sloppy=True, hinted_handoff=handoff
+        )
+        result = _run(policy, seed, operations)
+        hh_table.add_row(
+            "on" if handoff else "off",
+            len(result.staleness_witnesses),
+            f"{result.hints_parked}/{result.hints_replayed}",
+            "OK" if result.ok else "VIOLATION",
+        )
+    report.add_table(hh_table)
+
+    rr_table = Table(
+        title=(
+            f"read repair ablation, policy 5:2:1, handoff off "
+            f"(seeds 0..{ablation_seeds - 1}, crash-heavy mix)"
+        ),
+        columns=("read repair", "stale reads (total)",
+                 "read repairs (total)", "verdict"),
+    )
+    for repair in (True, False):
+        policy = QuorumPolicy(
+            5, 2, 1, allow_sloppy=True,
+            hinted_handoff=False, read_repair=repair,
+        )
+        results = [
+            _run(policy, s, 400, **_READ_REPAIR_MIX)
+            for s in range(ablation_seeds)
+        ]
+        rr_table.add_row(
+            "on" if repair else "off",
+            _sum_witnesses(results),
+            sum(r.read_repairs for r in results),
+            "OK" if all(r.ok for r in results) else "VIOLATION",
+        )
+    report.add_table(rr_table)
+
+    report.note(
+        "strict policies (R+W>RF and 2W>RF) keep read-latest-write "
+        "with zero stale reads while moving traffic between the read "
+        "and write sides; sloppy policies admit stale reads, which the "
+        "checker witnesses (never as violations), and both hinted "
+        "handoff and read repair measurably shrink that staleness"
+    )
+    return report

@@ -24,6 +24,7 @@ from .heterogeneity_study import heterogeneity_study
 from .membership_study import membership_study
 from .observability_demo import observability_demo
 from .partitions import partition_demo
+from .policy_study import policy_study
 from .reliability_study import reliability_study
 from .serial_repair_study import serial_repair_study
 from .report import ExperimentReport
@@ -52,6 +53,7 @@ EXPERIMENTS: Dict[str, Callable[[], ExperimentReport]] = {
     "serial-repair-study": serial_repair_study,
     "heterogeneity-study": heterogeneity_study,
     "membership-study": membership_study,
+    "policy-study": policy_study,
     "observability-demo": observability_demo,
     "conclusions-summary": conclusions_summary,
     "ablation-voting-repair": ablation_voting_repair,

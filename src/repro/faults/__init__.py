@@ -15,7 +15,13 @@ restored by the integrity machinery:
   property-based tests.
 """
 
-from .checker import HistoryRecorder, Violation, check_history
+from .checker import (
+    HistoryRecorder,
+    StalenessWitness,
+    Violation,
+    check_history,
+    check_history_sloppy,
+)
 from .chaos import ChaosConfig, ChaosResult, run_chaos, run_chaos_campaign
 from .injector import FaultInjector, InjectionCounts
 
@@ -23,8 +29,10 @@ __all__ = [
     "FaultInjector",
     "InjectionCounts",
     "HistoryRecorder",
+    "StalenessWitness",
     "Violation",
     "check_history",
+    "check_history_sloppy",
     "ChaosConfig",
     "ChaosResult",
     "run_chaos",

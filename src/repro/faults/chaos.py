@@ -23,6 +23,7 @@ from typing import Dict, List, Optional, Tuple
 
 from ..core.available_copy import AvailableCopyProtocol
 from ..core.naive import NaiveAvailableCopyProtocol
+from ..core.policy import QuorumPolicy
 from ..core.quorum import QuorumSpec
 from ..core.voting import VotingProtocol
 from ..device.reliable import ReliableDevice, RetryPolicy
@@ -39,7 +40,12 @@ from ..membership import MembershipManager
 from ..net.message import MessageCategory
 from ..net.network import Network
 from ..types import SchemeName, SiteState
-from .checker import HistoryRecorder, Violation
+from .checker import (
+    HistoryRecorder,
+    StalenessWitness,
+    Violation,
+    check_history_sloppy,
+)
 from .injector import FaultInjector, InjectionCounts
 
 __all__ = [
@@ -99,6 +105,13 @@ class ChaosConfig:
     retry: Optional[RetryPolicy] = RetryPolicy(
         max_attempts=3, initial_delay=0.0
     )
+    #: Optional (RF, R, W) quorum policy.  None (default) runs the
+    #: paper's fixed quorum composition AND preserves the historical
+    #: rng draw sequence, so existing seeded schedules replay
+    #: unchanged.  When set, ``num_sites`` must equal ``policy.rf``
+    #: and sloppy policies are checked with the staleness-witnessing
+    #: checker instead of the strict one.
+    policy: Optional[QuorumPolicy] = None
 
 
 @dataclass
@@ -138,6 +151,18 @@ class ChaosResult:
     #: bytes, priced by the same size model as foreground traffic).
     catchup_messages: int = 0
     catchup_bytes: int = 0
+    #: The (RF, R, W) policy descriptor, "" for the paper's default.
+    policy: str = ""
+    #: Stale-but-legitimate reads (sloppy policies only).
+    staleness_witnesses: List[StalenessWitness] = field(
+        default_factory=list
+    )
+    #: Hinted handoff and read repair activity (policy runs only).
+    hints_parked: int = 0
+    hints_replayed: int = 0
+    read_repairs: int = 0
+    #: Total bytes of all transmissions (the size-model accounting).
+    bytes_total: int = 0
 
     @property
     def ok(self) -> bool:
@@ -174,6 +199,14 @@ class ChaosResult:
             )
             if self.reconfig_pending:
                 text += ", 1 window still open"
+        if self.policy:
+            text += (
+                f"; policy {self.policy}: "
+                f"{len(self.staleness_witnesses)} stale reads, "
+                f"{self.hints_parked} hints parked / "
+                f"{self.hints_replayed} replayed, "
+                f"{self.read_repairs} read repairs"
+            )
         return text
 
 
@@ -216,6 +249,11 @@ def run_chaos_campaign(
 
 
 def _build_protocol(config: ChaosConfig):
+    if config.policy is not None and config.policy.rf != config.num_sites:
+        raise ValueError(
+            f"policy replication factor {config.policy.rf} does not "
+            f"match num_sites={config.num_sites}"
+        )
     if config.scheme is SchemeName.VOTING:
         spec = QuorumSpec.majority(config.num_sites)
         sites = [
@@ -223,15 +261,19 @@ def _build_protocol(config: ChaosConfig):
                  weight=spec.weight_of(i))
             for i in range(config.num_sites)
         ]
-        return VotingProtocol(sites, Network(), spec=spec)
+        return VotingProtocol(
+            sites, Network(), spec=spec, policy=config.policy
+        )
     sites = [
         Site(i, config.num_blocks, config.block_size)
         for i in range(config.num_sites)
     ]
     if config.scheme is SchemeName.AVAILABLE_COPY:
-        return AvailableCopyProtocol(sites, Network())
+        return AvailableCopyProtocol(sites, Network(), policy=config.policy)
     if config.scheme is SchemeName.NAIVE_AVAILABLE_COPY:
-        return NaiveAvailableCopyProtocol(sites, Network())
+        return NaiveAvailableCopyProtocol(
+            sites, Network(), policy=config.policy
+        )
     raise ValueError(f"unknown scheme {config.scheme!r}")
 
 
@@ -535,7 +577,22 @@ def run_chaos(config: ChaosConfig, tracer=None) -> ChaosResult:
 
     # -- verdict -------------------------------------------------------------------
     result.torn_writes = recorder.count("torn_write")
-    result.violations = recorder.check()
+    if config.policy is not None and config.policy.is_sloppy:
+        # Sloppy policies legally serve stale data; the checker
+        # *witnesses* it (with the version lag) instead of forbidding
+        # it.  Anything not explained by ANY past value stays a
+        # violation.
+        result.violations, result.staleness_witnesses = (
+            check_history_sloppy(recorder.events)
+        )
+    else:
+        result.violations = recorder.check()
+    if config.policy is not None:
+        result.policy = config.policy.describe()
+        result.hints_parked = protocol.hints_parked
+        result.hints_replayed = protocol.hints_replayed
+        result.read_repairs = protocol.read_repairs
+    result.bytes_total = protocol.meter.total_bytes
     for site_id, block in sorted(recorder.unresolved_corruptions()):
         # Undetected is fine only if the copy is now verifiably intact
         # (a later write or repair overwrote the damage) or the store

@@ -25,6 +25,15 @@ version ``v`` and a later independent committed write at the same ``v``
 cannot be ordered without two-phase commit, which the paper's protocols
 deliberately omit.  The admissible-set semantics above absorbs exactly
 that ambiguity and no more.
+
+**Sloppy quorum policies** (``R + W <= RF`` or ``2W <= RF``) legally
+return *stale* data: an older committed (or superseded torn) value.
+:func:`check_history_sloppy` therefore classifies each anomalous read
+instead of condemning it: a read explained by some *earlier* value of
+the block becomes a :class:`StalenessWitness` -- evidence of the
+staleness the policy traded for availability, with the version lag
+quantified -- while a read explained by *nothing ever written* remains
+a :class:`Violation` exactly as under the strict checker.
 """
 
 from __future__ import annotations
@@ -34,7 +43,14 @@ from typing import Any, Dict, List, Optional, Set, Tuple
 
 from ..types import BlockIndex, SiteId
 
-__all__ = ["Event", "HistoryRecorder", "Violation", "check_history"]
+__all__ = [
+    "Event",
+    "HistoryRecorder",
+    "StalenessWitness",
+    "Violation",
+    "check_history",
+    "check_history_sloppy",
+]
 
 
 @dataclass(frozen=True)
@@ -63,6 +79,38 @@ class Violation:
             f"event {self.event_index}: read of block {self.block} "
             f"returned {self.observed[:16]!r}... but admissible values "
             f"were {self.admissible}"
+        )
+
+
+@dataclass(frozen=True)
+class StalenessWitness:
+    """A read that returned a *stale* but once-legitimate value.
+
+    Produced only by :func:`check_history_sloppy`: the observed value
+    was committed (or torn) at ``observed_version`` and has since been
+    superseded by a committed write at ``latest_version``.  Not a
+    correctness violation under a sloppy policy -- it is the evidence
+    of the staleness the policy admits, and what hinted handoff and
+    read repair exist to shrink.
+    """
+
+    event_index: int
+    block: BlockIndex
+    observed: bytes
+    observed_version: int
+    latest_version: int
+
+    @property
+    def lag(self) -> int:
+        """How many committed versions behind the read was."""
+        return self.latest_version - self.observed_version
+
+    def __str__(self) -> str:
+        return (
+            f"event {self.event_index}: read of block {self.block} "
+            f"returned the value of v{self.observed_version}, "
+            f"{self.lag} version(s) behind committed "
+            f"v{self.latest_version}"
         )
 
 
@@ -223,14 +271,48 @@ def check_history(events: List[Event]) -> List[Violation]:
     whose value matches neither the latest committed write nor any
     still-admissible torn write.
     """
+    violations, _ = _scan(events, allow_stale=False)
+    return violations
+
+
+def check_history_sloppy(
+    events: List[Event],
+) -> Tuple[List[Violation], List[StalenessWitness]]:
+    """Check a history produced under a *sloppy* quorum policy.
+
+    Anomalous reads explained by an earlier committed (or superseded
+    torn) value of the block are returned as witnesses, not
+    violations; reads explained by nothing ever written remain
+    violations.  A clean sloppy run therefore reports
+    ``([], witnesses)`` -- and a strict policy's history should yield
+    ``([], [])`` through either checker.
+    """
+    return _scan(events, allow_stale=True)
+
+
+def _scan(
+    events: List[Event], allow_stale: bool
+) -> Tuple[List[Violation], List[StalenessWitness]]:
     committed_value: Dict[BlockIndex, bytes] = {}
     committed_version: Dict[BlockIndex, int] = {}
     #: block -> {value: version} of torn writes still admissible.
     torn: Dict[BlockIndex, Dict[bytes, int]] = {}
+    #: block -> {value: version} of every value that was once
+    #: legitimate -- past committed values and superseded torn writes
+    #: (tracked only when classifying stale reads).
+    past: Dict[BlockIndex, Dict[bytes, int]] = {}
     violations: List[Violation] = []
+    witnesses: List[StalenessWitness] = []
 
     for index, event in enumerate(events):
         if event.kind == "write_ok":
+            if allow_stale:
+                history = past.setdefault(event.block, {})
+                if not history:
+                    # The pre-write state -- all-zeroes at version 0 --
+                    # is itself a once-legitimate value.
+                    history[bytes(len(event.value))] = 0
+                history[event.value] = event.version
             committed_value[event.block] = event.value
             committed_version[event.block] = event.version
             block_torn = torn.get(event.block)
@@ -241,6 +323,10 @@ def check_history(events: List[Event]) -> List[Violation]:
                 for value, version in list(block_torn.items()):
                     if version < event.version:
                         del block_torn[value]
+                        if allow_stale:
+                            past.setdefault(event.block, {})[value] = (
+                                version
+                            )
         elif event.kind == "torn_write":
             current = committed_version.get(event.block, 0)
             if event.version >= current:
@@ -255,6 +341,19 @@ def check_history(events: List[Event]) -> List[Violation]:
                 continue
             if event.value in torn.get(event.block, {}):
                 continue
+            if allow_stale:
+                stale_version = past.get(event.block, {}).get(event.value)
+                if stale_version is not None:
+                    witnesses.append(StalenessWitness(
+                        event_index=index,
+                        block=event.block,
+                        observed=event.value,
+                        observed_version=stale_version,
+                        latest_version=committed_version.get(
+                            event.block, 0
+                        ),
+                    ))
+                    continue
             admissible = [
                 f"committed v{committed_version.get(event.block, 0)}"
             ]
@@ -267,4 +366,4 @@ def check_history(events: List[Event]) -> List[Violation]:
                 observed=event.value,
                 admissible=", ".join(admissible),
             ))
-    return violations
+    return violations, witnesses

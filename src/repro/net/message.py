@@ -68,6 +68,13 @@ class MessageCategory(enum.Enum):
     #: The member's reply: its version vector plus up to the requested
     #: number of stale blocks (membership state transfer).
     STATE_TRANSFER_REPLY = "state-transfer-reply"
+    #: A hinted-handoff record: a versioned block destined for a down
+    #: replica, parked on a fallback site at write time and replayed to
+    #: the owner when it repairs (sloppy quorum policies).
+    HINT = "hint"
+    #: A read that observed divergent versions pushes the newest copy
+    #: to a stale voter (read repair under quorum policies).
+    READ_REPAIR = "read-repair"
 
     # Members are singletons compared by identity, so the identity hash
     # is consistent with equality -- and C-speed, where the enum default

@@ -69,6 +69,13 @@ class SizeModel:
             MessageCategory.BLOCK_REPAIR_REQUEST:
                 self.header_bytes + self.vv_entry_bytes,
             MessageCategory.BATCH_WRITE_ACK: self.header_bytes,
+            # a hint carries the intended owner (one vote-sized id) plus
+            # one versioned block; read repair pushes one versioned block
+            MessageCategory.HINT:
+                self.header_bytes + self.vote_bytes
+                + self.vv_entry_bytes + self.block_bytes,
+            MessageCategory.READ_REPAIR:
+                self.header_bytes + self.vv_entry_bytes + self.block_bytes,
         })
 
     def bytes_for(self, message: Message) -> int:

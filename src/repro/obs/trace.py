@@ -58,6 +58,10 @@ LAYERS = (
     "membership",
 )
 
+#: Frozenset mirror of :data:`LAYERS` for the per-span membership check
+#: (hash probe instead of a linear tuple scan on the recording path).
+_LAYER_SET = frozenset(LAYERS)
+
 OUTCOME_OK = "ok"
 
 
@@ -122,6 +126,14 @@ class Span:
     ``"ok"`` or ``"error:<ExceptionType>"``; exceptions always
     propagate.  :meth:`set` attaches attributes at any point while the
     span is open.
+
+    Handles are pooled by their tracer (like the network's
+    :class:`~repro.net.message.Message` instances): ``__exit__``
+    returns the handle to a freelist and a later :meth:`Tracer.span`
+    re-targets it at a fresh record, so a traced hot path allocates one
+    :class:`SpanRecord` per span instead of two objects.  Holders must
+    therefore treat a handle as valid only between ``__enter__`` and
+    ``__exit__``; the underlying records are unaffected and permanent.
     """
 
     __slots__ = ("_tracer", "_record")
@@ -129,6 +141,11 @@ class Span:
     def __init__(self, tracer: "Tracer", record: SpanRecord) -> None:
         self._tracer = tracer
         self._record = record
+
+    def _reuse(self, record: SpanRecord) -> "Span":
+        """Re-target this pooled handle at a fresh record."""
+        self._record = record
+        return self
 
     def set(self, **attrs: Any) -> "Span":
         """Attach (or overwrite) span attributes."""
@@ -145,6 +162,7 @@ class Span:
             OUTCOME_OK if exc_type is None
             else f"error:{exc_type.__name__}"
         )
+        self._tracer._release(self)
         return False
 
 
@@ -217,6 +235,8 @@ class Tracer:
         self._tick = 0
         self._next_id = 0
         self._records: List[SpanRecord] = []
+        #: Freelist of exited Span handles awaiting reuse.
+        self._span_pool: List[Span] = []
 
     # -- time ---------------------------------------------------------------
 
@@ -236,7 +256,7 @@ class Tracer:
     def _new_record(
         self, name: str, layer: str, attrs: Dict[str, Any]
     ) -> SpanRecord:
-        if layer not in LAYERS:
+        if layer not in _LAYER_SET:
             raise ValueError(
                 f"unknown trace layer {layer!r}; expected one of {LAYERS}"
             )
@@ -252,8 +272,19 @@ class Tracer:
         return record
 
     def span(self, name: str, layer: str, **attrs: Any) -> Span:
-        """Open a span; use as a context manager around the operation."""
-        return Span(self, self._new_record(name, layer, attrs))
+        """Open a span; use as a context manager around the operation.
+
+        The returned handle may be a pooled instance whose previous
+        span has exited; the record it points at is always fresh.
+        """
+        record = self._new_record(name, layer, attrs)
+        if self._span_pool:
+            return self._span_pool.pop()._reuse(record)
+        return Span(self, record)
+
+    def _release(self, span: Span) -> None:
+        """Return an exited handle to the freelist (called by Span)."""
+        self._span_pool.append(span)
 
     def event(self, name: str, layer: str, **attrs: Any) -> SpanRecord:
         """Record an instantaneous event (a zero-duration ok span)."""

@@ -1,0 +1,246 @@
+"""Unit and behavioural tests for (RF, R, W) quorum policies."""
+
+import pytest
+
+from repro.core import QuorumPolicy, VotingProtocol
+from repro.core.policy import QuorumPolicy as _ReExport
+from repro.device import Site
+from repro.errors import (
+    MembershipError,
+    QuorumNotReachedError,
+    QuorumPolicyError,
+)
+from repro.membership import View
+from repro.net import MessageCategory, Network
+from repro.types import SiteState
+
+BLOCK_SIZE = 16
+NUM_BLOCKS = 8
+
+
+def fill(byte):
+    return bytes([byte]) * BLOCK_SIZE
+
+
+def make_policy_group(policy, n=None):
+    n = policy.rf if n is None else n
+    sites = [Site(i, NUM_BLOCKS, BLOCK_SIZE) for i in range(n)]
+    network = Network()
+    protocol = VotingProtocol(sites, network, policy=policy)
+    return protocol, network.meter
+
+
+class TestValidation:
+    def test_reexport(self):
+        assert _ReExport is QuorumPolicy
+
+    def test_rf_must_be_positive(self):
+        with pytest.raises(QuorumPolicyError):
+            QuorumPolicy(0, 1, 1)
+
+    @pytest.mark.parametrize("r,w", [(0, 3), (6, 3), (3, 0), (3, 6)])
+    def test_thresholds_must_fit_rf(self, r, w):
+        with pytest.raises(QuorumPolicyError):
+            QuorumPolicy(5, r, w)
+
+    def test_sloppy_needs_escape_hatch(self):
+        with pytest.raises(QuorumPolicyError) as excinfo:
+            QuorumPolicy(5, 1, 1)
+        assert "allow_sloppy" in str(excinfo.value)
+        assert QuorumPolicy(5, 1, 1, allow_sloppy=True).is_sloppy
+
+    def test_mirror_of_read_one_write_all_is_sloppy(self):
+        # R=RF/W=1 satisfies R+W>RF but not 2W>RF: write sets can miss
+        # each other, so version numbers fork.  It must not pass as
+        # strict.
+        with pytest.raises(QuorumPolicyError):
+            QuorumPolicy(5, 5, 1)
+
+    @pytest.mark.parametrize("rf,r,w", [
+        (5, 1, 5), (5, 2, 4), (5, 3, 3), (5, 4, 3), (5, 5, 3),
+        (3, 2, 2), (1, 1, 1), (4, 2, 3),
+    ])
+    def test_strict_spectrum(self, rf, r, w):
+        policy = QuorumPolicy(rf, r, w)
+        assert policy.is_strict and not policy.is_sloppy
+
+    @pytest.mark.parametrize("rf,r,w", [
+        (5, 1, 1), (5, 2, 1), (5, 1, 4), (5, 2, 2), (4, 2, 2),
+    ])
+    def test_sloppy_spectrum(self, rf, r, w):
+        policy = QuorumPolicy(rf, r, w, allow_sloppy=True)
+        assert policy.is_sloppy
+
+
+class TestParse:
+    def test_round_trip(self):
+        policy = QuorumPolicy.parse("5:3:3")
+        assert (policy.rf, policy.r, policy.w) == (5, 3, 3)
+
+    def test_kwargs_pass_through(self):
+        policy = QuorumPolicy.parse(
+            "5:1:1", allow_sloppy=True, hinted_handoff=False
+        )
+        assert policy.is_sloppy and not policy.hinted_handoff
+
+    @pytest.mark.parametrize("text", ["5:3", "5:3:3:3", "a:b:c", "5:3.0:3"])
+    def test_malformed_rejected(self, text):
+        with pytest.raises(QuorumPolicyError):
+            QuorumPolicy.parse(text)
+
+    def test_describe(self):
+        assert QuorumPolicy(5, 3, 3).describe() == "5:3:3 (strict)"
+        sloppy = QuorumPolicy(5, 2, 1, allow_sloppy=True)
+        assert sloppy.describe() == "5:2:1 (sloppy)"
+
+
+class TestSpecEquivalence:
+    def test_strict_policy_maps_to_safe_spec(self):
+        spec = QuorumPolicy(5, 2, 4).to_spec()
+        # R distinct voters of RF unit weights: exactly r votes gather
+        # strictly more than the r - 0.5 threshold, r - 1 do not.
+        assert spec.read_available([0, 1])
+        assert not spec.read_available([0])
+        assert spec.write_available([0, 1, 2, 3])
+        assert not spec.write_available([0, 1, 2])
+
+    def test_sloppy_policy_has_no_spec(self):
+        sloppy = QuorumPolicy(5, 1, 1, allow_sloppy=True)
+        with pytest.raises(QuorumPolicyError):
+            sloppy.to_spec()
+
+
+class TestProtocolIntegration:
+    def test_rf_must_match_group_size(self):
+        with pytest.raises(ValueError):
+            make_policy_group(QuorumPolicy(5, 3, 3), n=3)
+
+    def test_witnesses_rejected(self):
+        sites = [
+            Site(i, NUM_BLOCKS, BLOCK_SIZE, is_witness=(i == 2))
+            for i in range(3)
+        ]
+        with pytest.raises(ValueError):
+            VotingProtocol(sites, Network(), policy=QuorumPolicy(3, 2, 2))
+
+    def test_dynamic_membership_rejected(self):
+        protocol, _ = make_policy_group(QuorumPolicy(3, 2, 2))
+        with pytest.raises(MembershipError):
+            protocol.install_view(View.majority(0, range(3)))
+
+    def test_strict_policy_keeps_read_latest_write(self):
+        protocol, _ = make_policy_group(QuorumPolicy(5, 2, 4))
+        protocol.write(0, 3, fill(7))
+        protocol.on_site_failed(4)
+        assert protocol.read(1, 3) == fill(7)
+
+    def test_read_one_serves_locally_with_zero_messages(self):
+        protocol, meter = make_policy_group(QuorumPolicy(5, 1, 5))
+        protocol.write(0, 2, fill(9))
+        before = meter.total
+        assert protocol.read(3, 2) == fill(9)
+        assert meter.total == before
+
+    def test_write_all_fails_with_one_site_down(self):
+        protocol, _ = make_policy_group(QuorumPolicy(3, 1, 3))
+        protocol.on_site_failed(2)
+        with pytest.raises(QuorumNotReachedError):
+            protocol.write(0, 0, fill(1))
+
+    def test_sloppy_write_survives_minority(self):
+        policy = QuorumPolicy(3, 1, 1, allow_sloppy=True)
+        protocol, _ = make_policy_group(policy)
+        protocol.on_site_failed(1)
+        protocol.on_site_failed(2)
+        assert protocol.is_available()
+        protocol.write(0, 0, fill(5))
+        assert protocol.read(0, 0) == fill(5)
+
+    def test_availability_tracks_r_threshold(self):
+        policy = QuorumPolicy(3, 2, 2, allow_sloppy=False)
+        protocol, _ = make_policy_group(policy)
+        protocol.on_site_failed(0)
+        assert protocol.is_available()
+        protocol.on_site_failed(1)
+        assert not protocol.is_available()
+
+
+class TestHintedHandoff:
+    def test_missed_write_parked_and_replayed(self):
+        policy = QuorumPolicy(3, 1, 1, allow_sloppy=True)
+        protocol, _ = make_policy_group(policy)
+        protocol.on_site_failed(2)
+        protocol.write(0, 4, fill(8))
+        assert protocol.hints_parked == 1
+        # The down site holds nothing yet.
+        assert protocol.site(2).block_version(4) == 0
+        protocol.on_site_repaired(2)
+        assert protocol.hints_replayed == 1
+        assert protocol.site(2).block_version(4) == 1
+        protocol.on_site_failed(0)
+        protocol.on_site_failed(1)
+        assert protocol.read(2, 4) == fill(8)
+
+    def test_hint_messages_are_priced(self):
+        policy = QuorumPolicy(3, 1, 1, allow_sloppy=True)
+        protocol, meter = make_policy_group(policy)
+        protocol.on_site_failed(2)
+        protocol.write(1, 4, fill(8))
+        parked = meter.category_count(MessageCategory.HINT)
+        assert meter.category_bytes(MessageCategory.HINT) > 0
+        protocol.on_site_repaired(2)
+        assert meter.category_count(MessageCategory.HINT) > parked
+
+    def test_stale_hint_does_not_clobber_newer_write(self):
+        policy = QuorumPolicy(3, 1, 1, allow_sloppy=True)
+        protocol, _ = make_policy_group(policy)
+        protocol.on_site_failed(2)
+        protocol.write(0, 4, fill(8))   # hint parked at version 1
+        protocol.on_site_repaired(2)
+        # Replay already happened; repeat with a newer version in place.
+        protocol.on_site_failed(2)
+        protocol.write(0, 4, fill(9))   # parks version 2
+        protocol.site(2).write_block(4, fill(3), 5)  # storage survives
+        protocol.on_site_repaired(2)
+        assert protocol.site(2).block_version(4) == 5
+
+    def test_ablation_flag_disables_parking(self):
+        policy = QuorumPolicy(
+            3, 1, 1, allow_sloppy=True, hinted_handoff=False
+        )
+        protocol, _ = make_policy_group(policy)
+        protocol.on_site_failed(2)
+        protocol.write(0, 4, fill(8))
+        assert protocol.hints_parked == 0
+        protocol.on_site_repaired(2)
+        assert protocol.hints_replayed == 0
+        assert protocol.site(2).block_version(4) == 0
+
+
+class TestReadRepair:
+    def _diverged_group(self, read_repair=True):
+        policy = QuorumPolicy(
+            3, 2, 1, allow_sloppy=True,
+            hinted_handoff=False, read_repair=read_repair,
+        )
+        protocol, meter = make_policy_group(policy)
+        protocol.write(0, 6, fill(1))          # all sites at version 1
+        protocol.on_site_failed(2)
+        protocol.write(0, 6, fill(2))          # site 2 misses version 2
+        protocol.site(2).set_state(SiteState.AVAILABLE)
+        return protocol, meter
+
+    def test_read_pushes_newest_to_stale_voter(self):
+        protocol, meter = self._diverged_group()
+        assert protocol.site(2).block_version(6) == 1
+        assert protocol.read(0, 6) == fill(2)
+        assert protocol.read_repairs >= 1
+        assert protocol.site(2).block_version(6) == 2
+        assert meter.category_count(MessageCategory.READ_REPAIR) >= 1
+
+    def test_ablation_flag_disables_push(self):
+        protocol, meter = self._diverged_group(read_repair=False)
+        assert protocol.read(0, 6) == fill(2)
+        assert protocol.read_repairs == 0
+        assert protocol.site(2).block_version(6) == 1
+        assert meter.category_count(MessageCategory.READ_REPAIR) == 0

@@ -83,6 +83,16 @@ class TestQueries:
         assert not spec.meets_read(2.5)
         assert spec.meets_read(3.0)
 
+    def test_gathered_weight_counts_duplicates_once(self):
+        # Regression: a replayed reply (or a buggy caller) listing the
+        # same site twice must not double-count its weight into a
+        # quorum.  Site 0 alone in a 5-group has weight 1 < 2.5.
+        spec = QuorumSpec.majority(5)
+        assert spec.gathered_weight([0, 0, 0]) == pytest.approx(1.0)
+        assert not spec.read_available([0, 0, 0])
+        assert not spec.write_available([1, 1, 2, 2])
+        assert spec.read_available([0, 0, 1, 2])  # 3 distinct sites
+
 
 class TestIntersectionProperty:
     """Any read quorum must intersect any write quorum (exhaustively)."""

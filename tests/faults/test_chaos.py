@@ -4,6 +4,7 @@ import pytest
 
 from repro.cli import main
 from repro.device.reliable import RetryPolicy
+from repro.core import QuorumPolicy
 from repro.faults import ChaosConfig, run_chaos
 from repro.types import SchemeName
 
@@ -169,3 +170,111 @@ class TestChaosCli:
         captured = capsys.readouterr().out
         assert f"chaos[{SchemeName.VOTING.value}, seed=1]" in captured
         assert "write_ok" in captured  # verbose history counts
+
+
+class TestQuorumPolicies:
+    """Chaos under an (RF, R, W) policy: strict stays clean, sloppy is
+    witnessed, and the mitigations measurably shrink the staleness."""
+
+    def _run(self, policy, scheme=SchemeName.VOTING, **overrides):
+        config = ChaosConfig(
+            scheme=scheme,
+            seed=7,
+            num_sites=policy.rf,
+            operations=300,
+            scrub_every=0,
+            policy=policy,
+            **overrides,
+        )
+        return run_chaos(config)
+
+    @pytest.mark.parametrize("spec", ["5:1:5", "5:2:4", "5:3:3"])
+    def test_strict_policies_stay_violation_free(self, spec):
+        result = self._run(QuorumPolicy.parse(spec))
+        assert result.ok
+        assert result.violations == []
+        assert result.staleness_witnesses == []
+        assert result.policy.endswith("(strict)")
+
+    def test_sloppy_policy_witnesses_but_never_violates(self):
+        policy = QuorumPolicy(5, 1, 1, allow_sloppy=True)
+        result = self._run(policy)
+        assert result.ok
+        assert result.violations == []
+        assert result.policy == "5:1:1 (sloppy)"
+        assert result.hints_parked > 0
+        assert result.hints_replayed > 0
+        for witness in result.staleness_witnesses:
+            assert witness.observed_version < witness.latest_version
+
+    def test_hinted_handoff_reduces_staleness(self):
+        on = self._run(QuorumPolicy(5, 1, 1, allow_sloppy=True))
+        off = self._run(QuorumPolicy(
+            5, 1, 1, allow_sloppy=True, hinted_handoff=False
+        ))
+        assert off.hints_parked == 0
+        assert (len(on.staleness_witnesses)
+                < len(off.staleness_witnesses))
+
+    def test_policy_summary_line(self):
+        result = self._run(QuorumPolicy(5, 1, 1, allow_sloppy=True))
+        summary = result.summary()
+        assert "policy 5:1:1 (sloppy)" in summary
+        assert "stale reads" in summary
+        assert "hints parked" in summary
+
+    def test_available_copy_policy_gates_availability(self):
+        for scheme in (SchemeName.AVAILABLE_COPY, SchemeName.NAIVE_AVAILABLE_COPY):
+            result = self._run(QuorumPolicy(5, 3, 3), scheme=scheme)
+            assert result.ok
+
+    def test_policy_rf_must_match_group(self):
+        config = ChaosConfig(
+            scheme=SchemeName.VOTING,
+            num_sites=3,
+            policy=QuorumPolicy(5, 3, 3),
+        )
+        with pytest.raises(ValueError):
+            run_chaos(config)
+
+    def test_bytes_total_accounts_mitigation_traffic(self):
+        result = self._run(QuorumPolicy(5, 1, 1, allow_sloppy=True))
+        assert result.bytes_total > 0
+
+    def test_policy_runs_are_seed_deterministic(self):
+        policy = QuorumPolicy(5, 2, 1, allow_sloppy=True)
+        a = self._run(policy)
+        b = self._run(policy)
+        assert a.history == b.history
+        assert len(a.staleness_witnesses) == len(b.staleness_witnesses)
+        assert a.hints_parked == b.hints_parked
+
+
+class TestPolicyCli:
+    def test_policy_flag_smoke(self, capsys):
+        code = main([
+            "chaos", "--scheme", "mcv", "--policy", "5:3:3",
+            "--seed", "7", "--operations", "150",
+        ])
+        assert code == 0
+        captured = capsys.readouterr().out
+        assert "policy 5:3:3 (strict)" in captured
+
+    def test_sloppy_policy_flag_and_ablations(self, capsys):
+        code = main([
+            "chaos", "--scheme", "mcv", "--policy", "5:1:1",
+            "--no-hinted-handoff", "--no-read-repair",
+            "--seed", "7", "--operations", "150",
+        ])
+        assert code == 0
+        captured = capsys.readouterr().out
+        assert "policy 5:1:1 (sloppy)" in captured
+        assert "0 hints parked" in captured
+
+    def test_bad_policy_string_exits_2(self, capsys):
+        assert main(["chaos", "--policy", "nope"]) == 2
+        assert "RF:R:W" in capsys.readouterr().err
+
+    def test_ablation_flags_require_policy(self, capsys):
+        assert main(["chaos", "--no-read-repair"]) == 2
+        assert "--policy" in capsys.readouterr().err

@@ -1,6 +1,10 @@
 """Admissible-set semantics of the history consistency checker."""
 
-from repro.faults import HistoryRecorder, check_history
+from repro.faults import (
+    HistoryRecorder,
+    check_history,
+    check_history_sloppy,
+)
 from repro.faults.checker import Event
 
 B = 0  # the block every test exercises
@@ -163,3 +167,70 @@ def test_torn_batch_blocks_are_individually_admissible():
     rec.write_ok(0, VALUE_C, 3)
     rec.read_ok(0, VALUE_B)
     assert len(rec.check()) == 1
+
+
+# -- sloppy-policy checking: witnesses, not violations ----------------------
+
+
+def test_sloppy_stale_read_is_a_witness_not_a_violation():
+    rec = HistoryRecorder()
+    rec.write_ok(B, VALUE_A, 1)
+    rec.write_ok(B, VALUE_B, 2)
+    rec.read_ok(B, VALUE_A)  # stale but once-committed
+    violations, witnesses = check_history_sloppy(rec.events)
+    assert violations == []
+    assert len(witnesses) == 1
+    witness = witnesses[0]
+    assert witness.block == B
+    assert witness.observed == VALUE_A
+    assert witness.observed_version == 1
+    assert witness.latest_version == 2
+    assert witness.lag == 1
+    assert "v1" in str(witness) and "v2" in str(witness)
+
+
+def test_sloppy_unexplained_read_stays_a_violation():
+    rec = HistoryRecorder()
+    rec.write_ok(B, VALUE_A, 1)
+    rec.read_ok(B, VALUE_C)  # never written at all
+    violations, witnesses = check_history_sloppy(rec.events)
+    assert len(violations) == 1
+    assert witnesses == []
+
+
+def test_sloppy_zero_read_after_writes_is_a_witness():
+    # A replica that never saw any write still serves zeroes; under a
+    # sloppy policy that is staleness (lag back to v0), not corruption.
+    rec = HistoryRecorder()
+    rec.write_ok(B, VALUE_A, 1)
+    rec.read_ok(B, bytes(len(VALUE_A)))
+    violations, witnesses = check_history_sloppy(rec.events)
+    assert violations == []
+    assert len(witnesses) == 1
+    assert witnesses[0].observed_version == 0
+
+
+def test_sloppy_superseded_torn_value_is_a_witness():
+    rec = HistoryRecorder()
+    rec.torn_write(B, VALUE_A, 1)
+    rec.write_ok(B, VALUE_B, 2)
+    rec.read_ok(B, VALUE_A)  # torn v1 retired by committed v2
+    violations, witnesses = check_history_sloppy(rec.events)
+    assert violations == []
+    assert len(witnesses) == 1
+    assert witnesses[0].observed_version == 1
+
+
+def test_sloppy_clean_history_yields_nothing():
+    rec = HistoryRecorder()
+    rec.write_ok(B, VALUE_A, 1)
+    rec.read_ok(B, VALUE_A)
+    assert check_history_sloppy(rec.events) == ([], [])
+
+
+def test_strict_checker_unchanged_by_sloppy_companion():
+    rec = HistoryRecorder()
+    rec.write_ok(B, VALUE_A, 1)
+    rec.write_ok(B, VALUE_B, 2)
+    rec.read_ok(B, VALUE_A)
+    assert len(check_history(rec.events)) == 1

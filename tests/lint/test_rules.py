@@ -410,3 +410,22 @@ def test_rl008_still_flags_mutation_after_construction(tmp_path):
         """,
     })
     assert codes == ["RL008"]
+
+
+def test_rl003_flags_unpriced_hint_and_read_repair(tmp_path):
+    # Regression for the policy-mitigation categories: forgetting to
+    # price HINT or READ_REPAIR in the size model must fail the lint,
+    # or Section 5 byte accounting silently undercounts the sloppy
+    # policies' mitigation traffic.
+    codes = lint_tree(tmp_path, {
+        "net/message.py": """\
+            import enum
+
+            class MessageCategory(enum.Enum):
+                VOTE_REQUEST = "vote-request"
+                HINT = "hint"
+                READ_REPAIR = "read-repair"
+        """,
+        "net/sizes.py": _SIZES_PRICING_ONE,
+    })
+    assert codes == ["RL003", "RL003"]

@@ -164,3 +164,24 @@ def test_batch_with_unknown_payload_counts_header_only():
     assert sizes.bytes_for(
         msg(MessageCategory.BATCH_VOTE_REQUEST, None)
     ) == 32 + 0
+
+
+def test_hint_carries_vote_and_block():
+    # A hint is (owner, block, data, version): header + owner tag
+    # (vote-sized) + version entry + the block payload.
+    sizes = SizeModel()
+    assert sizes.bytes_for(msg(MessageCategory.HINT)) == 32 + 8 + 8 + 512
+
+
+def test_read_repair_carries_a_block():
+    # (block, data, version): header + version entry + block payload.
+    sizes = SizeModel()
+    assert sizes.bytes_for(
+        msg(MessageCategory.READ_REPAIR)
+    ) == 32 + 8 + 512
+
+
+def test_every_category_is_priced():
+    sizes = SizeModel()
+    for category in MessageCategory:
+        assert sizes.bytes_for(msg(category)) >= 32, category

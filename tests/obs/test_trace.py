@@ -165,3 +165,49 @@ class TestNullTracer:
         a = NULL_TRACER.span("a", layer="x")
         b = NULL_TRACER.span("b", layer="y")
         assert a is b
+
+
+class TestSpanPooling:
+    def test_exited_handle_is_reused(self):
+        tracer = Tracer()
+        with tracer.span("first", layer="device") as first:
+            pass
+        with tracer.span("second", layer="device") as second:
+            assert second is first  # pooled handle, fresh record
+        records = tracer.spans()
+        assert [r.name for r in records] == ["first", "second"]
+        assert all(r.ok for r in records)
+
+    def test_nested_spans_use_distinct_handles(self):
+        tracer = Tracer()
+        with tracer.span("outer", layer="device") as outer:
+            with tracer.span("inner", layer="protocol") as inner:
+                assert inner is not outer
+                inner.set(depth=1)
+            outer.set(depth=0)
+        outer_rec, inner_rec = tracer.spans()
+        assert outer_rec.attrs == {"depth": 0}
+        assert inner_rec.attrs == {"depth": 1}
+        assert inner_rec.end <= outer_rec.end
+
+    def test_error_outcome_survives_pooling(self):
+        tracer = Tracer()
+        with pytest.raises(RuntimeError):
+            with tracer.span("boom", layer="device"):
+                raise RuntimeError("x")
+        with tracer.span("fine", layer="device"):
+            pass
+        boom, fine = tracer.spans()
+        assert boom.outcome == "error:RuntimeError"
+        assert fine.ok
+
+    def test_pooled_export_is_valid_json_lines(self):
+        tracer = Tracer()
+        for i in range(5):
+            with tracer.span("op", layer="device", i=i):
+                pass
+        buf = io.StringIO()
+        assert tracer.export(buf) == 5
+        records = load_trace(buf.getvalue().splitlines())
+        assert [r["attrs"]["i"] for r in records] == list(range(5))
+        assert [r["span"] for r in records] == list(range(5))
