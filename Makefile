@@ -4,7 +4,7 @@ PYTHON ?= python3
 
 .PHONY: install test coverage bench bench-json bench-parallel \
 	bench-membership bench-kernel bench-policies metrics examples \
-	experiments lint clean
+	experiments lint profile clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -52,6 +52,12 @@ bench-policies:
 bench-kernel:
 	PYTHONPATH=src $(PYTHON) -m pytest -q tests/sim/test_kernel_equivalence.py
 	PYTHONPATH=src $(PYTHON) benchmarks/bench_kernel.py
+
+# cProfile over the protocol bench workload (tracing off), top 25
+# functions by cumulative time.  The first stop for any hot-path
+# investigation; no trajectory record is written.
+profile:
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_kernel.py --profile
 
 # Smoke test of the observability layer: a short traced workload whose
 # JSON-lines trace is schema-validated on re-read (the CLI exits

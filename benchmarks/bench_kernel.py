@@ -32,6 +32,7 @@ from __future__ import annotations
 
 import argparse
 import datetime
+import gc
 import json
 import platform
 import sys
@@ -144,12 +145,45 @@ def bench_protocol(operations: int, traced: bool) -> dict:
     }
 
 
+def profile_protocol(operations: int) -> int:
+    """Run the protocol workload under cProfile; print top-25 cumulative.
+
+    The dump is the starting point for any hot-path investigation: the
+    protocol steady-state loops, the network fan-out, and the device
+    layer all appear in the first screen, so a frame that should have
+    been inlined away shows up immediately.
+    """
+    import cProfile
+    import pstats
+
+    profiler = cProfile.Profile()
+    profiler.enable()
+    result = bench_protocol(operations, traced=False)
+    profiler.disable()
+    print(
+        f"protocol workload: {result['operations']} operations in "
+        f"{result['seconds']}s ({result['events_per_sec']:,} events/sec "
+        f"under the profiler)"
+    )
+    stats = pstats.Stats(profiler)
+    stats.sort_stats("cumulative").print_stats(25)
+    return 0
+
+
 # -- trajectory bookkeeping ---------------------------------------------------
 
 def _best_of(repeats: int, run, *args) -> dict:
-    """Fastest of ``repeats`` identical runs (each on the same seed)."""
+    """Fastest of ``repeats`` identical runs (each on the same seed).
+
+    A full collection runs before each repeat so one repeat's garbage
+    (the previous cluster, a traced run's span records) is not paid for
+    by the next one's timed region; the collector still runs normally
+    *inside* each repeat, so the measured rate includes the GC cost of
+    the run's own allocations.
+    """
     best = None
     for _ in range(repeats):
+        gc.collect()
         result = run(*args)
         if best is None or result["events_per_sec"] > best["events_per_sec"]:
             best = result
@@ -244,7 +278,24 @@ def main(argv=None) -> int:
         "--smoke", action="store_true",
         help="tiny sizes + schema assertion (the CI step)",
     )
+    parser.add_argument(
+        "--assert-overhead", type=float, default=None, metavar="PCT",
+        help=(
+            "exit non-zero if the tracing-on overhead percentage "
+            "exceeds this ceiling (a span-construction regression gate)"
+        ),
+    )
+    parser.add_argument(
+        "--profile", action="store_true",
+        help=(
+            "run the protocol workload once under cProfile, print the "
+            "top 25 functions by cumulative time, and exit (no record)"
+        ),
+    )
     args = parser.parse_args(argv)
+
+    if args.profile:
+        return profile_protocol(args.protocol_ops)
 
     if args.smoke:
         args.scheduler_events = 2_000
@@ -283,6 +334,15 @@ def main(argv=None) -> int:
     if problems:
         print("SCHEMA PROBLEMS: " + "; ".join(problems))
         return 1
+    if args.assert_overhead is not None:
+        overhead = record["tracing_on_overhead_pct"]
+        if overhead > args.assert_overhead:
+            print(
+                f"OVERHEAD REGRESSION: tracing-on overhead {overhead}% "
+                f"exceeds the committed ceiling "
+                f"{args.assert_overhead}%"
+            )
+            return 1
     return 0
 
 

@@ -7,9 +7,12 @@ wall-clock measurement to the persistent bench trajectory
 ``BENCH_parallel.json`` at the repository root, so speedups are tracked
 across machines and commits (``make bench-json`` keeps appending).
 
-The >= 2x speedup assertion only applies on hosts with at least 4 CPUs;
-single-core machines still run the pool path and record the (honest,
-below-1x) ratio together with their ``cpu_count``.
+The >= 2x speedup assertion only applies on hosts with at least 4 CPUs,
+and no speedup is asserted at all when the host has fewer CPUs than the
+sweep uses jobs -- the pool cannot actually run concurrently there, so
+the ratio measures process-pool overhead, not the engine.  Such records
+carry ``degraded_single_cpu: true`` so they cannot be mistaken for
+parallel-scaling evidence (see EXPERIMENTS.md).
 """
 
 import datetime
@@ -94,6 +97,11 @@ def test_parallel_sweep_speedup(benchmark):
         "parallel_seconds": round(parallel_seconds, 4),
         "speedup": round(speedup, 3),
         "identical_aggregates": identical,
+        # One worker per job needs one CPU: with fewer cores than jobs
+        # the pool path only adds IPC overhead, so the recorded
+        # "speedup" measures degradation, not the engine.  The flag
+        # keeps such records from reading as parallel-scaling evidence.
+        "degraded_single_cpu": cpu_count < jobs,
     }
     _append_record(record)
     print()
@@ -104,6 +112,11 @@ def test_parallel_sweep_speedup(benchmark):
         f"{TRAJECTORY.name}"
     )
 
+    if cpu_count < jobs:
+        # Refuse to assert anything about speedup: the host cannot run
+        # the workers concurrently, so the ratio is meaningless (see
+        # the degraded_single_cpu flag and the EXPERIMENTS.md caveat).
+        return
     if cpu_count >= 4:
         assert speedup >= 2.0, (
             f"expected >= 2x on {cpu_count} CPUs, got {speedup:.2f}x"

@@ -48,6 +48,7 @@ from ..errors import (
 )
 from ..net.message import MessageCategory
 from ..net.network import NO_REPLY, Network
+from ..obs.trace import _NULL_SPAN
 from ..types import BlockIndex, SchemeName, SiteId, SiteState
 from .policy import QuorumPolicy
 from .protocol import ReplicationProtocol
@@ -114,8 +115,11 @@ class AvailableCopyBase(ReplicationProtocol):
             )
         if self.policy is not None:
             self._policy_gate(self.policy.r)
-        with self.meter.record("read"), \
-                self._span("read", origin=origin, block=block):
+        span = (
+            self._span("read", origin=origin, block=block)
+            if self._network._tracer.enabled else _NULL_SPAN
+        )
+        with self._record_read, span:
             try:
                 return site.read_block(block)
             except CorruptBlockError:
@@ -150,8 +154,11 @@ class AvailableCopyBase(ReplicationProtocol):
             )
         if self.policy is not None:
             self._policy_gate(self.policy.r)
-        with self.meter.record("batch_read"), \
-                self._span("read_batch", origin=origin, batch=len(ordered)):
+        span = (
+            self._span("read_batch", origin=origin, batch=len(ordered))
+            if self._network._tracer.enabled else _NULL_SPAN
+        )
+        with self._record_batch_read, span:
             out: Dict[BlockIndex, bytes] = {}
             for block in ordered:
                 try:
@@ -390,15 +397,20 @@ class AvailableCopyProtocol(AvailableCopyBase):
         site = self._require_available_origin(origin)
         if self.policy is not None:
             self._policy_gate(self.policy.w)
-        with self.meter.record("write"), \
-                self._span("write", origin=origin, block=block):
+        network = self._network
+        span = (
+            self._span("write", origin=origin, block=block)
+            if network._tracer.enabled else _NULL_SPAN
+        )
+        with self._record_write, span:
             recipients = {s.site_id for s in self.available_sites()}
             new_version = site.block_version(block) + 1
             epoch_tag = self.current_epoch()
+            blob = bytes(data)
             fenced: List[SiteId] = []
 
             def apply(node, payload):
-                index, blob, version, was_available = payload
+                index, body, version, was_available = payload
                 if node.state is not SiteState.AVAILABLE:
                     return NO_REPLY
                 if self._epoch_rejects(node, epoch_tag):
@@ -407,41 +419,57 @@ class AvailableCopyProtocol(AvailableCopyBase):
                     # against a membership that no longer holds.
                     fenced.append(node.site_id)
                     return NO_REPLY
-                node.write_block(index, blob, version)
+                node.write_block(index, body, version)
                 node.set_was_available(was_available)
                 return True
 
             # The write is broadcast; the recipient set rides along (the
             # paper's atomic-broadcast assumption, relaxable by delaying
-            # the information one write without extra messages).
-            replies = self.network.broadcast_query(
-                src=origin,
-                request=MessageCategory.WRITE_UPDATE,
-                reply=MessageCategory.WRITE_ACK,
-                handler=apply,
-                payload=(block, bytes(data), new_version, recipients),
-            )
-            if site.state is not SiteState.AVAILABLE:
-                # Crashed mid-fan-out (fault injection): a torn group
-                # write -- some available copies applied it, the local
-                # one never will.  Repair supersedes the survivors'
-                # higher-versioned copies when the origin rejoins.
-                if self.recorder is not None:
-                    self.recorder.torn_write(block, bytes(data), new_version)
-                raise SiteDownError(origin, "failed during the write fan-out")
-            # "Write to all available copies" demands every recipient
-            # actually take the update; a still-available site whose
-            # acknowledgement is missing (transient message loss) can no
-            # longer be assumed current and is fenced out of the group.
-            # Partitioned-away sites are exempt: nothing can be proven
-            # about them, which is exactly why available-copy schemes
-            # are unsafe under partitions (Section 6).
-            for silent in sorted(recipients - {origin} - set(replies)):
-                if silent in fenced:
-                    continue
-                if (self.site(silent).state is SiteState.AVAILABLE
-                        and self.network.can_communicate(origin, silent)):
-                    self.fence(silent)
+            # the information one write without extra messages).  Acks
+            # gather into a pooled round (WRITE_ACK is fixed-size, so
+            # untraced runs meter the replies as one batch).
+            rnd = self._borrow_round()
+            try:
+                network.broadcast_round(
+                    origin,
+                    MessageCategory.WRITE_UPDATE,
+                    MessageCategory.WRITE_ACK,
+                    apply,
+                    (block, blob, new_version, recipients),
+                    rnd,
+                )
+                if site.state is not SiteState.AVAILABLE:
+                    # Crashed mid-fan-out (fault injection): a torn group
+                    # write -- some available copies applied it, the local
+                    # one never will.  Repair supersedes the survivors'
+                    # higher-versioned copies when the origin rejoins.
+                    if self.recorder is not None:
+                        self.recorder.torn_write(block, blob, new_version)
+                    raise SiteDownError(
+                        origin, "failed during the write fan-out"
+                    )
+                # "Write to all available copies" demands every recipient
+                # actually take the update; a still-available site whose
+                # acknowledgement is missing (transient message loss) can
+                # no longer be assumed current and is fenced out of the
+                # group.  Partitioned-away sites are exempt: nothing can
+                # be proven about them, which is exactly why
+                # available-copy schemes are unsafe under partitions
+                # (Section 6).  Ackers are marked in the round's up-mask
+                # so the sweep tests membership without building a set.
+                pos_of = self._pos_of
+                for acker in rnd.ids[:rnd.count]:
+                    rnd.mark(pos_of[acker])
+                for silent in sorted(recipients):
+                    if silent == origin or rnd.is_marked(pos_of[silent]):
+                        continue
+                    if silent in fenced:
+                        continue
+                    if (self.site(silent).state is SiteState.AVAILABLE
+                            and network.can_communicate(origin, silent)):
+                        self.fence(silent)
+            finally:
+                self._release_round(rnd)
             if fenced:
                 # An epoch-fenced recipient is healthy but refused the
                 # stale-tagged update; "write to all available copies"
@@ -449,12 +477,12 @@ class AvailableCopyProtocol(AvailableCopyBase):
                 # under the new epoch.
                 self.epoch_fences += len(fenced)
                 if self.recorder is not None:
-                    self.recorder.torn_write(block, bytes(data), new_version)
+                    self.recorder.torn_write(block, blob, new_version)
                 raise StaleEpochError(
                     f"write of block {block} tagged epoch {epoch_tag} "
                     f"was fenced by {sorted(set(fenced))}"
                 )
-            site.write_block(block, bytes(data), new_version)
+            site.write_block(block, blob, new_version)
             site.set_was_available(recipients)
             return new_version
 
@@ -476,8 +504,12 @@ class AvailableCopyProtocol(AvailableCopyBase):
         site = self._require_available_origin(origin)
         if self.policy is not None:
             self._policy_gate(self.policy.w)
-        with self.meter.record("batch_write"), \
-                self._span("write_batch", origin=origin, batch=len(blocks)):
+        network = self._network
+        span = (
+            self._span("write_batch", origin=origin, batch=len(blocks))
+            if network._tracer.enabled else _NULL_SPAN
+        )
+        with self._record_batch_write, span:
             recipients = {s.site_id for s in self.available_sites()}
             new_versions = {b: site.block_version(b) + 1 for b in blocks}
             batch = {
@@ -499,36 +531,46 @@ class AvailableCopyProtocol(AvailableCopyBase):
                 node.set_was_available(was_available)
                 return True
 
-            replies = self.network.broadcast_query(
-                src=origin,
-                request=MessageCategory.BATCH_WRITE_UPDATE,
-                reply=MessageCategory.BATCH_WRITE_ACK,
-                handler=apply,
-                payload=(batch, recipients),
-            )
-            if site.state is not SiteState.AVAILABLE:
-                # Crashed mid-fan-out: every block of the batch is torn
-                # the same way a single-block write would be.
-                if self.recorder is not None:
-                    for b in blocks:
-                        self.recorder.torn_write(
-                            b, bytes(updates[b]), new_versions[b]
-                        )
-                raise SiteDownError(
-                    origin, "failed during the batched write fan-out"
+            rnd = self._borrow_round()
+            try:
+                network.broadcast_round(
+                    origin,
+                    MessageCategory.BATCH_WRITE_UPDATE,
+                    MessageCategory.BATCH_WRITE_ACK,
+                    apply,
+                    (batch, recipients),
+                    rnd,
                 )
-            for silent in sorted(recipients - {origin} - set(replies)):
-                if silent in fenced:
-                    continue
-                if (self.site(silent).state is SiteState.AVAILABLE
-                        and self.network.can_communicate(origin, silent)):
-                    self.fence(silent)
+                if site.state is not SiteState.AVAILABLE:
+                    # Crashed mid-fan-out: every block of the batch is
+                    # torn the same way a single-block write would be.
+                    if self.recorder is not None:
+                        for b in blocks:
+                            self.recorder.torn_write(
+                                b, batch[b][0], new_versions[b]
+                            )
+                    raise SiteDownError(
+                        origin, "failed during the batched write fan-out"
+                    )
+                pos_of = self._pos_of
+                for acker in rnd.ids[:rnd.count]:
+                    rnd.mark(pos_of[acker])
+                for silent in sorted(recipients):
+                    if silent == origin or rnd.is_marked(pos_of[silent]):
+                        continue
+                    if silent in fenced:
+                        continue
+                    if (self.site(silent).state is SiteState.AVAILABLE
+                            and network.can_communicate(origin, silent)):
+                        self.fence(silent)
+            finally:
+                self._release_round(rnd)
             if fenced:
                 self.epoch_fences += len(fenced)
                 if self.recorder is not None:
                     for b in blocks:
                         self.recorder.torn_write(
-                            b, bytes(updates[b]), new_versions[b]
+                            b, batch[b][0], new_versions[b]
                         )
                 raise StaleEpochError(
                     f"batched write of {len(blocks)} blocks tagged "
@@ -536,7 +578,7 @@ class AvailableCopyProtocol(AvailableCopyBase):
                     f"{sorted(set(fenced))}"
                 )
             for b in blocks:
-                site.write_block(b, bytes(updates[b]), new_versions[b])
+                site.write_block(b, batch[b][0], new_versions[b])
             site.set_was_available(recipients)
             return new_versions
 

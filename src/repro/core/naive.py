@@ -28,6 +28,7 @@ if TYPE_CHECKING:
 from ..errors import SiteDownError, StaleEpochError
 from ..net.message import MessageCategory
 from ..net.network import Network
+from ..obs.trace import _NULL_SPAN
 from ..types import BlockIndex, SchemeName, SiteId, SiteState
 from .available_copy import AvailableCopyBase
 from .policy import QuorumPolicy
@@ -71,51 +72,66 @@ class NaiveAvailableCopyProtocol(AvailableCopyBase):
         site = self._require_available_origin(origin)
         if self.policy is not None:
             self._policy_gate(self.policy.w)
-        with self.meter.record("write"), \
-                self._span("write", origin=origin, block=block):
+        network = self._network
+        span = (
+            self._span("write", origin=origin, block=block)
+            if network._tracer.enabled else _NULL_SPAN
+        )
+        with self._record_write, span:
             new_version = site.block_version(block) + 1
             epoch_tag = self.current_epoch()
+            blob = bytes(data)
             fenced: List[SiteId] = []
 
             def apply(node, payload):
-                index, blob, version = payload
+                index, body, version = payload
                 if node.state is not SiteState.AVAILABLE:
                     return
                 if self._epoch_rejects(node, epoch_tag):
                     fenced.append(node.site_id)
                     return
-                node.write_block(index, blob, version)
+                node.write_block(index, body, version)
 
-            delivered = self.network.broadcast_oneway(
+            delivered = network.broadcast_oneway(
                 src=origin,
                 category=MessageCategory.WRITE_UPDATE,
                 handler=apply,
-                payload=(block, bytes(data), new_version),
+                payload=(block, blob, new_version),
             )
             if site.state is SiteState.FAILED:
                 # Crashed mid-fan-out (fault injection): a torn write.
                 if self.recorder is not None:
-                    self.recorder.torn_write(block, bytes(data), new_version)
+                    self.recorder.torn_write(block, blob, new_version)
                 raise SiteDownError(origin, "failed during the write fan-out")
-            for peer in self.available_sites():
-                if (peer.site_id != origin
-                        and peer.site_id not in delivered
-                        and peer.site_id not in fenced
-                        and self.network.can_communicate(
-                            origin, peer.site_id)):
-                    self.fence(peer.site_id)
+            # Delivery receipts go into a pooled round's up-mask so the
+            # fencing sweep tests membership by position instead of
+            # scanning the receipt list per peer.
+            rnd = self._borrow_round()
+            try:
+                pos_of = self._pos_of
+                for recipient in delivered:
+                    rnd.mark(pos_of[recipient])
+                for peer in self.available_sites():
+                    pid = peer.site_id
+                    if (pid != origin
+                            and not rnd.is_marked(pos_of[pid])
+                            and pid not in fenced
+                            and network.can_communicate(origin, pid)):
+                        self.fence(pid)
+            finally:
+                self._release_round(rnd)
             if fenced:
                 # Epoch-fenced recipients refused the stale-tagged
                 # update; the write is torn and must retry under the
                 # new epoch rather than leave an available copy stale.
                 self.epoch_fences += len(fenced)
                 if self.recorder is not None:
-                    self.recorder.torn_write(block, bytes(data), new_version)
+                    self.recorder.torn_write(block, blob, new_version)
                 raise StaleEpochError(
                     f"write of block {block} tagged epoch {epoch_tag} "
                     f"was fenced by {sorted(set(fenced))}"
                 )
-            site.write_block(block, bytes(data), new_version)
+            site.write_block(block, blob, new_version)
             return new_version
 
     def write_batch(
@@ -134,8 +150,12 @@ class NaiveAvailableCopyProtocol(AvailableCopyBase):
         site = self._require_available_origin(origin)
         if self.policy is not None:
             self._policy_gate(self.policy.w)
-        with self.meter.record("batch_write"), \
-                self._span("write_batch", origin=origin, batch=len(blocks)):
+        network = self._network
+        span = (
+            self._span("write_batch", origin=origin, batch=len(blocks))
+            if network._tracer.enabled else _NULL_SPAN
+        )
+        with self._record_batch_write, span:
             new_versions = {b: site.block_version(b) + 1 for b in blocks}
             batch = {
                 b: (bytes(updates[b]), new_versions[b]) for b in blocks
@@ -153,7 +173,7 @@ class NaiveAvailableCopyProtocol(AvailableCopyBase):
                     blob, version = payload[index]
                     node.write_block(index, blob, version)
 
-            delivered = self.network.broadcast_oneway(
+            delivered = network.broadcast_oneway(
                 src=origin,
                 category=MessageCategory.BATCH_WRITE_UPDATE,
                 handler=apply,
@@ -164,24 +184,31 @@ class NaiveAvailableCopyProtocol(AvailableCopyBase):
                 if self.recorder is not None:
                     for b in blocks:
                         self.recorder.torn_write(
-                            b, bytes(updates[b]), new_versions[b]
+                            b, batch[b][0], new_versions[b]
                         )
                 raise SiteDownError(
                     origin, "failed during the batched write fan-out"
                 )
-            for peer in self.available_sites():
-                if (peer.site_id != origin
-                        and peer.site_id not in delivered
-                        and peer.site_id not in fenced
-                        and self.network.can_communicate(
-                            origin, peer.site_id)):
-                    self.fence(peer.site_id)
+            rnd = self._borrow_round()
+            try:
+                pos_of = self._pos_of
+                for recipient in delivered:
+                    rnd.mark(pos_of[recipient])
+                for peer in self.available_sites():
+                    pid = peer.site_id
+                    if (pid != origin
+                            and not rnd.is_marked(pos_of[pid])
+                            and pid not in fenced
+                            and network.can_communicate(origin, pid)):
+                        self.fence(pid)
+            finally:
+                self._release_round(rnd)
             if fenced:
                 self.epoch_fences += len(fenced)
                 if self.recorder is not None:
                     for b in blocks:
                         self.recorder.torn_write(
-                            b, bytes(updates[b]), new_versions[b]
+                            b, batch[b][0], new_versions[b]
                         )
                 raise StaleEpochError(
                     f"batched write of {len(blocks)} blocks tagged "
@@ -189,7 +216,7 @@ class NaiveAvailableCopyProtocol(AvailableCopyBase):
                     f"{sorted(set(fenced))}"
                 )
             for b in blocks:
-                site.write_block(b, bytes(updates[b]), new_versions[b])
+                site.write_block(b, batch[b][0], new_versions[b])
             return new_versions
 
     # -- dynamic membership ---------------------------------------------------

@@ -33,9 +33,11 @@ if TYPE_CHECKING:
     from .policy import QuorumPolicy
 from ..errors import MembershipError, SiteDownError
 from ..net.network import Network
+from ..obs.trace import Span
 from ..net.traffic import TrafficMeter
 from ..sim.failures import FailureRepairProcess
 from ..types import BlockIndex, SchemeName, SiteId, SiteState
+from .round import QuorumRound
 
 __all__ = ["ReplicationProtocol"]
 
@@ -51,9 +53,35 @@ class ReplicationProtocol(abc.ABC):
             raise ValueError(f"duplicate site ids in replica group: {ids}")
         self._sites: Dict[SiteId, 'Site'] = {s.site_id: s for s in sites}
         self._order: List[SiteId] = ids
+        #: site id -> position in ``_order``; maintained by
+        #: adopt/expel (and the voting view commit, which reorders
+        #: ``_order``).  The pooled round's up-mask is indexed by it.
+        self._pos_of: Dict[SiteId, int] = {
+            s: i for i, s in enumerate(ids)
+        }
         self._network = network
         for site in sites:
             network.attach(site)
+        #: Freelist of :class:`~repro.core.round.QuorumRound` objects;
+        #: the steady-state operation loop borrows one per round and
+        #: returns it in a ``finally``, so the pool stays at its
+        #: high-water mark (nesting depth, in practice 1) even across
+        #: failing operations.
+        self._round_pool: List[QuorumRound] = []
+        #: Reusable traffic-attribution context managers, one per
+        #: operation kind.  ``TrafficMeter.record`` returns a stateless
+        #: handle (enter/exit mutate only the meter), so caching them
+        #: elides a handle allocation per operation; the meter itself
+        #: is fixed at network construction.
+        meter = network.meter
+        self._record_read = meter.record("read")
+        self._record_write = meter.record("write")
+        self._record_batch_read = meter.record("batch_read")
+        self._record_batch_write = meter.record("batch_write")
+        #: The scheme tag every protocol span carries (see
+        #: :meth:`_span`); ``getattr`` tolerates test stubs whose
+        #: ``scheme`` is a plain placeholder.
+        self._scheme_value: str = getattr(self.scheme, "value", "")
         geometries = {(s.store.num_blocks, s.store.block_size) for s in sites}
         if len(geometries) != 1:
             raise ValueError(
@@ -130,14 +158,54 @@ class ReplicationProtocol(abc.ABC):
 
         The concrete protocols bracket each read/write/batch operation
         with it; outcomes (quorum misses, down origins, corruption) are
-        stamped automatically from the raised exception.
+        stamped automatically from the raised exception.  The scheme
+        tag is cached at construction: ``self.scheme.value`` costs two
+        Python-level descriptor calls per span otherwise.
         """
-        return self.tracer.span(
-            f"protocol.{op}",
-            layer="protocol",
-            scheme=self.scheme.value,
-            **attrs,
-        )
+        tracer = self._network._tracer
+        clock = tracer._clock if tracer.enabled else None
+        if clock is None:
+            # Disabled or tick-clocked tracer: the method path (which
+            # no-ops or advances the tick respectively).
+            return tracer.span(
+                f"protocol.{op}",
+                layer="protocol",
+                scheme=self._scheme_value,
+                **attrs,
+            )
+        # Clocked tracer: build the record inline -- same id, name,
+        # timestamp and attrs ``Tracer.span`` would write, minus the
+        # call frame, the layer re-validation and the kwargs repack.
+        span_attrs = {"scheme": self._scheme_value}
+        if attrs:
+            span_attrs.update(attrs)
+        record = [
+            tracer._next_id, f"protocol.{op}", "protocol",
+            float(clock()), span_attrs, None, "",
+        ]
+        tracer._next_id = record[0] + 1
+        tracer._records.append(record)
+        pool = tracer._span_pool
+        if pool:
+            return pool.pop()._reuse(record)
+        return Span(tracer, record)
+
+    # -- pooled round state ---------------------------------------------------
+
+    def _borrow_round(self) -> QuorumRound:
+        """A reset round sized for the current group.
+
+        Callers must return it via :meth:`_release_round` in a
+        ``finally`` so that a raising operation does not leak it.
+        """
+        pool = self._round_pool
+        rnd = pool.pop() if pool else QuorumRound()
+        rnd.begin(len(self._order))
+        return rnd
+
+    def _release_round(self, rnd: QuorumRound) -> None:
+        """Return a borrowed round to the freelist."""
+        self._round_pool.append(rnd)
 
     def site(self, site_id: SiteId) -> "Site":
         """Look up a member site by id."""
@@ -368,6 +436,7 @@ class ReplicationProtocol(abc.ABC):
                 f"{(self.num_blocks, self.block_size)}"
             )
         self._sites[site.site_id] = site
+        self._pos_of[site.site_id] = len(self._order)
         self._order.append(site.site_id)
         self._network.attach(site)
         site.set_epoch(self.current_epoch())
@@ -380,6 +449,7 @@ class ReplicationProtocol(abc.ABC):
             raise MembershipError("cannot expel the last member")
         del self._sites[site_id]
         self._order.remove(site_id)
+        self._pos_of = {s: i for i, s in enumerate(self._order)}
         self._network.detach(site_id)
         self.joining.discard(site_id)
 

@@ -20,8 +20,9 @@ exactly that, which is what makes ``A_V(2k) == A_V(2k-1)`` (equation 1.b).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Iterable, Sequence, Tuple
+import math
+from dataclasses import dataclass, field
+from typing import Iterable, Optional, Sequence, Tuple
 
 from ..errors import QuorumSpecError
 
@@ -47,6 +48,21 @@ class QuorumSpec:
     read_quorum: float
     write_quorum: float
 
+    #: Derived, cached at construction (not dataclass fields, so they do
+    #: not participate in equality/hashing).  When every weight is
+    #: exactly 1.0 the strict-greater float predicates collapse to
+    #: integer compares: a set of ``n`` distinct unit-weight sites
+    #: gathers weight ``float(n)``, and ``n > q`` holds iff
+    #: ``n >= floor(q) + 1``.  The integer needs are ``None`` for
+    #: genuinely weighted specs, which must stay on the float path.
+    unit_weights: bool = field(init=False, repr=False, compare=False)
+    read_count_need: Optional[int] = field(
+        init=False, repr=False, compare=False
+    )
+    write_count_need: Optional[int] = field(
+        init=False, repr=False, compare=False
+    )
+
     def __post_init__(self) -> None:
         if not self.weights:
             raise QuorumSpecError("a quorum spec needs at least one site")
@@ -65,6 +81,18 @@ class QuorumSpec:
                 "2 * write_quorum must reach the total weight "
                 f"(2 * {self.write_quorum} < {total})"
             )
+        unit = all(w == 1.0 for w in self.weights)
+        object.__setattr__(self, "unit_weights", unit)
+        object.__setattr__(
+            self,
+            "read_count_need",
+            math.floor(self.read_quorum) + 1 if unit else None,
+        )
+        object.__setattr__(
+            self,
+            "write_count_need",
+            math.floor(self.write_quorum) + 1 if unit else None,
+        )
 
     # -- constructors -----------------------------------------------------
 
@@ -123,6 +151,20 @@ class QuorumSpec:
         able to fake a quorum by double-counting its weight.
         """
         return sum(self.weights[i] for i in set(site_indices))
+
+    def gathered_count(self, site_indices: Iterable[int]) -> int:
+        """Distinct-site count with ``gathered_weight``'s exact contract.
+
+        The integer companion to :meth:`gathered_weight` for unit-weight
+        specs: duplicates are deduplicated the same way and an
+        out-of-range index raises the same :class:`IndexError`, so for
+        ``unit_weights`` specs ``float(gathered_count(s)) ==
+        gathered_weight(s)`` holds for every input.
+        """
+        distinct = set(site_indices)
+        for index in distinct:
+            _ = self.weights[index]  # same IndexError as gathered_weight
+        return len(distinct)
 
     def meets_read(self, gathered: float) -> bool:
         """Whether ``gathered`` weight forms a read quorum."""

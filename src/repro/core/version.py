@@ -10,7 +10,7 @@ scheme's central saving over file-level replication (Section 3).
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Iterator, List, Mapping, Tuple
+from typing import Callable, Dict, Iterable, Iterator, List, Mapping, Tuple
 
 from ..types import BlockIndex, VersionNumber
 
@@ -40,6 +40,16 @@ class VersionVector:
     def get(self, block: BlockIndex) -> VersionNumber:
         """Version of ``block`` (0 if never written)."""
         return self._versions.get(block, 0)
+
+    def getter(self) -> Callable[[BlockIndex, VersionNumber], VersionNumber]:
+        """The underlying dict's bound ``.get`` -- call with default 0.
+
+        A flattened accessor for hot version probes (one dict lookup
+        instead of two call frames).  Valid for the vector's lifetime:
+        the dict is mutated in place by :meth:`set`/:meth:`bump` but
+        never rebound.
+        """
+        return self._versions.get
 
     def set(self, block: BlockIndex, version: VersionNumber) -> None:
         """Set the version of ``block``."""

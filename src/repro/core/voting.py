@@ -68,6 +68,7 @@ from ..errors import (
 )
 from ..net.message import MessageCategory
 from ..net.network import Network
+from ..obs.trace import _NULL_SPAN
 from ..types import BlockIndex, SchemeName, SiteId, SiteState
 from .policy import QuorumPolicy
 from .quorum import QuorumSpec
@@ -81,13 +82,21 @@ __all__ = ["VotingProtocol"]
 # everything they need rides in the payload.
 
 def _vote_handler(node, payload):
-    """VOTE_REQUEST: answer with the voter's version of the block."""
-    return node.block_version(payload)
+    """VOTE_REQUEST: answer with the voter's version of the block.
+
+    ``BlockStore.version`` inlined (bounds check + version-dict probe):
+    this is the single hottest handler in the repository -- one call
+    per voter per read -- and the extra frame is measurable.
+    """
+    if 0 <= payload < node._num_blocks:
+        return node._vget(payload, 0)
+    return node.version_of(payload)  # out of range: raise as before
 
 
 def _batch_vote_handler(node, payload):
     """BATCH_VOTE_REQUEST: one reply mapping every block to a version."""
-    return {b: node.block_version(b) for b in payload}
+    vget = node.version_of
+    return {b: vget(b) for b in payload}
 
 
 def _park_hint_handler(node, payload):
@@ -107,6 +116,32 @@ def _read_repair_handler(node, payload):
     index, blob, version = payload
     if node.block_version(index) < version:
         node.write_block(index, blob, version)
+
+
+def _apply_write_handler(node, payload):
+    """WRITE_UPDATE (static group): apply the pushed version.
+
+    The fencing closure in :meth:`VotingProtocol.write` matters only
+    once a membership view is installed; without one
+    ``_epoch_rejects`` is constantly False, so the static-group
+    fan-out shares this handler instead of building a closure (and a
+    fenced-list cell) per write.
+    """
+    index, blob, v = payload
+    if node.is_witness:
+        node.store.set_version(index, v)
+    else:
+        node.write_block(index, blob, v)
+
+
+def _apply_batch_write_handler(node, payload):
+    """BATCH_WRITE_UPDATE (static group): apply every pushed version."""
+    for index in sorted(payload):
+        blob, v = payload[index]
+        if node.is_witness:
+            node.store.set_version(index, v)
+        else:
+            node.write_block(index, blob, v)
 
 
 class VotingProtocol(ReplicationProtocol):
@@ -179,6 +214,41 @@ class VotingProtocol(ReplicationProtocol):
             raise ValueError("a voting group needs at least one data site")
         #: Number of stale local copies refreshed lazily during reads.
         self.lazy_repairs = 0
+        self._refresh_fast_thresholds()
+
+    def _refresh_fast_thresholds(self) -> None:
+        """Precompute the integer quorum thresholds of the hot path.
+
+        For count-based (RF, R, W) policies and for unit-weight specs
+        the strict-greater float predicate over gathered weight is
+        equivalent to an integer compare over the distinct-voter count
+        (``n > q`` iff ``n >= floor(q) + 1``), so steady-state
+        operations replace ``gathered_weight`` + ``meets_read`` /
+        ``meets_write`` with one ``count < need`` test.  The ``need``
+        values are None for genuinely weighted specs (including the
+        even-group tie-breaker weight), which stay on the float path.
+        The float companions preserve the exact
+        :class:`QuorumNotReachedError` arguments the slow path raises.
+        Recomputed whenever the spec can change (construction and view
+        commit).
+        """
+        policy = self.policy
+        spec = self._spec
+        if policy is not None:
+            self._fast_read_need: Optional[int] = policy.r
+            self._fast_write_need: Optional[int] = policy.w
+            self._fast_read_quorum = float(policy.r)
+            self._fast_write_quorum = float(policy.w)
+        elif spec.unit_weights:
+            self._fast_read_need = spec.read_count_need
+            self._fast_write_need = spec.write_count_need
+            self._fast_read_quorum = spec.read_quorum
+            self._fast_write_quorum = spec.write_quorum
+        else:
+            self._fast_read_need = None
+            self._fast_write_need = None
+            self._fast_read_quorum = 0.0
+            self._fast_write_quorum = 0.0
 
     # -- metadata ---------------------------------------------------------
 
@@ -247,9 +317,11 @@ class VotingProtocol(ReplicationProtocol):
             self._sites[site_id].set_weight(vote)
         self._spec = view.quorum_spec()
         self._index_of = {s: i for i, s in enumerate(view.sites)}
+        self._pos_of = {s: i for i, s in enumerate(view.sites)}
         self._data_ids = [
             s.site_id for s in self.sites if not s.is_witness
         ]
+        self._refresh_fast_thresholds()
         super().commit_view_change(view)
 
     def _joint_views(self) -> Optional[Tuple['View', 'View']]:
@@ -327,7 +399,9 @@ class VotingProtocol(ReplicationProtocol):
         the union of both views' members, so the joint quorum checks
         see every reachable voice.
         """
-        replies: Dict[SiteId, int] = self.network.broadcast_query(
+        # Slow-path helper (membership windows, weighted specs); the
+        # steady-state read uses the pooled round instead.
+        replies: Dict[SiteId, int] = self.network.broadcast_query(  # repro: noqa[RL009]
             origin.site_id,
             request=MessageCategory.VOTE_REQUEST,
             reply=MessageCategory.VOTE_REPLY,
@@ -345,32 +419,6 @@ class VotingProtocol(ReplicationProtocol):
         top = max(versions.values())
         return min(s for s, v in versions.items() if v == top)
 
-    def _collect_batch_votes(
-        self, origin: 'Site', blocks: Sequence[BlockIndex]
-    ) -> Dict[SiteId, Dict[BlockIndex, int]]:
-        """ONE vote-collection round covering every block in the batch.
-
-        A single BATCH_VOTE_REQUEST carries all the indexes; each
-        reachable voter answers with one BATCH_VOTE_REPLY mapping every
-        requested block to its version number.  The voter set is
-        necessarily uniform across the batch -- the same voters answered
-        for every block -- which is what lets one quorum check cover
-        them all.
-        """
-        replies: Dict[SiteId, Dict[BlockIndex, int]] = (
-            self.network.broadcast_query(
-                origin.site_id,
-                request=MessageCategory.BATCH_VOTE_REQUEST,
-                reply=MessageCategory.BATCH_VOTE_REPLY,
-                handler=_batch_vote_handler,
-                payload=tuple(blocks),
-            )
-        )
-        replies[origin.site_id] = {
-            b: origin.block_version(b) for b in blocks
-        }
-        return replies
-
     # -- Figure 3: READ -------------------------------------------------------
 
     def read(self, origin: SiteId, block: BlockIndex) -> bytes:
@@ -380,29 +428,66 @@ class VotingProtocol(ReplicationProtocol):
         policy = self.policy
         if policy is not None and policy.r == 1:
             return self._read_local(site, block)
-        with self.meter.record("read"), \
-                self._span("read", origin=origin, block=block):
-            versions = self._collect_votes(site, block)
-            shortfall = self._read_shortfall(set(versions))
-            if shortfall is not None:
-                raise QuorumNotReachedError(*shortfall)
-            top = max(versions.values())
-            if versions[origin] < top:
-                self._refresh_from_voters(site, block, versions, top)
-                self.lazy_repairs += 1
+        network = self._network
+        span = (
+            self._span("read", origin=origin, block=block)
+            if network._tracer.enabled else _NULL_SPAN
+        )
+        with self._record_read, span:
+            rnd = self._borrow_round()
             try:
-                data = site.read_block(block)
-            except CorruptBlockError:
-                # Quorum composition guarantees a current copy exists in
-                # the quorum; self-heal the local one from it and retry.
-                self.note_corruption(origin, block)
-                site.store.quarantine(block, top)
-                self._refresh_from_voters(site, block, versions, top)
-                self.note_heal(origin, block)
-                data = site.read_block(block)
-            if policy is not None and policy.read_repair:
-                self._send_read_repairs(site, block, versions, top, data)
-            return data
+                network.broadcast_round(
+                    origin,
+                    MessageCategory.VOTE_REQUEST,
+                    MessageCategory.VOTE_REPLY,
+                    _vote_handler,
+                    block,
+                    rnd,
+                )
+                mine = site.block_version(block)
+                rnd.add(origin, mine)
+                # The integer fast path is valid only when every
+                # replier is a member the float path would count: no
+                # joint-quorum window is open and no joiner has been
+                # adopted ahead of the view commit that rebuilds
+                # ``_index_of``.
+                need = self._fast_read_need
+                if (need is not None and self._pending_view is None
+                        and len(self._order) == len(self._index_of)):
+                    if rnd.count < need:
+                        raise QuorumNotReachedError(
+                            float(rnd.count), self._fast_read_quorum
+                        )
+                else:
+                    shortfall = self._read_shortfall(rnd.id_set())
+                    if shortfall is not None:
+                        raise QuorumNotReachedError(*shortfall)
+                top = rnd.top
+                if mine < top:
+                    self._refresh_from_voters(
+                        site, block, rnd.as_dict(), top
+                    )
+                    self.lazy_repairs += 1
+                try:
+                    data = site.read_block(block)
+                except CorruptBlockError:
+                    # Quorum composition guarantees a current copy
+                    # exists in the quorum; self-heal the local one
+                    # from it and retry.
+                    self.note_corruption(origin, block)
+                    site.store.quarantine(block, top)
+                    self._refresh_from_voters(
+                        site, block, rnd.as_dict(), top
+                    )
+                    self.note_heal(origin, block)
+                    data = site.read_block(block)
+                if policy is not None and policy.read_repair:
+                    self._send_read_repairs(
+                        site, block, rnd.as_dict(), top, data
+                    )
+                return data
+            finally:
+                self._release_round(rnd)
 
     def _read_local(self, site: 'Site', block: BlockIndex) -> bytes:
         """R = 1: serve the read from the local copy, zero messages.
@@ -415,7 +500,7 @@ class VotingProtocol(ReplicationProtocol):
         and pull an intact peer copy (self-healing, as in Figure 3).
         """
         origin = site.site_id
-        with self.meter.record("read"), \
+        with self._record_read, \
                 self._span("read", origin=origin, block=block, local=True):
             try:
                 return site.read_block(block)
@@ -541,79 +626,130 @@ class VotingProtocol(ReplicationProtocol):
         site = self.require_origin(origin)
         if site.is_witness:
             raise SiteDownError(origin, "witnesses cannot serve clients")
-        with self.meter.record("write"), \
-                self._span("write", origin=origin, block=block):
-            versions = self._collect_votes(site, block)
-            shortfall = self._write_shortfall(set(versions))
-            if shortfall is not None:
-                raise QuorumNotReachedError(*shortfall)
-            new_version = max(versions.values()) + 1
-            quorum_members = [s for s in versions if s != origin]
-            epoch_tag = self.current_epoch()
-            fenced: List[SiteId] = []
-
-            def apply(node, payload):
-                if self._epoch_rejects(node, epoch_tag):
-                    # The epoch advanced under this fan-out (a view
-                    # change committed between vote collection and
-                    # delivery); the member refuses the stale-tagged
-                    # update rather than apply it under quorums that no
-                    # longer hold.
-                    fenced.append(node.site_id)
-                    return
-                index, blob, v = payload
-                if node.is_witness:
-                    node.store.set_version(index, v)
-                else:
-                    node.write_block(index, blob, v)
-
-            delivered = self.network.broadcast_oneway(
-                src=origin,
-                category=MessageCategory.WRITE_UPDATE,
-                handler=apply,
-                payload=(block, bytes(data), new_version),
-                destinations=quorum_members,
-            )
-            if fenced:
-                self.epoch_fences += len(fenced)
-            applied_ids = {origin} | (set(delivered) - set(fenced))
-            if (applied_ids != set(versions)
-                    and site.state is not SiteState.FAILED):
-                # Members that missed the update -- transient delivery
-                # loss or an epoch fence -- cannot be counted toward the
-                # write quorum (quorum intersection would otherwise
-                # admit a stale read).  If what actually applied -- the
-                # origin plus the unfenced delivered members -- still
-                # carries a write quorum, the write stands; otherwise it
-                # is torn.
-                shortfall = self._write_shortfall(applied_ids)
-                if shortfall is not None:
-                    if self.recorder is not None:
-                        self.recorder.torn_write(
-                            block, bytes(data), new_version
-                        )
-                    if fenced:
-                        raise StaleEpochError(
-                            f"write of block {block} tagged epoch "
-                            f"{epoch_tag} was fenced by "
-                            f"{sorted(set(fenced))}"
-                        )
-                    raise QuorumNotReachedError(*shortfall)
-            if site.state is SiteState.FAILED:
-                # The origin crashed mid-fan-out (fault injection): some
-                # quorum members applied the update, some did not, and
-                # the local copy never will -- a torn group write.  The
-                # higher version at whichever sites took it supersedes
-                # stale copies through the ordinary lazy-repair path.
-                if self.recorder is not None:
-                    self.recorder.torn_write(block, bytes(data), new_version)
-                raise SiteDownError(origin, "failed during the write fan-out")
-            site.write_block(block, bytes(data), new_version)
-            if self.policy is not None and self.policy.hinted_handoff:
-                self._park_hints(
-                    site, applied_ids, block, bytes(data), new_version
+        network = self._network
+        span = (
+            self._span("write", origin=origin, block=block)
+            if network._tracer.enabled else _NULL_SPAN
+        )
+        with self._record_write, span:
+            rnd = self._borrow_round()
+            try:
+                network.broadcast_round(
+                    origin,
+                    MessageCategory.VOTE_REQUEST,
+                    MessageCategory.VOTE_REPLY,
+                    _vote_handler,
+                    block,
+                    rnd,
                 )
-            return new_version
+                mine = site.block_version(block)
+                rnd.add(origin, mine)
+                count = rnd.count
+                # Same fast-path validity guard as :meth:`read`.
+                need = self._fast_write_need
+                if (need is not None and self._pending_view is None
+                        and len(self._order) == len(self._index_of)):
+                    if count < need:
+                        raise QuorumNotReachedError(
+                            float(count), self._fast_write_quorum
+                        )
+                else:
+                    shortfall = self._write_shortfall(rnd.id_set())
+                    if shortfall is not None:
+                        raise QuorumNotReachedError(*shortfall)
+                new_version = rnd.top + 1
+                # Peer voters in arrival order (the origin's own vote
+                # was appended last), matching the old reply-dict
+                # iteration order exactly.
+                quorum_members = rnd.ids[:count - 1]
+                epoch_tag = self.current_epoch()
+                blob = bytes(data)
+                if self._view is None:
+                    # Static group: _epoch_rejects is constantly False,
+                    # so the fan-out shares the module-level handler
+                    # instead of building a fencing closure per write.
+                    fenced = ()
+                    delivered = network.broadcast_oneway(
+                        src=origin,
+                        category=MessageCategory.WRITE_UPDATE,
+                        handler=_apply_write_handler,
+                        payload=(block, blob, new_version),
+                        destinations=quorum_members,
+                    )
+                else:
+                    fenced = []
+
+                    def apply(node, payload):
+                        if self._epoch_rejects(node, epoch_tag):
+                            # The epoch advanced under this fan-out (a
+                            # view change committed between vote
+                            # collection and delivery); the member
+                            # refuses the stale-tagged update rather
+                            # than apply it under quorums that no
+                            # longer hold.
+                            fenced.append(node.site_id)
+                            return
+                        index, payload_blob, v = payload
+                        if node.is_witness:
+                            node.store.set_version(index, v)
+                        else:
+                            node.write_block(index, payload_blob, v)
+
+                    delivered = network.broadcast_oneway(
+                        src=origin,
+                        category=MessageCategory.WRITE_UPDATE,
+                        handler=apply,
+                        payload=(block, blob, new_version),
+                        destinations=quorum_members,
+                    )
+                if fenced:
+                    self.epoch_fences += len(fenced)
+                if len(delivered) != count - 1 or fenced:
+                    # Members that missed the update -- transient
+                    # delivery loss or an epoch fence -- cannot be
+                    # counted toward the write quorum (quorum
+                    # intersection would otherwise admit a stale read).
+                    # If what actually applied -- the origin plus the
+                    # unfenced delivered members -- still carries a
+                    # write quorum, the write stands; otherwise it is
+                    # torn.
+                    applied_ids = {origin} | (set(delivered) - set(fenced))
+                    if (applied_ids != rnd.id_set()
+                            and site.state is not SiteState.FAILED):
+                        shortfall = self._write_shortfall(applied_ids)
+                        if shortfall is not None:
+                            if self.recorder is not None:
+                                self.recorder.torn_write(
+                                    block, blob, new_version
+                                )
+                            if fenced:
+                                raise StaleEpochError(
+                                    f"write of block {block} tagged epoch "
+                                    f"{epoch_tag} was fenced by "
+                                    f"{sorted(set(fenced))}"
+                                )
+                            raise QuorumNotReachedError(*shortfall)
+                if site.state is SiteState.FAILED:
+                    # The origin crashed mid-fan-out (fault injection):
+                    # some quorum members applied the update, some did
+                    # not, and the local copy never will -- a torn group
+                    # write.  The higher version at whichever sites took
+                    # it supersedes stale copies through the ordinary
+                    # lazy-repair path.
+                    if self.recorder is not None:
+                        self.recorder.torn_write(block, blob, new_version)
+                    raise SiteDownError(
+                        origin, "failed during the write fan-out"
+                    )
+                site.write_block(block, blob, new_version)
+                if self.policy is not None and self.policy.hinted_handoff:
+                    applied_ids = {origin} | (set(delivered) - set(fenced))
+                    self._park_hints(
+                        site, applied_ids, block, blob, new_version
+                    )
+                return new_version
+            finally:
+                self._release_round(rnd)
 
     def _park_hints(
         self,
@@ -674,46 +810,84 @@ class VotingProtocol(ReplicationProtocol):
         site = self.require_origin(origin)
         if site.is_witness:
             raise SiteDownError(origin, "witnesses cannot serve clients")
-        with self.meter.record("batch_read"), \
-                self._span("read_batch", origin=origin, batch=len(ordered)):
-            votes = self._collect_batch_votes(site, ordered)
-            shortfall = self._read_shortfall(set(votes))
-            if shortfall is not None:
-                raise QuorumNotReachedError(*shortfall)
-            # Per-block voter maps are materialized lazily: most blocks
-            # of a batch are typically current everywhere, and only the
-            # stale/corrupt ones need the site -> version breakdown.
-            tops = {
-                b: max(v[b] for v in votes.values()) for b in ordered
-            }
-            per_block: Dict[BlockIndex, Dict[SiteId, int]] = {}
-
-            def versions_of(b: BlockIndex) -> Dict[SiteId, int]:
-                found = per_block.get(b)
-                if found is None:
-                    found = {s: votes[s][b] for s in votes}
-                    per_block[b] = found
-                return found
-
-            stale = [
-                b for b in ordered if votes[origin][b] < tops[b]
-            ]
-            if stale:
-                self._batch_refresh(
-                    site, stale, {b: versions_of(b) for b in stale}, tops
+        network = self._network
+        span = (
+            self._span("read_batch", origin=origin, batch=len(ordered))
+            if network._tracer.enabled else _NULL_SPAN
+        )
+        with self._record_batch_read, span:
+            rnd = self._borrow_round()
+            try:
+                network.broadcast_round(
+                    origin,
+                    MessageCategory.BATCH_VOTE_REQUEST,
+                    MessageCategory.BATCH_VOTE_REPLY,
+                    _batch_vote_handler,
+                    tuple(ordered),
+                    rnd,
                 )
-                self.lazy_repairs += len(stale)
-            out: Dict[BlockIndex, bytes] = {}
-            for b in ordered:
-                try:
-                    out[b] = site.read_block(b)
-                except CorruptBlockError:
-                    self.note_corruption(origin, b)
-                    site.store.quarantine(b, tops[b])
-                    self._refresh_from_voters(site, b, versions_of(b), tops[b])
-                    self.note_heal(origin, b)
-                    out[b] = site.read_block(b)
-            return out
+                mine = {b: site.block_version(b) for b in ordered}
+                rnd.add(origin, mine)
+                # Same fast-path validity guard as :meth:`read`.
+                need = self._fast_read_need
+                if (need is not None and self._pending_view is None
+                        and len(self._order) == len(self._index_of)):
+                    if rnd.count < need:
+                        raise QuorumNotReachedError(
+                            float(rnd.count), self._fast_read_quorum
+                        )
+                else:
+                    shortfall = self._read_shortfall(rnd.id_set())
+                    if shortfall is not None:
+                        raise QuorumNotReachedError(*shortfall)
+                ids = rnd.ids
+                values = rnd.values
+                count = rnd.count
+                tops: Dict[BlockIndex, int] = {}
+                for b in ordered:
+                    top = 0
+                    for k in range(count):
+                        v = values[k][b]
+                        if v > top:
+                            top = v
+                    tops[b] = top
+                # Per-block voter maps are materialized lazily: most
+                # blocks of a batch are typically current everywhere,
+                # and only the stale/corrupt ones need the
+                # site -> version breakdown.
+                per_block: Dict[BlockIndex, Dict[SiteId, int]] = {}  # repro: noqa[RL009] -- lazy, stale blocks only
+
+                def versions_of(b: BlockIndex) -> Dict[SiteId, int]:
+                    found = per_block.get(b)
+                    if found is None:
+                        found = {
+                            ids[k]: values[k][b] for k in range(count)
+                        }
+                        per_block[b] = found
+                    return found
+
+                stale = [b for b in ordered if mine[b] < tops[b]]
+                if stale:
+                    self._batch_refresh(
+                        site, stale,
+                        {b: versions_of(b) for b in stale}, tops,
+                    )
+                    self.lazy_repairs += len(stale)
+                out: Dict[BlockIndex, bytes] = {}
+                for b in ordered:
+                    try:
+                        out[b] = site.read_block(b)
+                    except CorruptBlockError:
+                        self.note_corruption(origin, b)
+                        site.store.quarantine(b, tops[b])
+                        self._refresh_from_voters(
+                            site, b, versions_of(b), tops[b]
+                        )
+                        self.note_heal(origin, b)
+                        out[b] = site.read_block(b)
+                return out
+            finally:
+                self._release_round(rnd)
 
     def _batch_refresh(
         self,
@@ -731,7 +905,7 @@ class VotingProtocol(ReplicationProtocol):
         its quarantine/heal semantics exactly.
         """
         data_ids = set(self._data_ids)
-        by_source: Dict[SiteId, List[BlockIndex]] = {}
+        by_source: Dict[SiteId, List[BlockIndex]] = {}  # repro: noqa[RL009] -- repair dispatch, cold
         for b in stale:
             candidates = sorted(
                 s for s, v in per_block[b].items()
@@ -793,73 +967,121 @@ class VotingProtocol(ReplicationProtocol):
         site = self.require_origin(origin)
         if site.is_witness:
             raise SiteDownError(origin, "witnesses cannot serve clients")
-        with self.meter.record("batch_write"), \
-                self._span("write_batch", origin=origin, batch=len(blocks)):
-            votes = self._collect_batch_votes(site, blocks)
-            shortfall = self._write_shortfall(set(votes))
-            if shortfall is not None:
-                raise QuorumNotReachedError(*shortfall)
-            new_versions = {
-                b: max(votes[s][b] for s in votes) + 1 for b in blocks
-            }
-            payload = {
-                b: (bytes(updates[b]), new_versions[b]) for b in blocks
-            }
-            quorum_members = [s for s in votes if s != origin]
-            epoch_tag = self.current_epoch()
-            fenced: List[SiteId] = []
+        network = self._network
+        span = (
+            self._span("write_batch", origin=origin, batch=len(blocks))
+            if network._tracer.enabled else _NULL_SPAN
+        )
+        with self._record_batch_write, span:
+            rnd = self._borrow_round()
+            try:
+                network.broadcast_round(
+                    origin,
+                    MessageCategory.BATCH_VOTE_REQUEST,
+                    MessageCategory.BATCH_VOTE_REPLY,
+                    _batch_vote_handler,
+                    tuple(blocks),
+                    rnd,
+                )
+                mine = {b: site.block_version(b) for b in blocks}
+                rnd.add(origin, mine)
+                count = rnd.count
+                # Same fast-path validity guard as :meth:`read`.
+                need = self._fast_write_need
+                if (need is not None and self._pending_view is None
+                        and len(self._order) == len(self._index_of)):
+                    if count < need:
+                        raise QuorumNotReachedError(
+                            float(count), self._fast_write_quorum
+                        )
+                else:
+                    shortfall = self._write_shortfall(rnd.id_set())
+                    if shortfall is not None:
+                        raise QuorumNotReachedError(*shortfall)
+                values = rnd.values
+                new_versions: Dict[BlockIndex, int] = {}
+                for b in blocks:
+                    top = 0
+                    for k in range(count):
+                        v = values[k][b]
+                        if v > top:
+                            top = v
+                    new_versions[b] = top + 1
+                payload = {
+                    b: (bytes(updates[b]), new_versions[b]) for b in blocks
+                }
+                quorum_members = rnd.ids[:count - 1]
+                epoch_tag = self.current_epoch()
+                if self._view is None:
+                    # Static group: shares the module-level handler (see
+                    # :meth:`write`).
+                    fenced = ()
+                    delivered = network.broadcast_oneway(
+                        src=origin,
+                        category=MessageCategory.BATCH_WRITE_UPDATE,
+                        handler=_apply_batch_write_handler,
+                        payload=payload,
+                        destinations=quorum_members,
+                    )
+                else:
+                    fenced = []
 
-            def apply(node, payload):
-                if self._epoch_rejects(node, epoch_tag):
-                    fenced.append(node.site_id)
-                    return
-                for index in sorted(payload):
-                    blob, v = payload[index]
-                    if node.is_witness:
-                        node.store.set_version(index, v)
-                    else:
-                        node.write_block(index, blob, v)
+                    def apply(node, payload):
+                        if self._epoch_rejects(node, epoch_tag):
+                            fenced.append(node.site_id)
+                            return
+                        for index in sorted(payload):
+                            blob, v = payload[index]
+                            if node.is_witness:
+                                node.store.set_version(index, v)
+                            else:
+                                node.write_block(index, blob, v)
 
-            delivered = self.network.broadcast_oneway(
-                src=origin,
-                category=MessageCategory.BATCH_WRITE_UPDATE,
-                handler=apply,
-                payload=payload,
-                destinations=quorum_members,
-            )
-            if fenced:
-                self.epoch_fences += len(fenced)
-            applied_ids = {origin} | (set(delivered) - set(fenced))
-            if (applied_ids != set(votes)
-                    and site.state is not SiteState.FAILED):
-                shortfall = self._write_shortfall(applied_ids)
-                if shortfall is not None:
+                    delivered = network.broadcast_oneway(
+                        src=origin,
+                        category=MessageCategory.BATCH_WRITE_UPDATE,
+                        handler=apply,
+                        payload=payload,
+                        destinations=quorum_members,
+                    )
+                if fenced:
+                    self.epoch_fences += len(fenced)
+                if len(delivered) != count - 1 or fenced:
+                    applied_ids = {origin} | (set(delivered) - set(fenced))
+                    if (applied_ids != rnd.id_set()
+                            and site.state is not SiteState.FAILED):
+                        shortfall = self._write_shortfall(applied_ids)
+                        if shortfall is not None:
+                            if self.recorder is not None:
+                                for b in blocks:
+                                    self.recorder.torn_write(
+                                        b, bytes(updates[b]),
+                                        new_versions[b],
+                                    )
+                            if fenced:
+                                raise StaleEpochError(
+                                    f"batched write of {len(blocks)} "
+                                    f"blocks tagged epoch {epoch_tag} "
+                                    f"was fenced by "
+                                    f"{sorted(set(fenced))}"
+                                )
+                            raise QuorumNotReachedError(*shortfall)
+                if site.state is SiteState.FAILED:
+                    # Mid-fan-out origin crash: every block of the batch
+                    # is torn the same way a single-block write would be.
                     if self.recorder is not None:
                         for b in blocks:
                             self.recorder.torn_write(
                                 b, bytes(updates[b]), new_versions[b]
                             )
-                    if fenced:
-                        raise StaleEpochError(
-                            f"batched write of {len(blocks)} blocks "
-                            f"tagged epoch {epoch_tag} was fenced by "
-                            f"{sorted(set(fenced))}"
-                        )
-                    raise QuorumNotReachedError(*shortfall)
-            if site.state is SiteState.FAILED:
-                # Mid-fan-out origin crash: every block of the batch is
-                # torn the same way a single-block write would be.
-                if self.recorder is not None:
-                    for b in blocks:
-                        self.recorder.torn_write(
-                            b, bytes(updates[b]), new_versions[b]
-                        )
-                raise SiteDownError(
-                    origin, "failed during the batched write fan-out"
-                )
-            for b in blocks:
-                site.write_block(b, bytes(updates[b]), new_versions[b])
-            return new_versions
+                    raise SiteDownError(
+                        origin, "failed during the batched write fan-out"
+                    )
+                for b in blocks:
+                    site.write_block(b, bytes(updates[b]), new_versions[b])
+                return new_versions
+            finally:
+                self._release_round(rnd)
 
     # -- availability & failure handling -----------------------------------------
 

@@ -52,6 +52,7 @@ class BlockStore:
         self._block_size = int(block_size)
         self._data: Dict[BlockIndex, bytes] = {}
         self._versions = VersionVector()
+        self._vget = self._versions.getter()
         self._sums: Dict[BlockIndex, int] = {}
         self._quarantined: Set[BlockIndex] = set()
         self._zero = bytes(self._block_size)
@@ -79,7 +80,8 @@ class BlockStore:
         Raises :class:`~repro.errors.CorruptBlockError` when the stored
         data fails checksum verification or the block is quarantined.
         """
-        self.check_index(index)
+        if not 0 <= index < self._num_blocks:
+            raise BlockOutOfRangeError(index, self._num_blocks)
         data = self._data.get(index)
         if data is None:
             if index in self._quarantined:
@@ -98,11 +100,13 @@ class BlockStore:
         the store only enforces geometry.  Writing clears any quarantine
         on the block.
         """
-        self.check_index(index)
+        if not 0 <= index < self._num_blocks:
+            raise BlockOutOfRangeError(index, self._num_blocks)
         if len(data) != self._block_size:
             raise BlockSizeError(len(data), self._block_size)
-        self._data[index] = bytes(data)
-        self._sums[index] = zlib.crc32(self._data[index])
+        data = bytes(data)
+        self._data[index] = data
+        self._sums[index] = zlib.crc32(data)
         self._quarantined.discard(index)
         self._versions.set(index, version)
 
@@ -184,9 +188,15 @@ class BlockStore:
         self._data[index] = bytes(data)
 
     def version(self, index: BlockIndex) -> VersionNumber:
-        """Version number of block ``index`` (0 if never written)."""
-        self.check_index(index)
-        return self._versions.get(index)
+        """Version number of block ``index`` (0 if never written).
+
+        The hottest probe in the simulator (every vote answers through
+        it), so the bounds check is inlined and the lookup goes through
+        the vector's flattened getter.
+        """
+        if not 0 <= index < self._num_blocks:
+            raise BlockOutOfRangeError(index, self._num_blocks)
+        return self._vget(index, 0)
 
     def version_vector(self) -> VersionVector:
         """A *copy* of the store's full version vector."""

@@ -43,9 +43,33 @@ class Site:
             raise ValueError(f"site weight must be positive, got {weight}")
         self._site_id = site_id
         self._store = BlockStore(num_blocks, block_size)
+        #: Bound fast-path version probe (``version_of(index) ->
+        #: version``): the vote handlers call this once per site per
+        #: operation, so the ``Site`` -> ``BlockStore`` hop is
+        #: pre-bound instead of re-resolved per vote.
+        self.version_of = self._store.version
+        #: Store internals mirrored flat onto the site: the vote
+        #: handlers answer ``_vget(block, 0)`` after an inline bounds
+        #: check, skipping the ``BlockStore.version`` frame per vote.
+        #: Sound because ``_store`` is assigned exactly once and the
+        #: version dict is mutated in place, never rebound.
+        self._vget = self._store._vget
+        self._num_blocks = num_blocks
+        #: The pure-delegation accessors below are shadowed with the
+        #: store's bound methods: one frame per block access instead of
+        #: two, with identical signatures and exceptions.
+        self.read_block = self._store.read
+        self.write_block = self._store.write
+        self.block_version = self._store.version
         self._weight = float(weight)
         self._is_witness = bool(is_witness)
         self._state = SiteState.AVAILABLE
+        #: Plain-attribute mirrors of the state machine, updated on every
+        #: transition: the network reads ``is_reachable`` per destination
+        #: per fan-out, and a property descriptor there is measurable
+        #: kernel overhead.
+        self.is_reachable = True
+        self.is_available = True
         #: Durable protocol metadata (e.g. the was-available set), kept on
         #: stable storage: it survives failures, like the block data.
         self.meta: Dict[str, Any] = {}
@@ -96,28 +120,23 @@ class Site:
     def state(self) -> SiteState:
         return self._state
 
-    @property
-    def is_reachable(self) -> bool:
-        """Whether the server process answers network requests.
-
-        Failed sites are silent (fail-stop); comatose and available sites
-        respond.
-        """
-        return self._state is not SiteState.FAILED
-
-    @property
-    def is_available(self) -> bool:
-        """Whether the site is in the AVAILABLE protocol state."""
-        return self._state is SiteState.AVAILABLE
+    # ``is_reachable`` (process answers requests: not FAILED -- failed
+    # sites are silent, fail-stop) and ``is_available`` (in the
+    # AVAILABLE protocol state) are plain attributes maintained by
+    # :meth:`crash` and :meth:`set_state`; see ``__init__``.
 
     def crash(self) -> None:
         """Fail-stop: the process halts; stable storage is preserved."""
         self._state = SiteState.FAILED
+        self.is_reachable = False
+        self.is_available = False
         self.failures += 1
 
     def set_state(self, state: SiteState) -> None:
         """Protocol-driven state transition (repair/recovery)."""
         self._state = state
+        self.is_reachable = state is not SiteState.FAILED
+        self.is_available = state is SiteState.AVAILABLE
 
     # -- stable storage helpers ------------------------------------------------
 
@@ -131,6 +150,10 @@ class Site:
 
     def block_version(self, index: BlockIndex) -> VersionNumber:
         return self._store.version(index)
+
+    # read_block / write_block / block_version are shadowed by bound
+    # store methods in __init__ (see there); the defs above remain the
+    # API of record and the fallback for subclass-style introspection.
 
     def version_vector(self) -> VersionVector:
         return self._store.version_vector()

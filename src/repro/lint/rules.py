@@ -15,6 +15,8 @@ RL006     no bare/blanket-swallowed ``except`` in protocol paths
 RL007     no mutable default arguments
 RL008     no mutation of ``View`` membership fields outside
           ``repro.membership``
+RL009     no ``Dict[SiteId, ...]`` construction in ``repro.core``
+          function bodies (hot paths use the pooled ``QuorumRound``)
 ========  ==============================================================
 
 Rules are registered in :data:`RULES`; adding one is defining a
@@ -608,4 +610,89 @@ class ViewMutation(Rule):
                     "repro.membership; views are immutable -- build a "
                     "successor via with_added/with_removed/with_replaced "
                     "and commit it through the MembershipManager",
+                )
+
+
+# ---------------------------------------------------------------------------
+# RL009 -- no per-site reply dicts on protocol hot paths
+# ---------------------------------------------------------------------------
+
+def _mentions_site_keyed_dict(annotation: ast.AST) -> bool:
+    """Whether an annotation contains ``Dict[SiteId, ...]`` anywhere.
+
+    Matches ``Dict``/``dict``/``typing.Dict`` subscripts whose key type
+    is the ``SiteId`` name, at any nesting depth (so the nested reply
+    table in ``Dict[BlockIndex, Dict[SiteId, int]]`` is caught too).
+    """
+    for sub in ast.walk(annotation):
+        if not isinstance(sub, ast.Subscript):
+            continue
+        chain = attribute_chain(sub.value)
+        if chain is None or chain[-1] not in ("Dict", "dict"):
+            continue
+        inner = sub.slice
+        if isinstance(inner, ast.Tuple) and inner.elts:
+            key = inner.elts[0]
+        else:
+            key = inner
+        if isinstance(key, ast.Name) and key.id == "SiteId":
+            return True
+    return False
+
+
+@register
+class SiteKeyedReplyDict(Rule):
+    """``Dict[SiteId, ...]`` built inside a ``repro.core`` function body.
+
+    The protocol fast path replaced per-operation reply dicts with the
+    pooled, site-indexed :class:`repro.core.round.QuorumRound` (see
+    DESIGN on the round pool): the steady-state loops of all three
+    protocols perform no per-operation dict allocation.  A fresh
+    ``Dict[SiteId, ...]`` constructed inside a ``repro/core`` function
+    quietly reintroduces exactly the allocation that rewrite removed,
+    so it must be a deliberate choice.  Construction in ``__init__``
+    (member tables, position indexes) is setup and exempt; cold
+    operational paths -- membership transitions, repair sweeps, the
+    compatibility helpers kept for the slow path -- stay allowed via
+    ``# repro: noqa[RL009]`` with the reason in a nearby comment.
+
+    Detection is annotation-driven: the rule flags annotated
+    assignments whose declared type mentions ``Dict[SiteId, ...]``.
+    Unannotated dict builds are invisible to it -- the hot paths are
+    fully annotated, and the rule is a tripwire, not a proof.
+    """
+
+    code = "RL009"
+    name = "site-keyed-reply-dict"
+    description = (
+        "Dict[SiteId, ...] constructed inside a repro.core function; "
+        "hot paths use the pooled QuorumRound reply table instead"
+    )
+
+    def check_file(self, ctx: FileContext) -> Iterator[Diagnostic]:
+        if "core" not in ctx.segments:
+            return
+        #: AnnAssign id -> name of the *innermost* enclosing function
+        #: (outer functions are walked first, so later visits of the
+        #: same node overwrite with the inner owner).
+        owner: Dict[int, str] = {}
+        for fn in ast.walk(ctx.tree):
+            if isinstance(fn, ast.FunctionDef):
+                for sub in ast.walk(fn):
+                    if isinstance(sub, ast.AnnAssign):
+                        owner[id(sub)] = fn.name
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.AnnAssign):
+                continue
+            name = owner.get(id(node))
+            if name is None or name == "__init__":
+                continue
+            if _mentions_site_keyed_dict(node.annotation):
+                yield self._diag(
+                    ctx, node,
+                    "Dict[SiteId, ...] constructed on a repro.core "
+                    "path; steady-state rounds use the pooled "
+                    "QuorumRound reply table (core/round.py) -- hoist "
+                    "the dict to setup, or suppress with "
+                    "# repro: noqa[RL009] if this path is cold",
                 )

@@ -28,10 +28,14 @@ voting's immunity to it -- in the partition experiment.
 from __future__ import annotations
 
 from typing import (
-    Any, Callable, Dict, List, Optional, Protocol, Sequence, Tuple,
+    TYPE_CHECKING, Any, Callable, Dict, List, Optional, Protocol,
+    Sequence, Tuple,
 )
 
 from ..errors import UnknownSiteError
+
+if TYPE_CHECKING:  # imported lazily to avoid a net <-> core cycle
+    from ..core.round import QuorumRound
 from ..obs.trace import NULL_TRACER
 from ..types import AddressingMode, SiteId
 from .message import BROADCAST, Message, MessageCategory
@@ -106,6 +110,14 @@ class Network:
         #: Sorted node ids, maintained by attach/detach so the request
         #: fast path never re-sorts.
         self._sorted_ids: List[SiteId] = []
+        #: src -> [(dst, node), ...] over all other attached sites in id
+        #: order: the default destination list of every broadcast,
+        #: cached so the fan-out loop skips both the per-call list
+        #: comprehension and the per-destination node lookup.
+        #: Invalidated wholesale by attach/detach.
+        self._peer_pairs: Dict[
+            SiteId, List[Tuple[SiteId, NetworkNode]]
+        ] = {}
         #: site -> partition group id; empty when the network is whole.
         self._partition: Dict[SiteId, int] = {}
         #: Optional fault-injection hook; None on the fault-free path.
@@ -173,6 +185,7 @@ class Network:
         """Register a site with the network."""
         self._nodes[node.site_id] = node
         self._sorted_ids = sorted(self._nodes)
+        self._peer_pairs.clear()
 
     def detach(self, site_id: SiteId) -> None:
         """Unregister a site (it was expelled from the replica group).
@@ -185,6 +198,7 @@ class Network:
             raise UnknownSiteError(site_id)
         del self._nodes[site_id]
         self._sorted_ids = sorted(self._nodes)
+        self._peer_pairs.clear()
         self._partition.pop(site_id, None)
 
     def node(self, site_id: SiteId) -> NetworkNode:
@@ -279,10 +293,15 @@ class Network:
         category: MessageCategory,
         src: SiteId,
         payload: Any,
-        destinations: List[SiteId],
+        destinations: Sequence[Any],
         broadcast: bool,
     ) -> None:
-        """Meter an outgoing request under the current addressing mode."""
+        """Meter an outgoing request under the current addressing mode.
+
+        Only the *number* of destinations matters here, so callers may
+        pass either a list of site ids or a list of ``(id, node)``
+        pairs.
+        """
         if not destinations:
             return
         size = self._size_model.bytes_of(category, payload)
@@ -295,15 +314,29 @@ class Network:
         )
         trace_event = self._trace_event
         if trace_event is not None:
-            trace_event(
-                "net.request",
-                layer="net",
-                category=category.value,
-                src=src,
-                destinations=len(destinations),
-                transmissions=transmissions,
-                bytes_each=size,
-            )
+            # ``._value_`` is the member's plain value slot; ``.value``
+            # resolves through a Python-level DynamicClassAttribute
+            # descriptor on every metered message.
+            attrs = {
+                "category": category._value_,
+                "src": src,
+                "destinations": len(destinations),
+                "transmissions": transmissions,
+                "bytes_each": size,
+            }
+            tracer = self._tracer
+            clock = tracer._clock
+            if clock is not None:
+                # Clocked tracer: append the event record inline (same
+                # id, timestamp and attrs ``Tracer.event`` would write,
+                # minus the call).  Tick clocks keep the method path.
+                rec_id = tracer._next_id
+                tracer._records.append(
+                    (rec_id, "net.request", "net", float(clock()), attrs)
+                )
+                tracer._next_id = rec_id + 1
+            else:
+                trace_event("net.request", layer="net", **attrs)
 
     def _count_reply(
         self,
@@ -317,14 +350,22 @@ class Network:
         self._meter.count_for(category, transmissions=1, bytes_each=size)
         trace_event = self._trace_event
         if trace_event is not None:
-            trace_event(
-                "net.reply",
-                layer="net",
-                category=category.value,
-                src=src,
-                dst=dst,
-                bytes_each=size,
-            )
+            attrs = {
+                "category": category._value_,
+                "src": src,
+                "dst": dst,
+                "bytes_each": size,
+            }
+            tracer = self._tracer
+            clock = tracer._clock
+            if clock is not None:
+                rec_id = tracer._next_id
+                tracer._records.append(
+                    (rec_id, "net.reply", "net", float(clock()), attrs)
+                )
+                tracer._next_id = rec_id + 1
+            else:
+                trace_event("net.reply", layer="net", **attrs)
 
     # -- message pooling (interceptor path only) --------------------------------
 
@@ -348,6 +389,16 @@ class Network:
 
     # -- communication primitives ---------------------------------------------
 
+    def _peers(self, src: SiteId) -> List[Tuple[SiteId, NetworkNode]]:
+        """``(dst, node)`` for every other attached site, in id order."""
+        pairs = self._peer_pairs.get(src)
+        if pairs is None:
+            nodes = self._nodes
+            pairs = self._peer_pairs[src] = [
+                (s, nodes[s]) for s in self._sorted_ids if s != src
+            ]
+        return pairs
+
     def broadcast_query(
         self,
         src: SiteId,
@@ -369,19 +420,20 @@ class Network:
         that replied.
         """
         if destinations is None:
-            destinations = [s for s in self._sorted_ids if s != src]
-        self._count_request(request, src, payload, destinations, True)
+            pairs = self._peers(src)
+        else:
+            nodes = self._nodes
+            pairs = [(d, nodes.get(d)) for d in destinations]
+        self._count_request(request, src, payload, pairs, True)
         hook = self._interceptor
         message = (
             self._borrow_message(src, BROADCAST, request, payload)
             if hook is not None else None
         )
-        nodes = self._nodes
         partition = self._partition
         replies: Dict[SiteId, Any] = {}
         try:
-            for dst in destinations:
-                node = nodes.get(dst)
+            for dst, node in pairs:
                 if node is None:
                     raise UnknownSiteError(dst)
                 if not node.is_reachable:
@@ -404,6 +456,114 @@ class Network:
                 self._release_message(message)
         return replies
 
+    def broadcast_round(
+        self,
+        src: SiteId,
+        request: MessageCategory,
+        reply: MessageCategory,
+        handler: Callable[[NetworkNode, Any], Any],
+        payload: Any,
+        out: "QuorumRound",
+        destinations: Optional[List[SiteId]] = None,
+    ) -> None:
+        """:meth:`broadcast_query` minus the per-call reply dict.
+
+        Replies are appended to ``out`` (a pooled
+        :class:`~repro.core.round.QuorumRound`) in the same arrival
+        order the reply dict's insertion order had, so
+        ``out.as_dict()`` reproduces :meth:`broadcast_query`'s return
+        value exactly.  When the reply category has a
+        payload-independent size, reply transmissions are metered as
+        one batched :meth:`TrafficMeter.count_for` call -- the meter is
+        pure counter arithmetic, so ``k`` transmissions of ``size``
+        bytes accumulate identically either way.  The flush sits in a
+        ``finally`` so a handler that raises mid-loop still meters the
+        replies already received, matching the per-reply path.  With
+        tracing on (and a real clock installed), the per-reply
+        ``net.reply`` event record is appended to the tracer inline --
+        same id, name, timestamp and attrs a :meth:`Tracer.event` call
+        would produce, minus the call itself.
+        """
+        if destinations is None:
+            pairs = self._peers(src)
+        else:
+            nodes = self._nodes
+            pairs = [(d, nodes.get(d)) for d in destinations]
+        self._count_request(request, src, payload, pairs, True)
+        hook = self._interceptor
+        message = (
+            self._borrow_message(src, BROADCAST, request, payload)
+            if hook is not None else None
+        )
+        partition = self._partition
+        # ``QuorumRound.add`` unrolled into the reply loop below: the
+        # slot lists are pre-sized by ``begin``, and the method frame
+        # is one of the highest-count calls in the repository.
+        out_ids = out.ids
+        out_values = out.values
+        fixed = self._size_model.fixed_bytes(reply)
+        tracer = self._tracer
+        if self._trace_event is None:
+            records = clock = None
+        else:
+            # Tick-clocked tracers (unit tests) keep the method path;
+            # the id counter is read fresh per event rather than cached
+            # across the loop so a handler that itself records stays
+            # correctly interleaved.
+            clock = tracer._clock
+            records = tracer._records if clock is not None else None
+            if records is None:
+                fixed = None
+            else:
+                reply_value = reply._value_
+        batched = 0
+        try:
+            for dst, node in pairs:
+                if node is None:
+                    raise UnknownSiteError(dst)
+                if not node.is_reachable:
+                    continue
+                if partition and partition.get(src) != partition.get(dst):
+                    continue
+                if hook is not None:
+                    if not hook.allow_delivery(message, dst):
+                        continue
+                    result = handler(node, payload)
+                    hook.after_delivery(message, dst)
+                else:
+                    result = handler(node, payload)
+                if result is NO_REPLY:
+                    continue
+                if fixed is None:
+                    self._count_reply(reply, dst, src, result)
+                else:
+                    if records is not None:
+                        rec_id = tracer._next_id
+                        records.append((
+                            rec_id, "net.reply", "net", float(clock()),
+                            {
+                                "category": reply_value,
+                                "src": dst,
+                                "dst": src,
+                                "bytes_each": fixed,
+                            },
+                        ))
+                        tracer._next_id = rec_id + 1
+                    batched += 1
+                i = out.count
+                out_ids[i] = dst
+                out_values[i] = result
+                out.count = i + 1
+                if type(result) is int and result > out.top:
+                    out.top = result
+        finally:
+            if batched:
+                self._meter.count_for(
+                    reply, transmissions=batched, bytes_each=fixed
+                )
+            if message is not None:
+                self._release_message(message)
+
     def broadcast_oneway(
         self,
         src: SiteId,
@@ -419,19 +579,20 @@ class Network:
         *naive* scheme's whole point -- but useful to tests).
         """
         if destinations is None:
-            destinations = [s for s in self._sorted_ids if s != src]
-        self._count_request(category, src, payload, destinations, True)
+            pairs = self._peers(src)
+        else:
+            nodes = self._nodes
+            pairs = [(d, nodes.get(d)) for d in destinations]
+        self._count_request(category, src, payload, pairs, True)
         hook = self._interceptor
         message = (
             self._borrow_message(src, BROADCAST, category, payload)
             if hook is not None else None
         )
-        nodes = self._nodes
         partition = self._partition
         delivered: List[SiteId] = []
         try:
-            for dst in destinations:
-                node = nodes.get(dst)
+            for dst, node in pairs:
                 if node is None:
                     raise UnknownSiteError(dst)
                 if not node.is_reachable:

@@ -17,7 +17,7 @@ tests verify by sweeping the header and block sizes.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any
+from typing import Any, Optional
 
 from ..core.version import VersionVector
 from .message import Message, MessageCategory
@@ -81,6 +81,17 @@ class SizeModel:
     def bytes_for(self, message: Message) -> int:
         """Size of one transmission of ``message``."""
         return self.bytes_of(message.category, message.payload)
+
+    def fixed_bytes(self, category: MessageCategory) -> Optional[int]:
+        """Payload-independent size of ``category``, or ``None``.
+
+        ``None`` means the category's size depends on its payload and
+        must go through :meth:`bytes_of`.  The network uses this to
+        decide whether a fan-out's replies can be metered as one batch
+        (every reply of a fixed-size category costs the same, so *k*
+        replies meter identically to one call with ``transmissions=k``).
+        """
+        return self._fixed.get(category)
 
     def bytes_of(self, category: MessageCategory, payload: Any) -> int:
         """Size of one transmission of ``category`` carrying ``payload``.

@@ -157,13 +157,20 @@ class TrafficMeter:
         return _OperationRecord(self, kind)
 
     def _attribute(self, kind: OperationKind) -> None:
-        """Book the messages of the just-ended operation under ``kind``."""
-        spent = self._total - self._op_start_total
-        self._per_operation.setdefault(kind, RunningStat()).add(spent)
-        spent_bytes = self._total_bytes - self._op_start_bytes
-        self._per_operation_bytes.setdefault(
-            kind, RunningStat()
-        ).add(spent_bytes)
+        """Book the messages of the just-ended operation under ``kind``.
+
+        ``dict.get`` + explicit insert rather than ``setdefault``: the
+        latter constructs (and usually discards) a fresh
+        :class:`RunningStat` on every operation.
+        """
+        stat = self._per_operation.get(kind)
+        if stat is None:
+            stat = self._per_operation[kind] = RunningStat()
+        stat.add(self._total - self._op_start_total)
+        stat_bytes = self._per_operation_bytes.get(kind)
+        if stat_bytes is None:
+            stat_bytes = self._per_operation_bytes[kind] = RunningStat()
+        stat_bytes.add(self._total_bytes - self._op_start_bytes)
 
     def operation_kinds(self) -> list:
         """Every kind that has at least one recorded operation, sorted."""

@@ -130,26 +130,29 @@ class Span:
     Handles are pooled by their tracer (like the network's
     :class:`~repro.net.message.Message` instances): ``__exit__``
     returns the handle to a freelist and a later :meth:`Tracer.span`
-    re-targets it at a fresh record, so a traced hot path allocates one
-    :class:`SpanRecord` per span instead of two objects.  Holders must
-    therefore treat a handle as valid only between ``__enter__`` and
-    ``__exit__``; the underlying records are unaffected and permanent.
+    re-targets it at a fresh record.  Records start life as plain
+    7-slot lists (``[id, name, layer, start, attrs, end, outcome]``)
+    and are materialised into :class:`SpanRecord` objects lazily on the
+    first query (see :meth:`Tracer._solidify`), so the traced hot path
+    allocates one small list per span instead of a full record object.
+    Holders must treat a handle as valid only between ``__enter__`` and
+    ``__exit__``.
     """
 
     __slots__ = ("_tracer", "_record")
 
-    def __init__(self, tracer: "Tracer", record: SpanRecord) -> None:
+    def __init__(self, tracer: "Tracer", record: List[Any]) -> None:
         self._tracer = tracer
         self._record = record
 
-    def _reuse(self, record: SpanRecord) -> "Span":
+    def _reuse(self, record: List[Any]) -> "Span":
         """Re-target this pooled handle at a fresh record."""
         self._record = record
         return self
 
     def set(self, **attrs: Any) -> "Span":
         """Attach (or overwrite) span attributes."""
-        self._record.attrs.update(attrs)
+        self._record[4].update(attrs)
         return self
 
     def __enter__(self) -> "Span":
@@ -157,12 +160,18 @@ class Span:
 
     def __exit__(self, exc_type, exc, _tb) -> bool:
         record = self._record
-        record.end = self._tracer.now()
-        record.outcome = (
+        tracer = self._tracer
+        clock = tracer._clock
+        if clock is not None:
+            record[5] = float(clock())
+        else:
+            tracer._tick += 1
+            record[5] = float(tracer._tick)
+        record[6] = (
             OUTCOME_OK if exc_type is None
             else f"error:{exc_type.__name__}"
         )
-        self._tracer._release(self)
+        tracer._span_pool.append(self)
         return False
 
 
@@ -234,7 +243,15 @@ class Tracer:
         self._clock = clock
         self._tick = 0
         self._next_id = 0
-        self._records: List[SpanRecord] = []
+        #: Records in creation order.  The hot recording paths append
+        #: cheap containers -- a 5-tuple per event, a mutable 7-slot
+        #: list per span -- which :meth:`_solidify` materialises into
+        #: :class:`SpanRecord` objects on the first query.  Closed
+        #: records solidify in place (stable identity across queries);
+        #: a still-open span stays a live list so its handle's
+        #: ``__exit__`` keeps working, and queries see it through a
+        #: transient view.
+        self._records: List[Any] = []
         #: Freelist of exited Span handles awaiting reuse.
         self._span_pool: List[Span] = []
 
@@ -253,45 +270,90 @@ class Tracer:
 
     # -- recording ----------------------------------------------------------
 
-    def _new_record(
-        self, name: str, layer: str, attrs: Dict[str, Any]
-    ) -> SpanRecord:
-        if layer not in _LAYER_SET:
-            raise ValueError(
-                f"unknown trace layer {layer!r}; expected one of {LAYERS}"
-            )
-        record = SpanRecord(
-            span_id=self._next_id,
-            name=name,
-            layer=layer,
-            start=self.now(),
-            attrs=attrs,
-        )
-        self._next_id += 1
-        self._records.append(record)
-        return record
-
     def span(self, name: str, layer: str, **attrs: Any) -> Span:
         """Open a span; use as a context manager around the operation.
 
         The returned handle may be a pooled instance whose previous
         span has exited; the record it points at is always fresh.
         """
-        record = self._new_record(name, layer, attrs)
-        if self._span_pool:
-            return self._span_pool.pop()._reuse(record)
+        if layer not in _LAYER_SET:
+            raise ValueError(
+                f"unknown trace layer {layer!r}; expected one of {LAYERS}"
+            )
+        clock = self._clock
+        if clock is not None:
+            start = float(clock())
+        else:
+            self._tick += 1
+            start = float(self._tick)
+        record = [self._next_id, name, layer, start, attrs, None, ""]
+        self._next_id += 1
+        self._records.append(record)
+        pool = self._span_pool
+        if pool:
+            return pool.pop()._reuse(record)
         return Span(self, record)
 
-    def _release(self, span: Span) -> None:
-        """Return an exited handle to the freelist (called by Span)."""
-        self._span_pool.append(span)
-
-    def event(self, name: str, layer: str, **attrs: Any) -> SpanRecord:
+    def event(self, name: str, layer: str, **attrs: Any) -> None:
         """Record an instantaneous event (a zero-duration ok span)."""
-        record = self._new_record(name, layer, attrs)
-        record.end = record.start
-        record.outcome = OUTCOME_OK
-        return record
+        if layer not in _LAYER_SET:
+            raise ValueError(
+                f"unknown trace layer {layer!r}; expected one of {LAYERS}"
+            )
+        clock = self._clock
+        if clock is not None:
+            start = float(clock())
+        else:
+            self._tick += 1
+            start = float(self._tick)
+        self._records.append((self._next_id, name, layer, start, attrs))
+        self._next_id += 1
+
+    # -- lazy materialisation ------------------------------------------------
+
+    def _solidify(self) -> None:
+        """Materialise closed raw records into :class:`SpanRecord`.
+
+        Events (5-tuples) become zero-duration ok spans; closed span
+        lists become finished records.  Both replace the raw container
+        in place, so repeated queries return the *same* objects.  A
+        still-open span list is left untouched -- its live handle must
+        keep writing end/outcome into it -- and is materialised by a
+        later query once closed.
+        """
+        records = self._records
+        for i, rec in enumerate(records):
+            cls = rec.__class__
+            if cls is SpanRecord:
+                continue
+            if cls is tuple:
+                span_id, name, layer, start, attrs = rec
+                solid = SpanRecord(span_id, name, layer, start, attrs)
+                solid.end = start
+                solid.outcome = OUTCOME_OK
+                records[i] = solid
+            elif rec[5] is not None:
+                solid = SpanRecord(rec[0], rec[1], rec[2], rec[3], rec[4])
+                solid.end = rec[5]
+                solid.outcome = rec[6]
+                records[i] = solid
+
+    def _materialized(self) -> List[SpanRecord]:
+        """Every record as a :class:`SpanRecord`, in creation order.
+
+        Still-open spans are returned as transient views (end ``None``,
+        empty outcome), matching how open records always looked to
+        queries.
+        """
+        self._solidify()
+        out: List[SpanRecord] = []
+        append = out.append
+        for rec in self._records:
+            if rec.__class__ is SpanRecord:
+                append(rec)
+            else:  # still-open span list
+                append(SpanRecord(rec[0], rec[1], rec[2], rec[3], rec[4]))
+        return out
 
     # -- in-process queries --------------------------------------------------
 
@@ -308,7 +370,7 @@ class Tracer:
         any failure.
         """
         out = []
-        for record in self._records:
+        for record in self._materialized():
             if layer is not None and record.layer != layer:
                 continue
             if name is not None:
@@ -330,7 +392,11 @@ class Tracer:
         """Span counts per layer (a quick shape check of a trace)."""
         counts: Dict[str, int] = {}
         for record in self._records:
-            counts[record.layer] = counts.get(record.layer, 0) + 1
+            layer = (
+                record.layer if record.__class__ is SpanRecord
+                else record[2]
+            )
+            counts[layer] = counts.get(layer, 0) + 1
         return counts
 
     def __len__(self) -> int:
@@ -345,7 +411,7 @@ class Tracer:
     def export(self, stream: IO[str]) -> int:
         """Write every record as one JSON line; returns the line count."""
         count = 0
-        for record in self._records:
+        for record in self._materialized():
             json.dump(record.to_dict(), stream, sort_keys=True)
             stream.write("\n")
             count += 1

@@ -38,6 +38,7 @@ from __future__ import annotations
 
 import heapq
 import struct
+from functools import partial
 from typing import Any, Callable, List, Optional, Tuple
 
 from ..errors import ScheduleInPastError
@@ -154,6 +155,16 @@ class Simulator:
     def now(self) -> float:
         """Current simulated time."""
         return self._now
+
+    def now_reader(self) -> Callable[[], float]:
+        """A zero-argument reader of the current simulated time.
+
+        Built from C-level ``getattr`` partial application, so
+        high-frequency callers (the span tracer stamps every record
+        with it) skip both the closure frame and the property
+        descriptor a ``lambda: sim.now`` would pay.
+        """
+        return partial(getattr, self, "_now")
 
     @property
     def pending_events(self) -> int:

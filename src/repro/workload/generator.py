@@ -87,6 +87,17 @@ class WorkloadGenerator:
         streams = streams if streams is not None else RandomStreams()
         self._rng: np.random.Generator = streams.stream(name)
         self._cursor = 0  # for sequential access
+        #: Per-draw constants hoisted off the spec: the draw methods
+        #: run once per workload arrival, and the attribute hops plus
+        #: the string compare on ``distribution`` are pure overhead
+        #: there.  The draws themselves are untouched (stream
+        #: equivalence).
+        self._mean_gap = 1.0 / spec.op_rate
+        self._write_fraction = spec.write_fraction
+        self._distribution = spec.distribution
+        self._rng_exponential = self._rng.exponential
+        self._rng_random = self._rng.random
+        self._rng_integers = self._rng.integers
 
     @property
     def spec(self) -> WorkloadSpec:
@@ -96,12 +107,12 @@ class WorkloadGenerator:
 
     def next_interarrival(self) -> float:
         """Time until the next operation (exponential arrivals)."""
-        return float(self._rng.exponential(1.0 / self._spec.op_rate))
+        return float(self._rng_exponential(self._mean_gap))
 
     def _next_block(self) -> int:
-        kind = self._spec.distribution
+        kind = self._distribution
         if kind == "uniform":
-            return int(self._rng.integers(0, self._num_blocks))
+            return int(self._rng_integers(0, self._num_blocks))
         if kind == "zipf":
             while True:
                 value = int(self._rng.zipf(self._spec.zipf_exponent)) - 1
@@ -113,10 +124,10 @@ class WorkloadGenerator:
 
     def next_operation(self) -> Operation:
         """Draw the next operation."""
-        is_write = self._rng.random() < self._spec.write_fraction
+        is_write = self._rng_random() < self._write_fraction
         return Operation(
-            kind=OpKind.WRITE if is_write else OpKind.READ,
-            block=self._next_block(),
+            OpKind.WRITE if is_write else OpKind.READ,
+            self._next_block(),
         )
 
     def next_operations(self, count: int) -> List[Operation]:

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
+from typing import NamedTuple
 
 from ..types import BlockIndex, SimTime
 
@@ -16,10 +17,22 @@ class OpKind(enum.Enum):
     READ = "read"
     WRITE = "write"
 
+    # Members are singletons compared by identity, so the identity hash
+    # is consistent with equality -- and C-speed, where the enum default
+    # (hash of the member name) is a Python-level call on every
+    # per-operation counter update in the workload runner.
+    __hash__ = object.__hash__
 
-@dataclass(frozen=True)
-class Operation:
-    """One intended device access."""
+
+class Operation(NamedTuple):
+    """One intended device access.
+
+    A ``NamedTuple`` rather than a frozen dataclass: one is built per
+    workload arrival, and the frozen dataclass ``__init__`` pays two
+    Python-level ``object.__setattr__`` calls per instance where the
+    tuple constructor is a single C call.  Field order (and therefore
+    tuple equality/hash) matches the old declaration.
+    """
 
     kind: OpKind
     block: BlockIndex

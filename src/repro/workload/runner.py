@@ -150,7 +150,9 @@ class WorkloadRunner:
         protocol = self._cluster.protocol
         meter = self._cluster.meter
         origin = self._pick_origin()
-        before = meter.total
+        # ``_total`` read directly: the ``total`` property costs a
+        # Python-level descriptor call twice per operation here.
+        before = meter._total
         try:
             if op.kind is OpKind.READ:
                 protocol.read(origin, op.block)
@@ -159,14 +161,15 @@ class WorkloadRunner:
             ok = True
         except (DeviceUnavailableError, SiteDownError):
             ok = False
-        spent = meter.total - before
+        spent = meter._total - before
         self.result.attempted[op.kind] += 1
         if ok:
             self.result.succeeded[op.kind] += 1
             self.result.messages_ok[op.kind].add(spent)
         else:
             self.result.messages_failed[op.kind].add(spent)
-        self._note_metrics(op.kind, ok, spent)
+        if self._metrics is not None:
+            self._note_metrics(op.kind, ok, spent)
         if self._keep_outcomes:
             self.result.outcomes.append(
                 OperationOutcome(

@@ -121,3 +121,91 @@ class TestIntersectionProperty:
         for w1 in write_quorums:
             for w2 in write_quorums:
                 assert w1 & w2
+
+
+class TestIntegerFastPath:
+    """The integer companion path must be indistinguishable from the
+    float path on every unit-weight spec (the protocol fast path relies
+    on exactly this equivalence)."""
+
+    def test_gathered_count_counts_duplicates_once(self):
+        # Regression companion to the PR-8 dedup fix on
+        # gathered_weight: replayed replies must not fake a quorum on
+        # the integer path either.
+        spec = QuorumSpec.majority(5)
+        assert spec.gathered_count([0, 0, 0]) == 1
+        assert spec.gathered_count([1, 2, 2, 1]) == 2
+        assert spec.gathered_count([]) == 0
+        assert float(spec.gathered_count([3, 3, 4])) == \
+            spec.gathered_weight([3, 3, 4])
+
+    def test_gathered_count_raises_same_index_error(self):
+        spec = QuorumSpec.majority(3)
+        with pytest.raises(IndexError):
+            spec.gathered_weight([0, 7])
+        with pytest.raises(IndexError):
+            spec.gathered_count([0, 7])
+
+    def test_unit_weight_specs_expose_integer_thresholds(self):
+        odd = QuorumSpec.majority(5)
+        assert odd.unit_weights
+        assert odd.read_count_need == 3
+        assert odd.write_count_need == 3
+        custom = QuorumSpec.weighted([1.0] * 5, 2.0, 3.0)
+        assert custom.read_count_need == 3
+        assert custom.write_count_need == 4
+        # The even-group tie-breaker makes weights non-unit: no
+        # integer shortcut may be advertised there.
+        even = QuorumSpec.majority(4)
+        assert not even.unit_weights
+        assert even.read_count_need is None
+        weighted = QuorumSpec.weighted([2.0, 1.0, 1.0], 2.0, 2.0)
+        assert weighted.read_count_need is None
+
+    def test_integer_threshold_matches_float_path_exhaustively(self):
+        # Property check, exhaustive over every subset of every
+        # unit-weight group up to n=7 and every strict (R, W) pair:
+        # count >= need  <=>  meets_read/meets_write(gathered weight).
+        from itertools import combinations
+
+        for n in range(1, 8):
+            pairs = [
+                (r / 2.0, w / 2.0)
+                for r in range(0, 2 * n + 1)
+                for w in range(0, 2 * n + 1)
+                if r / 2.0 + w / 2.0 >= n and 2 * (w / 2.0) >= n
+            ]
+            for read_q, write_q in pairs:
+                spec = QuorumSpec.weighted([1.0] * n, read_q, write_q)
+                assert spec.unit_weights
+                for k in range(n + 1):
+                    for subset in combinations(range(n), k):
+                        gathered = spec.gathered_weight(subset)
+                        count = spec.gathered_count(subset)
+                        assert float(count) == gathered
+                        assert (count >= spec.read_count_need) == \
+                            spec.meets_read(gathered)
+                        assert (count >= spec.write_count_need) == \
+                            spec.meets_write(gathered)
+
+    def test_integer_threshold_matches_float_path_with_duplicates(self):
+        import random
+
+        rng = random.Random(1009)
+        for _ in range(300):
+            n = rng.randint(1, 9)
+            read_q = rng.choice([n / 2.0, n / 2.0 + 0.5, float(n) - 0.5,
+                                 float(n)])
+            write_q = max(read_q, n - read_q, n / 2.0)
+            try:
+                spec = QuorumSpec.weighted([1.0] * n, read_q, write_q)
+            except QuorumSpecError:
+                continue
+            draw = [rng.randrange(n) for _ in range(rng.randint(0, 2 * n))]
+            gathered = spec.gathered_weight(draw)
+            count = spec.gathered_count(draw)
+            assert float(count) == gathered
+            assert (count >= spec.read_count_need) == \
+                spec.meets_read(gathered)
+            assert (count >= spec.write_count_need) == \
+                spec.meets_write(gathered)

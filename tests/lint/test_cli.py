@@ -51,12 +51,13 @@ def test_exit_two_on_missing_path(capsys):
     assert capsys.readouterr().out == ""
 
 
-def test_list_rules_names_all_eight(capsys):
+def test_list_rules_names_all_nine(capsys):
     assert main(["--list-rules"]) == 0
     out = capsys.readouterr().out
-    for code in ("RL001", "RL002", "RL003", "RL004", "RL005", "RL006", "RL007", "RL008"):
+    for code in ("RL001", "RL002", "RL003", "RL004", "RL005", "RL006",
+                 "RL007", "RL008", "RL009"):
         assert code in out
-    assert len(RULES) == 8
+    assert len(RULES) == 9
 
 
 def test_json_format_is_machine_readable(capsys):

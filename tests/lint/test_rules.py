@@ -429,3 +429,75 @@ def test_rl003_flags_unpriced_hint_and_read_repair(tmp_path):
         "net/sizes.py": _SIZES_PRICING_ONE,
     })
     assert codes == ["RL003", "RL003"]
+
+
+# -- RL009 ------------------------------------------------------------------
+
+
+def test_rl009_flags_site_keyed_dict_in_core_function(tmp_path):
+    codes = lint_tree(tmp_path, {
+        "core/proto.py": """\
+            from typing import Dict
+
+            def collect(network) -> None:
+                replies: Dict[SiteId, int] = {}
+                replies[0] = 1
+        """,
+    })
+    assert codes == ["RL009"]
+
+
+def test_rl009_flags_nested_site_keyed_dict(tmp_path):
+    codes = lint_tree(tmp_path, {
+        "core/proto.py": """\
+            from typing import Dict
+
+            def batch(blocks):
+                per_block: Dict[BlockIndex, Dict[SiteId, int]] = {}
+                return per_block
+        """,
+    })
+    assert codes == ["RL009"]
+
+
+def test_rl009_allows_init_and_non_core_and_other_keys(tmp_path):
+    codes = lint_tree(tmp_path, {
+        # __init__ setup tables are exempt.
+        "core/proto.py": """\
+            from typing import Dict
+
+            class P:
+                def __init__(self, sites):
+                    self.pos: Dict[SiteId, int] = {}
+        """,
+        # Outside repro/core the pattern is fine.
+        "net/network.py": """\
+            from typing import Dict
+
+            def route(pairs):
+                table: Dict[SiteId, int] = {}
+                return table
+        """,
+        # Dicts keyed by something else are fine anywhere.
+        "core/other.py": """\
+            from typing import Dict
+
+            def tally(blocks):
+                tops: Dict[BlockIndex, int] = {}
+                return tops
+        """,
+    })
+    assert codes == []
+
+
+def test_rl009_suppressible_with_noqa(tmp_path):
+    codes = lint_tree(tmp_path, {
+        "core/proto.py": """\
+            from typing import Dict
+
+            def slow_path(network):
+                replies: Dict[SiteId, int] = {}  # repro: noqa[RL009]
+                return replies
+        """,
+    })
+    assert codes == []
